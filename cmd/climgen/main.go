@@ -1,0 +1,64 @@
+// Command climgen materializes a synthetic CAM5-style climate dataset into
+// an h5lite container, the stand-in for the paper's HDF5 snapshot archive.
+//
+// Usage:
+//
+//	climgen -out climate.h5l -samples 64 -height 96 -width 144 -seed 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/climate"
+	"repro/internal/h5lite"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("climgen: ")
+
+	out := flag.String("out", "climate.h5l", "output file path")
+	samples := flag.Int("samples", 64, "number of snapshots to generate")
+	height := flag.Int("height", 96, "grid rows (latitude)")
+	width := flag.Int("width", 144, "grid columns (longitude)")
+	seed := flag.Int64("seed", 7, "generator seed")
+	stats := flag.Bool("stats", true, "print class statistics")
+	flag.Parse()
+
+	ds := climate.NewDataset(climate.DefaultGenConfig(*height, *width, *seed), *samples)
+	lib := h5lite.NewLibrary(0)
+	w, err := lib.Create(*out, h5lite.Meta{
+		Channels: climate.NumChannels, Height: *height, Width: *width,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := 0; i < ds.Size; i++ {
+		s := ds.Sample(i)
+		if err := w.Append(s.Fields.Data(), s.Labels.Data()); err != nil {
+			log.Fatal(err)
+		}
+		if (i+1)%16 == 0 {
+			fmt.Fprintf(os.Stderr, "  %d/%d samples\n", i+1, ds.Size)
+		}
+	}
+	if err := w.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %d samples (%d×%d×%d) to %s (%.1f MB)\n",
+		ds.Size, climate.NumChannels, *height, *width, *out,
+		float64(ds.Size*ds.SampleBytes())/1e6)
+
+	if *stats {
+		n := min(ds.Size, 8)
+		freq := ds.ClassFrequencies(n)
+		fmt.Printf("class frequencies (first %d samples): BG %.3f%%, TC %.3f%%, AR %.3f%%\n",
+			n, freq[0]*100, freq[1]*100, freq[2]*100)
+		fmt.Printf("splits: %d train / %d test / %d validation\n",
+			len(ds.Indices(climate.Train)), len(ds.Indices(climate.Test)),
+			len(ds.Indices(climate.Validation)))
+	}
+}

@@ -1,0 +1,101 @@
+// Command perfreport regenerates the paper's performance tables: the
+// single-GPU operation counts and training rates of Figure 2, and the
+// per-kernel-category profiles of Figures 3, 8 (Tiramisu) and 9
+// (DeepLabv3+), computed by graph-walk FLOP analysis (Section VI) over the
+// paper-exact networks at 1152×768×16 plus the roofline GPU model.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/graph"
+	"repro/internal/models"
+	"repro/internal/perfmodel"
+)
+
+func analysis(network string, p graph.Precision, batch, channels int) *graph.Analysis {
+	cfg := models.Config{
+		BatchSize: batch, InChannels: channels, NumClasses: 3,
+		Height: 768, Width: 1152, Symbolic: true, Seed: 1,
+	}
+	var g *graph.Graph
+	if network == "deeplab" {
+		net, err := models.BuildDeepLab(models.PaperDeepLab(cfg))
+		if err != nil {
+			log.Fatal(err)
+		}
+		g = net.Graph
+	} else {
+		net, err := models.BuildTiramisu(models.PaperTiramisu(cfg))
+		if err != nil {
+			log.Fatal(err)
+		}
+		g = net.Graph
+	}
+	return graph.Analyze(g, graph.AnalyzeOptions{
+		Precision: p, IncludeOptimizer: true,
+		IncludeAllreduce: true, IncludeTypeConversion: true,
+	})
+}
+
+func fig2() {
+	fmt.Println("Fig 2 — single-GPU performance (paper values in parentheses)")
+	fmt.Printf("%-12s %-6s %-5s %12s %12s %12s %8s\n",
+		"Network", "GPU", "Prec", "TF/sample", "samples/s", "TF/s", "%peak")
+	rows := []struct {
+		network  string
+		gpu      perfmodel.GPU
+		prec     graph.Precision
+		batch    int
+		channels int
+		paper    string
+	}{
+		{"deeplab", perfmodel.V100(), graph.FP16, 2, 16, "(2.67, 31%)"},
+		{"deeplab", perfmodel.V100(), graph.FP32, 1, 16, "(0.87, 80%)"},
+		{"tiramisu", perfmodel.V100(), graph.FP16, 2, 16, "(5.00, 17%)"},
+		{"tiramisu", perfmodel.V100(), graph.FP32, 1, 16, "(1.91, 51%)"},
+		{"tiramisu", perfmodel.P100(), graph.FP32, 1, 4, "(1.20, 48%)"},
+	}
+	for _, r := range rows {
+		a := analysis(r.network, r.prec, r.batch, r.channels)
+		got := perfmodel.SingleGPUPerf(r.network, a, r.gpu, r.prec)
+		fmt.Printf("%-12s %-6s %-5s %12.2f %12.2f %12.2f %7.0f%%  %s\n",
+			got.Network, got.GPU, got.Precision, got.TFPerSample,
+			got.SamplesPerS, got.TFps, got.PctPeak, r.paper)
+	}
+}
+
+func kernelTable(network string, fig string) {
+	for _, p := range []graph.Precision{graph.FP32, graph.FP16} {
+		batch := 1
+		if p == graph.FP16 {
+			batch = 2
+		}
+		a := analysis(network, p, batch, 16)
+		fmt.Printf("\n%s — %s %s training profile (V100)\n", fig, network, p)
+		fmt.Print(perfmodel.FormatTable(perfmodel.KernelTable(a, perfmodel.V100(), p)))
+		fmt.Printf("modeled step time: %.0f ms\n",
+			perfmodel.StepSeconds(a, perfmodel.V100(), p)*1e3)
+	}
+}
+
+func main() {
+	log.SetFlags(0)
+	table := flag.String("table", "all", "fig2, fig8, fig9, or all")
+	flag.Parse()
+
+	switch *table {
+	case "fig2":
+		fig2()
+	case "fig8":
+		kernelTable("tiramisu", "Fig 8")
+	case "fig9":
+		kernelTable("deeplab", "Fig 9")
+	default:
+		fig2()
+		kernelTable("tiramisu", "Fig 8")
+		kernelTable("deeplab", "Fig 9")
+	}
+}

@@ -1,0 +1,146 @@
+// Command scalesim regenerates the paper's scaling results: the weak-
+// scaling curves of Figure 4 (Summit and Piz Daint, both networks, FP16
+// and FP32, lag 0 vs lag 1), the staged-vs-global-storage comparison of
+// Figure 5, and the Section V-A1 staging-time table.
+//
+// Usage:
+//
+//	scalesim -figure 4a   # Tiramisu weak scaling
+//	scalesim -figure 4b   # DeepLabv3+ weak scaling
+//	scalesim -figure 5    # input-location comparison on Piz Daint
+//	scalesim -figure stage
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/graph"
+	"repro/internal/models"
+	"repro/internal/perfmodel"
+	"repro/internal/stagefs"
+	"repro/internal/staging"
+)
+
+func analysis(network string, p graph.Precision, batch, channels int) *graph.Analysis {
+	cfg := models.Config{
+		BatchSize: batch, InChannels: channels, NumClasses: 3,
+		Height: 768, Width: 1152, Symbolic: true, Seed: 1,
+	}
+	var g *graph.Graph
+	if network == "deeplab" {
+		net, err := models.BuildDeepLab(models.PaperDeepLab(cfg))
+		if err != nil {
+			log.Fatal(err)
+		}
+		g = net.Graph
+	} else {
+		net, err := models.BuildTiramisu(models.PaperTiramisu(cfg))
+		if err != nil {
+			log.Fatal(err)
+		}
+		g = net.Graph
+	}
+	return graph.Analyze(g, graph.AnalyzeOptions{
+		Precision: p, IncludeOptimizer: true,
+		IncludeAllreduce: true, IncludeTypeConversion: true,
+	})
+}
+
+func summitConfig(network string, p graph.Precision, lag int) perfmodel.ScalingConfig {
+	batch := 1
+	if p == graph.FP16 {
+		batch = 2
+	}
+	a := analysis(network, p, batch, 16)
+	grad := 44.3e6
+	if network == "tiramisu" {
+		grad = 7.2e6
+	}
+	return perfmodel.ScalingConfig{
+		Machine: perfmodel.Summit(), Analysis: a, Precision: p,
+		GradBytes: grad * float64(p.Bytes()), NumTensors: 110, Lag: lag,
+		HierarchicalCtl: true, Staged: true,
+	}
+}
+
+func pizDaintConfig(staged bool) perfmodel.ScalingConfig {
+	a := analysis("tiramisu", graph.FP32, 1, 4)
+	return perfmodel.ScalingConfig{
+		Machine: perfmodel.PizDaint(), Analysis: a, Precision: graph.FP32,
+		GradBytes: 7.2e6 * 4, NumTensors: 110, Lag: 1,
+		HierarchicalCtl: true, Staged: staged,
+		FS: stagefs.PizDaintLustre(), SampleBytes: 16 * 768 * 1152 * 4,
+	}
+}
+
+func printSweep(label string, s perfmodel.ScalingConfig, counts []int) {
+	fmt.Printf("\n%s\n", label)
+	fmt.Printf("%8s %14s %12s %12s %8s\n", "GPUs", "images/s", "PF/s", "peak PF/s", "eff%")
+	single := s.At(1)
+	for _, n := range counts {
+		p := s.At(n)
+		ideal := single.ImagesPerS * float64(n)
+		fmt.Printf("%8d %14.1f %12.2f %12.2f %7.1f%%   (ideal %.1f img/s)\n",
+			n, p.ImagesPerS, p.PFps, p.PeakPFps, p.Efficiency*100, ideal)
+	}
+}
+
+func main() {
+	log.SetFlags(0)
+	figure := flag.String("figure", "4b", "4a, 4b, 5, or stage")
+	flag.Parse()
+
+	summitCounts := []int{1, 6, 96, 384, 1536, 6144, 24576, 27360}
+	daintCounts := []int{1, 16, 128, 512, 1024, 2048, 5300}
+
+	switch *figure {
+	case "4a":
+		printSweep("Fig 4a — Tiramisu, Summit FP16 (lag 1)",
+			summitConfig("tiramisu", graph.FP16, 1), summitCounts)
+		printSweep("Fig 4a — Tiramisu, Summit FP16 (lag 0)",
+			summitConfig("tiramisu", graph.FP16, 0), summitCounts)
+		printSweep("Fig 4a — Tiramisu, Summit FP32 (lag 1)",
+			summitConfig("tiramisu", graph.FP32, 1), summitCounts)
+		printSweep("Fig 4a — Tiramisu, Piz Daint FP32 (staged)",
+			pizDaintConfig(true), daintCounts)
+	case "4b":
+		printSweep("Fig 4b — DeepLabv3+, Summit FP16 (lag 1)",
+			summitConfig("deeplab", graph.FP16, 1), summitCounts)
+		printSweep("Fig 4b — DeepLabv3+, Summit FP16 (lag 0)",
+			summitConfig("deeplab", graph.FP16, 0), summitCounts)
+		printSweep("Fig 4b — DeepLabv3+, Summit FP32 (lag 1)",
+			summitConfig("deeplab", graph.FP32, 1), summitCounts)
+	case "5":
+		staged := pizDaintConfig(true)
+		global := pizDaintConfig(false)
+		fmt.Println("\nFig 5 — Piz Daint input location (Tiramisu FP32)")
+		fmt.Printf("%8s %16s %16s %10s\n", "GPUs", "local img/s", "global img/s", "penalty")
+		for _, n := range daintCounts {
+			ps, pg := staged.At(n), global.At(n)
+			fmt.Printf("%8d %16.1f %16.1f %9.1f%%\n",
+				n, ps.ImagesPerS, pg.ImagesPerS, (1-pg.ImagesPerS/ps.ImagesPerS)*100)
+		}
+	case "stage":
+		nvme := stagefs.SummitNVMe()
+		m := staging.AnalyticModel{
+			Cfg: staging.Config{
+				DatasetSamples: 63000, SamplesPerNode: 1500,
+				SampleBytes: 56 << 20, ReadThreads: 8,
+				FS: stagefs.SummitGPFS(),
+			},
+			InterconnectBW: 12.5e9,
+			Local:          &nvme,
+		}
+		fmt.Println("\nSection V-A1 — staging time (Summit, 3.5 TB dataset)")
+		for _, nodes := range []int{256, 1024, 4500} {
+			fmt.Printf("  %s\n", m.Describe(nodes))
+		}
+		fs := stagefs.SummitGPFS()
+		fmt.Printf("  read threads: 1 → %.2f GB/s, 8 → %.2f GB/s (paper: 1.79 → 11.98)\n",
+			fs.NodeReadBW(1)/1e9, fs.NodeReadBW(8)/1e9)
+	default:
+		log.Fatalf("unknown figure %q", *figure)
+	}
+}

@@ -1,0 +1,12 @@
+// Package repro is a from-scratch Go reproduction of "Exascale Deep
+// Learning for Climate Analytics" (Kurth et al., SC18, Gordon Bell Prize):
+// pixel-level segmentation of extreme weather patterns with Tiramisu and
+// DeepLabv3+ networks, scaled by data-parallel training with hierarchical
+// collective coordination, hybrid all-reduces, distributed data staging,
+// and mixed precision.
+//
+// The root package holds the benchmark harness (bench_test.go): one
+// benchmark per table and figure of the paper's evaluation. The library
+// lives under internal/ (see DESIGN.md for the system inventory), the
+// executables under cmd/, and runnable examples under examples/.
+package repro

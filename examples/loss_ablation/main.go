@@ -1,0 +1,70 @@
+// Loss ablation (Section V-B1): trains the same network under the three
+// pixel-weighting schemes — unweighted, inverse frequency, and the paper's
+// inverse square-root frequency — and shows why the paper settled on 1/√f:
+// unweighted training collapses toward the background class (high accuracy,
+// zero event-class IoU), while 1/f produces per-pixel loss magnitudes that
+// destabilize FP16.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/climate"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/loss"
+	"repro/internal/models"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	dataset := climate.NewDataset(climate.DefaultGenConfig(24, 32, 17), 32)
+	freq := dataset.ClassFrequencies(8)
+	fmt.Printf("dataset class frequencies: BG %.2f%%, TC %.2f%%, AR %.2f%%\n\n",
+		freq[0]*100, freq[1]*100, freq[2]*100)
+
+	for _, scheme := range []loss.Weighting{
+		loss.Unweighted, loss.InverseFrequency, loss.InverseSqrtFrequency,
+	} {
+		w := loss.ClassWeights(freq, scheme)
+		fmt.Printf("=== %-10s  (weights BG %.2f / TC %.1f / AR %.2f) ===\n",
+			scheme, w[0], w[1], w[2])
+
+		res, err := core.Train(core.Config{
+			BuildNet: func() (*models.Network, error) {
+				return models.BuildTiramisu(models.TinyTiramisu(models.Config{
+					BatchSize: 1, InChannels: climate.NumChannels,
+					NumClasses: climate.NumClasses,
+					Height:     24, Width: 32, Seed: 23,
+				}))
+			},
+			Precision:      graph.FP16, // FP16 exposes the 1/f instability
+			LossScale:      1024,
+			Optimizer:      core.Adam,
+			LR:             3e-3,
+			Weighting:      scheme,
+			Dataset:        dataset,
+			Ranks:          2,
+			Steps:          20,
+			Seed:           29,
+			ValidationSize: 3,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		fmt.Printf("  loss %8.3f → %8.3f   skipped FP16 steps: %d\n",
+			res.History[0].Loss, res.FinalLoss, res.SkippedSteps)
+		fmt.Printf("  accuracy %.3f | IoU: BG %.3f  TC %.3f  AR %.3f\n\n",
+			res.Accuracy, res.IoU[climate.ClassBackground],
+			res.IoU[climate.ClassTC], res.IoU[climate.ClassAR])
+	}
+
+	fmt.Println("Reading the results:")
+	fmt.Println("  - unweighted: accuracy stays high while the event-class IoUs lag —")
+	fmt.Println("    the degenerate background-collapse optimum the paper describes;")
+	fmt.Println("  - 1/f: large weight spread, more FP16 loss-scale skips / instability;")
+	fmt.Println("  - 1/sqrt(f): the paper's choice — stable and event-sensitive.")
+}

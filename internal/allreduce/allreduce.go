@@ -1,0 +1,183 @@
+// Package allreduce composes the paper's hybrid gradient all-reduce
+// (Section V-A3): NCCL reduces within the node over NVLink, a configurable
+// number of local ranks each run a cross-node MPI all-reduce on a disjoint
+// shard of the buffer (matching communicating processes 1:1 with the
+// node's virtual InfiniBand devices), and NCCL broadcasts re-assemble the
+// full result on every GPU. Plain single-algorithm reducers are provided
+// for the ablation benchmarks.
+package allreduce
+
+import (
+	"fmt"
+
+	"repro/internal/mpi"
+	"repro/internal/nccl"
+	"repro/internal/simnet"
+)
+
+const tagShard = 10 << 20
+
+// Reducer sums a buffer across all ranks in place. Implementations must be
+// called collectively by every rank in the world.
+type Reducer interface {
+	Reduce(c *mpi.Comm, data []float32)
+	Name() string
+}
+
+// Flat applies one MPI algorithm across all ranks, ignoring topology —
+// the baseline the hybrid improves on.
+type Flat struct {
+	Algorithm mpi.Algorithm
+}
+
+// Name implements Reducer.
+func (f Flat) Name() string { return "flat-" + f.Algorithm.String() }
+
+// Reduce implements Reducer.
+func (f Flat) Reduce(c *mpi.Comm, data []float32) {
+	c.Allreduce(data, f.Algorithm)
+}
+
+// Hybrid is the paper's three-phase all-reduce.
+type Hybrid struct {
+	Fabric simnet.Fabric
+	// ShardRanks is how many local ranks participate in the cross-node
+	// phase (4 on Summit: two per CPU socket, one per virtual IB device).
+	ShardRanks int
+	// CrossAlgorithm is the MPI algorithm for the cross-node phase.
+	CrossAlgorithm mpi.Algorithm
+}
+
+// NewHybrid returns the Summit configuration: 4 shard ranks,
+// recursive-doubling across nodes.
+func NewHybrid(fabric simnet.Fabric) *Hybrid {
+	return &Hybrid{Fabric: fabric, ShardRanks: 4, CrossAlgorithm: mpi.RecursiveDoubling}
+}
+
+// Name implements Reducer.
+func (h *Hybrid) Name() string {
+	return fmt.Sprintf("hybrid-%d-%s", h.ShardRanks, h.CrossAlgorithm)
+}
+
+// Reduce implements Reducer.
+func (h *Hybrid) Reduce(c *mpi.Comm, data []float32) {
+	local := nccl.New(c, h.Fabric)
+	perNode := local.Size()
+	shards := h.ShardRanks
+	if shards > perNode {
+		shards = perNode
+	}
+	nodes := h.Fabric.Size() / perNode
+
+	// Single-node worlds need only the NCCL phase.
+	if nodes <= 1 {
+		local.Allreduce(data)
+		return
+	}
+
+	// Phase 1: node-local ring all-reduce — every local rank now holds the
+	// node's partial sum.
+	local.Allreduce(data)
+
+	// Phase 2: the first `shards` local ranks each all-reduce their shard
+	// of the buffer with the corresponding rank on every other node.
+	spans := shardSpans(len(data), shards)
+	lr := local.LocalRank()
+	if lr < shards {
+		group := make([]int, nodes)
+		for nd := 0; nd < nodes; nd++ {
+			group[nd] = nd*perNode + lr
+		}
+		shard := data[spans[lr].lo:spans[lr].hi]
+		reduceOverGroup(c, shard, group, h.CrossAlgorithm)
+	}
+
+	// Phase 3: shard owners broadcast their final shard across the node.
+	for s := 0; s < shards; s++ {
+		shard := data[spans[s].lo:spans[s].hi]
+		local.Bcast(s, shard)
+	}
+}
+
+// reduceOverGroup runs the chosen algorithm over an arbitrary rank group.
+// Ring reuses mpi's group ring; other algorithms fall back to a gather-
+// scatter chain over the group (correct, if not latency-optimal) unless
+// the group is the full world.
+func reduceOverGroup(c *mpi.Comm, data []float32, group []int, alg mpi.Algorithm) {
+	if len(group) == c.Size() {
+		c.Allreduce(data, alg)
+		return
+	}
+	switch alg {
+	case mpi.Ring:
+		c.AllreduceGroup(data, group)
+	default:
+		// Recursive doubling over the subgroup by index.
+		me := -1
+		for i, r := range group {
+			if r == c.Rank() {
+				me = i
+			}
+		}
+		recursiveDoublingGroup(c, data, group, me)
+	}
+}
+
+// recursiveDoublingGroup is recursive doubling over a subgroup, with the
+// standard fold/unfold for non-power-of-two sizes.
+func recursiveDoublingGroup(c *mpi.Comm, data []float32, group []int, me int) {
+	n := len(group)
+	if n <= 1 {
+		return
+	}
+	pow2 := 1
+	for pow2*2 <= n {
+		pow2 *= 2
+	}
+	rem := n - pow2
+
+	inGame := true
+	if me >= pow2 {
+		c.Send(group[me-pow2], tagShard, data)
+		inGame = false
+	} else if me < rem {
+		got := c.Recv(group[me+pow2], tagShard)
+		for i := range data {
+			data[i] += got[i]
+		}
+	}
+	if inGame {
+		for dist := 1; dist < pow2; dist *= 2 {
+			peer := me ^ dist
+			c.Send(group[peer], tagShard+dist, data)
+			got := c.Recv(group[peer], tagShard+dist)
+			for i := range data {
+				data[i] += got[i]
+			}
+		}
+	}
+	if me >= pow2 {
+		got := c.Recv(group[me-pow2], tagShard+1<<19)
+		copy(data, got)
+	} else if me < rem {
+		c.Send(group[me+pow2], tagShard+1<<19, data)
+	}
+}
+
+type span struct{ lo, hi int }
+
+func shardSpans(length, n int) []span {
+	spans := make([]span, n)
+	base := length / n
+	extra := length % n
+	off := 0
+	for i := 0; i < n; i++ {
+		sz := base
+		if i < extra {
+			sz++
+		}
+		spans[i] = span{off, off + sz}
+		off += sz
+	}
+	return spans
+}

@@ -1,0 +1,115 @@
+package climate
+
+import (
+	"testing"
+)
+
+func TestSequenceDeterministic(t *testing.T) {
+	cfg := DefaultGenConfig(32, 48, 9)
+	a, err := NewSequence(cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewSequence(cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fa, err := a.Frame(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb, err := b.Frame(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range fa.Fields.Data() {
+		if fb.Fields.Data()[i] != v {
+			t.Fatalf("sequences from the same config diverge at element %d", i)
+		}
+	}
+}
+
+func TestSequenceFrameBounds(t *testing.T) {
+	seq, err := NewSequence(DefaultGenConfig(16, 16, 1), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := seq.Frame(-1); err == nil {
+		t.Error("negative frame accepted")
+	}
+	if _, err := seq.Frame(3); err == nil {
+		t.Error("out-of-range frame accepted")
+	}
+	if _, err := NewSequence(DefaultGenConfig(16, 16, 1), 0); err == nil {
+		t.Error("zero-length sequence accepted")
+	}
+}
+
+func TestSequenceStormsPersistAcrossFrames(t *testing.T) {
+	// Frames must share storms: the label masks of consecutive frames must
+	// overlap far more than those of independent snapshots (which share
+	// nothing but the climatology).
+	cfg := DefaultGenConfig(64, 96, 21)
+	seq, err := NewSequence(cfg, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev, err := seq.Frame(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	next, err := seq.Frame(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	overlap, events := 0, 0
+	for i, v := range prev.Labels.Data() {
+		if v == float32(ClassBackground) {
+			continue
+		}
+		events++
+		if next.Labels.Data()[i] != float32(ClassBackground) {
+			overlap++
+		}
+	}
+	if events == 0 {
+		t.Skip("no events in test frame; enlarge grid")
+	}
+	if frac := float64(overlap) / float64(events); frac < 0.2 {
+		t.Errorf("consecutive frames share only %.0f%% of event pixels; storms not persisting", 100*frac)
+	}
+}
+
+func TestSequenceLifeCycle(t *testing.T) {
+	// lifeFactor must ramp up from ~0, peak mid-life, and decay.
+	if lifeFactor(0, 10) > lifeFactor(4, 10) {
+		t.Error("intensity should grow toward mid-life")
+	}
+	if lifeFactor(9, 10) > lifeFactor(5, 10) {
+		t.Error("intensity should decay toward death")
+	}
+	for age := 0; age < 10; age++ {
+		f := lifeFactor(age, 10)
+		if f < 0 || f > 1 {
+			t.Fatalf("lifeFactor(%d,10)=%v outside [0,1]", age, f)
+		}
+	}
+}
+
+func TestSequenceActiveStormCounts(t *testing.T) {
+	cfg := DefaultGenConfig(48, 64, 5)
+	seq, err := NewSequence(cfg, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	totalTC, totalAR := 0, 0
+	for f := 0; f < 10; f++ {
+		tcs, ars := seq.ActiveStorms(f)
+		totalTC += tcs
+		totalAR += ars
+	}
+	if totalTC == 0 || totalAR == 0 {
+		t.Errorf("sequence spawned %d TCs and %d ARs across 10 frames; want both > 0",
+			totalTC, totalAR)
+	}
+}

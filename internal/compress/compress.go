@@ -1,0 +1,233 @@
+// Package compress implements the climate-data compression the paper's
+// Section VIII-B anticipates for future systems: as training throughput
+// grows, the input-data rate outruns the file system, and trading CPU
+// cycles for bandwidth becomes attractive. Fields are quantized to 16 bits
+// against per-channel ranges (lossy but bounded: CAM5 output carries far
+// less than 16 bits of signal per value) and entropy-coded with DEFLATE.
+// An analytic trade-off model answers the paper's sizing question: at what
+// per-GPU ingest rate does compressing the staged data win?
+package compress
+
+import (
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// Quantized is a 16-bit-quantized multichannel field.
+type Quantized struct {
+	Shape tensor.Shape // [C, H, W]
+	Min   []float32    // per channel
+	Scale []float32    // per channel: value = Min + Scale·code
+	Codes []uint16     // C·H·W codes
+}
+
+const maxCode = 65535
+
+// Quantize maps a [C, H, W] field tensor to 16-bit codes against each
+// channel's own range. The reconstruction error is bounded by Scale/2 per
+// channel (half a code step).
+func Quantize(fields *tensor.Tensor) (*Quantized, error) {
+	fs := fields.Shape()
+	if fs.Rank() != 3 {
+		return nil, fmt.Errorf("compress: fields must be [C,H,W], got %v", fs)
+	}
+	c, h, w := fs[0], fs[1], fs[2]
+	plane := h * w
+	q := &Quantized{
+		Shape: fs.Clone(),
+		Min:   make([]float32, c),
+		Scale: make([]float32, c),
+		Codes: make([]uint16, c*plane),
+	}
+	d := fields.Data()
+	for ch := 0; ch < c; ch++ {
+		lo, hi := float32(math.Inf(1)), float32(math.Inf(-1))
+		for i := ch * plane; i < (ch+1)*plane; i++ {
+			v := d[i]
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		q.Min[ch] = lo
+		if hi > lo {
+			q.Scale[ch] = (hi - lo) / maxCode
+		}
+		// Quantize in float64: the float32 inputs are exact in float64, so
+		// the code is within half a step of the true value and the only
+		// additional error is the final float32 rounding on reconstruction
+		// (accounted for by MaxError).
+		lo64, scale64 := float64(lo), float64(q.Scale[ch])
+		for i := ch * plane; i < (ch+1)*plane; i++ {
+			if scale64 == 0 {
+				continue
+			}
+			code := math.Round((float64(d[i]) - lo64) / scale64)
+			q.Codes[i] = uint16(math.Min(maxCode, math.Max(0, code)))
+		}
+	}
+	return q, nil
+}
+
+// Dequantize reconstructs the field tensor.
+func (q *Quantized) Dequantize() *tensor.Tensor {
+	out := tensor.New(q.Shape)
+	d := out.Data()
+	plane := q.Shape[1] * q.Shape[2]
+	for ch := 0; ch < q.Shape[0]; ch++ {
+		lo, scale := float64(q.Min[ch]), float64(q.Scale[ch])
+		for i := ch * plane; i < (ch+1)*plane; i++ {
+			d[i] = float32(lo + scale*float64(q.Codes[i]))
+		}
+	}
+	return out
+}
+
+// MaxError returns the per-channel reconstruction error bound: half a code
+// step plus the float32 rounding of the reconstructed value.
+func (q *Quantized) MaxError(channel int) float64 {
+	lo := float64(q.Min[channel])
+	hi := lo + float64(q.Scale[channel])*maxCode
+	maxAbs := math.Max(math.Abs(lo), math.Abs(hi))
+	const ulp32 = 1.2e-7 // 2⁻²³, relative float32 spacing
+	return float64(q.Scale[channel])/2 + maxAbs*ulp32
+}
+
+const magic = 0x43515A31 // "CQZ1"
+
+// Encode writes the quantized field, DEFLATE-compressed, to w.
+func (q *Quantized) Encode(w io.Writer) error {
+	var hdr bytes.Buffer
+	if err := binary.Write(&hdr, binary.LittleEndian, uint32(magic)); err != nil {
+		return err
+	}
+	dims := []uint32{uint32(q.Shape[0]), uint32(q.Shape[1]), uint32(q.Shape[2])}
+	if err := binary.Write(&hdr, binary.LittleEndian, dims); err != nil {
+		return err
+	}
+	if err := binary.Write(&hdr, binary.LittleEndian, q.Min); err != nil {
+		return err
+	}
+	if err := binary.Write(&hdr, binary.LittleEndian, q.Scale); err != nil {
+		return err
+	}
+	if _, err := w.Write(hdr.Bytes()); err != nil {
+		return err
+	}
+	fw, err := flate.NewWriter(w, flate.BestSpeed)
+	if err != nil {
+		return err
+	}
+	buf := make([]byte, 2*len(q.Codes))
+	for i, code := range q.Codes {
+		binary.LittleEndian.PutUint16(buf[2*i:], code)
+	}
+	if _, err := fw.Write(buf); err != nil {
+		return err
+	}
+	return fw.Close()
+}
+
+// Decode reads an Encode stream.
+func Decode(r io.Reader) (*Quantized, error) {
+	var m uint32
+	if err := binary.Read(r, binary.LittleEndian, &m); err != nil {
+		return nil, fmt.Errorf("compress: reading header: %w", err)
+	}
+	if m != magic {
+		return nil, fmt.Errorf("compress: bad magic %#x", m)
+	}
+	dims := make([]uint32, 3)
+	if err := binary.Read(r, binary.LittleEndian, dims); err != nil {
+		return nil, err
+	}
+	c, h, w := int(dims[0]), int(dims[1]), int(dims[2])
+	if c < 1 || h < 1 || w < 1 || c*h*w > 1<<30 {
+		return nil, fmt.Errorf("compress: implausible shape %d×%d×%d", c, h, w)
+	}
+	q := &Quantized{
+		Shape: tensor.Shape{c, h, w},
+		Min:   make([]float32, c),
+		Scale: make([]float32, c),
+		Codes: make([]uint16, c*h*w),
+	}
+	if err := binary.Read(r, binary.LittleEndian, q.Min); err != nil {
+		return nil, err
+	}
+	if err := binary.Read(r, binary.LittleEndian, q.Scale); err != nil {
+		return nil, err
+	}
+	fr := flate.NewReader(r)
+	defer fr.Close()
+	buf := make([]byte, 2*len(q.Codes))
+	if _, err := io.ReadFull(fr, buf); err != nil {
+		return nil, fmt.Errorf("compress: reading codes: %w", err)
+	}
+	for i := range q.Codes {
+		q.Codes[i] = binary.LittleEndian.Uint16(buf[2*i:])
+	}
+	return q, nil
+}
+
+// Roundtrip compresses a field into a byte buffer and reports the achieved
+// ratio versus the raw float32 representation.
+func Roundtrip(fields *tensor.Tensor) (restored *tensor.Tensor, ratio float64, err error) {
+	q, err := Quantize(fields)
+	if err != nil {
+		return nil, 0, err
+	}
+	var buf bytes.Buffer
+	if err := q.Encode(&buf); err != nil {
+		return nil, 0, err
+	}
+	raw := float64(fields.NumElements() * 4)
+	encoded := float64(buf.Len()) // captured before Decode drains the buffer
+	dq, err := Decode(&buf)
+	if err != nil {
+		return nil, 0, err
+	}
+	return dq.Dequantize(), raw / encoded, nil
+}
+
+// Tradeoff is the Section VIII-B sizing model: staging N bytes through a
+// file system of bandwidth fsBW, with optional decompression at cpuRate
+// bytes/s of output, per node.
+type Tradeoff struct {
+	FSBandwidth float64 // bytes/s the file system delivers to one node
+	CPURate     float64 // bytes/s one node can decompress (output bytes)
+	Ratio       float64 // compression ratio (raw/compressed)
+}
+
+// RawSeconds is the staging time without compression.
+func (t Tradeoff) RawSeconds(rawBytes float64) float64 {
+	return rawBytes / t.FSBandwidth
+}
+
+// CompressedSeconds is the staging time reading compressed data and
+// decompressing on the fly: the wire moves rawBytes/Ratio, the CPU must
+// produce rawBytes, and the two pipelines overlap (max, not sum).
+func (t Tradeoff) CompressedSeconds(rawBytes float64) float64 {
+	wire := rawBytes / t.Ratio / t.FSBandwidth
+	cpu := rawBytes / t.CPURate
+	return math.Max(wire, cpu)
+}
+
+// Wins reports whether compression reduces the staging time.
+func (t Tradeoff) Wins(rawBytes float64) bool {
+	return t.CompressedSeconds(rawBytes) < t.RawSeconds(rawBytes)
+}
+
+// BreakEvenCPURate returns the decompression rate above which compression
+// wins for any transfer size: the CPU must at least match the file system's
+// raw delivery rate.
+func (t Tradeoff) BreakEvenCPURate() float64 {
+	return t.FSBandwidth
+}

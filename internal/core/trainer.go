@@ -1,0 +1,479 @@
+// Package core assembles the paper's training system: synchronous
+// data-parallel training of a segmentation network across mpi ranks, with
+// per-rank graph replicas, Horovod-negotiated gradient all-reduces (flat or
+// hierarchical control plane, hybrid or flat reduction), LARC, gradient
+// lag, mixed-precision loss scaling, the weighted pixel loss, and IoU
+// evaluation. Each rank is a goroutine; payloads move for real and time
+// accrues on the virtual clocks, so convergence experiments (Fig 6/7 and
+// the Section V-B ablations) run end to end on one CPU.
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+
+	"repro/internal/allreduce"
+	"repro/internal/climate"
+	"repro/internal/graph"
+	"repro/internal/horovod"
+	"repro/internal/hpfloat"
+	"repro/internal/loss"
+	"repro/internal/metrics"
+	"repro/internal/models"
+	"repro/internal/mpi"
+	"repro/internal/opt"
+	"repro/internal/simnet"
+	"repro/internal/tensor"
+)
+
+// OptimizerKind selects the base optimizer.
+type OptimizerKind int
+
+const (
+	// SGD with momentum 0.9.
+	SGD OptimizerKind = iota
+	// Adam, the paper's Tiramisu optimizer.
+	Adam
+)
+
+// Config describes one training run.
+type Config struct {
+	// BuildNet constructs a rank's model replica. It is called once per
+	// rank with the shared weight seed, so all replicas initialize
+	// identically (the data-parallel invariant).
+	BuildNet func() (*models.Network, error)
+
+	Precision graph.Precision
+	LossScale float64 // FP16 static loss scale (0 → dynamic default)
+
+	Optimizer   OptimizerKind
+	LR          float64
+	UseLARC     bool
+	LARCTrust   float64
+	GradientLag int
+	// LRSchedule, when set, overrides the learning rate before each step
+	// (e.g. opt.PolynomialDecay or opt.LinearWarmup around it). LR is then
+	// only the initial rate.
+	LRSchedule func(step int) float64
+
+	Weighting loss.Weighting
+	Dataset   *climate.Dataset
+	Channels  []int // input channel subset (nil = all 16)
+
+	Ranks          int
+	Fabric         simnet.Fabric // nil → loopback fabric of Ranks
+	Horovod        horovod.Config
+	HybridReduce   bool
+	Steps          int
+	Seed           int64
+	ValidationSize int // samples evaluated for IoU after training (0=skip)
+	// ValidateEvery, when > 0, additionally runs the validation pass after
+	// every N steps (the paper's per-epoch validation, Section VI) and
+	// records the trajectory in Result.ValHistory. Requires ValidationSize.
+	ValidateEvery int
+
+	// StepComputeSeconds charges virtual GPU time per step, so loss-vs-
+	// wall-time curves (Fig 6) can be drawn at paper-like scales.
+	StepComputeSeconds float64
+}
+
+// StepStat is one step's record from rank 0's perspective.
+type StepStat struct {
+	Step        int
+	Loss        float64 // mean loss across ranks
+	VirtualTime float64 // rank-0 virtual clock at step end
+	Skipped     bool    // FP16 overflow skip
+}
+
+// ValStat is one mid-training validation record (Section VI's per-epoch
+// validation pass).
+type ValStat struct {
+	Step     int
+	MeanIoU  float64
+	Accuracy float64
+}
+
+// Result summarizes a run.
+type Result struct {
+	History      []StepStat
+	ValHistory   []ValStat // populated when Config.ValidateEvery > 0
+	FinalLoss    float64
+	IoU          []float64 // per class; NaN where absent
+	MeanIoU      float64
+	Accuracy     float64
+	Makespan     float64 // virtual seconds for the whole run
+	SkippedSteps int
+	CtlStats     horovod.Stats // rank 0's control-plane traffic
+}
+
+// classFreqCache avoids re-measuring dataset statistics across runs.
+var (
+	classFreqMu    sync.Mutex
+	classFreqCache = map[*climate.Dataset][]float64{}
+)
+
+func classFrequencies(d *climate.Dataset) []float64 {
+	classFreqMu.Lock()
+	defer classFreqMu.Unlock()
+	if f, ok := classFreqCache[d]; ok {
+		return f
+	}
+	n := d.Size
+	if n > 8 {
+		n = 8
+	}
+	f := d.ClassFrequencies(n)
+	classFreqCache[d] = f
+	return f
+}
+
+// Train runs the configured job and returns rank 0's view of it.
+func Train(cfg Config) (*Result, error) {
+	if cfg.Ranks < 1 || cfg.Steps < 1 {
+		return nil, fmt.Errorf("core: bad config: ranks=%d steps=%d", cfg.Ranks, cfg.Steps)
+	}
+	if cfg.BuildNet == nil || cfg.Dataset == nil {
+		return nil, fmt.Errorf("core: BuildNet and Dataset are required")
+	}
+	fabric := cfg.Fabric
+	if fabric == nil {
+		fabric = simnet.Loopback(cfg.Ranks)
+	}
+	if fabric.Size() != cfg.Ranks {
+		return nil, fmt.Errorf("core: fabric size %d != ranks %d", fabric.Size(), cfg.Ranks)
+	}
+	if cfg.Horovod.Radix == 0 {
+		cfg.Horovod = horovod.Tree(4)
+	}
+	if cfg.LossScale == 0 {
+		cfg.LossScale = 1024
+	}
+
+	weights := loss.ClassWeights(classFrequencies(cfg.Dataset), cfg.Weighting)
+
+	res := &Result{}
+	var resMu sync.Mutex
+	var firstErr error
+
+	world := mpi.NewWorld(fabric)
+	makespan := world.Run(func(c *mpi.Comm) {
+		err := trainRank(c, cfg, weights, res, &resMu)
+		if err != nil {
+			resMu.Lock()
+			if firstErr == nil {
+				firstErr = err
+			}
+			resMu.Unlock()
+		}
+	})
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	res.Makespan = makespan
+	if len(res.History) > 0 {
+		res.FinalLoss = res.History[len(res.History)-1].Loss
+	}
+	return res, nil
+}
+
+// newRankRNG derives a rank-local random stream: different per rank so
+// shards differ, deterministic per (seed, rank) so runs reproduce.
+func newRankRNG(seed int64, rank int) *rand.Rand {
+	return rand.New(rand.NewSource(seed*1_000_033 + int64(rank)*7919))
+}
+
+// reducerFor builds the gradient reducer for the run.
+func reducerFor(cfg Config, fabric simnet.Fabric) horovod.Reducer {
+	if cfg.HybridReduce && fabric.RanksPerNode() > 1 {
+		return allreduce.NewHybrid(fabric)
+	}
+	return allreduce.Flat{Algorithm: mpi.Ring}
+}
+
+func trainRank(c *mpi.Comm, cfg Config, classWeights []float32,
+	res *Result, resMu *sync.Mutex) error {
+
+	net, err := cfg.BuildNet()
+	if err != nil {
+		return err
+	}
+	params := net.Graph.Params()
+	paramIndex := make(map[*graph.Node]int, len(params))
+	for i, p := range params {
+		paramIndex[p] = i
+	}
+
+	fabric := cfg.Fabric
+	if fabric == nil {
+		fabric = simnet.Loopback(cfg.Ranks)
+	}
+	sess := horovod.NewSession(c, reducerFor(cfg, fabric), cfg.Horovod)
+
+	var base opt.Optimizer
+	switch cfg.Optimizer {
+	case Adam:
+		base = opt.NewAdam(cfg.LR)
+	default:
+		base = opt.NewSGD(cfg.LR, 0.9, 1e-4)
+	}
+	if cfg.UseLARC {
+		trust := cfg.LARCTrust
+		if trust == 0 {
+			trust = 0.01
+		}
+		base = opt.NewLARC(base, trust)
+	}
+	optimizer := opt.NewLag(base, cfg.GradientLag)
+
+	scaler := &hpfloat.LossScaler{Scale: cfg.LossScale, GrowthInterval: 0}
+
+	// Rank-local data shard: independent random draws, as staged data.
+	trainIdx := cfg.Dataset.Indices(climate.Train)
+	if len(trainIdx) == 0 {
+		return fmt.Errorf("core: dataset has no training samples")
+	}
+	rng := newRankRNG(cfg.Seed, c.Rank())
+
+	skipped := 0
+	for step := 0; step < cfg.Steps; step++ {
+		if cfg.LRSchedule != nil {
+			optimizer.SetLR(cfg.LRSchedule(step))
+		}
+		sample := cfg.Dataset.Sample(trainIdx[rng.Intn(len(trainIdx))])
+		feeds, err := feedsForSample(net, sample, classWeights, cfg.Channels)
+		if err != nil {
+			return err
+		}
+
+		ex := graph.NewExecutor(net.Graph, cfg.Precision, cfg.Seed+int64(step)*31+int64(c.Rank()))
+		if cfg.Precision == graph.FP16 {
+			ex.SetLossScale(scaler.Scale)
+		}
+
+		// Gradients become ready back-to-front; Horovod negotiates the
+		// all-reduce order from these per-rank readiness sequences.
+		var readyOrder []horovod.TensorID
+		grads := map[horovod.TensorID][]float32{}
+		ex.OnParamGrad = func(p *graph.Node, g *tensor.Tensor) {
+			id := horovod.TensorID(paramIndex[p])
+			readyOrder = append(readyOrder, id)
+			grads[id] = g.Data()
+		}
+
+		if err := ex.Forward(feeds); err != nil {
+			return err
+		}
+		stepLoss := float64(ex.Value(net.Loss).Data()[0])
+		if err := ex.Backward(net.Loss); err != nil {
+			return err
+		}
+		if cfg.StepComputeSeconds > 0 {
+			c.Advance(cfg.StepComputeSeconds)
+		}
+
+		// Missing gradients (possible under extreme FP16 underflow) still
+		// need collective participation: substitute zeros.
+		for i := range params {
+			id := horovod.TensorID(i)
+			if grads[id] == nil {
+				grads[id] = make([]float32, params[i].Shape.NumElements())
+				readyOrder = append(readyOrder, id)
+			}
+		}
+		sess.Step(readyOrder, grads)
+
+		// Average and unscale; detect overflow consistently (the reduced
+		// values are identical on all ranks).
+		overflow := false
+		inv := float32(1.0 / float64(c.Size()))
+		for _, g := range grads {
+			tensor.Scale(inv, g)
+			if cfg.Precision == graph.FP16 {
+				scaler.Unapply(g)
+			}
+			if !tensor.AllFinite(g) {
+				overflow = true
+			}
+		}
+
+		apply := true
+		if cfg.Precision == graph.FP16 {
+			apply = scaler.Update(overflow)
+		} else if overflow {
+			apply = false
+		}
+		if apply {
+			ps := make([]opt.Param, len(params))
+			for i, p := range params {
+				ps[i] = opt.Param{
+					Name:  p.Label,
+					Value: p.Value,
+					Grad:  tensor.FromSlice(p.Shape, grads[horovod.TensorID(i)]),
+				}
+			}
+			optimizer.Step(ps)
+		} else {
+			skipped++
+		}
+
+		// Mean loss across ranks for the history (a real collective).
+		lossBuf := []float32{float32(stepLoss)}
+		c.Allreduce(lossBuf, mpi.Ring)
+		meanLoss := float64(lossBuf[0]) / float64(c.Size())
+
+		if c.Rank() == 0 {
+			resMu.Lock()
+			res.History = append(res.History, StepStat{
+				Step:        step,
+				Loss:        meanLoss,
+				VirtualTime: c.Clock(),
+				Skipped:     !apply,
+			})
+			resMu.Unlock()
+		}
+
+		// Per-epoch validation (Section VI): a collective pass all ranks
+		// enter at the same steps.
+		if cfg.ValidateEvery > 0 && cfg.ValidationSize > 0 && (step+1)%cfg.ValidateEvery == 0 {
+			cm, err := validate(c, cfg, net, classWeights)
+			if err != nil {
+				return err
+			}
+			if c.Rank() == 0 {
+				resMu.Lock()
+				res.ValHistory = append(res.ValHistory, ValStat{
+					Step:     step,
+					MeanIoU:  cm.MeanIoU(),
+					Accuracy: cm.PixelAccuracy(),
+				})
+				resMu.Unlock()
+			}
+		}
+	}
+
+	if c.Rank() == 0 {
+		resMu.Lock()
+		res.SkippedSteps = skipped
+		res.CtlStats = sess.Stats()
+		resMu.Unlock()
+	}
+
+	// Distributed validation: each rank evaluates a slice, confusion
+	// matrices merge by all-reducing the counts.
+	if cfg.ValidationSize > 0 {
+		cm, err := validate(c, cfg, net, classWeights)
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			resMu.Lock()
+			res.IoU = make([]float64, climate.NumClasses)
+			for k := 0; k < climate.NumClasses; k++ {
+				res.IoU[k] = cm.IoU(k)
+			}
+			res.MeanIoU = cm.MeanIoU()
+			res.Accuracy = cm.PixelAccuracy()
+			resMu.Unlock()
+		}
+	}
+	return nil
+}
+
+// validate runs inference over the validation split, sliced across ranks.
+func validate(c *mpi.Comm, cfg Config, net *models.Network, classWeights []float32) (*metrics.ConfusionMatrix, error) {
+	valIdx := cfg.Dataset.Indices(climate.Validation)
+	if len(valIdx) > cfg.ValidationSize {
+		valIdx = valIdx[:cfg.ValidationSize]
+	}
+	cm := metrics.NewConfusionMatrix(climate.NumClasses)
+	for i := c.Rank(); i < len(valIdx); i += c.Size() {
+		sample := cfg.Dataset.Sample(valIdx[i])
+		feeds, err := feedsForSample(net, sample, classWeights, cfg.Channels)
+		if err != nil {
+			return nil, err
+		}
+		ex := graph.NewExecutor(net.Graph, cfg.Precision, 1)
+		if err := ex.Forward(feeds); err != nil {
+			return nil, err
+		}
+		pred := loss.Predictions(ex.Value(net.Logits))
+		truth := feeds[net.Labels].Reshape(pred.Shape())
+		cm.Add(truth, pred)
+	}
+	// Merge counts across ranks.
+	flat := make([]float32, climate.NumClasses*climate.NumClasses)
+	for i := 0; i < climate.NumClasses; i++ {
+		for j := 0; j < climate.NumClasses; j++ {
+			flat[i*climate.NumClasses+j] = float32(cm.Counts[i][j])
+		}
+	}
+	c.Allreduce(flat, mpi.Ring)
+	for i := 0; i < climate.NumClasses; i++ {
+		for j := 0; j < climate.NumClasses; j++ {
+			cm.Counts[i][j] = int64(flat[i*climate.NumClasses+j])
+		}
+	}
+	return cm, nil
+}
+
+// feedsForSample converts a climate sample into executor feeds, replicating
+// the sample across the network's batch dimension and selecting channels.
+func feedsForSample(net *models.Network, s *climate.Sample, classWeights []float32, channels []int) (map[*graph.Node]*tensor.Tensor, error) {
+	fields := s.Fields
+	if channels != nil {
+		fields = climate.SelectChannels(fields, channels)
+	}
+	is := net.Images.Shape
+	batch, ch, h, w := is[0], is[1], is[2], is[3]
+	fs := fields.Shape()
+	if fs[0] != ch || fs[1] != h || fs[2] != w {
+		return nil, fmt.Errorf("core: sample %v does not match network input %v", fs, is)
+	}
+	images := tensor.New(is)
+	labels := tensor.New(tensor.Shape{batch, h, w})
+	for b := 0; b < batch; b++ {
+		copy(images.Data()[b*ch*h*w:], fields.Data())
+		copy(labels.Data()[b*h*w:], s.Labels.Data())
+	}
+	wmap := loss.WeightMap(labels, classWeights)
+	return map[*graph.Node]*tensor.Tensor{
+		net.Images:  images,
+		net.Labels:  labels,
+		net.Weights: wmap,
+	}, nil
+}
+
+// SmoothedLoss returns a moving average over the loss history with the
+// given window — the paper's Fig 6 uses a 10-step window.
+func SmoothedLoss(history []StepStat, window int) []float64 {
+	out := make([]float64, len(history))
+	for i := range history {
+		lo := i - window + 1
+		if lo < 0 {
+			lo = 0
+		}
+		var s float64
+		for j := lo; j <= i; j++ {
+			s += history[j].Loss
+		}
+		out[i] = s / float64(i-lo+1)
+	}
+	return out
+}
+
+// LossImproved reports whether the smoothed loss fell by at least frac
+// between the first and last windows (a convergence check robust to step
+// noise).
+func LossImproved(history []StepStat, frac float64) bool {
+	if len(history) < 4 {
+		return false
+	}
+	sm := SmoothedLoss(history, max(2, len(history)/5))
+	first, last := sm[len(sm)/5], sm[len(sm)-1]
+	if math.IsNaN(last) || math.IsInf(last, 0) {
+		return false
+	}
+	return last <= first*(1-frac)
+}

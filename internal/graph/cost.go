@@ -1,0 +1,150 @@
+package graph
+
+import "repro/internal/tensor"
+
+// CategoryCost aggregates work per kernel category, the unit of the paper's
+// Figs 3, 8 and 9 tables.
+type CategoryCost struct {
+	Category Category
+	Kernels  int     // number of kernel launches
+	FLOPs    float64 // total floating-point operations
+	Bytes    float64 // total DRAM traffic
+}
+
+// Analysis is the result of a graph walk: per-category totals for one
+// training step (forward + backward) at the graph's batch size.
+type Analysis struct {
+	PerCategory [NumCategories]CategoryCost
+	BatchSize   int
+}
+
+// TotalFLOPs returns the summed FLOPs across categories.
+func (a *Analysis) TotalFLOPs() float64 {
+	var s float64
+	for _, c := range a.PerCategory {
+		s += c.FLOPs
+	}
+	return s
+}
+
+// TotalBytes returns the summed DRAM traffic across categories.
+func (a *Analysis) TotalBytes() float64 {
+	var s float64
+	for _, c := range a.PerCategory {
+		s += c.Bytes
+	}
+	return s
+}
+
+// TotalKernels returns the total kernel-launch count.
+func (a *Analysis) TotalKernels() int {
+	n := 0
+	for _, c := range a.PerCategory {
+		n += c.Kernels
+	}
+	return n
+}
+
+// FLOPsPerSample returns the training FLOPs normalized per sample — the
+// paper's "Operation Count (TF/sample)" column in Fig 2 divides by the
+// per-step batch.
+func (a *Analysis) FLOPsPerSample() float64 {
+	if a.BatchSize == 0 {
+		return 0
+	}
+	return a.TotalFLOPs() / float64(a.BatchSize)
+}
+
+// AnalyzeOptions configures the graph walk.
+type AnalyzeOptions struct {
+	Precision Precision
+	// IncludeOptimizer adds the per-parameter optimizer update kernels
+	// (SGD/LARC-style: a handful of elementwise passes per parameter).
+	IncludeOptimizer bool
+	// IncludeAllreduce adds the gradient all-reduce traffic (2 bytes/elem in
+	// FP16, 4 in FP32, counted once per parameter element as local traffic).
+	IncludeAllreduce bool
+	// IncludeTypeConversion adds FP32↔FP16 cast kernels on parameter
+	// tensors (master weights → compute copies), present only in FP16 runs.
+	IncludeTypeConversion bool
+}
+
+// Analyze walks the graph and accumulates the cost of one training step
+// (forward + backward over all differentiable ops), following the paper's
+// Section VI methodology: per-op FLOP formulas evaluated over the operation
+// graph, without running any math. batchSize is read from the first input's
+// leading dimension.
+func Analyze(g *Graph, opts AnalyzeOptions) *Analysis {
+	a := &Analysis{}
+	for c := 0; c < NumCategories; c++ {
+		a.PerCategory[c].Category = Category(c)
+	}
+	if len(g.inputs) > 0 && g.inputs[0].Shape.Rank() > 0 {
+		a.BatchSize = g.inputs[0].Shape[0]
+	}
+	eb := opts.Precision.Bytes()
+
+	add := func(cat Category, c Cost, kernels int) {
+		a.PerCategory[cat].Kernels += kernels
+		a.PerCategory[cat].FLOPs += c.FLOPs
+		a.PerCategory[cat].Bytes += c.Bytes
+	}
+
+	for _, n := range g.nodes {
+		if n.Kind != KindOp {
+			continue
+		}
+		in := make([]tensor.Shape, len(n.Inputs))
+		for i, p := range n.Inputs {
+			in[i] = p.Shape
+		}
+		fcat, bcat := n.Op.Categories()
+		add(fcat, n.Op.FwdCost(in, n.Shape, eb), 1)
+		add(bcat, n.Op.BwdCost(in, n.Shape, eb), kernelsForBackward(n))
+	}
+
+	paramElems := float64(g.NumParamElements())
+	if opts.IncludeOptimizer {
+		// Model: read param, read grad, update momentum, write param →
+		// ~4 elementwise passes; 2 FLOPs per element (scale + add), with a
+		// kernel launch per parameter tensor (the paper counts ~1056/1219
+		// tiny optimizer kernels). LARC adds two norm reductions.
+		c := Cost{FLOPs: 4 * paramElems, Bytes: 4 * paramElems * 4}
+		add(CatOptimizer, c, 4*len(g.params))
+	}
+	if opts.IncludeAllreduce {
+		// Ring all-reduce moves ~2× the buffer through local memory.
+		c := Cost{FLOPs: paramElems, Bytes: 2 * paramElems * float64(eb)}
+		add(CatAllreduce, c, len(g.params))
+	}
+	if opts.IncludeTypeConversion && opts.Precision == FP16 {
+		c := Cost{FLOPs: 0, Bytes: paramElems * (4 + 2)}
+		add(CatTypeConversion, c, len(g.params))
+	}
+	return a
+}
+
+// kernelsForBackward estimates how many backward kernels an op launches:
+// one per differentiable input (data gradients) and, for parameterized ops,
+// the weight-gradient kernel is folded into the same count. This mirrors
+// the coarse kernel counting of the paper's profile tables.
+func kernelsForBackward(n *Node) int {
+	k := 0
+	for _, in := range n.Inputs {
+		if in.Kind != KindInput { // label/weight-map inputs get no gradient kernel
+			k++
+		}
+	}
+	if k == 0 {
+		k = 1
+	}
+	return k
+}
+
+// ConvFLOPs is the paper's convolution FLOP formula (Section VI):
+// KH·KW·outH·outW·Cin·Cout·N·2 — multiplies and adds both counted — for
+// direct and implicit-GEMM algorithms.
+func ConvFLOPs(kh, kw, outH, outW, cin, cout, batch int) float64 {
+	return 2 * float64(kh) * float64(kw) * float64(outH) * float64(outW) *
+		float64(cin) * float64(cout) * float64(batch)
+}

@@ -1,0 +1,299 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/hpfloat"
+	"repro/internal/tensor"
+)
+
+// Precision selects the activation/gradient storage precision of an
+// execution. FP16 keeps FP32 master weights (mixed precision, as on V100
+// Tensor Cores) and rounds every op output and gradient through binary16.
+type Precision int
+
+const (
+	FP32 Precision = iota
+	FP16
+)
+
+// Bytes returns the storage width of the precision in bytes.
+func (p Precision) Bytes() int {
+	if p == FP16 {
+		return 2
+	}
+	return 4
+}
+
+// String names the precision as the paper does.
+func (p Precision) String() string {
+	if p == FP16 {
+		return "FP16"
+	}
+	return "FP32"
+}
+
+// Executor evaluates a graph with a dynamic ready-queue scheduler: an
+// operation runs as soon as all of its inputs have been produced, and when
+// several operations are ready at once the choice among them is
+// deliberately randomized (per-executor seed). That models TensorFlow's
+// independent per-process scheduling, which is exactly what forces the
+// Horovod control plane to negotiate a total order for collectives.
+type Executor struct {
+	g         *Graph
+	precision Precision
+	rng       *rand.Rand
+
+	// OnParamGrad, if non-nil, is invoked as each parameter gradient
+	// becomes final during the backward pass — the hook Horovod uses to
+	// enqueue all-reduce operations while back-propagation continues.
+	OnParamGrad func(param *Node, grad *tensor.Tensor)
+
+	values []*tensor.Tensor // forward activations by node ID
+	grads  []*tensor.Tensor // gradients by node ID
+	scale  float32          // loss scale applied at the loss root (FP16)
+}
+
+// NewExecutor returns an executor for g. seed controls ready-queue
+// tie-breaking; two executors with the same seed schedule identically.
+func NewExecutor(g *Graph, precision Precision, seed int64) *Executor {
+	return &Executor{
+		g:         g,
+		precision: precision,
+		rng:       rand.New(rand.NewSource(seed)),
+		scale:     1,
+	}
+}
+
+// Precision returns the executor's storage precision.
+func (e *Executor) Precision() Precision { return e.precision }
+
+// SetLossScale sets the multiplier applied to the seed gradient at the loss
+// root (mixed-precision loss scaling). The caller divides it back out of
+// parameter gradients (see hpfloat.LossScaler).
+func (e *Executor) SetLossScale(s float64) { e.scale = float32(s) }
+
+// Forward runs the graph on the given feeds (one tensor per input node) and
+// returns the value of every node. Feeds for all inputs are required.
+func (e *Executor) Forward(feeds map[*Node]*tensor.Tensor) error {
+	n := len(e.g.nodes)
+	e.values = make([]*tensor.Tensor, n)
+	e.grads = nil
+
+	// Per-edge consumer adjacency: consumers[id] lists each op node once
+	// per edge from node id, so an op consuming a node twice needs two
+	// decrements before it becomes ready.
+	consumers := make([][]*Node, n)
+	pending := make([]int, n) // unresolved input count per op node
+	var ready []*Node
+
+	for _, node := range e.g.nodes {
+		switch node.Kind {
+		case KindInput:
+			v, ok := feeds[node]
+			if !ok {
+				return fmt.Errorf("graph: missing feed for input %q", node.Label)
+			}
+			if !v.Shape().Equal(node.Shape) {
+				return fmt.Errorf("graph: feed for %q has shape %v, want %v",
+					node.Label, v.Shape(), node.Shape)
+			}
+			e.values[node.ID] = v
+		case KindParam:
+			if node.Value == nil {
+				return fmt.Errorf("graph: parameter %q has no value (symbolic graph executed?)", node.Label)
+			}
+			e.values[node.ID] = node.Value
+		case KindOp:
+			pending[node.ID] = len(node.Inputs)
+			for _, in := range node.Inputs {
+				consumers[in.ID] = append(consumers[in.ID], node)
+			}
+		}
+	}
+	// Seed readiness: every op edge from an already-resolved node counts.
+	for _, node := range e.g.nodes {
+		if node.Kind == KindOp {
+			for _, in := range node.Inputs {
+				if e.values[in.ID] != nil {
+					pending[node.ID]--
+				}
+			}
+			if pending[node.ID] == 0 {
+				ready = append(ready, node)
+			}
+		}
+	}
+
+	for len(ready) > 0 {
+		// Dynamic scheduling: pick a random ready op.
+		i := e.rng.Intn(len(ready))
+		node := ready[i]
+		ready[i] = ready[len(ready)-1]
+		ready = ready[:len(ready)-1]
+
+		ins := make([]*tensor.Tensor, len(node.Inputs))
+		for j, in := range node.Inputs {
+			ins[j] = e.values[in.ID]
+		}
+		out := node.Op.Forward(ins)
+		if !out.Shape().Equal(node.Shape) {
+			return fmt.Errorf("graph: op %q produced shape %v, inferred %v",
+				node.Label, out.Shape(), node.Shape)
+		}
+		if e.precision == FP16 {
+			hpfloat.RoundTrip(out.Data())
+		}
+		e.values[node.ID] = out
+
+		for _, m := range consumers[node.ID] {
+			pending[m.ID]--
+			if pending[m.ID] == 0 {
+				ready = append(ready, m)
+			}
+		}
+	}
+
+	for _, node := range e.g.nodes {
+		if node.Kind == KindOp && e.values[node.ID] == nil {
+			return fmt.Errorf("graph: op %q never became ready (cycle?)", node.Label)
+		}
+	}
+	return nil
+}
+
+// Value returns the forward value of a node after Forward.
+func (e *Executor) Value(n *Node) *tensor.Tensor { return e.values[n.ID] }
+
+// Backward runs reverse-mode differentiation from root (typically the
+// scalar loss node), producing gradients for every parameter. Parameter
+// gradients are reported through OnParamGrad in completion order.
+func (e *Executor) Backward(root *Node) error {
+	if e.values == nil || e.values[root.ID] == nil {
+		return fmt.Errorf("graph: Backward before Forward")
+	}
+	n := len(e.g.nodes)
+	e.grads = make([]*tensor.Tensor, n)
+	seed := tensor.Full(root.Shape, e.scale)
+	e.grads[root.ID] = seed
+
+	// Count how many consumers of each node are reachable from root, so we
+	// know when a node's gradient is fully accumulated.
+	reach := make([]bool, n)
+	var mark func(*Node)
+	mark = func(nd *Node) {
+		if reach[nd.ID] {
+			return
+		}
+		reach[nd.ID] = true
+		for _, in := range nd.Inputs {
+			mark(in)
+		}
+	}
+	mark(root)
+
+	pendingConsumers := make([]int, n)
+	for _, nd := range e.g.nodes {
+		if !reach[nd.ID] || nd.Kind != KindOp {
+			continue
+		}
+		for _, in := range nd.Inputs {
+			pendingConsumers[in.ID]++
+		}
+	}
+
+	ready := []*Node{root}
+	if pendingConsumers[root.ID] != 0 {
+		// Root feeding other reachable nodes would mean root isn't the sink.
+		return fmt.Errorf("graph: backward root %q has downstream consumers", root.Label)
+	}
+	done := make([]bool, n)
+
+	for len(ready) > 0 {
+		i := e.rng.Intn(len(ready))
+		nd := ready[i]
+		ready[i] = ready[len(ready)-1]
+		ready = ready[:len(ready)-1]
+		if done[nd.ID] {
+			continue
+		}
+		done[nd.ID] = true
+
+		g := e.grads[nd.ID]
+		if g == nil {
+			// Node reachable but received no gradient (all consumers were
+			// non-differentiable in this slot). Propagate "no gradient" so
+			// upstream bookkeeping still completes.
+			if nd.Kind == KindOp {
+				for _, in := range nd.Inputs {
+					pendingConsumers[in.ID]--
+					if pendingConsumers[in.ID] == 0 {
+						ready = append(ready, in)
+					}
+				}
+			}
+			continue
+		}
+
+		switch nd.Kind {
+		case KindParam:
+			if e.OnParamGrad != nil {
+				e.OnParamGrad(nd, g)
+			}
+			continue
+		case KindInput:
+			continue
+		}
+
+		ins := make([]*tensor.Tensor, len(nd.Inputs))
+		for j, in := range nd.Inputs {
+			ins[j] = e.values[in.ID]
+		}
+		inGrads := nd.Op.Backward(ins, e.values[nd.ID], g)
+		if len(inGrads) != len(nd.Inputs) {
+			return fmt.Errorf("graph: op %q returned %d grads for %d inputs",
+				nd.Label, len(inGrads), len(nd.Inputs))
+		}
+		for j, ig := range inGrads {
+			in := nd.Inputs[j]
+			pendingConsumers[in.ID]--
+			if ig != nil {
+				if e.precision == FP16 && in.Kind != KindParam {
+					// Parameter gradients stay FP32 (master accumulation);
+					// activation gradients are stored in FP16.
+					hpfloat.RoundTrip(ig.Data())
+				}
+				if e.grads[in.ID] == nil {
+					e.grads[in.ID] = ig
+				} else {
+					tensor.AddInPlace(e.grads[in.ID], ig)
+				}
+			}
+			if pendingConsumers[in.ID] == 0 {
+				ready = append(ready, in)
+			}
+		}
+	}
+	return nil
+}
+
+// Grad returns the accumulated gradient of a node after Backward (nil if
+// the node received none).
+func (e *Executor) Grad(n *Node) *tensor.Tensor {
+	if e.grads == nil {
+		return nil
+	}
+	return e.grads[n.ID]
+}
+
+// ParamGrads returns a map from parameter node to gradient after Backward.
+func (e *Executor) ParamGrads() map[*Node]*tensor.Tensor {
+	out := make(map[*Node]*tensor.Tensor, len(e.g.params))
+	for _, p := range e.g.params {
+		if g := e.Grad(p); g != nil {
+			out[p] = g
+		}
+	}
+	return out
+}

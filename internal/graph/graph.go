@@ -1,0 +1,218 @@
+// Package graph implements the dataflow-graph programming model the paper's
+// TensorFlow stack provides: networks are graphs of differentiable
+// operations, executed by a dynamic scheduler that runs each operation as
+// soon as its inputs are available, with reverse-mode automatic
+// differentiation and per-operation FLOP/byte accounting (the graph-walk
+// analysis of the paper's Section VI).
+package graph
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// Category classifies kernels the way the paper's profiles (Figs 3, 8, 9)
+// group them.
+type Category int
+
+const (
+	CatForwardConv Category = iota
+	CatForwardPointwise
+	CatBackwardConv
+	CatBackwardPointwise
+	CatOptimizer
+	CatCopyTranspose
+	CatAllreduce
+	CatTypeConversion
+	numCategories
+)
+
+// NumCategories is the count of kernel categories.
+const NumCategories = int(numCategories)
+
+// String returns the paper's name for the category.
+func (c Category) String() string {
+	switch c {
+	case CatForwardConv:
+		return "Forward Convolutions"
+	case CatForwardPointwise:
+		return "Forward Point-wise"
+	case CatBackwardConv:
+		return "Backward Convolutions"
+	case CatBackwardPointwise:
+		return "Backward Point-wise"
+	case CatOptimizer:
+		return "Optimizer"
+	case CatCopyTranspose:
+		return "Copies/Transposes"
+	case CatAllreduce:
+		return "Allreduce (NCCL)"
+	case CatTypeConversion:
+		return "Type Conversions"
+	}
+	return fmt.Sprintf("Category(%d)", int(c))
+}
+
+// Cost describes the floating-point work and memory traffic of a kernel.
+type Cost struct {
+	FLOPs float64 // multiply and add each count as one FLOP, per the paper
+	Bytes float64 // DRAM traffic in bytes
+}
+
+// Add returns the sum of two costs.
+func (c Cost) Add(o Cost) Cost { return Cost{c.FLOPs + o.FLOPs, c.Bytes + o.Bytes} }
+
+// Scale returns the cost multiplied by f.
+func (c Cost) Scale(f float64) Cost { return Cost{c.FLOPs * f, c.Bytes * f} }
+
+// Op is a differentiable graph operation. Implementations live in
+// internal/nn and internal/loss.
+type Op interface {
+	// Name identifies the op kind (e.g. "conv2d", "relu").
+	Name() string
+	// OutShape infers the output shape from input shapes, or errors if the
+	// inputs are incompatible. It must be callable without tensor data so
+	// graphs can be built symbolically for FLOP analysis.
+	OutShape(in []tensor.Shape) (tensor.Shape, error)
+	// Forward computes the op's output. in[i] corresponds to input node i.
+	Forward(in []*tensor.Tensor) *tensor.Tensor
+	// Backward computes gradients with respect to each input, given the
+	// inputs, the forward output, and the gradient flowing into the output.
+	// A nil entry means "no gradient" (e.g. for integer label inputs).
+	Backward(in []*tensor.Tensor, out, gradOut *tensor.Tensor) []*tensor.Tensor
+	// FwdCost and BwdCost report the work for one evaluation with the given
+	// shapes. elemBytes is the activation storage width (4 for FP32, 2 for
+	// FP16) so memory traffic scales with precision.
+	FwdCost(in []tensor.Shape, out tensor.Shape, elemBytes int) Cost
+	BwdCost(in []tensor.Shape, out tensor.Shape, elemBytes int) Cost
+	// Categories returns the paper's kernel category for the forward and
+	// backward kernels of this op.
+	Categories() (fwd, bwd Category)
+}
+
+// NodeKind distinguishes graph node roles.
+type NodeKind int
+
+const (
+	KindInput NodeKind = iota // fed per step (images, labels, weight maps)
+	KindParam                 // trainable parameter
+	KindOp                    // computed by an Op
+)
+
+// Node is a vertex in the dataflow graph.
+type Node struct {
+	ID     int
+	Kind   NodeKind
+	Label  string
+	Op     Op // nil unless KindOp
+	Inputs []*Node
+	Shape  tensor.Shape
+
+	// Value holds the parameter tensor (KindParam). Inputs and op outputs
+	// live in per-execution state, not on the node, so one graph can be
+	// executed concurrently by many ranks.
+	Value *tensor.Tensor
+
+	// consumers counts graph edges out of this node; the executor uses it
+	// for gradient accumulation bookkeeping.
+	consumers int
+}
+
+// Graph is a built network: inputs, parameters, and operation nodes.
+type Graph struct {
+	nodes  []*Node
+	inputs []*Node
+	params []*Node
+}
+
+// New returns an empty graph.
+func New() *Graph { return &Graph{} }
+
+// Input declares a fed input with the given shape (batch dimension
+// included).
+func (g *Graph) Input(label string, shape tensor.Shape) *Node {
+	n := &Node{ID: len(g.nodes), Kind: KindInput, Label: label, Shape: shape.Clone()}
+	g.nodes = append(g.nodes, n)
+	g.inputs = append(g.inputs, n)
+	return n
+}
+
+// Param declares a trainable parameter holding the given tensor. The tensor
+// may be nil for symbolic (shape-only) graphs, in which case shape must be
+// provided via ParamShaped.
+func (g *Graph) Param(label string, value *tensor.Tensor) *Node {
+	n := &Node{ID: len(g.nodes), Kind: KindParam, Label: label, Shape: value.Shape().Clone(), Value: value}
+	g.nodes = append(g.nodes, n)
+	g.params = append(g.params, n)
+	return n
+}
+
+// ParamShaped declares a parameter with only a shape (symbolic graphs used
+// for FLOP analysis at the paper's full 1152×768 resolution, where
+// materializing weights would be wasteful).
+func (g *Graph) ParamShaped(label string, shape tensor.Shape) *Node {
+	n := &Node{ID: len(g.nodes), Kind: KindParam, Label: label, Shape: shape.Clone()}
+	g.nodes = append(g.nodes, n)
+	g.params = append(g.params, n)
+	return n
+}
+
+// Apply adds an operation node computing op over the inputs, inferring its
+// output shape. It panics on shape errors: graph construction bugs are
+// programming errors, caught at build time exactly as TensorFlow raises
+// them at graph-definition time.
+func (g *Graph) Apply(op Op, inputs ...*Node) *Node {
+	shapes := make([]tensor.Shape, len(inputs))
+	for i, in := range inputs {
+		shapes[i] = in.Shape
+	}
+	out, err := op.OutShape(shapes)
+	if err != nil {
+		panic(fmt.Sprintf("graph: %s: %v", op.Name(), err))
+	}
+	n := &Node{
+		ID:     len(g.nodes),
+		Kind:   KindOp,
+		Label:  op.Name(),
+		Op:     op,
+		Inputs: inputs,
+		Shape:  out,
+	}
+	for _, in := range inputs {
+		in.consumers++
+	}
+	g.nodes = append(g.nodes, n)
+	return n
+}
+
+// Nodes returns all nodes in creation (topological) order.
+func (g *Graph) Nodes() []*Node { return g.nodes }
+
+// Params returns the trainable parameter nodes in creation order.
+func (g *Graph) Params() []*Node { return g.params }
+
+// Inputs returns the declared input nodes.
+func (g *Graph) Inputs() []*Node { return g.inputs }
+
+// NumParamElements returns the total number of trainable scalars.
+func (g *Graph) NumParamElements() int {
+	n := 0
+	for _, p := range g.params {
+		n += p.Shape.NumElements()
+	}
+	return n
+}
+
+// ActivationElements returns the total number of op-output elements for one
+// forward pass; the memory-footprint model uses it to derive feasible batch
+// sizes per precision (the paper fits batch 1 in FP32 and 2 in FP16).
+func (g *Graph) ActivationElements() int {
+	n := 0
+	for _, node := range g.nodes {
+		if node.Kind == KindOp {
+			n += node.Shape.NumElements()
+		}
+	}
+	return n
+}

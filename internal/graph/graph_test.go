@@ -1,0 +1,347 @@
+package graph_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/loss"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// buildTinyNet constructs a conv→relu→conv→loss network and returns the
+// graph, its nodes of interest, and fresh feed tensors.
+func buildTinyNet(seed int64) (g *graph.Graph, x, lb, wt, root *graph.Node,
+	feeds map[*graph.Node]*tensor.Tensor) {
+	rng := rand.New(rand.NewSource(seed))
+	g = graph.New()
+	x = g.Input("x", tensor.NCHW(1, 2, 4, 4))
+	lb = g.Input("labels", tensor.Shape{1, 4, 4})
+	wt = g.Input("weights", tensor.Shape{1, 4, 4})
+	w1 := g.Param("w1", tensor.HeInit(tensor.OIHW(3, 2, 3, 3), rng))
+	w2 := g.Param("w2", tensor.HeInit(tensor.OIHW(3, 3, 1, 1), rng))
+	h := g.Apply(nn.NewConv2D(1, 1, 1), x, w1)
+	h = g.Apply(nn.ReLU{}, h)
+	logits := g.Apply(nn.NewConv2D(1, 0, 1), h, w2)
+	root = g.Apply(loss.WeightedSoftmaxCE{}, logits, lb, wt)
+
+	xT := tensor.RandNormal(tensor.NCHW(1, 2, 4, 4), 0, 1, rng)
+	lbT := tensor.New(tensor.Shape{1, 4, 4})
+	for i := range lbT.Data() {
+		lbT.Data()[i] = float32(rng.Intn(3))
+	}
+	wtT := tensor.Ones(tensor.Shape{1, 4, 4})
+	feeds = map[*graph.Node]*tensor.Tensor{x: xT, lb: lbT, wt: wtT}
+	return g, x, lb, wt, root, feeds
+}
+
+func TestForwardMissingFeed(t *testing.T) {
+	g, x, _, _, _, feeds := buildTinyNet(1)
+	delete(feeds, x)
+	ex := graph.NewExecutor(g, graph.FP32, 1)
+	if err := ex.Forward(feeds); err == nil {
+		t.Fatal("expected error for missing feed")
+	}
+}
+
+func TestForwardShapeMismatch(t *testing.T) {
+	g, x, _, _, _, feeds := buildTinyNet(1)
+	feeds[x] = tensor.New(tensor.NCHW(1, 2, 5, 5))
+	ex := graph.NewExecutor(g, graph.FP32, 1)
+	if err := ex.Forward(feeds); err == nil {
+		t.Fatal("expected error for bad feed shape")
+	}
+}
+
+func TestSchedulingOrderInvariance(t *testing.T) {
+	// The dynamic scheduler randomizes ready-op choice per seed; the
+	// numerical result must be identical for any schedule. This is the
+	// property that lets Horovod reorder collectives without changing math.
+	g, _, _, _, root, feeds := buildTinyNet(2)
+	var ref []float32
+	for seed := int64(0); seed < 8; seed++ {
+		ex := graph.NewExecutor(g, graph.FP32, seed)
+		if err := ex.Forward(feeds); err != nil {
+			t.Fatal(err)
+		}
+		if err := ex.Backward(root); err != nil {
+			t.Fatal(err)
+		}
+		grads := ex.ParamGrads()
+		var flat []float32
+		for _, p := range g.Params() {
+			flat = append(flat, grads[p].Data()...)
+		}
+		if ref == nil {
+			ref = flat
+			continue
+		}
+		for i := range ref {
+			if ref[i] != flat[i] {
+				t.Fatalf("seed %d: gradient differs at %d", seed, i)
+			}
+		}
+	}
+}
+
+func TestOnParamGradFiresOncePerParam(t *testing.T) {
+	g, _, _, _, root, feeds := buildTinyNet(3)
+	ex := graph.NewExecutor(g, graph.FP32, 1)
+	seen := map[string]int{}
+	ex.OnParamGrad = func(p *graph.Node, grad *tensor.Tensor) {
+		seen[p.Label]++
+		if grad == nil || grad.NumElements() != p.Shape.NumElements() {
+			t.Errorf("bad grad for %s", p.Label)
+		}
+	}
+	if err := ex.Forward(feeds); err != nil {
+		t.Fatal(err)
+	}
+	if err := ex.Backward(root); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 2 || seen["w1"] != 1 || seen["w2"] != 1 {
+		t.Fatalf("OnParamGrad fired %v", seen)
+	}
+}
+
+func TestBackwardGradOrderIsBackToFront(t *testing.T) {
+	// Gradients become available in reverse network order: the last conv's
+	// weights (w2) before the first conv's (w1). This ordering is what the
+	// paper's gradient-lag optimization and Horovod tensor batching exploit.
+	g, _, _, _, root, feeds := buildTinyNet(4)
+	ex := graph.NewExecutor(g, graph.FP32, 1)
+	var order []string
+	ex.OnParamGrad = func(p *graph.Node, grad *tensor.Tensor) {
+		order = append(order, p.Label)
+	}
+	if err := ex.Forward(feeds); err != nil {
+		t.Fatal(err)
+	}
+	if err := ex.Backward(root); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 2 || order[0] != "w2" || order[1] != "w1" {
+		t.Fatalf("gradient order = %v, want [w2 w1]", order)
+	}
+}
+
+func TestLossScaleMultipliesGradients(t *testing.T) {
+	g, _, _, _, root, feeds := buildTinyNet(5)
+	ex1 := graph.NewExecutor(g, graph.FP32, 1)
+	if err := ex1.Forward(feeds); err != nil {
+		t.Fatal(err)
+	}
+	if err := ex1.Backward(root); err != nil {
+		t.Fatal(err)
+	}
+	ex2 := graph.NewExecutor(g, graph.FP32, 1)
+	ex2.SetLossScale(128)
+	if err := ex2.Forward(feeds); err != nil {
+		t.Fatal(err)
+	}
+	if err := ex2.Backward(root); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range g.Params() {
+		g1, g2 := ex1.Grad(p), ex2.Grad(p)
+		for i := range g1.Data() {
+			want := g1.Data()[i] * 128
+			got := g2.Data()[i]
+			if math.Abs(float64(got-want)) > 1e-2*(1+math.Abs(float64(want))) {
+				t.Fatalf("param %s elem %d: scaled %g want %g", p.Label, i, got, want)
+			}
+		}
+	}
+}
+
+func TestFP16ExecutionQuantizesActivations(t *testing.T) {
+	g, _, _, _, root, feeds := buildTinyNet(6)
+	ex := graph.NewExecutor(g, graph.FP16, 1)
+	if err := ex.Forward(feeds); err != nil {
+		t.Fatal(err)
+	}
+	// FP32 reference.
+	ex32 := graph.NewExecutor(g, graph.FP32, 1)
+	if err := ex32.Forward(feeds); err != nil {
+		t.Fatal(err)
+	}
+	l16 := float64(ex.Value(root).Data()[0])
+	l32 := float64(ex32.Value(root).Data()[0])
+	if math.Abs(l16-l32) > 0.05*(1+math.Abs(l32)) {
+		t.Fatalf("FP16 loss %g too far from FP32 %g", l16, l32)
+	}
+	if l16 == l32 {
+		t.Log("losses identical — acceptable but unusual for FP16 rounding")
+	}
+	if err := ex.Backward(root); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range g.Params() {
+		if ex.Grad(p) == nil {
+			t.Fatalf("FP16 backward missing grad for %s", p.Label)
+		}
+	}
+}
+
+func TestSymbolicGraphRejectsExecution(t *testing.T) {
+	g := graph.New()
+	x := g.Input("x", tensor.NCHW(1, 16, 768, 1152))
+	w := g.ParamShaped("w", tensor.OIHW(64, 16, 7, 7))
+	g.Apply(nn.NewConv2D(2, 3, 1), x, w)
+	ex := graph.NewExecutor(g, graph.FP32, 1)
+	err := ex.Forward(map[*graph.Node]*tensor.Tensor{
+		x: tensor.New(tensor.NCHW(1, 16, 768, 1152)),
+	})
+	if err == nil {
+		t.Fatal("symbolic graph must refuse execution")
+	}
+}
+
+func TestAnalyzeConvFLOPs(t *testing.T) {
+	// The paper's Section VI example: a 3×3 direct convolution on
+	// 1152×768, 48 in channels, 32 out channels, batch 2 requires
+	// 48.9e9 FLOPs. (SAME padding keeps the output 1152×768.)
+	g := graph.New()
+	x := g.Input("x", tensor.NCHW(2, 48, 768, 1152))
+	w := g.ParamShaped("w", tensor.OIHW(32, 48, 3, 3))
+	g.Apply(nn.NewConv2D(1, 1, 1), x, w)
+
+	a := graph.Analyze(g, graph.AnalyzeOptions{Precision: graph.FP32})
+	fwd := a.PerCategory[graph.CatForwardConv].FLOPs
+	want := 3.0 * 3 * 1152 * 768 * 48 * 32 * 2 * 2
+	if math.Abs(fwd-want)/want > 1e-9 {
+		t.Fatalf("forward conv FLOPs = %.4g, want %.4g", fwd, want)
+	}
+	if want < 48.8e9 || want > 49.0e9 {
+		t.Fatalf("paper example check: %.4g should be ≈48.9e9", want)
+	}
+	// Backward ≈ 2× forward for convs.
+	bwd := a.PerCategory[graph.CatBackwardConv].FLOPs
+	if math.Abs(bwd-2*fwd)/fwd > 1e-9 {
+		t.Fatalf("backward conv FLOPs = %.4g, want %.4g", bwd, 2*fwd)
+	}
+	if a.BatchSize != 2 {
+		t.Fatalf("batch size = %d", a.BatchSize)
+	}
+	perSample := a.FLOPsPerSample()
+	if math.Abs(perSample-3*want/2)/perSample > 1e-9 {
+		t.Fatalf("per-sample FLOPs = %g", perSample)
+	}
+}
+
+func TestAnalyzeOptionsAddCategories(t *testing.T) {
+	g, _, _, _, _, _ := buildTinyNetForAnalysis()
+	base := graph.Analyze(g, graph.AnalyzeOptions{Precision: graph.FP32})
+	if base.PerCategory[graph.CatOptimizer].Kernels != 0 {
+		t.Fatal("optimizer kernels without IncludeOptimizer")
+	}
+	full := graph.Analyze(g, graph.AnalyzeOptions{
+		Precision:             graph.FP16,
+		IncludeOptimizer:      true,
+		IncludeAllreduce:      true,
+		IncludeTypeConversion: true,
+	})
+	if full.PerCategory[graph.CatOptimizer].Kernels == 0 ||
+		full.PerCategory[graph.CatAllreduce].Kernels == 0 ||
+		full.PerCategory[graph.CatTypeConversion].Kernels == 0 {
+		t.Fatalf("missing categories: %+v", full.PerCategory)
+	}
+	if full.TotalFLOPs() <= base.TotalFLOPs() {
+		t.Fatal("full analysis should add FLOPs")
+	}
+	if full.TotalKernels() <= base.TotalKernels() {
+		t.Fatal("full analysis should add kernels")
+	}
+	if base.TotalBytes() <= 0 {
+		t.Fatal("bytes should be positive")
+	}
+}
+
+func buildTinyNetForAnalysis() (*graph.Graph, *graph.Node, *graph.Node, *graph.Node, *graph.Node, map[*graph.Node]*tensor.Tensor) {
+	return buildTinyNetSymbolic()
+}
+
+func buildTinyNetSymbolic() (*graph.Graph, *graph.Node, *graph.Node, *graph.Node, *graph.Node, map[*graph.Node]*tensor.Tensor) {
+	g := graph.New()
+	x := g.Input("x", tensor.NCHW(1, 2, 4, 4))
+	lb := g.Input("labels", tensor.Shape{1, 4, 4})
+	wt := g.Input("weights", tensor.Shape{1, 4, 4})
+	w1 := g.ParamShaped("w1", tensor.OIHW(3, 2, 3, 3))
+	w2 := g.ParamShaped("w2", tensor.OIHW(3, 3, 1, 1))
+	h := g.Apply(nn.NewConv2D(1, 1, 1), x, w1)
+	h = g.Apply(nn.ReLU{}, h)
+	logits := g.Apply(nn.NewConv2D(1, 0, 1), h, w2)
+	root := g.Apply(loss.WeightedSoftmaxCE{}, logits, lb, wt)
+	return g, x, lb, wt, root, nil
+}
+
+func TestFP16HalvesActivationTraffic(t *testing.T) {
+	g, _, _, _, _, _ := buildTinyNetSymbolic()
+	b32 := graph.Analyze(g, graph.AnalyzeOptions{Precision: graph.FP32})
+	b16 := graph.Analyze(g, graph.AnalyzeOptions{Precision: graph.FP16})
+	if b16.TotalBytes() >= b32.TotalBytes() {
+		t.Fatalf("FP16 bytes %g not below FP32 %g", b16.TotalBytes(), b32.TotalBytes())
+	}
+	if b16.TotalFLOPs() != b32.TotalFLOPs() {
+		t.Fatal("precision must not change FLOP count")
+	}
+}
+
+func TestGraphAccessors(t *testing.T) {
+	g, x, _, _, _, _ := buildTinyNetSymbolic()
+	if len(g.Inputs()) != 3 || g.Inputs()[0] != x {
+		t.Fatal("Inputs wrong")
+	}
+	if len(g.Params()) != 2 {
+		t.Fatal("Params wrong")
+	}
+	if got := g.NumParamElements(); got != 3*2*3*3+3*3 {
+		t.Fatalf("NumParamElements = %d", got)
+	}
+	if g.ActivationElements() <= 0 {
+		t.Fatal("ActivationElements should be positive")
+	}
+	if len(g.Nodes()) != 3+2+4 {
+		t.Fatalf("Nodes = %d", len(g.Nodes()))
+	}
+}
+
+func TestCategoryStrings(t *testing.T) {
+	names := map[graph.Category]string{
+		graph.CatForwardConv:       "Forward Convolutions",
+		graph.CatBackwardPointwise: "Backward Point-wise",
+		graph.CatAllreduce:         "Allreduce (NCCL)",
+		graph.CatTypeConversion:    "Type Conversions",
+	}
+	for c, want := range names {
+		if c.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(c), c.String(), want)
+		}
+	}
+	if graph.Category(99).String() == "" {
+		t.Error("unknown category should still render")
+	}
+}
+
+func TestCostArithmetic(t *testing.T) {
+	a := graph.Cost{FLOPs: 10, Bytes: 100}
+	b := graph.Cost{FLOPs: 5, Bytes: 50}
+	if s := a.Add(b); s.FLOPs != 15 || s.Bytes != 150 {
+		t.Fatalf("Add = %+v", s)
+	}
+	if s := a.Scale(2); s.FLOPs != 20 || s.Bytes != 200 {
+		t.Fatalf("Scale = %+v", s)
+	}
+}
+
+func TestPrecisionHelpers(t *testing.T) {
+	if graph.FP32.Bytes() != 4 || graph.FP16.Bytes() != 2 {
+		t.Fatal("Bytes wrong")
+	}
+	if graph.FP32.String() != "FP32" || graph.FP16.String() != "FP16" {
+		t.Fatal("String wrong")
+	}
+}

@@ -1,0 +1,121 @@
+package h5lite
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// Failure injection: corrupted and truncated files must produce errors,
+// never panics or silent garbage.
+
+func TestOpenCorruptMagic(t *testing.T) {
+	lib := NewLibrary(0)
+	path, _, _ := writeTestFile(t, lib, 2)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[0] ^= 0xFF
+	bad := filepath.Join(t.TempDir(), "bad.h5l")
+	if err := os.WriteFile(bad, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lib.Open(bad); err == nil {
+		t.Fatal("corrupt magic accepted")
+	}
+}
+
+func TestOpenWrongVersion(t *testing.T) {
+	lib := NewLibrary(0)
+	path, _, _ := writeTestFile(t, lib, 1)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[4] = 99 // version field
+	bad := filepath.Join(t.TempDir(), "ver.h5l")
+	if err := os.WriteFile(bad, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lib.Open(bad); err == nil {
+		t.Fatal("future version accepted")
+	}
+}
+
+func TestOpenTruncatedHeader(t *testing.T) {
+	lib := NewLibrary(0)
+	bad := filepath.Join(t.TempDir(), "short.h5l")
+	if err := os.WriteFile(bad, []byte{1, 2, 3}, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lib.Open(bad); err == nil {
+		t.Fatal("truncated header accepted")
+	}
+}
+
+func TestReadTruncatedBody(t *testing.T) {
+	lib := NewLibrary(0)
+	path, _, _ := writeTestFile(t, lib, 3)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Keep the header (count says 3 samples) but drop most of the body.
+	bad := filepath.Join(t.TempDir(), "trunc.h5l")
+	if err := os.WriteFile(bad, data[:headerBytes+10], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err := lib.Open(bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, _, err := f.ReadSample(2); err == nil {
+		t.Fatal("read past truncation succeeded")
+	}
+}
+
+func TestConcurrentReadersSeparateSamples(t *testing.T) {
+	// Stress the lock: many goroutines reading random samples through one
+	// library must each get exactly their sample's contents.
+	lib := NewLibrary(0)
+	path, _, all := writeTestFile(t, lib, 8)
+	f, err := lib.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	done := make(chan error, 32)
+	for g := 0; g < 32; g++ {
+		go func(g int) {
+			i := g % 8
+			fields, _, err := f.ReadSample(i)
+			if err != nil {
+				done <- err
+				return
+			}
+			for j, v := range fields {
+				if v != all[i][j] {
+					done <- errMismatch
+					return
+				}
+			}
+			done <- nil
+		}(g)
+	}
+	for g := 0; g < 32; g++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if f.lib.Reads() < 32 {
+		t.Fatalf("read accounting lost reads: %d", f.lib.Reads())
+	}
+}
+
+var errMismatch = &mismatchError{}
+
+type mismatchError struct{}
+
+func (*mismatchError) Error() string { return "h5lite test: payload mismatch under concurrency" }

@@ -1,0 +1,217 @@
+// Package h5lite is a minimal chunked scientific-data container standing in
+// for HDF5. It stores fixed-shape multichannel samples (fields + label
+// plane) in a flat binary layout with random access by sample index.
+//
+// Crucially for the reproduction, it also models the property of the HDF5
+// C library that shaped the paper's input pipeline (Section V-A2): all
+// operations through one library instance serialize on a global lock, so
+// multi-threaded readers sharing an instance gain nothing, while separate
+// instances (the paper's multiprocessing workers) read in parallel. The
+// per-read DecodeDelay makes that contention observable in miniature.
+package h5lite
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+const (
+	magic   = 0x48354C54 // "H5LT"
+	version = 1
+)
+
+// Meta describes the fixed shape of every sample in a file.
+type Meta struct {
+	Channels, Height, Width int
+}
+
+func (m Meta) fieldsLen() int { return m.Channels * m.Height * m.Width }
+func (m Meta) labelsLen() int { return m.Height * m.Width }
+func (m Meta) sampleBytes() int64 {
+	return int64(m.fieldsLen()+m.labelsLen()) * 4
+}
+
+// Library models one instance of the (serializing) I/O library. A process
+// in the paper's pipeline corresponds to one Library; threads within a
+// process share one.
+type Library struct {
+	mu          sync.Mutex
+	DecodeDelay time.Duration // simulated per-sample decode cost under the lock
+
+	serializedNanos atomic.Int64
+	reads           atomic.Int64
+}
+
+// NewLibrary returns a library instance with the given simulated decode
+// cost (0 for pure-I/O tests).
+func NewLibrary(decodeDelay time.Duration) *Library {
+	return &Library{DecodeDelay: decodeDelay}
+}
+
+// SerializedTime returns the cumulative time spent holding the library
+// lock in reads.
+func (l *Library) SerializedTime() time.Duration {
+	return time.Duration(l.serializedNanos.Load())
+}
+
+// Reads returns the number of ReadSample calls through this library.
+func (l *Library) Reads() int64 { return l.reads.Load() }
+
+type header struct {
+	Magic, Version                 uint32
+	Channels, Height, Width, Count uint32
+}
+
+const headerBytes = 24
+
+// Writer appends samples to a new file.
+type Writer struct {
+	lib   *Library
+	f     *os.File
+	meta  Meta
+	count uint32
+}
+
+// Create opens a new file for writing through this library instance.
+func (l *Library) Create(path string, meta Meta) (*Writer, error) {
+	if meta.Channels < 1 || meta.Height < 1 || meta.Width < 1 {
+		return nil, fmt.Errorf("h5lite: invalid meta %+v", meta)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	w := &Writer{lib: l, f: f, meta: meta}
+	if err := w.writeHeader(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return w, nil
+}
+
+func (w *Writer) writeHeader() error {
+	h := header{
+		Magic: magic, Version: version,
+		Channels: uint32(w.meta.Channels),
+		Height:   uint32(w.meta.Height),
+		Width:    uint32(w.meta.Width),
+		Count:    w.count,
+	}
+	if _, err := w.f.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	return binary.Write(w.f, binary.LittleEndian, &h)
+}
+
+// Append writes one sample (fields then labels, float32 little-endian).
+func (w *Writer) Append(fields, labels []float32) error {
+	if len(fields) != w.meta.fieldsLen() || len(labels) != w.meta.labelsLen() {
+		return fmt.Errorf("h5lite: sample size mismatch: %d/%d fields, %d/%d labels",
+			len(fields), w.meta.fieldsLen(), len(labels), w.meta.labelsLen())
+	}
+	w.lib.mu.Lock()
+	defer w.lib.mu.Unlock()
+	off := headerBytes + int64(w.count)*w.meta.sampleBytes()
+	if _, err := w.f.Seek(off, io.SeekStart); err != nil {
+		return err
+	}
+	if err := binary.Write(w.f, binary.LittleEndian, fields); err != nil {
+		return err
+	}
+	if err := binary.Write(w.f, binary.LittleEndian, labels); err != nil {
+		return err
+	}
+	w.count++
+	return nil
+}
+
+// Close finalizes the header and closes the file.
+func (w *Writer) Close() error {
+	if err := w.writeHeader(); err != nil {
+		w.f.Close()
+		return err
+	}
+	return w.f.Close()
+}
+
+// File reads samples from an existing file through a library instance.
+type File struct {
+	lib   *Library
+	f     *os.File
+	meta  Meta
+	count int
+}
+
+// Open opens a file for reading through this library instance.
+func (l *Library) Open(path string) (*File, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	var h header
+	if err := binary.Read(f, binary.LittleEndian, &h); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("h5lite: reading header: %w", err)
+	}
+	if h.Magic != magic {
+		f.Close()
+		return nil, fmt.Errorf("h5lite: bad magic %#x", h.Magic)
+	}
+	if h.Version != version {
+		f.Close()
+		return nil, fmt.Errorf("h5lite: unsupported version %d", h.Version)
+	}
+	return &File{
+		lib:   l,
+		f:     f,
+		meta:  Meta{Channels: int(h.Channels), Height: int(h.Height), Width: int(h.Width)},
+		count: int(h.Count),
+	}, nil
+}
+
+// Meta returns the sample shape.
+func (f *File) Meta() Meta { return f.meta }
+
+// NumSamples returns the sample count.
+func (f *File) NumSamples() int { return f.count }
+
+// ReadSample reads sample i. The entire read (seek, I/O, decode) holds the
+// library lock — the HDF5 serialization the paper worked around with
+// multiprocessing.
+func (f *File) ReadSample(i int) (fields, labels []float32, err error) {
+	if i < 0 || i >= f.count {
+		return nil, nil, fmt.Errorf("h5lite: sample %d out of range [0,%d)", i, f.count)
+	}
+	f.lib.mu.Lock()
+	start := time.Now()
+	defer func() {
+		f.lib.serializedNanos.Add(int64(time.Since(start)))
+		f.lib.reads.Add(1)
+		f.lib.mu.Unlock()
+	}()
+
+	off := headerBytes + int64(i)*f.meta.sampleBytes()
+	if _, err := f.f.Seek(off, io.SeekStart); err != nil {
+		return nil, nil, err
+	}
+	fields = make([]float32, f.meta.fieldsLen())
+	labels = make([]float32, f.meta.labelsLen())
+	if err := binary.Read(f.f, binary.LittleEndian, fields); err != nil {
+		return nil, nil, err
+	}
+	if err := binary.Read(f.f, binary.LittleEndian, labels); err != nil {
+		return nil, nil, err
+	}
+	if f.lib.DecodeDelay > 0 {
+		time.Sleep(f.lib.DecodeDelay)
+	}
+	return fields, labels, nil
+}
+
+// Close closes the file.
+func (f *File) Close() error { return f.f.Close() }

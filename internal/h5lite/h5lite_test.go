@@ -1,0 +1,186 @@
+package h5lite
+
+import (
+	"math/rand"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+func writeTestFile(t *testing.T, lib *Library, n int) (string, Meta, [][]float32) {
+	t.Helper()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "test.h5l")
+	meta := Meta{Channels: 3, Height: 4, Width: 5}
+	w, err := lib.Create(path, meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	var all [][]float32
+	for i := 0; i < n; i++ {
+		fields := make([]float32, meta.fieldsLen())
+		labels := make([]float32, meta.labelsLen())
+		for j := range fields {
+			fields[j] = rng.Float32()
+		}
+		for j := range labels {
+			labels[j] = float32(rng.Intn(3))
+		}
+		if err := w.Append(fields, labels); err != nil {
+			t.Fatal(err)
+		}
+		all = append(all, append(append([]float32{}, fields...), labels...))
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path, meta, all
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	lib := NewLibrary(0)
+	path, meta, all := writeTestFile(t, lib, 7)
+	f, err := lib.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if f.NumSamples() != 7 {
+		t.Fatalf("count = %d", f.NumSamples())
+	}
+	if f.Meta() != meta {
+		t.Fatalf("meta = %+v", f.Meta())
+	}
+	// Random-access reads in scrambled order.
+	for _, i := range []int{3, 0, 6, 1, 5, 2, 4} {
+		fields, labels, err := f.ReadSample(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := all[i]
+		for j, v := range fields {
+			if v != want[j] {
+				t.Fatalf("sample %d field %d mismatch", i, j)
+			}
+		}
+		for j, v := range labels {
+			if v != want[meta.fieldsLen()+j] {
+				t.Fatalf("sample %d label %d mismatch", i, j)
+			}
+		}
+	}
+	if f.lib.Reads() != 7 {
+		t.Fatalf("read count = %d", f.lib.Reads())
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	lib := NewLibrary(0)
+	path, _, _ := writeTestFile(t, lib, 2)
+	f, err := lib.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, _, err := f.ReadSample(-1); err == nil {
+		t.Fatal("negative index accepted")
+	}
+	if _, _, err := f.ReadSample(2); err == nil {
+		t.Fatal("out-of-range index accepted")
+	}
+}
+
+func TestOpenErrors(t *testing.T) {
+	lib := NewLibrary(0)
+	if _, err := lib.Open(filepath.Join(t.TempDir(), "missing.h5l")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	if _, err := lib.Create(t.TempDir()+"/x.h5l", Meta{}); err == nil {
+		t.Fatal("invalid meta accepted")
+	}
+}
+
+func TestAppendSizeValidation(t *testing.T) {
+	lib := NewLibrary(0)
+	w, err := lib.Create(filepath.Join(t.TempDir(), "v.h5l"), Meta{Channels: 1, Height: 2, Width: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if err := w.Append(make([]float32, 3), make([]float32, 4)); err == nil {
+		t.Fatal("short fields accepted")
+	}
+	if err := w.Append(make([]float32, 4), make([]float32, 5)); err == nil {
+		t.Fatal("long labels accepted")
+	}
+}
+
+func TestSharedLibrarySerializesReads(t *testing.T) {
+	// 4 goroutines, 3 reads each, 2ms decode under a shared library:
+	// wall time must be ≥ 12 × 2ms (serialized). Separate libraries
+	// overlap their sleeps, finishing in roughly 3 × 2ms.
+	const delay = 2 * time.Millisecond
+	const workers, readsEach = 4, 3
+
+	shared := NewLibrary(delay)
+	path, _, _ := writeTestFile(t, shared, workers*readsEach)
+
+	elapsedShared := runReaders(t, path, readsEach, func(int) *Library { return shared })
+	perLib := runReaders(t, path, readsEach, func(int) *Library { return NewLibrary(delay) })
+
+	t.Logf("shared library: %v, per-worker libraries: %v", elapsedShared, perLib)
+	if elapsedShared < time.Duration(workers*readsEach)*delay {
+		t.Fatalf("shared library finished in %v — reads were not serialized", elapsedShared)
+	}
+	if perLib*2 > elapsedShared {
+		t.Fatalf("separate libraries (%v) not meaningfully faster than shared (%v)",
+			perLib, elapsedShared)
+	}
+}
+
+func runReaders(t *testing.T, path string, readsEach int, libFor func(worker int) *Library) time.Duration {
+	t.Helper()
+	const workers = 4
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		lib := libFor(w)
+		f, err := lib.Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(worker int, f *File) {
+			defer wg.Done()
+			defer f.Close()
+			for i := 0; i < readsEach; i++ {
+				if _, _, err := f.ReadSample(worker*readsEach + i); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w, f)
+	}
+	wg.Wait()
+	return time.Since(start)
+}
+
+func TestSerializedTimeAccounting(t *testing.T) {
+	lib := NewLibrary(time.Millisecond)
+	path, _, _ := writeTestFile(t, lib, 3)
+	f, err := lib.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	for i := 0; i < 3; i++ {
+		if _, _, err := f.ReadSample(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := lib.SerializedTime(); got < 3*time.Millisecond {
+		t.Fatalf("serialized time %v below 3ms", got)
+	}
+}

@@ -1,0 +1,268 @@
+// Package horovod reproduces the collective-coordination layer the paper
+// built on (and improved): because each rank's dynamic scheduler finishes
+// gradient tensors in a different order, ranks must negotiate a single
+// total order of all-reduce operations or deadlock. Stock Horovod routes
+// every rank's per-tensor readiness message through rank 0, which at
+// 27,360 ranks must absorb millions of messages per second; the paper's
+// fix (Section V-A3) aggregates readiness up a radix-r tree and relays
+// execution orders back down, bounding every rank's load at r+1 messages
+// per tensor. Both modes are implemented here — the flat control plane is
+// simply the tree with radix = worldSize−1.
+package horovod
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/mpi"
+)
+
+const tagCtlBase = 12 << 20
+const epochWindow = 1024
+
+// TensorID identifies a gradient tensor consistently across ranks (the
+// graph's parameter index).
+type TensorID int
+
+type ctlKind int
+
+const (
+	kindReady ctlKind = iota
+	kindExec
+)
+
+type ctlMsg struct {
+	kind ctlKind
+	ids  []TensorID
+}
+
+// Config selects the control-plane shape and fusion behaviour.
+type Config struct {
+	// Radix is the aggregation-tree fan-out r. The paper found performance
+	// insensitive for r in [2, 8]; radix = worldSize−1 degenerates to the
+	// original flat Horovod control plane.
+	Radix int
+	// FusionTensors caps how many completed tensors the coordinator fuses
+	// into one all-reduce batch (0 or 1 disables fusion). Fusing amortizes
+	// collective latency over more bytes, the effect gradient lag amplifies.
+	FusionTensors int
+}
+
+// Flat returns the stock-Horovod configuration for a given world size.
+func Flat(worldSize int) Config {
+	return Config{Radix: worldSize - 1, FusionTensors: 1}
+}
+
+// Tree returns the paper's hierarchical configuration.
+func Tree(radix int) Config {
+	return Config{Radix: radix, FusionTensors: 4}
+}
+
+// Stats counts one rank's control-plane traffic.
+type Stats struct {
+	CtlSent     int // control messages sent by this rank
+	CtlReceived int // control messages received by this rank
+	Batches     int // all-reduce batches executed
+}
+
+// Reducer matches allreduce.Reducer without importing it (avoids a cycle
+// in tests; any func with this shape works).
+type Reducer interface {
+	Reduce(c *mpi.Comm, data []float32)
+	Name() string
+}
+
+// Session drives the negotiation protocol for one rank across steps.
+type Session struct {
+	comm    *mpi.Comm
+	cfg     Config
+	reducer Reducer
+	epoch   int
+	stats   Stats
+
+	// execOrder records the TensorIDs in executed order for the last step,
+	// used by tests to verify the total order is rank-invariant.
+	execOrder []TensorID
+}
+
+// NewSession creates a session. All ranks must use identical cfg.
+func NewSession(c *mpi.Comm, reducer Reducer, cfg Config) *Session {
+	if cfg.Radix < 1 {
+		panic("horovod: radix must be ≥ 1")
+	}
+	return &Session{comm: c, cfg: cfg, reducer: reducer}
+}
+
+// Stats returns cumulative control-plane statistics for this rank.
+func (s *Session) Stats() Stats { return s.stats }
+
+// ExecOrder returns the tensor execution order of the most recent Step.
+func (s *Session) ExecOrder() []TensorID { return s.execOrder }
+
+func (s *Session) parent() int { return (s.comm.Rank() - 1) / s.cfg.Radix }
+
+func (s *Session) children() []int {
+	var ch []int
+	base := s.comm.Rank()*s.cfg.Radix + 1
+	for i := 0; i < s.cfg.Radix; i++ {
+		if c := base + i; c < s.comm.Size() {
+			ch = append(ch, c)
+		}
+	}
+	return ch
+}
+
+func (s *Session) sendCtl(dst int, m ctlMsg) {
+	s.comm.SendMeta(dst, tagCtlBase+s.epoch%epochWindow, m)
+	s.stats.CtlSent++
+}
+
+func (s *Session) recvCtl() ctlMsg {
+	_, meta := s.comm.RecvMeta(mpi.AnySource, tagCtlBase+s.epoch%epochWindow)
+	s.stats.CtlReceived++
+	return meta.(ctlMsg)
+}
+
+// Step negotiates and executes the all-reduces for one training step.
+// readyOrder is the order this rank's backward pass produced gradients —
+// intentionally different on every rank; tensors maps each id to this
+// rank's gradient buffer. On return every buffer holds the global sum and
+// all ranks executed the reductions in an identical total order.
+func (s *Session) Step(readyOrder []TensorID, tensors map[TensorID][]float32) {
+	if len(readyOrder) != len(tensors) {
+		panic(fmt.Sprintf("horovod: %d ready ids for %d tensors", len(readyOrder), len(tensors)))
+	}
+	total := len(tensors)
+	children := s.children()
+	isRoot := s.comm.Rank() == 0
+	need := len(children) + 1 // own readiness + one aggregate per child
+
+	counts := make(map[TensorID]int, total)
+	var rootComplete []TensorID // root's completion order, pending batch
+	executed := 0
+	s.execOrder = s.execOrder[:0]
+
+	// handleComplete is invoked when a tensor has all `need` readiness
+	// marks at this rank: interior nodes forward up; the root queues it
+	// for an execution batch.
+	flushBatch := func(force bool) {
+		limit := s.cfg.FusionTensors
+		if limit < 1 {
+			limit = 1
+		}
+		for len(rootComplete) > 0 && (force || len(rootComplete) >= limit) {
+			n := min(limit, len(rootComplete))
+			batch := append([]TensorID(nil), rootComplete[:n]...)
+			rootComplete = rootComplete[n:]
+			for _, c := range children {
+				s.sendCtl(c, ctlMsg{kind: kindExec, ids: batch})
+			}
+			s.execBatch(batch, tensors)
+			executed += len(batch)
+		}
+	}
+	handleComplete := func(id TensorID) {
+		if isRoot {
+			rootComplete = append(rootComplete, id)
+			flushBatch(false)
+			return
+		}
+		s.sendCtl(s.parent(), ctlMsg{kind: kindReady, ids: []TensorID{id}})
+	}
+
+	// Mark own readiness in backward-production order.
+	for _, id := range readyOrder {
+		counts[id]++
+		if counts[id] == need {
+			handleComplete(id)
+		}
+	}
+
+	// Event loop: consume child readiness and parent execs until this rank
+	// has executed every tensor.
+	for executed < total {
+		if isRoot && executed+len(rootComplete) == total {
+			// Everything left is queued locally; flush regardless of
+			// fusion threshold.
+			flushBatch(true)
+			continue
+		}
+		m := s.recvCtl()
+		switch m.kind {
+		case kindReady:
+			for _, id := range m.ids {
+				counts[id]++
+				if counts[id] == need {
+					handleComplete(id)
+				}
+			}
+		case kindExec:
+			// Relay down the tree first (the paper's recursive broadcast),
+			// then initiate the collective.
+			for _, c := range children {
+				s.sendCtl(c, ctlMsg{kind: kindExec, ids: m.ids})
+			}
+			s.execBatch(m.ids, tensors)
+			executed += len(m.ids)
+		}
+	}
+	s.epoch++
+}
+
+// execBatch fuses the batch's tensors into one buffer, reduces, and
+// scatters results back (Horovod's fusion buffer).
+func (s *Session) execBatch(batch []TensorID, tensors map[TensorID][]float32) {
+	s.stats.Batches++
+	s.execOrder = append(s.execOrder, batch...)
+	if len(batch) == 1 {
+		s.reducer.Reduce(s.comm, tensors[batch[0]])
+		return
+	}
+	size := 0
+	for _, id := range batch {
+		size += len(tensors[id])
+	}
+	fused := make([]float32, 0, size)
+	for _, id := range batch {
+		fused = append(fused, tensors[id]...)
+	}
+	s.reducer.Reduce(s.comm, fused)
+	off := 0
+	for _, id := range batch {
+		n := copy(tensors[id], fused[off:off+len(tensors[id])])
+		off += n
+	}
+}
+
+// ControlLoad analytically computes the worst-case per-rank control-message
+// counts for one step of T tensors on a world of the given size — the
+// quantity behind the paper's "millions of messages per second" rank-0
+// bottleneck. Returns the maximum over ranks of messages handled
+// (sent+received).
+func ControlLoad(worldSize, radix, tensors int) (root, maxInterior int) {
+	if worldSize == 1 {
+		return 0, 0
+	}
+	// Root: receives one aggregated readiness per child per tensor, sends
+	// one exec per child per tensor (unfused worst case).
+	rootChildren := min(radix, worldSize-1)
+	root = tensors * 2 * rootChildren
+	// Interior node: receives ≤ radix readiness + 1 exec, sends 1 readiness
+	// + ≤ radix exec relays per tensor.
+	maxInterior = tensors * (2*radix + 2)
+	if maxInterior > root && radix >= worldSize-1 {
+		maxInterior = root
+	}
+	return root, maxInterior
+}
+
+// SortedIDs returns the tensor ids of a map in ascending order (test and
+// diagnostic helper).
+func SortedIDs(tensors map[TensorID][]float32) []TensorID {
+	ids := make([]TensorID, 0, len(tensors))
+	for id := range tensors {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}

@@ -1,0 +1,136 @@
+// Package hpfloat implements IEEE-754 binary16 ("half precision", FP16) in
+// software. The paper's headline 1.13 EF/s result relies on V100 Tensor
+// Cores operating on FP16 inputs; this package provides the numerics of
+// that datapath — round-to-nearest-even conversion, saturating ranges,
+// vector conversion kernels, and the static loss-scaling helpers used to
+// keep small gradients representable — so the mixed-precision training path
+// can be exercised end to end on a CPU.
+package hpfloat
+
+import "math"
+
+// Half is an IEEE-754 binary16 value stored in its 16-bit wire format:
+// 1 sign bit, 5 exponent bits (bias 15), 10 mantissa bits.
+type Half uint16
+
+// Useful constants in wire format.
+const (
+	PositiveInfinity Half = 0x7C00
+	NegativeInfinity Half = 0xFC00
+	NaN              Half = 0x7E00
+	MaxValue         Half = 0x7BFF // 65504
+	SmallestNormal   Half = 0x0400 // 2^-14 ≈ 6.1e-5
+	SmallestSubnorm  Half = 0x0001 // 2^-24 ≈ 6.0e-8
+)
+
+// MaxFinite is the largest finite FP16 value as a float64.
+const MaxFinite = 65504.0
+
+// FromFloat32 converts a float32 to Half with round-to-nearest-even,
+// following the same semantics as hardware F32→F16 conversion instructions:
+// overflow produces ±Inf, underflow denormalizes then flushes to ±0.
+func FromFloat32(f float32) Half {
+	bits := math.Float32bits(f)
+	sign := Half(bits>>16) & 0x8000
+	exp := int32(bits>>23) & 0xFF
+	mant := bits & 0x7FFFFF
+
+	switch {
+	case exp == 0xFF: // Inf or NaN
+		if mant != 0 {
+			// Preserve a quiet NaN; keep top mantissa bits for payload flavor.
+			return sign | 0x7C00 | Half(mant>>13) | 0x0200
+		}
+		return sign | 0x7C00
+	case exp == 0 && mant == 0:
+		return sign // signed zero
+	}
+
+	// Unbias and rebias: float32 bias 127 → float16 bias 15.
+	e := exp - 127 + 15
+	if e >= 0x1F {
+		return sign | 0x7C00 // overflow → Inf
+	}
+	if e <= 0 {
+		// Subnormal half (or underflow to zero). Shift in the implicit bit.
+		if e < -10 {
+			return sign // magnitude below smallest subnormal → 0
+		}
+		m := mant | 0x800000
+		shift := uint32(14 - e)
+		half := m >> shift
+		// Round to nearest even on the bits shifted out.
+		rem := m & ((1 << shift) - 1)
+		halfway := uint32(1) << (shift - 1)
+		if rem > halfway || (rem == halfway && half&1 == 1) {
+			half++
+		}
+		return sign | Half(half)
+	}
+
+	// Normal case: keep top 10 mantissa bits, round-to-nearest-even on bit 13.
+	half := (uint32(e) << 10) | (mant >> 13)
+	rem := mant & 0x1FFF
+	if rem > 0x1000 || (rem == 0x1000 && half&1 == 1) {
+		half++ // may carry into the exponent, correctly producing Inf
+	}
+	return sign | Half(half)
+}
+
+// Float32 converts a Half back to float32 exactly (every FP16 value is
+// representable in FP32).
+func (h Half) Float32() float32 {
+	sign := uint32(h&0x8000) << 16
+	exp := uint32(h>>10) & 0x1F
+	mant := uint32(h) & 0x3FF
+
+	switch {
+	case exp == 0x1F: // Inf / NaN
+		return math.Float32frombits(sign | 0x7F800000 | mant<<13)
+	case exp == 0:
+		if mant == 0 {
+			return math.Float32frombits(sign) // signed zero
+		}
+		// Subnormal: normalize by shifting until the implicit bit appears.
+		e := uint32(127 - 15 + 1)
+		for mant&0x400 == 0 {
+			mant <<= 1
+			e--
+		}
+		mant &= 0x3FF
+		return math.Float32frombits(sign | e<<23 | mant<<13)
+	}
+	return math.Float32frombits(sign | (exp-15+127)<<23 | mant<<13)
+}
+
+// IsNaN reports whether h is a NaN.
+func (h Half) IsNaN() bool {
+	return h&0x7C00 == 0x7C00 && h&0x3FF != 0
+}
+
+// IsInf reports whether h is ±Inf.
+func (h Half) IsInf() bool {
+	return h&0x7FFF == 0x7C00
+}
+
+// IsFinite reports whether h is neither Inf nor NaN.
+func (h Half) IsFinite() bool {
+	return h&0x7C00 != 0x7C00
+}
+
+// FromFloat64 converts a float64 via float32.
+func FromFloat64(f float64) Half { return FromFloat32(float32(f)) }
+
+// Float64 converts to float64.
+func (h Half) Float64() float64 { return float64(h.Float32()) }
+
+// Add returns h+o computed in FP32 and rounded back to FP16, matching the
+// behaviour of a half-precision FMA datapath with an FP32 accumulator
+// truncated per operation.
+func (h Half) Add(o Half) Half { return FromFloat32(h.Float32() + o.Float32()) }
+
+// Mul returns h*o rounded to FP16.
+func (h Half) Mul(o Half) Half { return FromFloat32(h.Float32() * o.Float32()) }
+
+// Sub returns h-o rounded to FP16.
+func (h Half) Sub(o Half) Half { return FromFloat32(h.Float32() - o.Float32()) }

@@ -1,0 +1,111 @@
+package hpfloat
+
+// Vector kernels for bulk FP32↔FP16 conversion and FP16-storage arithmetic.
+// These model the "Type Conversions" kernel category that appears in the
+// paper's FP16 profiles (Figs 8 and 9).
+
+// ToHalf converts src into dst (FP16 wire format). Panics on length mismatch.
+func ToHalf(src []float32, dst []Half) {
+	if len(src) != len(dst) {
+		panic("hpfloat: ToHalf length mismatch")
+	}
+	for i, v := range src {
+		dst[i] = FromFloat32(v)
+	}
+}
+
+// ToFloat32 converts src (FP16) into dst (FP32).
+func ToFloat32(src []Half, dst []float32) {
+	if len(src) != len(dst) {
+		panic("hpfloat: ToFloat32 length mismatch")
+	}
+	for i, h := range src {
+		dst[i] = h.Float32()
+	}
+}
+
+// RoundTrip simulates storing a float32 slice in FP16: every element is
+// rounded to the nearest representable half and converted back, in place.
+// Running activations/gradients through RoundTrip reproduces the numerical
+// behaviour of an FP16 storage format with FP32 compute.
+func RoundTrip(x []float32) {
+	for i, v := range x {
+		x[i] = FromFloat32(v).Float32()
+	}
+}
+
+// AnyNonFinite reports whether any element of the FP16 slice is Inf or NaN.
+// Mixed-precision training uses this to detect loss-scale overflow.
+func AnyNonFinite(x []Half) bool {
+	for _, h := range x {
+		if !h.IsFinite() {
+			return true
+		}
+	}
+	return false
+}
+
+// LossScaler implements static/backoff loss scaling for mixed-precision
+// training. Gradients are multiplied by Scale before the FP16 round trip so
+// that small magnitudes stay above the FP16 underflow threshold, and divided
+// back out before the optimizer applies them. On overflow the step is
+// skipped and the scale halved; after GrowthInterval clean steps the scale
+// doubles (the scheme used by production mixed-precision trainers).
+type LossScaler struct {
+	Scale          float64
+	GrowthInterval int
+	MaxScale       float64
+
+	cleanSteps   int
+	skippedSteps int
+}
+
+// NewLossScaler returns a scaler with the conventional defaults:
+// initial scale 2^10, growth every 200 clean steps, max scale 2^15 (staying
+// below the FP16 max so scaled activations don't saturate immediately).
+func NewLossScaler() *LossScaler {
+	return &LossScaler{Scale: 1024, GrowthInterval: 200, MaxScale: 32768}
+}
+
+// Apply multiplies the gradient slice by the current scale.
+func (s *LossScaler) Apply(grad []float32) {
+	f := float32(s.Scale)
+	for i := range grad {
+		grad[i] *= f
+	}
+}
+
+// Unapply divides the gradient slice by the current scale.
+func (s *LossScaler) Unapply(grad []float32) {
+	inv := float32(1 / s.Scale)
+	for i := range grad {
+		grad[i] *= inv
+	}
+}
+
+// Update records the outcome of a step. overflowed=true means non-finite
+// values were seen in the scaled gradients; the scale halves and the caller
+// must skip the optimizer update. Returns whether the step should be applied.
+func (s *LossScaler) Update(overflowed bool) bool {
+	if overflowed {
+		s.Scale /= 2
+		if s.Scale < 1 {
+			s.Scale = 1
+		}
+		s.cleanSteps = 0
+		s.skippedSteps++
+		return false
+	}
+	s.cleanSteps++
+	if s.GrowthInterval > 0 && s.cleanSteps >= s.GrowthInterval {
+		s.Scale *= 2
+		if s.MaxScale > 0 && s.Scale > s.MaxScale {
+			s.Scale = s.MaxScale
+		}
+		s.cleanSteps = 0
+	}
+	return true
+}
+
+// SkippedSteps returns how many steps were skipped due to overflow.
+func (s *LossScaler) SkippedSteps() int { return s.skippedSteps }

@@ -1,0 +1,191 @@
+// Package infer runs trained segmentation networks over images larger than
+// the network's input window by tiling: the image is covered with
+// overlapping tiles, each tile is segmented independently, and only the
+// interior of each tile (past the convolutional receptive-field margin) is
+// written to the output mask. This is how a model trained at a fixed
+// resolution serves the paper's science use case — producing storm masks
+// over arbitrary simulation output — on hardware that cannot hold the
+// 1152×768×16 activations of a full-resolution pass.
+package infer
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/loss"
+	"repro/internal/models"
+	"repro/internal/tensor"
+)
+
+// Network is the slice of a model the inference path needs: feed an image
+// window, read logits. models.Network satisfies it via Adapt.
+type Network struct {
+	Graph  *graph.Graph
+	Images *graph.Node // [1, C, th, tw]
+	Logits *graph.Node // [1, classes, th, tw]
+	// ExtraFeeds supplies tensors for inputs the graph requires but
+	// inference does not use (label and weight-map placeholders for graphs
+	// that also compute a loss).
+	ExtraFeeds map[*graph.Node]*tensor.Tensor
+}
+
+// FromModel adapts a trained models.Network (which computes a loss and so
+// requires label and weight inputs) for inference: placeholder labels and
+// unit weights are fed, and only the logits are read.
+func FromModel(net *models.Network) *Network {
+	is := net.Images.Shape
+	lshape := tensor.Shape{is[0], is[2], is[3]}
+	return &Network{
+		Graph:  net.Graph,
+		Images: net.Images,
+		Logits: net.Logits,
+		ExtraFeeds: map[*graph.Node]*tensor.Tensor{
+			net.Labels:  tensor.New(lshape),
+			net.Weights: tensor.Ones(lshape),
+		},
+	}
+}
+
+// Config controls the tiling.
+type Config struct {
+	TileH, TileW int // network window size
+	// Overlap is the margin (pixels) discarded on every interior tile edge.
+	// It must be at least the network's receptive-field radius for the
+	// stitched output to match a monolithic full-image pass.
+	Overlap   int
+	Precision graph.Precision
+}
+
+func (c Config) validate() error {
+	if c.TileH < 1 || c.TileW < 1 {
+		return fmt.Errorf("infer: tile %dx%d", c.TileH, c.TileW)
+	}
+	if c.Overlap < 0 || 2*c.Overlap >= c.TileH || 2*c.Overlap >= c.TileW {
+		return fmt.Errorf("infer: overlap %d incompatible with tile %dx%d",
+			c.Overlap, c.TileH, c.TileW)
+	}
+	return nil
+}
+
+// Tile is one window placement: the source rectangle and the sub-rectangle
+// of it whose predictions are kept.
+type Tile struct {
+	Y, X           int // top-left corner in the image
+	KeepY0, KeepY1 int // rows of the tile to keep (half-open)
+	KeepX0, KeepX1 int // cols of the tile to keep
+}
+
+// Plan computes a tiling of an h×w image: tiles step by tile−2·overlap, the
+// final tile in each axis is shifted inward so every tile is full-size, and
+// keep-regions tile the image exactly once.
+func Plan(h, w int, cfg Config) ([]Tile, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if h < cfg.TileH || w < cfg.TileW {
+		return nil, fmt.Errorf("infer: image %dx%d smaller than tile %dx%d",
+			h, w, cfg.TileH, cfg.TileW)
+	}
+	ys := positions(h, cfg.TileH, cfg.Overlap)
+	xs := positions(w, cfg.TileW, cfg.Overlap)
+	var tiles []Tile
+	for yi, y := range ys {
+		for xi, x := range xs {
+			t := Tile{Y: y, X: x}
+			t.KeepY0, t.KeepY1 = keep(cfg.TileH, ys, yi)
+			t.KeepX0, t.KeepX1 = keep(cfg.TileW, xs, xi)
+			tiles = append(tiles, t)
+		}
+	}
+	return tiles, nil
+}
+
+// positions returns tile origins covering size with the given window and
+// overlap; the last origin is clamped so the window stays inside.
+func positions(size, window, overlap int) []int {
+	step := window - 2*overlap
+	var out []int
+	for p := 0; ; p += step {
+		if p+window >= size {
+			out = append(out, size-window)
+			return out
+		}
+		out = append(out, p)
+	}
+}
+
+// keep computes the half-open keep range within the i-th tile so that
+// adjacent tiles' keep regions partition the image: each tile keeps from
+// the midpoint of its overlap with the previous tile to the midpoint of its
+// overlap with the next.
+func keep(window int, origins []int, i int) (int, int) {
+	origin := origins[i]
+	lo := 0
+	if i > 0 {
+		prevEnd := origins[i-1] + window
+		lo = (origin+prevEnd)/2 - origin
+	}
+	hi := window
+	if i < len(origins)-1 {
+		nextStart := origins[i+1]
+		hi = (nextStart+origin+window)/2 - origin
+	}
+	return lo, hi
+}
+
+// Run segments a [C, H, W] field tensor and returns the [H, W] class mask.
+// The network window must match cfg. Each tile runs a fresh executor, so
+// the call is safe for a network used by one goroutine at a time.
+func Run(net *Network, fields *tensor.Tensor, cfg Config) (*tensor.Tensor, error) {
+	fs := fields.Shape()
+	if fs.Rank() != 3 {
+		return nil, fmt.Errorf("infer: fields must be [C,H,W], got %v", fs)
+	}
+	c, h, w := fs[0], fs[1], fs[2]
+	is := net.Images.Shape
+	if is[0] != 1 || is[1] != c || is[2] != cfg.TileH || is[3] != cfg.TileW {
+		return nil, fmt.Errorf("infer: network input %v does not match channels %d tile %dx%d",
+			is, c, cfg.TileH, cfg.TileW)
+	}
+	tiles, err := Plan(h, w, cfg)
+	if err != nil {
+		return nil, err
+	}
+	mask := tensor.New(tensor.Shape{h, w})
+	window := tensor.New(tensor.NCHW(1, c, cfg.TileH, cfg.TileW))
+	for _, t := range tiles {
+		crop(fields, window, t.Y, t.X, cfg.TileH, cfg.TileW)
+		feeds := map[*graph.Node]*tensor.Tensor{net.Images: window}
+		for n, v := range net.ExtraFeeds {
+			feeds[n] = v
+		}
+		ex := graph.NewExecutor(net.Graph, cfg.Precision, 1)
+		if err := ex.Forward(feeds); err != nil {
+			return nil, fmt.Errorf("infer: tile (%d,%d): %w", t.Y, t.X, err)
+		}
+		pred := loss.Predictions(ex.Value(net.Logits)) // [1, th, tw]
+		pd, md := pred.Data(), mask.Data()
+		for y := t.KeepY0; y < t.KeepY1; y++ {
+			gy := t.Y + y
+			for x := t.KeepX0; x < t.KeepX1; x++ {
+				md[gy*w+t.X+x] = pd[y*cfg.TileW+x]
+			}
+		}
+	}
+	return mask, nil
+}
+
+// crop copies the [th, tw] window at (y, x) of src [C, H, W] into dst
+// [1, C, th, tw].
+func crop(src, dst *tensor.Tensor, y, x, th, tw int) {
+	ss := src.Shape()
+	c, h, w := ss[0], ss[1], ss[2]
+	sd, dd := src.Data(), dst.Data()
+	for ch := 0; ch < c; ch++ {
+		for r := 0; r < th; r++ {
+			sOff := ch*h*w + (y+r)*w + x
+			dOff := ch*th*tw + r*tw
+			copy(dd[dOff:dOff+tw], sd[sOff:sOff+tw])
+		}
+	}
+}

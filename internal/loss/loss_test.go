@@ -1,0 +1,190 @@
+package loss
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// paperFreqs are the class frequencies the paper reports: 98.2% background,
+// 1.7% atmospheric river, <0.1% tropical cyclone.
+var paperFreqs = []float64{0.982, 0.017, 0.001}
+
+func TestClassWeightsSchemes(t *testing.T) {
+	uw := ClassWeights(paperFreqs, Unweighted)
+	for _, w := range uw {
+		if math.Abs(float64(w)-1) > 1e-6 {
+			t.Fatalf("unweighted should be all ones: %v", uw)
+		}
+	}
+
+	inv := ClassWeights(paperFreqs, InverseFrequency)
+	sqrt := ClassWeights(paperFreqs, InverseSqrtFrequency)
+
+	// Minority classes must get larger weights, in both schemes.
+	if !(inv[2] > inv[1] && inv[1] > inv[0]) {
+		t.Fatalf("1/f ordering wrong: %v", inv)
+	}
+	if !(sqrt[2] > sqrt[1] && sqrt[1] > sqrt[0]) {
+		t.Fatalf("1/sqrt(f) ordering wrong: %v", sqrt)
+	}
+	// 1/f spreads weights far more than 1/√f — the dynamic range that
+	// destabilized FP16 training in the paper.
+	invSpread := float64(inv[2] / inv[0])
+	sqrtSpread := float64(sqrt[2] / sqrt[0])
+	if math.Abs(invSpread-sqrtSpread*sqrtSpread)/invSpread > 1e-3 {
+		t.Fatalf("1/f spread %g should be the square of 1/sqrt(f) spread %g", invSpread, sqrtSpread)
+	}
+	if invSpread < 10*sqrtSpread {
+		t.Fatalf("1/f spread %g should dwarf 1/sqrt(f) spread %g", invSpread, sqrtSpread)
+	}
+	// Normalization: frequency-weighted mean is 1.
+	for _, ws := range [][]float32{inv, sqrt} {
+		var mean float64
+		for i, f := range paperFreqs {
+			mean += f * float64(ws[i])
+		}
+		if math.Abs(mean-1) > 1e-6 {
+			t.Fatalf("weights not normalized: mean %g", mean)
+		}
+	}
+}
+
+func TestPaperTCPenaltyRatio(t *testing.T) {
+	// The paper notes a TC false negative costs ≈37× a false positive
+	// under the 1/√f weighting: weight(TC)/weight(BG) ≈ √(0.982/0.001)≈31,
+	// in that ballpark with their exact frequencies.
+	w := ClassWeights(paperFreqs, InverseSqrtFrequency)
+	ratio := float64(w[2] / w[0])
+	if ratio < 20 || ratio > 50 {
+		t.Fatalf("TC/BG weight ratio %g outside plausible range", ratio)
+	}
+}
+
+func TestWeightMap(t *testing.T) {
+	labels := tensor.FromSlice(tensor.Shape{1, 2, 2}, []float32{0, 1, 2, 0})
+	w := ClassWeights(paperFreqs, InverseSqrtFrequency)
+	m := WeightMap(labels, w)
+	if m.Data()[0] != w[0] || m.Data()[1] != w[1] || m.Data()[2] != w[2] || m.Data()[3] != w[0] {
+		t.Fatalf("weight map wrong: %v", m.Data())
+	}
+}
+
+func TestForwardMatchesHandComputation(t *testing.T) {
+	// Single pixel, two classes, logits (1, 0), label 0, weight 2:
+	// loss = 2 · (log(e¹+e⁰) − 1) / 1
+	logits := tensor.FromSlice(tensor.NCHW(1, 2, 1, 1), []float32{1, 0})
+	labels := tensor.FromSlice(tensor.Shape{1, 1, 1}, []float32{0})
+	weights := tensor.FromSlice(tensor.Shape{1, 1, 1}, []float32{2})
+	out := (WeightedSoftmaxCE{}).Forward([]*tensor.Tensor{logits, labels, weights})
+	want := 2 * (math.Log(math.Exp(1)+1) - 1)
+	if math.Abs(float64(out.Data()[0])-want) > 1e-6 {
+		t.Fatalf("loss = %g, want %g", out.Data()[0], want)
+	}
+}
+
+func TestLossInvariantToLogitShift(t *testing.T) {
+	// Softmax CE is invariant to adding a constant to all class logits.
+	logits := tensor.FromSlice(tensor.NCHW(1, 3, 1, 2), []float32{1, 2, 0.5, -1, 3, 0})
+	labels := tensor.FromSlice(tensor.Shape{1, 1, 2}, []float32{2, 1})
+	weights := tensor.FromSlice(tensor.Shape{1, 1, 2}, []float32{1, 1})
+	op := WeightedSoftmaxCE{}
+	base := op.Forward([]*tensor.Tensor{logits, labels, weights}).Data()[0]
+
+	shifted := logits.Clone()
+	for i := range shifted.Data() {
+		shifted.Data()[i] += 100
+	}
+	got := op.Forward([]*tensor.Tensor{shifted, labels, weights}).Data()[0]
+	if math.Abs(float64(got-base)) > 1e-4 {
+		t.Fatalf("shift changed loss: %g vs %g", got, base)
+	}
+}
+
+func TestGradientSumsToZeroPerPixelUnweighted(t *testing.T) {
+	// Softmax gradient over classes sums to zero at every pixel.
+	logits := tensor.FromSlice(tensor.NCHW(1, 3, 1, 2), []float32{1, 2, 0.5, -1, 3, 0})
+	labels := tensor.FromSlice(tensor.Shape{1, 1, 2}, []float32{0, 2})
+	weights := tensor.FromSlice(tensor.Shape{1, 1, 2}, []float32{1.5, 0.5})
+	op := WeightedSoftmaxCE{}
+	out := op.Forward([]*tensor.Tensor{logits, labels, weights})
+	seed := tensor.Ones(tensor.Shape{1})
+	grads := op.Backward([]*tensor.Tensor{logits, labels, weights}, out, seed)
+	g := grads[0]
+	if grads[1] != nil || grads[2] != nil {
+		t.Fatal("labels/weights must get nil gradients")
+	}
+	for p := 0; p < 2; p++ {
+		var s float64
+		for c := 0; c < 3; c++ {
+			s += float64(g.At(0, c, 0, p))
+		}
+		if math.Abs(s) > 1e-6 {
+			t.Fatalf("pixel %d gradient sum %g", p, s)
+		}
+	}
+}
+
+func TestPredictions(t *testing.T) {
+	logits := tensor.FromSlice(tensor.NCHW(1, 3, 1, 2), []float32{
+		1, 5, // class 0 logits for two pixels
+		2, 1, // class 1
+		0, 9, // class 2
+	})
+	p := Predictions(logits)
+	if p.Data()[0] != 1 || p.Data()[1] != 2 {
+		t.Fatalf("predictions = %v", p.Data())
+	}
+}
+
+func TestCollapseIncentiveWithoutWeights(t *testing.T) {
+	// With the paper's class imbalance, predicting all-background yields a
+	// LOWER unweighted loss than a network that spends logit mass on rare
+	// classes — the degenerate optimum weighting exists to remove. With
+	// 1/√f weights the all-background prediction is no longer better.
+	const pixels = 1000
+	labels := tensor.New(tensor.Shape{1, 1, pixels})
+	for i := 0; i < pixels; i++ {
+		switch {
+		case i < 982:
+			labels.Data()[i] = 0
+		case i < 999:
+			labels.Data()[i] = 1
+		default:
+			labels.Data()[i] = 2
+		}
+	}
+	// "Collapsed" logits: confident background everywhere.
+	collapsed := tensor.New(tensor.NCHW(1, 3, 1, pixels))
+	for i := 0; i < pixels; i++ {
+		collapsed.Data()[i] = 4 // class 0 channel
+	}
+	// "Honest" logits: mildly confident toward the true class.
+	honest := tensor.New(tensor.NCHW(1, 3, 1, pixels))
+	for i := 0; i < pixels; i++ {
+		honest.Data()[int(labels.Data()[i])*pixels+i] = 2
+	}
+	op := WeightedSoftmaxCE{}
+	evalLoss := func(logits *tensor.Tensor, ws []float32) float64 {
+		wm := WeightMap(labels, ws)
+		wm = wm.Reshape(tensor.Shape{1, 1, pixels})
+		return float64(op.Forward([]*tensor.Tensor{logits, labels, wm}).Data()[0])
+	}
+
+	uw := ClassWeights(paperFreqs, Unweighted)
+	if evalLoss(collapsed, uw) >= evalLoss(honest, uw) {
+		t.Fatal("unweighted loss should reward collapse on imbalanced data")
+	}
+	sq := ClassWeights(paperFreqs, InverseSqrtFrequency)
+	if evalLoss(collapsed, sq) <= evalLoss(honest, sq) {
+		t.Fatal("1/sqrt(f) weighting should punish collapse")
+	}
+}
+
+func TestWeightingString(t *testing.T) {
+	if Unweighted.String() != "unweighted" || InverseFrequency.String() != "1/f" ||
+		InverseSqrtFrequency.String() != "1/sqrt(f)" {
+		t.Fatal("weighting names wrong")
+	}
+}

@@ -1,0 +1,183 @@
+// Package metrics implements the paper's evaluation measures: the
+// intersection-over-union segmentation score (Section VII-D reports 59%
+// for Tiramisu and 73% for DeepLabv3+) and the sustained-throughput
+// statistics of Section VI (mean over ranks per step, median over time,
+// central 68% confidence interval from the 0.16/0.84 percentiles).
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/tensor"
+)
+
+// ConfusionMatrix accumulates pixel-level prediction counts; entry [t][p]
+// counts pixels of true class t predicted as class p.
+type ConfusionMatrix struct {
+	Classes int
+	Counts  [][]int64
+}
+
+// NewConfusionMatrix returns an empty matrix for n classes.
+func NewConfusionMatrix(n int) *ConfusionMatrix {
+	c := &ConfusionMatrix{Classes: n, Counts: make([][]int64, n)}
+	for i := range c.Counts {
+		c.Counts[i] = make([]int64, n)
+	}
+	return c
+}
+
+// Add accumulates a batch of predictions against truth (both [N,H,W] maps
+// of class indices stored as float32).
+func (c *ConfusionMatrix) Add(truth, pred *tensor.Tensor) {
+	td, pd := truth.Data(), pred.Data()
+	if len(td) != len(pd) {
+		panic(fmt.Sprintf("metrics: size mismatch %d vs %d", len(td), len(pd)))
+	}
+	for i := range td {
+		c.Counts[int(td[i])][int(pd[i])]++
+	}
+}
+
+// Merge adds another matrix's counts (for multi-rank evaluation).
+func (c *ConfusionMatrix) Merge(o *ConfusionMatrix) {
+	for i := range c.Counts {
+		for j := range c.Counts[i] {
+			c.Counts[i][j] += o.Counts[i][j]
+		}
+	}
+}
+
+// IoU returns the intersection-over-union of one class:
+// TP / (TP + FP + FN). Returns NaN when the class never appears.
+func (c *ConfusionMatrix) IoU(class int) float64 {
+	tp := c.Counts[class][class]
+	var fp, fn int64
+	for k := 0; k < c.Classes; k++ {
+		if k != class {
+			fp += c.Counts[k][class]
+			fn += c.Counts[class][k]
+		}
+	}
+	denom := tp + fp + fn
+	if denom == 0 {
+		return math.NaN()
+	}
+	return float64(tp) / float64(denom)
+}
+
+// MeanIoU returns the mean IoU over classes that appear.
+func (c *ConfusionMatrix) MeanIoU() float64 {
+	var sum float64
+	n := 0
+	for k := 0; k < c.Classes; k++ {
+		if iou := c.IoU(k); !math.IsNaN(iou) {
+			sum += iou
+			n++
+		}
+	}
+	if n == 0 {
+		return math.NaN()
+	}
+	return sum / float64(n)
+}
+
+// PixelAccuracy returns overall fraction of correctly classified pixels —
+// the metric the paper warns is trivially 98.2% under class collapse.
+func (c *ConfusionMatrix) PixelAccuracy() float64 {
+	var correct, total int64
+	for i := range c.Counts {
+		for j, v := range c.Counts[i] {
+			total += v
+			if i == j {
+				correct += v
+			}
+		}
+	}
+	if total == 0 {
+		return math.NaN()
+	}
+	return float64(correct) / float64(total)
+}
+
+// ClassFrequency returns the fraction of ground-truth pixels in a class.
+func (c *ConfusionMatrix) ClassFrequency(class int) float64 {
+	var row, total int64
+	for i := range c.Counts {
+		for _, v := range c.Counts[i] {
+			total += v
+		}
+	}
+	for _, v := range c.Counts[class] {
+		row += v
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(row) / float64(total)
+}
+
+// ThroughputStats summarizes a time series of per-step global throughput
+// samples per Section VI: the sustained value is the median over time, the
+// error bar the central 68% interval.
+type ThroughputStats struct {
+	Sustained float64 // median over steps
+	Lo        float64 // 0.16 percentile
+	Hi        float64 // 0.84 percentile
+	Mean      float64
+	Steps     int
+}
+
+// Throughput computes the Section VI statistics over per-step values
+// (e.g. samples/s summed over ranks, or PF/s).
+func Throughput(perStep []float64) ThroughputStats {
+	if len(perStep) == 0 {
+		return ThroughputStats{}
+	}
+	s := append([]float64(nil), perStep...)
+	sort.Float64s(s)
+	var mean float64
+	for _, v := range s {
+		mean += v
+	}
+	mean /= float64(len(s))
+	return ThroughputStats{
+		Sustained: quantile(s, 0.5),
+		Lo:        quantile(s, 0.16),
+		Hi:        quantile(s, 0.84),
+		Mean:      mean,
+		Steps:     len(s),
+	}
+}
+
+// quantile interpolates the q-th quantile of sorted data.
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if lo+1 >= len(sorted) {
+		return sorted[len(sorted)-1]
+	}
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// ParallelEfficiency returns achieved/(perWorker·workers) — the paper's
+// weak-scaling efficiency measure against the single-worker rate.
+func ParallelEfficiency(achieved, perWorkerBaseline float64, workers int) float64 {
+	ideal := perWorkerBaseline * float64(workers)
+	if ideal == 0 {
+		return 0
+	}
+	return achieved / ideal
+}
+
+// FLOPRate converts a samples/s rate into FLOP/s given the per-sample
+// operation count (Section VI's conversion).
+func FLOPRate(samplesPerSec, flopsPerSample float64) float64 {
+	return samplesPerSec * flopsPerSample
+}

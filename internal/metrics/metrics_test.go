@@ -1,0 +1,146 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func TestConfusionAndIoU(t *testing.T) {
+	truth := tensor.FromSlice(tensor.Shape{1, 2, 4}, []float32{0, 0, 1, 1, 2, 2, 0, 0})
+	pred := tensor.FromSlice(tensor.Shape{1, 2, 4}, []float32{0, 1, 1, 1, 2, 0, 0, 0})
+	cm := NewConfusionMatrix(3)
+	cm.Add(truth, pred)
+
+	// Class 0: TP=3 (pixels 0,6,7), FN=1 (pixel 1), FP=1 (pixel 5).
+	if got := cm.IoU(0); math.Abs(got-3.0/5.0) > 1e-12 {
+		t.Fatalf("IoU(0) = %g", got)
+	}
+	// Class 1: TP=2, FN=0, FP=1.
+	if got := cm.IoU(1); math.Abs(got-2.0/3.0) > 1e-12 {
+		t.Fatalf("IoU(1) = %g", got)
+	}
+	// Class 2: TP=1, FN=1, FP=0.
+	if got := cm.IoU(2); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("IoU(2) = %g", got)
+	}
+	wantMean := (3.0/5.0 + 2.0/3.0 + 0.5) / 3
+	if got := cm.MeanIoU(); math.Abs(got-wantMean) > 1e-12 {
+		t.Fatalf("MeanIoU = %g want %g", got, wantMean)
+	}
+	if got := cm.PixelAccuracy(); math.Abs(got-6.0/8.0) > 1e-12 {
+		t.Fatalf("accuracy = %g", got)
+	}
+	if got := cm.ClassFrequency(0); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("freq(0) = %g", got)
+	}
+}
+
+func TestIoUAbsentClassNaN(t *testing.T) {
+	cm := NewConfusionMatrix(3)
+	truth := tensor.FromSlice(tensor.Shape{1, 1, 2}, []float32{0, 0})
+	pred := tensor.FromSlice(tensor.Shape{1, 1, 2}, []float32{0, 0})
+	cm.Add(truth, pred)
+	if !math.IsNaN(cm.IoU(2)) {
+		t.Fatal("absent class should give NaN IoU")
+	}
+	if math.IsNaN(cm.MeanIoU()) {
+		t.Fatal("MeanIoU should skip absent classes")
+	}
+	empty := NewConfusionMatrix(2)
+	if !math.IsNaN(empty.MeanIoU()) || !math.IsNaN(empty.PixelAccuracy()) {
+		t.Fatal("empty matrix should give NaN")
+	}
+}
+
+func TestCollapsePenalizedByIoU(t *testing.T) {
+	// The paper's point: predicting all-background gives 98.2% accuracy
+	// but zero IoU for the event classes.
+	cm := NewConfusionMatrix(3)
+	n := 1000
+	truth := tensor.New(tensor.Shape{1, 1, n})
+	pred := tensor.New(tensor.Shape{1, 1, n}) // all zeros = all background
+	for i := 0; i < n; i++ {
+		switch {
+		case i < 982:
+			truth.Data()[i] = 0
+		case i < 999:
+			truth.Data()[i] = 2
+		default:
+			truth.Data()[i] = 1
+		}
+	}
+	cm.Add(truth, pred)
+	if acc := cm.PixelAccuracy(); math.Abs(acc-0.982) > 1e-9 {
+		t.Fatalf("accuracy = %g", acc)
+	}
+	if cm.IoU(1) != 0 || cm.IoU(2) != 0 {
+		t.Fatal("event-class IoU should be zero under collapse")
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a := NewConfusionMatrix(2)
+	b := NewConfusionMatrix(2)
+	tr := tensor.FromSlice(tensor.Shape{1, 1, 2}, []float32{0, 1})
+	pr := tensor.FromSlice(tensor.Shape{1, 1, 2}, []float32{0, 1})
+	a.Add(tr, pr)
+	b.Add(tr, pr)
+	a.Merge(b)
+	if a.Counts[0][0] != 2 || a.Counts[1][1] != 2 {
+		t.Fatalf("merge wrong: %v", a.Counts)
+	}
+}
+
+func TestThroughputStats(t *testing.T) {
+	// Constant series: all statistics equal the constant.
+	s := Throughput([]float64{5, 5, 5, 5})
+	if s.Sustained != 5 || s.Lo != 5 || s.Hi != 5 || s.Mean != 5 || s.Steps != 4 {
+		t.Fatalf("constant stats: %+v", s)
+	}
+	// Known series 1..100: median 50.5, p16 ≈ 16.84, p84 ≈ 84.16.
+	series := make([]float64, 100)
+	for i := range series {
+		series[i] = float64(i + 1)
+	}
+	st := Throughput(series)
+	if math.Abs(st.Sustained-50.5) > 1e-9 {
+		t.Fatalf("median = %g", st.Sustained)
+	}
+	if st.Lo < 15.5 || st.Lo > 18 || st.Hi < 83 || st.Hi > 85.5 {
+		t.Fatalf("CI = [%g, %g]", st.Lo, st.Hi)
+	}
+	if st.Lo >= st.Sustained || st.Hi <= st.Sustained {
+		t.Fatal("CI must bracket the median")
+	}
+	// Outlier robustness: one slow step barely moves the median.
+	withOutlier := append(append([]float64{}, series...), 0.001)
+	st2 := Throughput(withOutlier)
+	if math.Abs(st2.Sustained-50) > 1 {
+		t.Fatalf("median with outlier = %g", st2.Sustained)
+	}
+	// Empty and singleton.
+	if Throughput(nil).Steps != 0 {
+		t.Fatal("empty series")
+	}
+	if one := Throughput([]float64{7}); one.Sustained != 7 || one.Lo != 7 {
+		t.Fatal("singleton series")
+	}
+}
+
+func TestParallelEfficiencyAndFLOPRate(t *testing.T) {
+	// 90.7% efficiency example from the paper's abstract.
+	if e := ParallelEfficiency(0.907*27360*2.67, 2.67, 27360); math.Abs(e-0.907) > 1e-9 {
+		t.Fatalf("efficiency = %g", e)
+	}
+	if ParallelEfficiency(1, 0, 5) != 0 {
+		t.Fatal("zero baseline should give 0")
+	}
+	// Section VI conversion: 2.67 samples/s × 14.41 TF/sample ≈ 38.5 TF/s
+	// (the paper's single-GPU FP16 DeepLabv3+ row).
+	rate := FLOPRate(2.67, 14.41e12)
+	if rate < 38.0e12 || rate > 39.0e12 {
+		t.Fatalf("FLOP rate = %g", rate)
+	}
+}

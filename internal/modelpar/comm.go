@@ -1,0 +1,72 @@
+package modelpar
+
+import (
+	"repro/internal/mpi"
+)
+
+// Comm is the communication slice modelpar needs. It is satisfied by a
+// whole world (World) or by a subgroup of ranks (NewGroup), which is what
+// lets spatial decomposition compose with data parallelism: each data
+// replica runs the same halo-exchange code over its own spatial group.
+type Comm interface {
+	// Rank returns this rank's index within the group.
+	Rank() int
+	// Size returns the group size.
+	Size() int
+	// Send transmits to the group rank dst.
+	Send(dst, tag int, data []float32)
+	// Recv blocks for a message from the group rank src.
+	Recv(src, tag int) []float32
+	// Allreduce sums data in place across the group.
+	Allreduce(data []float32)
+}
+
+// worldComm adapts a full mpi.Comm as a Comm.
+type worldComm struct{ c *mpi.Comm }
+
+// World wraps an mpi rank endpoint so the whole world acts as one spatial
+// group.
+func World(c *mpi.Comm) Comm { return worldComm{c} }
+
+func (w worldComm) Rank() int                         { return w.c.Rank() }
+func (w worldComm) Size() int                         { return w.c.Size() }
+func (w worldComm) Send(dst, tag int, data []float32) { w.c.Send(dst, tag, data) }
+func (w worldComm) Recv(src, tag int) []float32       { return w.c.Recv(src, tag) }
+func (w worldComm) Allreduce(data []float32)          { w.c.Allreduce(data, mpi.RecursiveDoubling) }
+
+// groupComm restricts communication to an ordered subset of world ranks.
+type groupComm struct {
+	c     *mpi.Comm
+	ranks []int // world ranks, group order
+	me    int   // my index in ranks
+}
+
+// NewGroup builds a Comm over the given world ranks (which must contain the
+// caller). Group rank i corresponds to world rank ranks[i].
+func NewGroup(c *mpi.Comm, ranks []int) Comm {
+	me := -1
+	for i, r := range ranks {
+		if r == c.Rank() {
+			me = i
+		}
+	}
+	if me < 0 {
+		panic("modelpar: calling rank not in group")
+	}
+	return groupComm{c: c, ranks: append([]int(nil), ranks...), me: me}
+}
+
+func (g groupComm) Rank() int { return g.me }
+func (g groupComm) Size() int { return len(g.ranks) }
+
+func (g groupComm) Send(dst, tag int, data []float32) {
+	g.c.Send(g.ranks[dst], tag, data)
+}
+
+func (g groupComm) Recv(src, tag int) []float32 {
+	return g.c.Recv(g.ranks[src], tag)
+}
+
+func (g groupComm) Allreduce(data []float32) {
+	g.c.AllreduceGroup(data, g.ranks)
+}

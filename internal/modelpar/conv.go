@@ -1,0 +1,211 @@
+package modelpar
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// ConvSpec describes a SAME, stride-1 (optionally atrous) convolution to run
+// under spatial decomposition. Stride-1 SAME layers keep every rank's output
+// slab aligned with its input slab, so one plan serves a whole stack of
+// layers — the property that makes spatial decomposition attractive for the
+// paper's full-resolution decoder.
+type ConvSpec struct {
+	Dilation int
+}
+
+// geom builds the slab-local geometry: full SAME padding in width, no height
+// padding (the halo rows substitute for it).
+func (cs ConvSpec) geom(extH, w int, ws tensor.Shape) tensor.ConvGeom {
+	d := cs.Dilation
+	return tensor.ConvGeom{
+		InH: extH, InW: w,
+		KH: ws[2], KW: ws[3],
+		StrideH: 1, StrideW: 1,
+		PadH: 0, PadW: HaloRadius(ws[3], d),
+		DilH: d, DilW: d,
+	}
+}
+
+// Forward computes this rank's output slab of the convolution: the halo
+// exchange extends the local input slab, then a slab-local im2col+GEMM
+// produces exactly the rows a serial SAME convolution would produce for
+// this rank's range. local is [N, Cin, localH, W], w is [Cout, Cin, KH, KW].
+func (cs ConvSpec) Forward(c Comm, p *Plan, local, w *tensor.Tensor) *tensor.Tensor {
+	ls, ws := local.Shape(), w.Shape()
+	if ls[1] != ws[1] {
+		panic(fmt.Sprintf("modelpar: conv channel mismatch input %d weight %d", ls[1], ws[1]))
+	}
+	halo := HaloRadius(ws[2], cs.Dilation)
+	ext := ExchangeHalos(c, p, local, halo)
+
+	n, cin := ls[0], ls[1]
+	cout := ws[0]
+	es := ext.Shape()
+	g := cs.geom(es[2], es[3], ws)
+	oh, ow := g.OutH(), g.OutW()
+	if oh != ls[2] || ow != ls[3] {
+		panic(fmt.Sprintf("modelpar: slab conv produced %dx%d, want %dx%d", oh, ow, ls[2], ls[3]))
+	}
+	cols := oh * ow
+	k := cin * g.KH * g.KW
+
+	out := tensor.New(tensor.NCHW(n, cout, oh, ow))
+	col := make([]float32, k*cols)
+	extSize := cin * es[2] * es[3]
+	for b := 0; b < n; b++ {
+		tensor.Im2col(ext.Data()[b*extSize:(b+1)*extSize], cin, g, col)
+		tensor.Gemm(false, false, cout, cols, k, 1, w.Data(), k, col, cols,
+			0, out.Data()[b*cout*cols:], cols)
+	}
+	return out
+}
+
+// Backward computes this rank's slab of the input gradient and the full
+// weight gradient. The weight gradient is a partial sum over this rank's
+// output rows, completed with an all-reduce across the spatial group; the
+// input gradient spills into halo rows that are sent back to the owning
+// neighbours and accumulated (the adjoint of the forward halo exchange).
+func (cs ConvSpec) Backward(c Comm, p *Plan, local, w, gradOut *tensor.Tensor) (gradX, gradW *tensor.Tensor) {
+	ls, ws := local.Shape(), w.Shape()
+	n, cin := ls[0], ls[1]
+	cout := ws[0]
+	halo := HaloRadius(ws[2], cs.Dilation)
+	ext := ExchangeHalos(c, p, local, halo)
+	es := ext.Shape()
+	g := cs.geom(es[2], es[3], ws)
+	oh, ow := g.OutH(), g.OutW()
+	cols := oh * ow
+	k := cin * g.KH * g.KW
+	extSize := cin * es[2] * es[3]
+
+	gradExt := tensor.New(es)
+	gradW = tensor.New(ws)
+	col := make([]float32, k*cols)
+	for b := 0; b < n; b++ {
+		gOut := gradOut.Data()[b*cout*cols : (b+1)*cout*cols]
+		// Partial weight gradient from this slab's rows.
+		tensor.Im2col(ext.Data()[b*extSize:(b+1)*extSize], cin, g, col)
+		tensor.Gemm(false, true, cout, k, cols, 1, gOut, cols, col, cols, 1, gradW.Data(), k)
+		// Extended-slab input gradient (includes halo spill).
+		tensor.Gemm(true, false, k, cols, cout, 1, w.Data(), k, gOut, cols, 0, col, cols)
+		tensor.Col2im(col, cin, g, gradExt.Data()[b*extSize:(b+1)*extSize])
+	}
+
+	// Complete the weight gradient across the spatial group.
+	c.Allreduce(gradW.Data())
+
+	// Return halo spill to the neighbours that own those rows and fold in
+	// the spill they send us.
+	gradX = accumulateHaloSpill(c, p, gradExt, halo, n, cin, ls[2], ls[3])
+	return gradX, gradW
+}
+
+// tagSpill carries gradient contributions back to the rank that owns the
+// rows. Any (sender, receiver) pair exchanges at most one spill piece per
+// call — a sender's halo windows sit strictly above and below its slab, so
+// only one of them can intersect another rank's contiguous range — which
+// makes a single tag sufficient.
+const tagSpill = 9 << 16
+
+// accumulateHaloSpill extracts the interior of an extended-slab gradient,
+// returns the halo-row gradients to the ranks that own those rows (possibly
+// several ranks deep on each side), and adds the contributions received
+// from every rank whose extended slab overlapped this one — the exact
+// adjoint of ExchangeHalos.
+func accumulateHaloSpill(c Comm, p *Plan, gradExt *tensor.Tensor, halo, n, ch, lh, w int) *tensor.Tensor {
+	if halo == 0 {
+		return gradExt
+	}
+	rank := c.Rank()
+	extH := lh + 2*halo
+	myLo, myHi := p.Ranges[rank].Lo, p.Ranges[rank].Hi
+	grad := tensor.New(tensor.NCHW(n, ch, lh, w))
+	copyRows(grad, gradExt, 0, halo, lh, w, n, ch, lh, extH)
+
+	// Send each owner its slice of my halo windows.
+	for _, piece := range haloPieces(p, myLo-halo, myLo) {
+		c.Send(piece.owner, tagSpill,
+			packRows(gradExt, piece.lo-(myLo-halo), piece.hi-piece.lo, w, n, ch, extH))
+	}
+	for _, piece := range haloPieces(p, myHi, myHi+halo) {
+		c.Send(piece.owner, tagSpill,
+			packRows(gradExt, piece.lo-(myLo-halo), piece.hi-piece.lo, w, n, ch, extH))
+	}
+	// Accumulate the spill arriving from every rank whose halo windows
+	// cover part of my slab (the mirror of the sends above).
+	for r := 0; r < p.Ranks; r++ {
+		if r == rank {
+			continue
+		}
+		for _, win := range [][2]int{
+			{p.Ranges[r].Lo - halo, p.Ranges[r].Lo},
+			{p.Ranges[r].Hi, p.Ranges[r].Hi + halo},
+		} {
+			lo := max(win[0], myLo)
+			hi := min(win[1], myHi)
+			if lo < hi {
+				spill := c.Recv(r, tagSpill)
+				addRows(grad, spill, lo-myLo, hi-lo, w, n, ch, lh)
+			}
+		}
+	}
+	return grad
+}
+
+// addRows accumulates a packRows buffer into rows [lo, lo+rows) of t.
+func addRows(t *tensor.Tensor, buf []float32, lo, rows, w, n, ch, h int) {
+	d := t.Data()
+	idx := 0
+	for b := 0; b < n; b++ {
+		for c := 0; c < ch; c++ {
+			off := (b*ch+c)*h*w + lo*w
+			for i := 0; i < rows*w; i++ {
+				d[off+i] += buf[idx]
+				idx++
+			}
+		}
+	}
+}
+
+// Layer is one stage of a model-parallel stack: a convolution followed by
+// an optional ReLU. Point-wise activations need no halo traffic.
+type Layer struct {
+	Weights *tensor.Tensor // [Cout, Cin, KH, KW]
+	Spec    ConvSpec
+	ReLU    bool
+}
+
+// StackForward runs a sequence of layers over a rank's slab, exchanging
+// halos before every convolution. It returns the final local slab.
+func StackForward(c Comm, p *Plan, local *tensor.Tensor, layers []Layer) *tensor.Tensor {
+	x := local
+	for _, l := range layers {
+		x = l.Spec.Forward(c, p, x, l.Weights)
+		if l.ReLU {
+			x = tensor.ReLU(x)
+		}
+	}
+	return x
+}
+
+// HaloBytes returns the bytes one rank exchanges per forward pass of the
+// stack (two directions, except at the group edges), for comparison with
+// the data-parallel gradient all-reduce volume.
+func HaloBytes(p *Plan, rank, n, w int, layers []Layer) int {
+	neighbours := 2
+	if rank == 0 {
+		neighbours--
+	}
+	if rank == p.Ranks-1 {
+		neighbours--
+	}
+	total := 0
+	for _, l := range layers {
+		ws := l.Weights.Shape()
+		halo := HaloRadius(ws[2], l.Spec.Dilation)
+		total += neighbours * n * ws[1] * halo * w * 4
+	}
+	return total
+}

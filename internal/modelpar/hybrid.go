@@ -1,0 +1,96 @@
+package modelpar
+
+import (
+	"fmt"
+
+	"repro/internal/mpi"
+	"repro/internal/tensor"
+)
+
+// HybridPlan composes the two parallelism axes the paper's Section VIII
+// anticipates running together: ranks form a dataGroups × spatialWays grid.
+// Each data group holds one model replica split spatially over its
+// spatialWays ranks (halo exchange on NVLink-class links); gradients then
+// average across data groups (all-reduce on the inter-node fabric), exactly
+// the "model as well as data parallelism" execution the paper projects for
+// temporally-evolved storm architectures.
+//
+// Rank layout: worldRank = dataGroup·spatialWays + spatialRank, so a data
+// group's spatial ranks are contiguous — on a Summit-like fabric they share
+// a node and halo traffic stays on NVLink.
+type HybridPlan struct {
+	Spatial     *Plan
+	DataGroups  int
+	SpatialWays int
+}
+
+// NewHybridPlan decomposes height h over spatialWays ranks within each of
+// dataGroups replicas.
+func NewHybridPlan(h, dataGroups, spatialWays int) (*HybridPlan, error) {
+	if dataGroups < 1 {
+		return nil, fmt.Errorf("modelpar: %d data groups", dataGroups)
+	}
+	sp, err := NewPlan(h, spatialWays)
+	if err != nil {
+		return nil, err
+	}
+	return &HybridPlan{Spatial: sp, DataGroups: dataGroups, SpatialWays: spatialWays}, nil
+}
+
+// Size returns the total rank count the plan expects.
+func (hp *HybridPlan) Size() int { return hp.DataGroups * hp.SpatialWays }
+
+// DataGroup returns the data-replica index of a world rank.
+func (hp *HybridPlan) DataGroup(rank int) int { return rank / hp.SpatialWays }
+
+// SpatialRank returns a world rank's position within its spatial group.
+func (hp *HybridPlan) SpatialRank(rank int) int { return rank % hp.SpatialWays }
+
+// SpatialComm returns the caller's spatial group: the ranks that jointly
+// hold one model replica and exchange halos.
+func (hp *HybridPlan) SpatialComm(c *mpi.Comm) Comm {
+	hp.check(c)
+	g := hp.DataGroup(c.Rank())
+	ranks := make([]int, hp.SpatialWays)
+	for i := range ranks {
+		ranks[i] = g*hp.SpatialWays + i
+	}
+	return NewGroup(c, ranks)
+}
+
+// DataComm returns the caller's cross-replica group: the ranks holding the
+// same spatial slab in every data group, across which gradients average.
+func (hp *HybridPlan) DataComm(c *mpi.Comm) Comm {
+	hp.check(c)
+	s := hp.SpatialRank(c.Rank())
+	ranks := make([]int, hp.DataGroups)
+	for i := range ranks {
+		ranks[i] = i*hp.SpatialWays + s
+	}
+	return NewGroup(c, ranks)
+}
+
+func (hp *HybridPlan) check(c *mpi.Comm) {
+	if c.Size() != hp.Size() {
+		panic(fmt.Sprintf("modelpar: world size %d != plan %d×%d",
+			c.Size(), hp.DataGroups, hp.SpatialWays))
+	}
+}
+
+// ConvForward computes the caller's output slab of its data group's sample.
+// Halo traffic stays within the spatial group.
+func (hp *HybridPlan) ConvForward(c *mpi.Comm, spec ConvSpec, localX, w *tensor.Tensor) *tensor.Tensor {
+	return spec.Forward(hp.SpatialComm(c), hp.Spatial, localX, w)
+}
+
+// ConvBackward runs the full hybrid gradient step for one convolution:
+// slab-local adjoints, weight-gradient completion across the spatial group
+// (inside Backward), then averaging across data groups. Every rank returns
+// its slab of the input gradient and the identical globally-averaged weight
+// gradient — the data-parallel invariant, now per slab.
+func (hp *HybridPlan) ConvBackward(c *mpi.Comm, spec ConvSpec, localX, w, gradOut *tensor.Tensor) (gradX, gradW *tensor.Tensor) {
+	gradX, gradW = spec.Backward(hp.SpatialComm(c), hp.Spatial, localX, w, gradOut)
+	hp.DataComm(c).Allreduce(gradW.Data())
+	tensor.Scale(1/float32(hp.DataGroups), gradW.Data())
+	return gradX, gradW
+}

@@ -1,0 +1,178 @@
+package modelpar
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/mpi"
+	"repro/internal/nn"
+	"repro/internal/simnet"
+	"repro/internal/tensor"
+)
+
+func TestHybridPlanLayout(t *testing.T) {
+	hp, err := NewHybridPlan(8, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hp.Size() != 6 {
+		t.Fatalf("size %d, want 6", hp.Size())
+	}
+	// Rank 5 = data group 2, spatial rank 1.
+	if hp.DataGroup(5) != 2 || hp.SpatialRank(5) != 1 {
+		t.Errorf("rank 5 placed at (%d,%d), want (2,1)", hp.DataGroup(5), hp.SpatialRank(5))
+	}
+	if hp.DataGroup(0) != 0 || hp.SpatialRank(0) != 0 {
+		t.Errorf("rank 0 misplaced")
+	}
+}
+
+func TestHybridPlanErrors(t *testing.T) {
+	if _, err := NewHybridPlan(8, 0, 2); err == nil {
+		t.Error("zero data groups should fail")
+	}
+	if _, err := NewHybridPlan(1, 2, 2); err == nil {
+		t.Error("height below spatial ways should fail")
+	}
+}
+
+// TestHybridForwardBackwardMatchesSerial is the full Section VIII story on
+// 4 ranks: 2 data replicas × 2 spatial slabs. Each replica convolves its
+// own sample; forward slabs must match the serial conv of that sample, the
+// input-gradient slabs must match the serial adjoint, and the weight
+// gradient on EVERY rank must equal the average of the two replicas' serial
+// weight gradients.
+func TestHybridForwardBackwardMatchesSerial(t *testing.T) {
+	const h, w, cin, cout, kh = 10, 6, 2, 3, 3
+	rng := rand.New(rand.NewSource(77))
+	weights := tensor.RandNormal(tensor.Shape{cout, cin, kh, kh}, 0, 0.5, rng)
+	samples := []*tensor.Tensor{
+		tensor.RandNormal(tensor.NCHW(1, cin, h, w), 0, 1, rng),
+		tensor.RandNormal(tensor.NCHW(1, cin, h, w), 0, 1, rng),
+	}
+	gradOuts := []*tensor.Tensor{
+		tensor.RandNormal(tensor.NCHW(1, cout, h, w), 0, 1, rng),
+		tensor.RandNormal(tensor.NCHW(1, cout, h, w), 0, 1, rng),
+	}
+
+	// Serial references per replica.
+	conv := nn.NewConv2D(1, HaloRadius(kh, 1), 1)
+	wantOut := make([]*tensor.Tensor, 2)
+	wantGX := make([]*tensor.Tensor, 2)
+	wantGW := tensor.New(weights.Shape())
+	for g := 0; g < 2; g++ {
+		wantOut[g] = conv.Forward([]*tensor.Tensor{samples[g], weights})
+		ref := conv.Backward([]*tensor.Tensor{samples[g], weights}, wantOut[g], gradOuts[g])
+		wantGX[g] = ref[0]
+		for i, v := range ref[1].Data() {
+			wantGW.Data()[i] += v / 2 // average over the 2 replicas
+		}
+	}
+
+	hp, err := NewHybridPlan(h, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotOut := make([]*tensor.Tensor, 2)
+	gotGX := make([]*tensor.Tensor, 2)
+	gotGW := make([]*tensor.Tensor, 4)
+	world := mpi.NewWorld(simnet.NewTwoLevelFabric(2, 2,
+		simnet.LinkSpec{LatencySec: 1e-6, BytesPerSec: 150e9},
+		simnet.LinkSpec{LatencySec: 1.5e-6, BytesPerSec: 12.5e9}))
+	world.Run(func(c *mpi.Comm) {
+		g := hp.DataGroup(c.Rank())
+		sc := hp.SpatialComm(c)
+		// The spatial root of each group scatters that group's sample.
+		var in, gOut *tensor.Tensor
+		if sc.Rank() == 0 {
+			in, gOut = samples[g], gradOuts[g]
+		}
+		localX := Scatter(sc, hp.Spatial, 0, in)
+		localGOut := Scatter(sc, hp.Spatial, 0, gOut)
+
+		out := hp.ConvForward(c, ConvSpec{Dilation: 1}, localX, weights)
+		gx, gw := hp.ConvBackward(c, ConvSpec{Dilation: 1}, localX, weights, localGOut)
+		gotGW[c.Rank()] = gw
+
+		if full := Gather(sc, hp.Spatial, 0, out); full != nil {
+			gotOut[g] = full
+		}
+		if full := Gather(sc, hp.Spatial, 0, gx); full != nil {
+			gotGX[g] = full
+		}
+	})
+
+	for g := 0; g < 2; g++ {
+		assertClose(t, wantOut[g], gotOut[g], 1e-5)
+		assertClose(t, wantGX[g], gotGX[g], 1e-4)
+	}
+	for r, gw := range gotGW {
+		if gw == nil {
+			t.Fatalf("rank %d missing weight gradient", r)
+		}
+		assertClose(t, wantGW, gw, 1e-4)
+	}
+}
+
+func TestHybridCommGroupsAreDisjointAndCorrect(t *testing.T) {
+	hp, err := NewHybridPlan(8, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Allreduce over SpatialComm must sum within replicas only; over
+	// DataComm within slots only. Encode rank identity and check sums.
+	spatialSums := make([]float32, 4)
+	dataSums := make([]float32, 4)
+	world := mpi.NewWorld(simnet.Loopback(4))
+	world.Run(func(c *mpi.Comm) {
+		buf := []float32{float32(c.Rank() + 1)}
+		hp.SpatialComm(c).Allreduce(buf)
+		spatialSums[c.Rank()] = buf[0]
+		buf = []float32{float32(c.Rank() + 1)}
+		hp.DataComm(c).Allreduce(buf)
+		dataSums[c.Rank()] = buf[0]
+	})
+	// Groups: {0,1} and {2,3} spatially; slots {0,2} and {1,3} across data.
+	wantSpatial := []float32{3, 3, 7, 7}
+	wantData := []float32{4, 6, 4, 6}
+	for r := 0; r < 4; r++ {
+		if spatialSums[r] != wantSpatial[r] {
+			t.Errorf("rank %d spatial sum %v, want %v", r, spatialSums[r], wantSpatial[r])
+		}
+		if dataSums[r] != wantData[r] {
+			t.Errorf("rank %d data sum %v, want %v", r, dataSums[r], wantData[r])
+		}
+	}
+}
+
+func TestHybridWorldSizeMismatchPanics(t *testing.T) {
+	hp, err := NewHybridPlan(8, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	world := mpi.NewWorld(simnet.Loopback(3))
+	panicked := make([]bool, 3)
+	world.Run(func(c *mpi.Comm) {
+		defer func() { panicked[c.Rank()] = recover() != nil }()
+		hp.SpatialComm(c)
+	})
+	for r, ok := range panicked {
+		if !ok {
+			t.Errorf("rank %d: expected panic on world/plan size mismatch", r)
+		}
+	}
+}
+
+func TestNewGroupRejectsOutsider(t *testing.T) {
+	world := mpi.NewWorld(simnet.Loopback(2))
+	panicked := make([]bool, 2)
+	world.Run(func(c *mpi.Comm) {
+		defer func() { panicked[c.Rank()] = recover() != nil }()
+		NewGroup(c, []int{c.Rank() ^ 1}) // a group not containing the caller
+	})
+	for r, ok := range panicked {
+		if !ok {
+			t.Errorf("rank %d: NewGroup accepted an outsider", r)
+		}
+	}
+}

@@ -1,0 +1,259 @@
+// Package modelpar implements the model-parallel execution scheme the
+// paper's Section VIII singles out as indispensable beyond pure data
+// parallelism: spatial domain decomposition. Activations are split across
+// ranks along the image height; every rank computes its slab of every
+// layer, and before each convolution the ranks exchange halo rows with
+// their neighbours so slab-local convolutions produce exactly the rows a
+// serial convolution would. Point-wise layers need no communication;
+// convolution weight gradients are partial sums that all-reduce across the
+// spatial group.
+//
+// The package is functional, not analytic: slabs are real tensors, halos
+// move through internal/mpi over a simnet fabric, and distributed results
+// are bit-comparable with the serial nn.Conv2D kernels (see the tests).
+// The analytic counterpart used for at-scale projection lives in
+// internal/perfmodel (ModelParallelConfig).
+package modelpar
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// Tag namespace for halo traffic; stays clear of the mpi collective tags.
+// Messages are matched by (sender, tag), so two constant tags — one per
+// destination window — suffice even when a deep halo pulls rows from
+// several ranks on the same side.
+const (
+	tagTopFill    = 5 << 16 // rows destined for the receiver's top halo window
+	tagBottomFill = 6 << 16 // rows destined for the receiver's bottom halo window
+)
+
+// Range is a half-open row interval [Lo, Hi) of the global image height.
+type Range struct {
+	Lo, Hi int
+}
+
+// Len returns the number of rows in the range.
+func (r Range) Len() int { return r.Hi - r.Lo }
+
+// Plan fixes how a global height decomposes over a spatial group of ranks.
+// All ranks of the group must construct identical plans (same h, ranks).
+type Plan struct {
+	H      int // global image height
+	Ranks  int
+	Ranges []Range // one contiguous slab per rank, in rank order
+}
+
+// NewPlan splits h rows over ranks slabs, balanced to within one row
+// (remainder rows go to the lowest ranks, matching block distribution).
+func NewPlan(h, ranks int) (*Plan, error) {
+	if ranks < 1 {
+		return nil, fmt.Errorf("modelpar: %d ranks", ranks)
+	}
+	if h < ranks {
+		return nil, fmt.Errorf("modelpar: cannot split %d rows over %d ranks", h, ranks)
+	}
+	p := &Plan{H: h, Ranks: ranks, Ranges: make([]Range, ranks)}
+	base, rem := h/ranks, h%ranks
+	lo := 0
+	for r := 0; r < ranks; r++ {
+		n := base
+		if r < rem {
+			n++
+		}
+		p.Ranges[r] = Range{Lo: lo, Hi: lo + n}
+		lo += n
+	}
+	return p, nil
+}
+
+// LocalRows returns rank's slab height.
+func (p *Plan) LocalRows(rank int) int { return p.Ranges[rank].Len() }
+
+// HaloRadius returns the number of extra rows a SAME, stride-1 convolution
+// with the given kernel height and dilation needs on each side of a slab.
+func HaloRadius(kh, dilation int) int {
+	if kh < 1 || dilation < 1 {
+		panic(fmt.Sprintf("modelpar: bad kernel geometry kh=%d dil=%d", kh, dilation))
+	}
+	return dilation * (kh - 1) / 2
+}
+
+// haloPieces enumerates, for a destination rank's top or bottom halo
+// window, the (owner, global row interval) pieces that fill it. Rows
+// beyond the global image boundary have no owner (they stay zero).
+func haloPieces(p *Plan, winLo, winHi int) []struct{ owner, lo, hi int } {
+	var out []struct{ owner, lo, hi int }
+	for r := 0; r < p.Ranks; r++ {
+		lo := max(winLo, p.Ranges[r].Lo)
+		hi := min(winHi, p.Ranges[r].Hi)
+		if lo < hi {
+			out = append(out, struct{ owner, lo, hi int }{r, lo, hi})
+		}
+	}
+	return out
+}
+
+// ExchangeHalos returns rank c.Rank()'s slab extended by halo rows above
+// and below, filled from the owning ranks' rows. A halo deeper than a
+// neighbour's slab pulls rows from several ranks on that side (the regime
+// of strongly atrous layers on fine decompositions). Rows beyond the
+// global image boundary are zero, so a convolution over the extended slab
+// with no height padding reproduces SAME zero padding exactly.
+//
+// local must have shape [N, C, localH, W] where localH matches the plan.
+// A zero halo returns local unchanged.
+func ExchangeHalos(c Comm, p *Plan, local *tensor.Tensor, halo int) *tensor.Tensor {
+	if halo == 0 {
+		return local
+	}
+	if halo < 0 {
+		panic("modelpar: negative halo")
+	}
+	rank := c.Rank()
+	ls := local.Shape()
+	n, ch, lh, w := ls[0], ls[1], ls[2], ls[3]
+	if lh != p.LocalRows(rank) {
+		panic(fmt.Sprintf("modelpar: slab has %d rows, plan expects %d", lh, p.LocalRows(rank)))
+	}
+	myLo := p.Ranges[rank].Lo
+
+	ext := tensor.New(tensor.NCHW(n, ch, lh+2*halo, w))
+	extH := lh + 2*halo
+	// Interior copy: global row g lands at ext row g−myLo+halo.
+	copyRows(ext, local, halo, 0, lh, w, n, ch, extH, lh)
+
+	// Post all sends first (sends never block in this MPI), then receive.
+	// For every other rank, ship the slices of my slab that fall inside its
+	// two halo windows.
+	for r := 0; r < p.Ranks; r++ {
+		if r == rank {
+			continue
+		}
+		for _, win := range []struct{ lo, hi, tag int }{
+			{p.Ranges[r].Lo - halo, p.Ranges[r].Lo, tagTopFill},
+			{p.Ranges[r].Hi, p.Ranges[r].Hi + halo, tagBottomFill},
+		} {
+			lo := max(win.lo, p.Ranges[rank].Lo)
+			hi := min(win.hi, p.Ranges[rank].Hi)
+			if lo < hi {
+				c.Send(r, win.tag, packRows(local, lo-myLo, hi-lo, w, n, ch, lh))
+			}
+		}
+	}
+	// Receive my own windows from their owners, in deterministic order.
+	for _, piece := range haloPieces(p, myLo-halo, myLo) {
+		buf := c.Recv(piece.owner, tagTopFill)
+		unpackRows(ext, buf, piece.lo-(myLo-halo), piece.hi-piece.lo, w, n, ch, extH)
+	}
+	myHi := p.Ranges[rank].Hi
+	for _, piece := range haloPieces(p, myHi, myHi+halo) {
+		buf := c.Recv(piece.owner, tagBottomFill)
+		unpackRows(ext, buf, piece.lo-(myLo-halo), piece.hi-piece.lo, w, n, ch, extH)
+	}
+	return ext
+}
+
+// packRows flattens rows [lo, lo+rows) of every (n, c) plane of t
+// ([N,C,H,W]) into one contiguous buffer ordered [N, C, rows, W].
+func packRows(t *tensor.Tensor, lo, rows, w, n, ch, h int) []float32 {
+	out := make([]float32, n*ch*rows*w)
+	d := t.Data()
+	idx := 0
+	for b := 0; b < n; b++ {
+		for c := 0; c < ch; c++ {
+			planeOff := (b*ch + c) * h * w
+			copy(out[idx:idx+rows*w], d[planeOff+lo*w:planeOff+(lo+rows)*w])
+			idx += rows * w
+		}
+	}
+	return out
+}
+
+// unpackRows scatters a packRows buffer into rows [lo, lo+rows) of ext.
+func unpackRows(ext *tensor.Tensor, buf []float32, lo, rows, w, n, ch, h int) {
+	d := ext.Data()
+	idx := 0
+	for b := 0; b < n; b++ {
+		for c := 0; c < ch; c++ {
+			planeOff := (b*ch + c) * h * w
+			copy(d[planeOff+lo*w:planeOff+(lo+rows)*w], buf[idx:idx+rows*w])
+			idx += rows * w
+		}
+	}
+}
+
+// copyRows copies srcRows rows starting at srcLo from src into dst at dstLo,
+// per (n, c) plane. dstH and srcH are the plane heights of dst and src.
+func copyRows(dst, src *tensor.Tensor, dstLo, srcLo, srcRows, w, n, ch, dstH, srcH int) {
+	dd, sd := dst.Data(), src.Data()
+	for b := 0; b < n; b++ {
+		for c := 0; c < ch; c++ {
+			dOff := (b*ch+c)*dstH*w + dstLo*w
+			sOff := (b*ch+c)*srcH*w + srcLo*w
+			copy(dd[dOff:dOff+srcRows*w], sd[sOff:sOff+srcRows*w])
+		}
+	}
+}
+
+// Scatter splits a full tensor [N, C, H, W] held by root into plan slabs,
+// delivering each rank its [N, C, localH, W] piece. Every rank calls it;
+// non-roots pass nil for full.
+func Scatter(c Comm, p *Plan, root int, full *tensor.Tensor) *tensor.Tensor {
+	const tag = 7 << 16
+	rank := c.Rank()
+	if rank == root {
+		fs := full.Shape()
+		n, ch, h, w := fs[0], fs[1], fs[2], fs[3]
+		if h != p.H {
+			panic(fmt.Sprintf("modelpar: tensor height %d != plan height %d", h, p.H))
+		}
+		var mine *tensor.Tensor
+		for r := 0; r < p.Ranks; r++ {
+			rg := p.Ranges[r]
+			buf := packRows(full, rg.Lo, rg.Len(), w, n, ch, h)
+			if r == root {
+				mine = tensor.FromSlice(tensor.NCHW(n, ch, rg.Len(), w), buf)
+				continue
+			}
+			// First message carries the shape header, then the payload.
+			c.Send(r, tag, []float32{float32(n), float32(ch), float32(rg.Len()), float32(w)})
+			c.Send(r, tag+1, buf)
+		}
+		return mine
+	}
+	hdr := c.Recv(root, tag)
+	n, ch, lh, w := int(hdr[0]), int(hdr[1]), int(hdr[2]), int(hdr[3])
+	buf := c.Recv(root, tag+1)
+	return tensor.FromSlice(tensor.NCHW(n, ch, lh, w), buf)
+}
+
+// Gather reassembles plan slabs into the full tensor at root (nil
+// elsewhere). The inverse of Scatter.
+func Gather(c Comm, p *Plan, root int, local *tensor.Tensor) *tensor.Tensor {
+	const tag = 8 << 16
+	rank := c.Rank()
+	ls := local.Shape()
+	n, ch, lh, w := ls[0], ls[1], ls[2], ls[3]
+	if lh != p.LocalRows(rank) {
+		panic(fmt.Sprintf("modelpar: gather slab %d rows, plan expects %d", lh, p.LocalRows(rank)))
+	}
+	if rank != root {
+		c.Send(root, tag+rank, local.Data())
+		return nil
+	}
+	full := tensor.New(tensor.NCHW(n, ch, p.H, w))
+	for r := 0; r < p.Ranks; r++ {
+		rg := p.Ranges[r]
+		var buf []float32
+		if r == root {
+			buf = local.Data()
+		} else {
+			buf = c.Recv(r, tag+r)
+		}
+		unpackRows(full, buf, rg.Lo, rg.Len(), w, n, ch, p.H)
+	}
+	return full
+}

@@ -1,0 +1,472 @@
+package modelpar
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mpi"
+	"repro/internal/nn"
+	"repro/internal/simnet"
+	"repro/internal/tensor"
+)
+
+func TestNewPlanBalancedPartition(t *testing.T) {
+	for _, tc := range []struct{ h, ranks int }{
+		{8, 1}, {8, 2}, {9, 2}, {10, 3}, {7, 7}, {768, 6}, {100, 3},
+	} {
+		p, err := NewPlan(tc.h, tc.ranks)
+		if err != nil {
+			t.Fatalf("NewPlan(%d,%d): %v", tc.h, tc.ranks, err)
+		}
+		covered := 0
+		for r, rg := range p.Ranges {
+			if rg.Len() < tc.h/tc.ranks || rg.Len() > tc.h/tc.ranks+1 {
+				t.Errorf("h=%d ranks=%d: rank %d slab %d rows, want balanced", tc.h, tc.ranks, r, rg.Len())
+			}
+			if rg.Lo != covered {
+				t.Errorf("h=%d ranks=%d: rank %d starts at %d, want %d", tc.h, tc.ranks, r, rg.Lo, covered)
+			}
+			covered = rg.Hi
+		}
+		if covered != tc.h {
+			t.Errorf("h=%d ranks=%d: ranges cover %d rows", tc.h, tc.ranks, covered)
+		}
+	}
+}
+
+func TestNewPlanErrors(t *testing.T) {
+	if _, err := NewPlan(3, 4); err == nil {
+		t.Error("NewPlan(3,4) should fail: more ranks than rows")
+	}
+	if _, err := NewPlan(8, 0); err == nil {
+		t.Error("NewPlan(8,0) should fail")
+	}
+}
+
+func TestPlanPartitionProperty(t *testing.T) {
+	// Property: for any valid (h, ranks), ranges tile [0, h) exactly.
+	f := func(h16, r8 uint8) bool {
+		ranks := int(r8)%6 + 1
+		h := ranks + int(h16)%100
+		p, err := NewPlan(h, ranks)
+		if err != nil {
+			return false
+		}
+		covered := 0
+		for _, rg := range p.Ranges {
+			if rg.Lo != covered || rg.Hi <= rg.Lo {
+				return false
+			}
+			covered = rg.Hi
+		}
+		return covered == h
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHaloRadius(t *testing.T) {
+	for _, tc := range []struct{ kh, dil, want int }{
+		{1, 1, 0}, {3, 1, 1}, {5, 1, 2}, {7, 1, 3},
+		{3, 2, 2}, {3, 12, 12}, {3, 36, 36},
+	} {
+		if got := HaloRadius(tc.kh, tc.dil); got != tc.want {
+			t.Errorf("HaloRadius(%d,%d) = %d, want %d", tc.kh, tc.dil, got, tc.want)
+		}
+	}
+}
+
+func TestExchangeHalosFillsNeighbourRows(t *testing.T) {
+	// 4 ranks, 8 rows, halo 1. Fill each rank's slab with its rank id;
+	// after exchange the halo rows must hold the neighbour ids (or zero at
+	// the global boundary).
+	const ranks, h, w = 4, 8, 3
+	p, err := NewPlan(h, ranks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	world := mpi.NewWorld(simnet.Loopback(ranks))
+	errs := make([]string, ranks)
+	world.Run(func(c *mpi.Comm) {
+		r := c.Rank()
+		local := tensor.Full(tensor.NCHW(1, 1, p.LocalRows(r), w), float32(r+1))
+		ext := ExchangeHalos(World(c), p, local, 1)
+		wantTop := float32(0)
+		if r > 0 {
+			wantTop = float32(r)
+		}
+		wantBottom := float32(0)
+		if r < ranks-1 {
+			wantBottom = float32(r + 2)
+		}
+		eh := ext.Shape()[2]
+		for x := 0; x < w; x++ {
+			if ext.At(0, 0, 0, x) != wantTop {
+				errs[r] = "top halo wrong"
+			}
+			if ext.At(0, 0, eh-1, x) != wantBottom {
+				errs[r] = "bottom halo wrong"
+			}
+			if ext.At(0, 0, 1, x) != float32(r+1) {
+				errs[r] = "interior corrupted"
+			}
+		}
+	})
+	for r, e := range errs {
+		if e != "" {
+			t.Errorf("rank %d: %s", r, e)
+		}
+	}
+}
+
+func TestExchangeHalosZeroIsIdentity(t *testing.T) {
+	p, _ := NewPlan(4, 2)
+	world := mpi.NewWorld(simnet.Loopback(2))
+	world.Run(func(c *mpi.Comm) {
+		local := tensor.Full(tensor.NCHW(1, 1, 2, 2), 3)
+		if got := ExchangeHalos(World(c), p, local, 0); got != local {
+			panic("halo 0 must return the input unchanged")
+		}
+	})
+}
+
+// serialConv runs the reference nn.Conv2D with SAME padding.
+func serialConv(x, w *tensor.Tensor, dilation int) *tensor.Tensor {
+	pad := HaloRadius(w.Shape()[2], dilation)
+	conv := nn.NewConv2D(1, pad, dilation)
+	return conv.Forward([]*tensor.Tensor{x, w})
+}
+
+func distributedForward(t *testing.T, x, w *tensor.Tensor, dilation, ranks int) *tensor.Tensor {
+	t.Helper()
+	xs := x.Shape()
+	p, err := NewPlan(xs[2], ranks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var full *tensor.Tensor
+	world := mpi.NewWorld(simnet.Loopback(ranks))
+	world.Run(func(c *mpi.Comm) {
+		var input *tensor.Tensor
+		if c.Rank() == 0 {
+			input = x
+		}
+		local := Scatter(World(c), p, 0, input)
+		out := ConvSpec{Dilation: dilation}.Forward(World(c), p, local, w)
+		if g := Gather(World(c), p, 0, out); g != nil {
+			full = g
+		}
+	})
+	return full
+}
+
+func TestConvForwardMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, tc := range []struct {
+		name               string
+		n, cin, cout, h, w int
+		kh, dil, ranks     int
+	}{
+		{"3x3-2ranks", 1, 3, 4, 8, 6, 3, 1, 2},
+		{"3x3-4ranks", 2, 2, 3, 12, 5, 3, 1, 4},
+		{"5x5-3ranks", 1, 2, 2, 13, 7, 5, 1, 3},
+		{"atrous-d2", 1, 3, 2, 16, 6, 3, 2, 2},
+		{"atrous-d4", 1, 1, 1, 20, 4, 3, 4, 2},
+		{"1x1-nohalo", 1, 4, 8, 9, 5, 1, 1, 3},
+		{"uneven-slabs", 1, 2, 2, 11, 4, 3, 1, 3},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			x := tensor.RandNormal(tensor.NCHW(tc.n, tc.cin, tc.h, tc.w), 0, 1, rng)
+			w := tensor.RandNormal(tensor.Shape{tc.cout, tc.cin, tc.kh, tc.kh}, 0, 0.5, rng)
+			want := serialConv(x, w, tc.dil)
+			got := distributedForward(t, x, w, tc.dil, tc.ranks)
+			assertClose(t, want, got, 1e-5)
+		})
+	}
+}
+
+func TestConvForwardProperty(t *testing.T) {
+	// Property: distributed == serial for random small geometries.
+	rng := rand.New(rand.NewSource(23))
+	f := func(seed int64, hBits, rBits, kBits uint8) bool {
+		lr := rand.New(rand.NewSource(seed))
+		ranks := int(rBits)%3 + 2 // 2..4
+		kh := []int{1, 3, 5}[int(kBits)%3]
+		dil := 1
+		minH := ranks * HaloRadius(kh, dil)
+		if minH < ranks {
+			minH = ranks
+		}
+		h := minH + int(hBits)%8 + kh
+		x := tensor.RandNormal(tensor.NCHW(1, 2, h, 4), 0, 1, lr)
+		w := tensor.RandNormal(tensor.Shape{2, 2, kh, kh}, 0, 0.5, lr)
+		want := serialConv(x, w, dil)
+		got := distributedForward(t, x, w, dil, ranks)
+		return maxAbsDiff(want, got) < 1e-5
+	}
+	cfg := &quick.Config{MaxCount: 25, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConvBackwardMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for _, tc := range []struct {
+		n, cin, cout, h, w, kh, dil, ranks int
+	}{
+		{1, 2, 3, 10, 5, 3, 1, 2},
+		{1, 2, 2, 12, 4, 3, 2, 3},
+		{2, 1, 2, 9, 6, 5, 1, 2},
+	} {
+		x := tensor.RandNormal(tensor.NCHW(tc.n, tc.cin, tc.h, tc.w), 0, 1, rng)
+		w := tensor.RandNormal(tensor.Shape{tc.cout, tc.cin, tc.kh, tc.kh}, 0, 0.5, rng)
+		pad := HaloRadius(tc.kh, tc.dil)
+		conv := nn.NewConv2D(1, pad, tc.dil)
+		out := conv.Forward([]*tensor.Tensor{x, w})
+		gradOut := tensor.RandNormal(out.Shape(), 0, 1, rng)
+		ref := conv.Backward([]*tensor.Tensor{x, w}, out, gradOut)
+		wantGX, wantGW := ref[0], ref[1]
+
+		p, err := NewPlan(tc.h, tc.ranks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var gotGX *tensor.Tensor
+		gotGWs := make([]*tensor.Tensor, tc.ranks)
+		world := mpi.NewWorld(simnet.Loopback(tc.ranks))
+		world.Run(func(c *mpi.Comm) {
+			var in, go_ *tensor.Tensor
+			if c.Rank() == 0 {
+				in, go_ = x, gradOut
+			}
+			localX := Scatter(World(c), p, 0, in)
+			localG := Scatter(World(c), p, 0, go_)
+			gx, gw := ConvSpec{Dilation: tc.dil}.Backward(World(c), p, localX, w, localG)
+			gotGWs[c.Rank()] = gw
+			if g := Gather(World(c), p, 0, gx); g != nil {
+				gotGX = g
+			}
+		})
+		assertClose(t, wantGX, gotGX, 1e-4)
+		// Every rank must hold the identical completed weight gradient.
+		for r, gw := range gotGWs {
+			if gw == nil {
+				t.Fatalf("rank %d produced no weight gradient", r)
+			}
+			assertClose(t, wantGW, gw, 1e-4)
+			_ = r
+		}
+	}
+}
+
+func TestStackForwardMatchesSerial(t *testing.T) {
+	// Three-layer conv+ReLU stack, dilations 1,2,1 — checks halo re-exchange
+	// between layers and that point-wise ops need no communication.
+	rng := rand.New(rand.NewSource(47))
+	const h, w, ranks = 14, 6, 2
+	x := tensor.RandNormal(tensor.NCHW(1, 3, h, w), 0, 1, rng)
+	layers := []Layer{
+		{Weights: tensor.RandNormal(tensor.Shape{4, 3, 3, 3}, 0, 0.4, rng), Spec: ConvSpec{Dilation: 1}, ReLU: true},
+		{Weights: tensor.RandNormal(tensor.Shape{4, 4, 3, 3}, 0, 0.4, rng), Spec: ConvSpec{Dilation: 2}, ReLU: true},
+		{Weights: tensor.RandNormal(tensor.Shape{2, 4, 3, 3}, 0, 0.4, rng), Spec: ConvSpec{Dilation: 1}, ReLU: false},
+	}
+	want := x
+	for _, l := range layers {
+		want = serialConv(want, l.Weights, l.Spec.Dilation)
+		if l.ReLU {
+			want = tensor.ReLU(want)
+		}
+	}
+
+	p, err := NewPlan(h, ranks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got *tensor.Tensor
+	world := mpi.NewWorld(simnet.Loopback(ranks))
+	world.Run(func(c *mpi.Comm) {
+		var in *tensor.Tensor
+		if c.Rank() == 0 {
+			in = x
+		}
+		local := Scatter(World(c), p, 0, in)
+		out := StackForward(World(c), p, local, layers)
+		if g := Gather(World(c), p, 0, out); g != nil {
+			got = g
+		}
+	})
+	assertClose(t, want, got, 1e-4)
+}
+
+func TestScatterGatherRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	const ranks = 3
+	x := tensor.RandNormal(tensor.NCHW(2, 3, 10, 4), 0, 1, rng)
+	p, err := NewPlan(10, ranks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got *tensor.Tensor
+	world := mpi.NewWorld(simnet.Loopback(ranks))
+	world.Run(func(c *mpi.Comm) {
+		var in *tensor.Tensor
+		if c.Rank() == 0 {
+			in = x
+		}
+		local := Scatter(World(c), p, 0, in)
+		if g := Gather(World(c), p, 0, local); g != nil {
+			got = g
+		}
+	})
+	assertClose(t, x, got, 0)
+}
+
+func TestExchangeHalosDeeperThanSlab(t *testing.T) {
+	// A halo deeper than a neighbour's slab pulls rows from several ranks
+	// on each side. 4 ranks × 2 rows, halo 3: rank 1's extended slab must
+	// see rank 0's rows, both of rank 2's, one of rank 3's, and a zero row
+	// beyond the top boundary.
+	const ranks, h, w = 4, 8, 2
+	p, err := NewPlan(h, ranks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	world := mpi.NewWorld(simnet.Loopback(ranks))
+	exts := make([]*tensor.Tensor, ranks)
+	world.Run(func(c *mpi.Comm) {
+		r := c.Rank()
+		// Row value = global row index + 1 (0 marks the boundary fill).
+		local := tensor.New(tensor.NCHW(1, 1, 2, w))
+		for i := 0; i < 2; i++ {
+			for x := 0; x < w; x++ {
+				local.Set(float32(p.Ranges[r].Lo+i+1), 0, 0, i, x)
+			}
+		}
+		exts[r] = ExchangeHalos(World(c), p, local, 3)
+	})
+	for r := 0; r < ranks; r++ {
+		lo := p.Ranges[r].Lo
+		for i := 0; i < 2+2*3; i++ {
+			g := lo - 3 + i // global row this ext row represents
+			want := float32(0)
+			if g >= 0 && g < h {
+				want = float32(g + 1)
+			}
+			if got := exts[r].At(0, 0, i, 0); got != want {
+				t.Errorf("rank %d ext row %d (global %d) = %v, want %v", r, i, g, got, want)
+			}
+		}
+	}
+}
+
+func TestConvDeepHaloMatchesSerial(t *testing.T) {
+	// Strongly atrous convolutions on a fine decomposition: the halo
+	// (dilation × kernel radius) exceeds the slab height, exercising the
+	// multi-rank exchange end to end, forward and backward.
+	rng := rand.New(rand.NewSource(53))
+	for _, tc := range []struct {
+		h, ranks, kh, dil int
+	}{
+		{12, 4, 7, 1}, // halo 3 > slab 3
+		{12, 4, 3, 4}, // halo 4 > slab 3
+		{16, 4, 3, 6}, // halo 6 > slab 4
+	} {
+		x := tensor.RandNormal(tensor.NCHW(1, 2, tc.h, 5), 0, 1, rng)
+		w := tensor.RandNormal(tensor.Shape{2, 2, tc.kh, tc.kh}, 0, 0.5, rng)
+		want := serialConv(x, w, tc.dil)
+		got := distributedForward(t, x, w, tc.dil, tc.ranks)
+		assertClose(t, want, got, 1e-4)
+
+		// Backward under the same geometry.
+		pad := HaloRadius(tc.kh, tc.dil)
+		conv := nn.NewConv2D(1, pad, tc.dil)
+		out := conv.Forward([]*tensor.Tensor{x, w})
+		gradOut := tensor.RandNormal(out.Shape(), 0, 1, rng)
+		ref := conv.Backward([]*tensor.Tensor{x, w}, out, gradOut)
+
+		p, err := NewPlan(tc.h, tc.ranks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var gotGX *tensor.Tensor
+		var gotGW *tensor.Tensor
+		world := mpi.NewWorld(simnet.Loopback(tc.ranks))
+		world.Run(func(c *mpi.Comm) {
+			var in, g *tensor.Tensor
+			if c.Rank() == 0 {
+				in, g = x, gradOut
+			}
+			localX := Scatter(World(c), p, 0, in)
+			localG := Scatter(World(c), p, 0, g)
+			gx, gw := ConvSpec{Dilation: tc.dil}.Backward(World(c), p, localX, w, localG)
+			if c.Rank() == 0 {
+				gotGW = gw
+			}
+			if full := Gather(World(c), p, 0, gx); full != nil {
+				gotGX = full
+			}
+		})
+		assertClose(t, ref[0], gotGX, 1e-4)
+		assertClose(t, ref[1], gotGW, 1e-4)
+	}
+}
+
+func TestHaloBytesAccounting(t *testing.T) {
+	p, _ := NewPlan(12, 3)
+	layers := []Layer{
+		{Weights: tensor.New(tensor.Shape{4, 3, 3, 3}), Spec: ConvSpec{Dilation: 1}},
+		{Weights: tensor.New(tensor.Shape{4, 4, 5, 5}), Spec: ConvSpec{Dilation: 1}},
+	}
+	// Middle rank: both neighbours. Layer 1: 3 ch × 1 row; layer 2: 4 ch × 2 rows.
+	want := 2*(1*3*1*8*4) + 2*(1*4*2*8*4)
+	if got := HaloBytes(p, 1, 1, 8, layers); got != want {
+		t.Errorf("HaloBytes middle = %d, want %d", got, want)
+	}
+	// Edge rank 0: one neighbour, half the traffic.
+	if got := HaloBytes(p, 0, 1, 8, layers); got != want/2 {
+		t.Errorf("HaloBytes edge = %d, want %d", got, want/2)
+	}
+}
+
+func TestHaloTrafficBeatsAllreduceForWideLayers(t *testing.T) {
+	// The Section VIII motivation: for full-resolution layers, halo bytes
+	// per step are far smaller than all-reducing the layer's weights —
+	// the regime where spatial decomposition wins.
+	p, _ := NewPlan(768, 6)
+	w := tensor.New(tensor.Shape{256, 256, 3, 3})
+	layers := []Layer{{Weights: w, Spec: ConvSpec{Dilation: 1}}}
+	halo := HaloBytes(p, 3, 1, 1152, layers)
+	weightBytes := w.NumElements() * 4
+	// Ring all-reduce moves ~2× the buffer.
+	if halo >= 2*weightBytes {
+		t.Errorf("halo %d B should be below allreduce %d B for this geometry", halo, 2*weightBytes)
+	}
+}
+
+func assertClose(t *testing.T, want, got *tensor.Tensor, tol float64) {
+	t.Helper()
+	if got == nil {
+		t.Fatal("got nil tensor")
+	}
+	if !want.Shape().Equal(got.Shape()) {
+		t.Fatalf("shape mismatch: want %v got %v", want.Shape(), got.Shape())
+	}
+	if d := maxAbsDiff(want, got); d > tol {
+		t.Fatalf("max abs diff %g > tol %g", d, tol)
+	}
+}
+
+func maxAbsDiff(a, b *tensor.Tensor) float64 {
+	ad, bd := a.Data(), b.Data()
+	m := 0.0
+	for i := range ad {
+		if d := math.Abs(float64(ad[i] - bd[i])); d > m {
+			m = d
+		}
+	}
+	return m
+}

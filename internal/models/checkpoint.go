@@ -1,0 +1,157 @@
+package models
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/graph"
+)
+
+// Checkpointing: trained parameters serialize to a simple binary format so
+// long training runs survive restarts and trained models ship to inference
+// users. Parameters are matched by label, so a checkpoint written by one
+// replica loads into any identically-built network (the same property the
+// paper's data-parallel replicas rely on).
+
+const checkpointMagic = 0x434B5054 // "CKPT"
+
+// SaveParams writes all trainable parameters of a (concrete) graph.
+func SaveParams(w io.Writer, g *graph.Graph) error {
+	bw := bufio.NewWriter(w)
+	params := g.Params()
+	if err := binary.Write(bw, binary.LittleEndian, uint32(checkpointMagic)); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(len(params))); err != nil {
+		return err
+	}
+	for _, p := range params {
+		if p.Value == nil {
+			return fmt.Errorf("models: parameter %q is symbolic; cannot checkpoint", p.Label)
+		}
+		if err := writeString(bw, p.Label); err != nil {
+			return err
+		}
+		shape := p.Shape
+		if err := binary.Write(bw, binary.LittleEndian, uint32(shape.Rank())); err != nil {
+			return err
+		}
+		for _, d := range shape {
+			if err := binary.Write(bw, binary.LittleEndian, uint32(d)); err != nil {
+				return err
+			}
+		}
+		if err := binary.Write(bw, binary.LittleEndian, p.Value.Data()); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// LoadParams reads a checkpoint into a graph built with the same
+// architecture. Every checkpoint entry must match a parameter by label and
+// shape; missing or mismatched entries are errors (silent partial loads
+// hide real bugs).
+func LoadParams(r io.Reader, g *graph.Graph) error {
+	br := bufio.NewReader(r)
+	var magic, count uint32
+	if err := binary.Read(br, binary.LittleEndian, &magic); err != nil {
+		return fmt.Errorf("models: reading checkpoint header: %w", err)
+	}
+	if magic != checkpointMagic {
+		return fmt.Errorf("models: bad checkpoint magic %#x", magic)
+	}
+	if err := binary.Read(br, binary.LittleEndian, &count); err != nil {
+		return err
+	}
+	byLabel := make(map[string]*graph.Node)
+	for _, p := range g.Params() {
+		byLabel[p.Label] = p
+	}
+	if int(count) != len(byLabel) {
+		return fmt.Errorf("models: checkpoint has %d params, graph has %d", count, len(byLabel))
+	}
+	for i := uint32(0); i < count; i++ {
+		label, err := readString(br)
+		if err != nil {
+			return err
+		}
+		p, ok := byLabel[label]
+		if !ok {
+			return fmt.Errorf("models: checkpoint param %q not in graph", label)
+		}
+		var rank uint32
+		if err := binary.Read(br, binary.LittleEndian, &rank); err != nil {
+			return err
+		}
+		if int(rank) != p.Shape.Rank() {
+			return fmt.Errorf("models: param %q rank %d, graph wants %v", label, rank, p.Shape)
+		}
+		for d := uint32(0); d < rank; d++ {
+			var dim uint32
+			if err := binary.Read(br, binary.LittleEndian, &dim); err != nil {
+				return err
+			}
+			if int(dim) != p.Shape[d] {
+				return fmt.Errorf("models: param %q dim %d is %d, graph wants %v",
+					label, d, dim, p.Shape)
+			}
+		}
+		if p.Value == nil {
+			return fmt.Errorf("models: parameter %q is symbolic; cannot load", label)
+		}
+		if err := binary.Read(br, binary.LittleEndian, p.Value.Data()); err != nil {
+			return fmt.Errorf("models: reading param %q data: %w", label, err)
+		}
+	}
+	return nil
+}
+
+// SaveParamsFile and LoadParamsFile are path-based conveniences.
+func SaveParamsFile(path string, g *graph.Graph) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := SaveParams(f, g); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadParamsFile loads a checkpoint from a file.
+func LoadParamsFile(path string, g *graph.Graph) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return LoadParams(f, g)
+}
+
+func writeString(w io.Writer, s string) error {
+	if err := binary.Write(w, binary.LittleEndian, uint32(len(s))); err != nil {
+		return err
+	}
+	_, err := w.Write([]byte(s))
+	return err
+}
+
+func readString(r io.Reader) (string, error) {
+	var n uint32
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return "", err
+	}
+	if n > 1<<20 {
+		return "", fmt.Errorf("models: implausible string length %d (corrupt checkpoint)", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}

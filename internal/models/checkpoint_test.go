@@ -1,0 +1,125 @@
+package models
+
+import (
+	"bytes"
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/tensor"
+)
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	cfg := tinyCfg(1, 16, 16)
+	src, err := BuildTiramisu(TinyTiramisu(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Scramble source weights so the round trip is meaningful.
+	rng := rand.New(rand.NewSource(8))
+	for _, p := range src.Graph.Params() {
+		for i := range p.Value.Data() {
+			p.Value.Data()[i] = float32(rng.NormFloat64())
+		}
+	}
+	var buf bytes.Buffer
+	if err := SaveParams(&buf, src.Graph); err != nil {
+		t.Fatal(err)
+	}
+
+	cfg.Seed = 1234 // different init — must be fully overwritten by load
+	dst, err := BuildTiramisu(TinyTiramisu(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := LoadParams(bytes.NewReader(buf.Bytes()), dst.Graph); err != nil {
+		t.Fatal(err)
+	}
+	sp, dp := src.Graph.Params(), dst.Graph.Params()
+	for i := range sp {
+		for j, v := range sp[i].Value.Data() {
+			if dp[i].Value.Data()[j] != v {
+				t.Fatalf("param %s elem %d mismatch after load", sp[i].Label, j)
+			}
+		}
+	}
+
+	// Loaded network must produce identical predictions.
+	feeds := feedsFor(src, 3)
+	ex1 := graph.NewExecutor(src.Graph, graph.FP32, 1)
+	if err := ex1.Forward(feeds); err != nil {
+		t.Fatal(err)
+	}
+	feeds2 := map[*graph.Node]*tensor.Tensor{
+		dst.Images: feeds[src.Images], dst.Labels: feeds[src.Labels],
+		dst.Weights: feeds[src.Weights],
+	}
+	ex2 := graph.NewExecutor(dst.Graph, graph.FP32, 1)
+	if err := ex2.Forward(feeds2); err != nil {
+		t.Fatal(err)
+	}
+	if ex1.Value(src.Loss).Data()[0] != ex2.Value(dst.Loss).Data()[0] {
+		t.Fatal("loaded network computes a different loss")
+	}
+}
+
+func TestCheckpointFileHelpers(t *testing.T) {
+	net, err := BuildTiramisu(TinyTiramisu(tinyCfg(1, 16, 16)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "model.ckpt")
+	if err := SaveParamsFile(path, net.Graph); err != nil {
+		t.Fatal(err)
+	}
+	if err := LoadParamsFile(path, net.Graph); err != nil {
+		t.Fatal(err)
+	}
+	if err := LoadParamsFile(filepath.Join(t.TempDir(), "missing"), net.Graph); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestCheckpointMismatchErrors(t *testing.T) {
+	a, err := BuildTiramisu(TinyTiramisu(tinyCfg(1, 16, 16)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := SaveParams(&buf, a.Graph); err != nil {
+		t.Fatal(err)
+	}
+
+	// Different architecture (DeepLab) must refuse the checkpoint.
+	b, err := BuildDeepLab(TinyDeepLab(tinyCfg(1, 16, 24)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := LoadParams(bytes.NewReader(buf.Bytes()), b.Graph); err == nil {
+		t.Fatal("cross-architecture load accepted")
+	}
+
+	// Corrupt magic.
+	bad := append([]byte{}, buf.Bytes()...)
+	bad[0] ^= 0xFF
+	if err := LoadParams(bytes.NewReader(bad), a.Graph); err == nil {
+		t.Fatal("corrupt magic accepted")
+	}
+
+	// Truncated stream.
+	if err := LoadParams(bytes.NewReader(buf.Bytes()[:len(buf.Bytes())/2]), a.Graph); err == nil {
+		t.Fatal("truncated checkpoint accepted")
+	}
+}
+
+func TestCheckpointRefusesSymbolicGraphs(t *testing.T) {
+	net, err := BuildTiramisu(PaperTiramisu(paperCfg(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := SaveParams(&buf, net.Graph); err == nil {
+		t.Fatal("symbolic save accepted")
+	}
+}

@@ -1,0 +1,291 @@
+package models
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/tensor"
+)
+
+func tinyCfg(batch, h, w int) Config {
+	return Config{
+		BatchSize:  batch,
+		InChannels: 4,
+		NumClasses: 3,
+		Height:     h,
+		Width:      w,
+		Seed:       42,
+	}
+}
+
+func feedsFor(net *Network, seed int64) map[*graph.Node]*tensor.Tensor {
+	rng := rand.New(rand.NewSource(seed))
+	img := tensor.RandNormal(net.Images.Shape, 0, 1, rng)
+	lb := tensor.New(net.Labels.Shape)
+	for i := range lb.Data() {
+		lb.Data()[i] = float32(rng.Intn(3))
+	}
+	wt := tensor.Ones(net.Weights.Shape)
+	return map[*graph.Node]*tensor.Tensor{net.Images: img, net.Labels: lb, net.Weights: wt}
+}
+
+func TestTinyTiramisuForwardBackward(t *testing.T) {
+	net, err := BuildTiramisu(TinyTiramisu(tinyCfg(1, 16, 16)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := graph.NewExecutor(net.Graph, graph.FP32, 1)
+	feeds := feedsFor(net, 1)
+	if err := ex.Forward(feeds); err != nil {
+		t.Fatal(err)
+	}
+	lv := ex.Value(net.Loss).Data()[0]
+	if lv <= 0 || lv != lv {
+		t.Fatalf("loss = %g", lv)
+	}
+	if !ex.Value(net.Logits).Shape().Equal(tensor.NCHW(1, 3, 16, 16)) {
+		t.Fatalf("logits shape %v", ex.Value(net.Logits).Shape())
+	}
+	if err := ex.Backward(net.Loss); err != nil {
+		t.Fatal(err)
+	}
+	// Every parameter must receive a finite gradient.
+	for _, p := range net.Graph.Params() {
+		g := ex.Grad(p)
+		if g == nil {
+			t.Fatalf("no grad for %s", p.Label)
+		}
+		if !tensor.AllFinite(g.Data()) {
+			t.Fatalf("non-finite grad for %s", p.Label)
+		}
+	}
+}
+
+func TestTinyDeepLabForwardBackward(t *testing.T) {
+	net, err := BuildDeepLab(TinyDeepLab(tinyCfg(1, 16, 24)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := graph.NewExecutor(net.Graph, graph.FP32, 1)
+	feeds := feedsFor(net, 2)
+	if err := ex.Forward(feeds); err != nil {
+		t.Fatal(err)
+	}
+	if !ex.Value(net.Logits).Shape().Equal(tensor.NCHW(1, 3, 16, 24)) {
+		t.Fatalf("logits shape %v — decoder must be full resolution", ex.Value(net.Logits).Shape())
+	}
+	if err := ex.Backward(net.Loss); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range net.Graph.Params() {
+		if ex.Grad(p) == nil {
+			t.Fatalf("no grad for %s", p.Label)
+		}
+	}
+}
+
+func TestTiramisuFP16Path(t *testing.T) {
+	net, err := BuildTiramisu(TinyTiramisu(tinyCfg(1, 16, 16)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := graph.NewExecutor(net.Graph, graph.FP16, 1)
+	ex.SetLossScale(256)
+	feeds := feedsFor(net, 3)
+	if err := ex.Forward(feeds); err != nil {
+		t.Fatal(err)
+	}
+	if err := ex.Backward(net.Loss); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range net.Graph.Params() {
+		if !tensor.AllFinite(ex.Grad(p).Data()) {
+			t.Fatalf("FP16 non-finite grad for %s", p.Label)
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := BuildTiramisu(TinyTiramisu(tinyCfg(1, 15, 16))); err == nil {
+		t.Fatal("indivisible height accepted")
+	}
+	if _, err := BuildDeepLab(TinyDeepLab(tinyCfg(1, 12, 16))); err == nil {
+		t.Fatal("height not divisible by 8 accepted")
+	}
+	bad := tinyCfg(0, 16, 16)
+	if _, err := BuildTiramisu(TinyTiramisu(bad)); err == nil {
+		t.Fatal("zero batch accepted")
+	}
+	if err := tinyCfg(1, 16, 16).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tinyCfg(1, 20, 16).Validate(); err == nil {
+		t.Fatal("Validate should reject non-multiple-of-16")
+	}
+}
+
+// paperCfg builds the full-size symbolic config (1152×768, 16 channels).
+func paperCfg(batch int) Config {
+	return Config{
+		BatchSize:  batch,
+		InChannels: 16,
+		NumClasses: 3,
+		Height:     768,
+		Width:      1152,
+		Symbolic:   true,
+		Seed:       1,
+	}
+}
+
+func TestPaperDeepLabFLOPsMatchFig2(t *testing.T) {
+	// Fig 2: DeepLabv3+ operation count = 14.41 TF/sample (FP32, batch 1).
+	// Substrate differences (exact decoder widths are not fully specified
+	// in the paper) mean we accept a ±35% band; the headline ratio checks
+	// (DeepLab ≫ Tiramisu) are tested separately and tightly.
+	net, err := BuildDeepLab(PaperDeepLab(paperCfg(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := graph.Analyze(net.Graph, graph.AnalyzeOptions{Precision: graph.FP32})
+	tf := a.FLOPsPerSample() / 1e12
+	t.Logf("DeepLabv3+ = %.2f TF/sample (paper: 14.41)", tf)
+	if tf < 14.41*0.65 || tf > 14.41*1.35 {
+		t.Fatalf("DeepLabv3+ %.2f TF/sample too far from paper's 14.41", tf)
+	}
+}
+
+func TestPaperTiramisuFLOPsMatchFig2(t *testing.T) {
+	// Fig 2: Tiramisu = 4.188 TF/sample with 16 channels.
+	net, err := BuildTiramisu(PaperTiramisu(paperCfg(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := graph.Analyze(net.Graph, graph.AnalyzeOptions{Precision: graph.FP32})
+	tf := a.FLOPsPerSample() / 1e12
+	t.Logf("Tiramisu = %.2f TF/sample (paper: 4.188)", tf)
+	if tf < 4.188*0.5 || tf > 4.188*2.0 {
+		t.Fatalf("Tiramisu %.2f TF/sample too far from paper's 4.188", tf)
+	}
+}
+
+func TestDeepLabCostsMoreThanTiramisu(t *testing.T) {
+	// The robust Fig 2 shape: DeepLabv3+ ≈ 3.4× Tiramisu's FLOPs/sample.
+	dl, err := BuildDeepLab(PaperDeepLab(paperCfg(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm, err := BuildTiramisu(PaperTiramisu(paperCfg(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fd := graph.Analyze(dl.Graph, graph.AnalyzeOptions{}).FLOPsPerSample()
+	ft := graph.Analyze(tm.Graph, graph.AnalyzeOptions{}).FLOPsPerSample()
+	ratio := fd / ft
+	t.Logf("DeepLab/Tiramisu FLOP ratio = %.2f (paper: 3.44)", ratio)
+	if ratio < 2 || ratio > 6 {
+		t.Fatalf("ratio %.2f outside plausible band around paper's 3.44", ratio)
+	}
+}
+
+func TestFourChannelTiramisuCheaper(t *testing.T) {
+	// Fig 2's Piz Daint row: the 4-channel variant costs 3.703 TF vs 4.188
+	// for 16 channels — a ~12% reduction, because only the stem conv sees
+	// the input channels.
+	c16 := paperCfg(1)
+	c4 := paperCfg(1)
+	c4.InChannels = 4
+	n16, err := BuildTiramisu(PaperTiramisu(c16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n4, err := BuildTiramisu(PaperTiramisu(c4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f16 := graph.Analyze(n16.Graph, graph.AnalyzeOptions{}).FLOPsPerSample()
+	f4 := graph.Analyze(n4.Graph, graph.AnalyzeOptions{}).FLOPsPerSample()
+	if f4 >= f16 {
+		t.Fatalf("4-channel %.3g should cost less than 16-channel %.3g", f4, f16)
+	}
+	reduction := 1 - f4/f16
+	t.Logf("channel reduction saves %.1f%% (paper: ~11.6%%)", reduction*100)
+	if reduction > 0.4 {
+		t.Fatalf("reduction %.2f implausibly large", reduction)
+	}
+}
+
+func TestModifiedTiramisuFewerKernels(t *testing.T) {
+	// §V-B5: growth 32 + 5×5 + half the layers is more GPU-efficient than
+	// growth 16 + 3×3. A proxy visible to the analyzer: fewer kernel
+	// launches for comparable FLOPs.
+	mod, err := BuildTiramisu(PaperTiramisu(paperCfg(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig, err := BuildTiramisu(OriginalTiramisu(paperCfg(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	am := graph.Analyze(mod.Graph, graph.AnalyzeOptions{})
+	ao := graph.Analyze(orig.Graph, graph.AnalyzeOptions{})
+	if am.TotalKernels() >= ao.TotalKernels() {
+		t.Fatalf("modified kernels %d should be fewer than original %d",
+			am.TotalKernels(), ao.TotalKernels())
+	}
+	t.Logf("kernels: modified=%d original=%d; FLOPs: modified=%.3g original=%.3g",
+		am.TotalKernels(), ao.TotalKernels(), am.TotalFLOPs(), ao.TotalFLOPs())
+}
+
+func TestParamCountsReasonable(t *testing.T) {
+	// ResNet-50 alone is ~25.5M params; our DeepLabv3+ (with ASPP+decoder)
+	// should be in the 30–80M range. Tiramisu is a few million.
+	dl, err := BuildDeepLab(PaperDeepLab(paperCfg(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm, err := BuildTiramisu(PaperTiramisu(paperCfg(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dp := dl.Graph.NumParamElements()
+	tp := tm.Graph.NumParamElements()
+	t.Logf("params: deeplab=%.1fM tiramisu=%.1fM", float64(dp)/1e6, float64(tp)/1e6)
+	if dp < 25e6 || dp > 90e6 {
+		t.Fatalf("deeplab params %d outside sanity band", dp)
+	}
+	if tp < 1e6 || tp > 30e6 {
+		t.Fatalf("tiramisu params %d outside sanity band", tp)
+	}
+}
+
+func TestFP16EnablesBatch2(t *testing.T) {
+	// The paper runs batch 1 in FP32 and batch 2 in FP16 on a 16 GB V100.
+	// Memory model: activations (fwd + bwd copies ≈ 2×) at storage width
+	// plus FP32 master weights + optimizer state.
+	net, err := BuildDeepLab(PaperDeepLab(paperCfg(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	actElems := float64(net.Graph.ActivationElements())
+	paramBytes := float64(net.Graph.NumParamElements()) * (4 + 4 + 4) // w, grad, momentum
+	const gib = 1 << 30
+	// Activations are retained for backward, but TensorFlow's buffer reuse
+	// runs pointwise chains (BN→ReLU, dropout) in place and elides many
+	// copies, so only a fraction of raw op outputs occupy memory at once.
+	const bufferReuse = 0.6
+	memAt := func(batch int, elemBytes float64) float64 {
+		return bufferReuse*actElems*float64(batch)*elemBytes + paramBytes
+	}
+	if memAt(1, 4) > 16*gib {
+		t.Fatalf("FP32 batch 1 does not fit: %.1f GiB", memAt(1, 4)/gib)
+	}
+	if memAt(2, 2) > 16*gib {
+		t.Fatalf("FP16 batch 2 does not fit: %.1f GiB", memAt(2, 2)/gib)
+	}
+	if memAt(2, 4) < 16*gib {
+		t.Fatalf("FP32 batch 2 fits (%.1f GiB) — inconsistent with the paper's batch-1 FP32 choice", memAt(2, 4)/gib)
+	}
+	t.Logf("mem model: FP32/b1 %.1f GiB, FP16/b2 %.1f GiB, FP32/b2 %.1f GiB",
+		memAt(1, 4)/gib, memAt(2, 2)/gib, memAt(2, 4)/gib)
+}

@@ -1,0 +1,204 @@
+package models
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/loss"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// TiramisuConfig parameterizes the FC-DenseNet ("one hundred layers
+// Tiramisu") segmentation network.
+type TiramisuConfig struct {
+	Config
+	// GrowthRate is the channels added per dense layer: 16 in the original
+	// design, 32 in the paper's modified network.
+	GrowthRate int
+	// Kernel is the dense-layer convolution size: 3 originally, 5 in the
+	// modified network (keeping the receptive field as layers were halved).
+	Kernel int
+	// DownLayers are the dense-layer counts of the down-path blocks, top to
+	// bottom; BottleneckLayers is the bottom block; the up path mirrors the
+	// down path. The paper's five blocks per direction with 2,2,2,4,5
+	// layers map to DownLayers {2,2,2,4} + bottleneck 5.
+	DownLayers       []int
+	BottleneckLayers int
+	// InitialChannels is the stem convolution width.
+	InitialChannels int
+	// DropoutRate applies after each dense layer (0 disables).
+	DropoutRate float64
+}
+
+// PaperTiramisu returns the modified network the paper scaled: growth 32,
+// 5×5 convolutions, blocks 2,2,2,4 with a 5-layer bottleneck.
+func PaperTiramisu(c Config) TiramisuConfig {
+	return TiramisuConfig{
+		Config:           c,
+		GrowthRate:       32,
+		Kernel:           5,
+		DownLayers:       []int{2, 2, 2, 4},
+		BottleneckLayers: 5,
+		InitialChannels:  48,
+		DropoutRate:      0.2,
+	}
+}
+
+// OriginalTiramisu returns the growth-16, 3×3 configuration the paper
+// started from (twice the layers per block), used by the §V-B5 ablation.
+func OriginalTiramisu(c Config) TiramisuConfig {
+	return TiramisuConfig{
+		Config:           c,
+		GrowthRate:       16,
+		Kernel:           3,
+		DownLayers:       []int{4, 4, 4, 8},
+		BottleneckLayers: 10,
+		InitialChannels:  48,
+		DropoutRate:      0.2,
+	}
+}
+
+// TinyTiramisu returns a reduced configuration for CPU-scale training and
+// tests: same topology, small growth.
+func TinyTiramisu(c Config) TiramisuConfig {
+	return TiramisuConfig{
+		Config:           c,
+		GrowthRate:       4,
+		Kernel:           3,
+		DownLayers:       []int{2, 2},
+		BottleneckLayers: 2,
+		InitialChannels:  8,
+		DropoutRate:      0,
+	}
+}
+
+// downsampleFactor returns the total spatial reduction of the down path.
+func (tc TiramisuConfig) downsampleFactor() int {
+	f := 1
+	for range tc.DownLayers {
+		f *= 2
+	}
+	return f
+}
+
+// ValidateTiramisu extends Config.Validate with Tiramisu-specific checks.
+func (tc TiramisuConfig) ValidateTiramisu() error {
+	if tc.GrowthRate < 1 || tc.Kernel < 1 || tc.Kernel%2 == 0 {
+		return fmt.Errorf("models: bad tiramisu config %+v", tc)
+	}
+	f := tc.downsampleFactor()
+	if tc.Height%f != 0 || tc.Width%f != 0 {
+		return fmt.Errorf("models: input %dx%d must divide by %d", tc.Height, tc.Width, f)
+	}
+	if tc.BatchSize < 1 || tc.InChannels < 1 || tc.NumClasses < 2 {
+		return fmt.Errorf("models: bad config %+v", tc.Config)
+	}
+	return nil
+}
+
+// denseLayer appends one BN→ReLU→conv(growth)→(dropout) layer and returns
+// its growth-channel output.
+func (tc TiramisuConfig) denseLayer(b *builder, x *graph.Node) *graph.Node {
+	gamma := b.scalarParam("gamma", x.Shape[1], 1)
+	beta := b.scalarParam("beta", x.Shape[1], 0)
+	h := b.g.Apply(nn.NewBatchNorm(1e-5, 0.1), x, gamma, beta)
+	h = b.g.Apply(nn.ReLU{}, h)
+	w := b.param("dense", tensor.OIHW(tc.GrowthRate, x.Shape[1], tc.Kernel, tc.Kernel))
+	h = b.g.Apply(nn.NewConv2D(1, tensor.SamePad(tc.Kernel, 1), 1), h, w)
+	if tc.DropoutRate > 0 && !tc.Symbolic {
+		b.dropSeed++
+		h = b.g.Apply(nn.NewDropout(tc.DropoutRate, b.dropSeed), h)
+	}
+	return h
+}
+
+// denseBlock stacks layers dense layers; each layer sees the concatenation
+// of the block input and all previous layer outputs (DenseNet wiring).
+// It returns the concatenation of the block's layer outputs (newFeatures)
+// and the full concatenation including the input.
+func (tc TiramisuConfig) denseBlock(b *builder, x *graph.Node, layers int) (newFeatures, full *graph.Node) {
+	inputs := []*graph.Node{x}
+	var outs []*graph.Node
+	cur := x
+	for i := 0; i < layers; i++ {
+		out := tc.denseLayer(b, cur)
+		outs = append(outs, out)
+		inputs = append(inputs, out)
+		if i < layers-1 {
+			cur = b.g.Apply(nn.Concat{}, inputs...)
+		}
+	}
+	if len(outs) == 1 {
+		newFeatures = outs[0]
+	} else {
+		newFeatures = b.g.Apply(nn.Concat{}, outs...)
+	}
+	full = b.g.Apply(nn.Concat{}, append([]*graph.Node{x}, outs...)...)
+	return newFeatures, full
+}
+
+// transitionDown is BN→ReLU→1×1 conv→2×2 maxpool (stride 2).
+func (tc TiramisuConfig) transitionDown(b *builder, x *graph.Node) *graph.Node {
+	h := b.bnRelu(x, x.Shape[1])
+	w := b.param("td", tensor.OIHW(x.Shape[1], x.Shape[1], 1, 1))
+	h = b.g.Apply(nn.NewConv2D(1, 0, 1), h, w)
+	return b.g.Apply(nn.NewMaxPool2D(2, 2, 0), h)
+}
+
+// BuildTiramisu constructs the network graph.
+func BuildTiramisu(tc TiramisuConfig) (*Network, error) {
+	if err := tc.ValidateTiramisu(); err != nil {
+		return nil, err
+	}
+	b := newBuilder(tc.Config)
+	g := b.g
+
+	images := g.Input("images", tensor.NCHW(tc.BatchSize, tc.InChannels, tc.Height, tc.Width))
+	labels := g.Input("labels", tensor.Shape{tc.BatchSize, tc.Height, tc.Width})
+	wmap := g.Input("weights", tensor.Shape{tc.BatchSize, tc.Height, tc.Width})
+
+	// Stem.
+	stem := b.param("stem", tensor.OIHW(tc.InitialChannels, tc.InChannels, 3, 3))
+	x := g.Apply(nn.NewConv2D(1, 1, 1), images, stem)
+
+	// Down path: dense block → remember skip → transition down.
+	var skips []*graph.Node
+	for _, layers := range tc.DownLayers {
+		_, full := tc.denseBlock(b, x, layers)
+		skips = append(skips, full)
+		x = tc.transitionDown(b, full)
+	}
+
+	// Bottleneck: only the new features continue upward (standard
+	// FC-DenseNet memory optimization).
+	newF, _ := tc.denseBlock(b, x, tc.BottleneckLayers)
+	x = newF
+
+	// Up path: transition up (deconv on new features) → concat skip →
+	// dense block.
+	for i := len(tc.DownLayers) - 1; i >= 0; i-- {
+		up := b.deconv2x(x, x.Shape[1])
+		cat := g.Apply(nn.Concat{}, up, skips[i])
+		newF, _ := tc.denseBlock(b, cat, tc.DownLayers[i])
+		if i > 0 {
+			x = newF
+		} else {
+			x = g.Apply(nn.Concat{}, cat, newF)
+		}
+	}
+
+	// Classifier head.
+	logits := b.convLinear(x, tc.NumClasses, 1, 1, 1)
+	lossNode := g.Apply(loss.WeightedSoftmaxCE{}, logits, labels, wmap)
+
+	return &Network{
+		Name:    "tiramisu",
+		Graph:   g,
+		Images:  images,
+		Labels:  labels,
+		Weights: wmap,
+		Logits:  logits,
+		Loss:    lossNode,
+	}, nil
+}

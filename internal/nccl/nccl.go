@@ -1,0 +1,113 @@
+// Package nccl models the NVIDIA Collective Communications Library role in
+// the paper's stack: bandwidth-optimal systolic-ring collectives among the
+// GPUs of one node, exploiting NVLink. It operates on the same mpi ranks
+// as the rest of the stack but restricts communication to node-local
+// groups, exactly as the paper's hybrid all-reduce does.
+package nccl
+
+import (
+	"repro/internal/mpi"
+	"repro/internal/simnet"
+)
+
+const (
+	tagReduce = 8 << 20
+	tagBcast  = 9 << 20
+)
+
+// Communicator is a node-local collective group for one rank.
+type Communicator struct {
+	comm  *mpi.Comm
+	group []int // all ranks on this node, ascending
+	local int   // index of this rank within group
+}
+
+// New builds the node-local communicator for c using the fabric topology.
+func New(c *mpi.Comm, fabric simnet.Fabric) *Communicator {
+	node := fabric.NodeOf(c.Rank())
+	var group []int
+	for r := 0; r < fabric.Size(); r++ {
+		if fabric.NodeOf(r) == node {
+			group = append(group, r)
+		}
+	}
+	local := -1
+	for i, r := range group {
+		if r == c.Rank() {
+			local = i
+		}
+	}
+	return &Communicator{comm: c, group: group, local: local}
+}
+
+// Size returns the node-local group size.
+func (nc *Communicator) Size() int { return len(nc.group) }
+
+// LocalRank returns this rank's index within its node.
+func (nc *Communicator) LocalRank() int { return nc.local }
+
+// Group returns the node-local ranks (callers must not mutate).
+func (nc *Communicator) Group() []int { return nc.group }
+
+// Allreduce sums data across the node's GPUs with a ring (the NCCL
+// algorithm), leaving every local rank with the reduced values.
+func (nc *Communicator) Allreduce(data []float32) {
+	nc.comm.AllreduceGroup(data, nc.group)
+}
+
+// Reduce sums data across the node's GPUs into localRoot's buffer using a
+// chain pipeline. Non-root buffers are left unchanged.
+func (nc *Communicator) Reduce(localRoot int, data []float32) {
+	n := len(nc.group)
+	if n == 1 {
+		return
+	}
+	// Chain: order ranks so the root is last; each link receives a partial
+	// sum from its predecessor, adds its contribution, forwards.
+	pos := (nc.local - localRoot - 1 + n) % n // root → n-1
+	prevPos := pos - 1
+	nextPos := pos + 1
+	toRank := func(p int) int { return nc.group[(p+localRoot+1)%n] }
+
+	acc := data
+	if prevPos >= 0 {
+		got := nc.comm.Recv(toRank(prevPos), tagReduce)
+		if pos == n-1 {
+			// Root accumulates into its own buffer.
+			for i := range acc {
+				acc[i] += got[i]
+			}
+			return
+		}
+		acc = make([]float32, len(data))
+		copy(acc, data)
+		for i := range acc {
+			acc[i] += got[i]
+		}
+	}
+	if nextPos <= n-1 {
+		nc.comm.Send(toRank(nextPos), tagReduce, acc)
+	}
+	// Non-root ranks drop their partials; only the root holds the sum.
+	if pos == n-1 {
+		copy(data, acc)
+	}
+}
+
+// Bcast copies localRoot's buffer to every GPU on the node (NVLink chain).
+func (nc *Communicator) Bcast(localRoot int, data []float32) {
+	n := len(nc.group)
+	if n == 1 {
+		return
+	}
+	pos := (nc.local - localRoot + n) % n
+	if pos > 0 {
+		prev := nc.group[(pos-1+localRoot)%n]
+		got := nc.comm.Recv(prev, tagBcast)
+		copy(data, got)
+	}
+	if pos < n-1 {
+		next := nc.group[(pos+1+localRoot)%n]
+		nc.comm.Send(next, tagBcast, data)
+	}
+}

@@ -1,0 +1,279 @@
+// Package nn implements the differentiable operations the paper's networks
+// are assembled from: dense, strided, dilated ("atrous") and transposed
+// convolutions, pooling, batch normalization, pointwise activations,
+// dropout, and tensor plumbing (concat, bias). Every op implements
+// graph.Op, so networks are dataflow graphs analyzable for FLOPs and
+// differentiable by the graph executor.
+//
+// State caveat: Dropout and BatchNorm carry per-instance training state
+// (mask, running statistics), so a graph instance must not be executed by
+// two executors concurrently. Data-parallel training replicates the graph
+// per rank — exactly as the paper's Horovod replicates the TensorFlow
+// graph — so this constraint is natural.
+package nn
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/tensor"
+)
+
+// Conv2D is a 2-D convolution over NCHW input with OIHW weights. Dilation
+// implements the paper's atrous convolutions; stride implements
+// downscaling. Inputs: x [N,Cin,H,W], w [Cout,Cin,KH,KW].
+type Conv2D struct {
+	Stride, Pad, Dilation int
+}
+
+// NewConv2D returns a dense stride-1 convolution with SAME-style padding
+// computed by the caller.
+func NewConv2D(stride, pad, dilation int) *Conv2D {
+	if stride < 1 || dilation < 1 || pad < 0 {
+		panic("nn: invalid Conv2D geometry")
+	}
+	return &Conv2D{Stride: stride, Pad: pad, Dilation: dilation}
+}
+
+// Name implements graph.Op.
+func (c *Conv2D) Name() string { return "conv2d" }
+
+func (c *Conv2D) geom(x, w tensor.Shape) tensor.ConvGeom {
+	return tensor.ConvGeom{
+		InH: x[2], InW: x[3],
+		KH: w[2], KW: w[3],
+		StrideH: c.Stride, StrideW: c.Stride,
+		PadH: c.Pad, PadW: c.Pad,
+		DilH: c.Dilation, DilW: c.Dilation,
+	}
+}
+
+// OutShape implements graph.Op.
+func (c *Conv2D) OutShape(in []tensor.Shape) (tensor.Shape, error) {
+	if len(in) != 2 {
+		return nil, fmt.Errorf("conv2d wants 2 inputs (x, w), got %d", len(in))
+	}
+	x, w := in[0], in[1]
+	if x.Rank() != 4 || w.Rank() != 4 {
+		return nil, fmt.Errorf("conv2d wants rank-4 inputs, got %v, %v", x, w)
+	}
+	if x[1] != w[1] {
+		return nil, fmt.Errorf("conv2d channel mismatch: input %d, weight %d", x[1], w[1])
+	}
+	g := c.geom(x, w)
+	oh, ow := g.OutH(), g.OutW()
+	if oh <= 0 || ow <= 0 {
+		return nil, fmt.Errorf("conv2d output would be %dx%d", oh, ow)
+	}
+	return tensor.NCHW(x[0], w[0], oh, ow), nil
+}
+
+// Forward implements graph.Op via im2col + GEMM (the "implicit GEMM"
+// formulation the paper's FLOP audit found cuDNN using).
+func (c *Conv2D) Forward(in []*tensor.Tensor) *tensor.Tensor {
+	x, w := in[0], in[1]
+	xs, ws := x.Shape(), w.Shape()
+	n, cin := xs[0], xs[1]
+	cout := ws[0]
+	g := c.geom(xs, ws)
+	oh, ow := g.OutH(), g.OutW()
+	cols := oh * ow
+	k := cin * g.KH * g.KW
+
+	out := tensor.New(tensor.NCHW(n, cout, oh, ow))
+	col := make([]float32, k*cols)
+	imSize := cin * g.InH * g.InW
+	for b := 0; b < n; b++ {
+		tensor.Im2col(x.Data()[b*imSize:(b+1)*imSize], cin, g, col)
+		// [Cout, k] × [k, cols] → [Cout, cols]
+		tensor.Gemm(false, false, cout, cols, k, 1, w.Data(), k, col, cols,
+			0, out.Data()[b*cout*cols:], cols)
+	}
+	return out
+}
+
+// Backward implements graph.Op, producing gradients for x and w.
+func (c *Conv2D) Backward(in []*tensor.Tensor, out, gradOut *tensor.Tensor) []*tensor.Tensor {
+	x, w := in[0], in[1]
+	xs, ws := x.Shape(), w.Shape()
+	n, cin := xs[0], xs[1]
+	cout := ws[0]
+	g := c.geom(xs, ws)
+	oh, ow := g.OutH(), g.OutW()
+	cols := oh * ow
+	k := cin * g.KH * g.KW
+	imSize := cin * g.InH * g.InW
+
+	gradX := tensor.New(xs)
+	gradW := tensor.New(ws)
+	col := make([]float32, k*cols)
+	for b := 0; b < n; b++ {
+		gOut := gradOut.Data()[b*cout*cols : (b+1)*cout*cols]
+		// Weight gradient: gradW += gOut [Cout,cols] × im2col(x)ᵀ [cols,k].
+		tensor.Im2col(x.Data()[b*imSize:(b+1)*imSize], cin, g, col)
+		tensor.Gemm(false, true, cout, k, cols, 1, gOut, cols, col, cols, 1, gradW.Data(), k)
+		// Data gradient: cols ← wᵀ [k,Cout] × gOut [Cout,cols]; scatter.
+		tensor.Gemm(true, false, k, cols, cout, 1, w.Data(), k, gOut, cols, 0, col, cols)
+		tensor.Col2im(col, cin, g, gradX.Data()[b*imSize:(b+1)*imSize])
+	}
+	return []*tensor.Tensor{gradX, gradW}
+}
+
+// FwdCost implements graph.Op using the paper's convolution FLOP formula.
+func (c *Conv2D) FwdCost(in []tensor.Shape, out tensor.Shape, elemBytes int) graph.Cost {
+	x, w := in[0], in[1]
+	fl := graph.ConvFLOPs(w[2], w[3], out[2], out[3], x[1], w[0], x[0])
+	bytes := float64(x.NumElements()+out.NumElements()) * float64(elemBytes)
+	bytes += float64(w.NumElements()) * float64(elemBytes)
+	return graph.Cost{FLOPs: fl, Bytes: bytes}
+}
+
+// BwdCost implements graph.Op: backward-data plus backward-filter each cost
+// one forward-equivalent GEMM, so backward ≈ 2× forward FLOPs (matching the
+// paper's Fig 8/9 ratio of backward to forward convolution TF).
+func (c *Conv2D) BwdCost(in []tensor.Shape, out tensor.Shape, elemBytes int) graph.Cost {
+	f := c.FwdCost(in, out, elemBytes)
+	return graph.Cost{FLOPs: 2 * f.FLOPs, Bytes: 2 * f.Bytes}
+}
+
+// Categories implements graph.Op.
+func (c *Conv2D) Categories() (graph.Category, graph.Category) {
+	return graph.CatForwardConv, graph.CatBackwardConv
+}
+
+// Deconv2D is a transposed ("deconvolution") layer that upsamples by
+// Stride, the paper's decoder building block ("3×3 deconv, 256, /2").
+// Inputs: x [N,Cin,H,W], w [Cin,Cout,KH,KW]. Output spatial size is
+// (H-1)·Stride + KH - 2·Pad + OutPad. With k=3, stride=2, pad=1 and
+// OutPad=1 the layer exactly doubles the spatial size.
+type Deconv2D struct {
+	Stride, Pad, OutPad int
+}
+
+// NewDeconv2D returns a transposed convolution with no output padding.
+func NewDeconv2D(stride, pad int) *Deconv2D {
+	if stride < 1 || pad < 0 {
+		panic("nn: invalid Deconv2D geometry")
+	}
+	return &Deconv2D{Stride: stride, Pad: pad}
+}
+
+// NewDeconv2DOutPad returns a transposed convolution with explicit output
+// padding (must be < Stride).
+func NewDeconv2DOutPad(stride, pad, outPad int) *Deconv2D {
+	if stride < 1 || pad < 0 || outPad < 0 || outPad >= stride {
+		panic("nn: invalid Deconv2D geometry")
+	}
+	return &Deconv2D{Stride: stride, Pad: pad, OutPad: outPad}
+}
+
+// Name implements graph.Op.
+func (d *Deconv2D) Name() string { return "deconv2d" }
+
+// virtualGeom is the geometry of the *virtual forward convolution* whose
+// adjoint this layer computes: it maps the deconv OUTPUT (OH,OW) down to
+// the deconv INPUT (H,W).
+func (d *Deconv2D) virtualGeom(x, w tensor.Shape) tensor.ConvGeom {
+	oh := (x[2]-1)*d.Stride + w[2] - 2*d.Pad + d.OutPad
+	ow := (x[3]-1)*d.Stride + w[3] - 2*d.Pad + d.OutPad
+	return tensor.ConvGeom{
+		InH: oh, InW: ow,
+		KH: w[2], KW: w[3],
+		StrideH: d.Stride, StrideW: d.Stride,
+		PadH: d.Pad, PadW: d.Pad,
+		DilH: 1, DilW: 1,
+	}
+}
+
+// OutShape implements graph.Op.
+func (d *Deconv2D) OutShape(in []tensor.Shape) (tensor.Shape, error) {
+	if len(in) != 2 {
+		return nil, fmt.Errorf("deconv2d wants 2 inputs (x, w), got %d", len(in))
+	}
+	x, w := in[0], in[1]
+	if x.Rank() != 4 || w.Rank() != 4 {
+		return nil, fmt.Errorf("deconv2d wants rank-4 inputs")
+	}
+	if x[1] != w[0] {
+		return nil, fmt.Errorf("deconv2d channel mismatch: input %d, weight-in %d", x[1], w[0])
+	}
+	g := d.virtualGeom(x, w)
+	if g.InH <= 0 || g.InW <= 0 {
+		return nil, fmt.Errorf("deconv2d output would be %dx%d", g.InH, g.InW)
+	}
+	if g.OutH() != x[2] || g.OutW() != x[3] {
+		return nil, fmt.Errorf("deconv2d geometry not invertible for input %v", x)
+	}
+	return tensor.NCHW(x[0], w[1], g.InH, g.InW), nil
+}
+
+// Forward computes the adjoint of the virtual convolution: columns are
+// produced by a GEMM with the transposed filter, then scattered by Col2im.
+func (d *Deconv2D) Forward(in []*tensor.Tensor) *tensor.Tensor {
+	x, w := in[0], in[1]
+	xs, ws := x.Shape(), w.Shape()
+	n, cin, h, wd := xs[0], xs[1], xs[2], xs[3]
+	cout := ws[1]
+	g := d.virtualGeom(xs, ws)
+	k := cout * g.KH * g.KW
+	cols := h * wd
+
+	out := tensor.New(tensor.NCHW(n, cout, g.InH, g.InW))
+	col := make([]float32, k*cols)
+	outSize := cout * g.InH * g.InW
+	for b := 0; b < n; b++ {
+		// cols[k, H·W] = w_matᵀ [k, Cin] × x_mat [Cin, H·W]
+		tensor.Gemm(true, false, k, cols, cin, 1, w.Data(), k,
+			x.Data()[b*cin*cols:], cols, 0, col, cols)
+		tensor.Col2im(col, cout, g, out.Data()[b*outSize:(b+1)*outSize])
+	}
+	return out
+}
+
+// Backward produces gradients for x (a plain forward convolution of gradOut
+// by w) and w (conv weight-gradient with roles of input/output swapped).
+func (d *Deconv2D) Backward(in []*tensor.Tensor, out, gradOut *tensor.Tensor) []*tensor.Tensor {
+	x, w := in[0], in[1]
+	xs, ws := x.Shape(), w.Shape()
+	n, cin, h, wd := xs[0], xs[1], xs[2], xs[3]
+	cout := ws[1]
+	g := d.virtualGeom(xs, ws)
+	k := cout * g.KH * g.KW
+	cols := h * wd
+	outSize := cout * g.InH * g.InW
+
+	gradX := tensor.New(xs)
+	gradW := tensor.New(ws)
+	col := make([]float32, k*cols)
+	for b := 0; b < n; b++ {
+		gOut := gradOut.Data()[b*outSize : (b+1)*outSize]
+		tensor.Im2col(gOut, cout, g, col)
+		// gradX_mat [Cin, H·W] = w_mat [Cin, k] × col [k, H·W]
+		tensor.Gemm(false, false, cin, cols, k, 1, w.Data(), k, col, cols,
+			0, gradX.Data()[b*cin*cols:], cols)
+		// gradW_mat [Cin, k] += x_mat [Cin, H·W] × colᵀ [H·W, k]
+		tensor.Gemm(false, true, cin, k, cols, 1, x.Data()[b*cin*cols:], cols,
+			col, cols, 1, gradW.Data(), k)
+	}
+	return []*tensor.Tensor{gradX, gradW}
+}
+
+// FwdCost implements graph.Op: a transposed convolution does the same GEMM
+// work as the virtual convolution of matching geometry.
+func (d *Deconv2D) FwdCost(in []tensor.Shape, out tensor.Shape, elemBytes int) graph.Cost {
+	x, w := in[0], in[1]
+	fl := graph.ConvFLOPs(w[2], w[3], x[2], x[3], w[1], w[0], x[0])
+	bytes := float64(x.NumElements()+out.NumElements()+w.NumElements()) * float64(elemBytes)
+	return graph.Cost{FLOPs: fl, Bytes: bytes}
+}
+
+// BwdCost implements graph.Op.
+func (d *Deconv2D) BwdCost(in []tensor.Shape, out tensor.Shape, elemBytes int) graph.Cost {
+	f := d.FwdCost(in, out, elemBytes)
+	return graph.Cost{FLOPs: 2 * f.FLOPs, Bytes: 2 * f.Bytes}
+}
+
+// Categories implements graph.Op.
+func (d *Deconv2D) Categories() (graph.Category, graph.Category) {
+	return graph.CatForwardConv, graph.CatBackwardConv
+}

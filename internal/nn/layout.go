@@ -1,0 +1,54 @@
+package nn
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/tensor"
+)
+
+// LayoutRoundTrip models the NCHW→NHWC→NCHW transpose pairs TensorFlow's
+// graph inserts between layout-incompatible ops. Numerically it is the
+// identity; its cost is pure memory traffic under "Copies/Transposes".
+// The paper removed these from the DeepLabv3+ decoder by changing the
+// decoder's data layout, worth 10% at the largest scale (Section VII-A);
+// building the network with and without this op reproduces that ablation.
+type LayoutRoundTrip struct{}
+
+// Name implements graph.Op.
+func (LayoutRoundTrip) Name() string { return "layout_roundtrip" }
+
+// OutShape implements graph.Op.
+func (LayoutRoundTrip) OutShape(in []tensor.Shape) (tensor.Shape, error) {
+	if len(in) != 1 || in[0].Rank() != 4 {
+		return nil, fmt.Errorf("layout_roundtrip wants one rank-4 input")
+	}
+	return in[0].Clone(), nil
+}
+
+// Forward implements graph.Op: a real double transpose, so the data path
+// (and its cache behaviour) is exercised, not just costed.
+func (LayoutRoundTrip) Forward(in []*tensor.Tensor) *tensor.Tensor {
+	return tensor.NHWCToNCHW(tensor.NCHWToNHWC(in[0]))
+}
+
+// Backward implements graph.Op: gradient of the identity, transposed back
+// and forth the same way.
+func (LayoutRoundTrip) Backward(in []*tensor.Tensor, out, gradOut *tensor.Tensor) []*tensor.Tensor {
+	return []*tensor.Tensor{tensor.NHWCToNCHW(tensor.NCHWToNHWC(gradOut))}
+}
+
+// FwdCost implements graph.Op: four full-tensor passes (read+write twice).
+func (LayoutRoundTrip) FwdCost(in []tensor.Shape, out tensor.Shape, eb int) graph.Cost {
+	return graph.Cost{Bytes: 4 * float64(out.NumElements()) * float64(eb)}
+}
+
+// BwdCost implements graph.Op.
+func (LayoutRoundTrip) BwdCost(in []tensor.Shape, out tensor.Shape, eb int) graph.Cost {
+	return graph.Cost{Bytes: 4 * float64(out.NumElements()) * float64(eb)}
+}
+
+// Categories implements graph.Op.
+func (LayoutRoundTrip) Categories() (graph.Category, graph.Category) {
+	return graph.CatCopyTranspose, graph.CatCopyTranspose
+}

@@ -1,0 +1,188 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/tensor"
+)
+
+// BatchNorm normalizes each channel over the (N, H, W) axes, then applies a
+// learned scale γ and shift β. Inputs: x [N,C,H,W], gamma [C], beta [C].
+// During training it also maintains running mean/variance on the op
+// instance (used when Train=false). Batch statistics needed by the backward
+// pass are recomputed from the saved input, keeping execution stateless.
+type BatchNorm struct {
+	Eps      float64
+	Momentum float64 // running-stat update rate, e.g. 0.1
+	Train    bool
+
+	RunningMean []float32
+	RunningVar  []float32
+}
+
+// NewBatchNorm returns a training-mode batch normalization op.
+func NewBatchNorm(eps, momentum float64) *BatchNorm {
+	return &BatchNorm{Eps: eps, Momentum: momentum, Train: true}
+}
+
+// Name implements graph.Op.
+func (b *BatchNorm) Name() string { return "batchnorm" }
+
+// OutShape implements graph.Op.
+func (b *BatchNorm) OutShape(in []tensor.Shape) (tensor.Shape, error) {
+	if len(in) != 3 {
+		return nil, fmt.Errorf("batchnorm wants 3 inputs (x, gamma, beta)")
+	}
+	x, g, be := in[0], in[1], in[2]
+	if x.Rank() != 4 || g.Rank() != 1 || be.Rank() != 1 || g[0] != x[1] || be[0] != x[1] {
+		return nil, fmt.Errorf("batchnorm shapes %v/%v/%v incompatible", x, g, be)
+	}
+	return x.Clone(), nil
+}
+
+// stats computes per-channel mean and (biased) variance over N,H,W.
+func (b *BatchNorm) stats(x *tensor.Tensor) (mean, variance []float64) {
+	xs := x.Shape()
+	n, c, hw := xs[0], xs[1], xs[2]*xs[3]
+	mean = make([]float64, c)
+	variance = make([]float64, c)
+	cnt := float64(n * hw)
+	xd := x.Data()
+	for ch := 0; ch < c; ch++ {
+		var s, sq float64
+		for img := 0; img < n; img++ {
+			base := (img*c + ch) * hw
+			for _, v := range xd[base : base+hw] {
+				fv := float64(v)
+				s += fv
+				sq += fv * fv
+			}
+		}
+		m := s / cnt
+		mean[ch] = m
+		variance[ch] = sq/cnt - m*m
+		if variance[ch] < 0 {
+			variance[ch] = 0
+		}
+	}
+	return mean, variance
+}
+
+// Forward implements graph.Op.
+func (b *BatchNorm) Forward(in []*tensor.Tensor) *tensor.Tensor {
+	x, gamma, beta := in[0], in[1], in[2]
+	xs := x.Shape()
+	n, c, hw := xs[0], xs[1], xs[2]*xs[3]
+
+	var mean, variance []float64
+	if b.Train {
+		mean, variance = b.stats(x)
+		if b.RunningMean == nil {
+			b.RunningMean = make([]float32, c)
+			b.RunningVar = make([]float32, c)
+			for ch := 0; ch < c; ch++ {
+				b.RunningVar[ch] = 1
+			}
+		}
+		mom := b.Momentum
+		for ch := 0; ch < c; ch++ {
+			b.RunningMean[ch] = float32((1-mom)*float64(b.RunningMean[ch]) + mom*mean[ch])
+			b.RunningVar[ch] = float32((1-mom)*float64(b.RunningVar[ch]) + mom*variance[ch])
+		}
+	} else {
+		mean = make([]float64, c)
+		variance = make([]float64, c)
+		for ch := 0; ch < c; ch++ {
+			if b.RunningMean != nil {
+				mean[ch] = float64(b.RunningMean[ch])
+				variance[ch] = float64(b.RunningVar[ch])
+			} else {
+				variance[ch] = 1
+			}
+		}
+	}
+
+	out := tensor.New(xs)
+	xd, od, gd, bd := x.Data(), out.Data(), gamma.Data(), beta.Data()
+	for ch := 0; ch < c; ch++ {
+		inv := 1 / math.Sqrt(variance[ch]+b.Eps)
+		scale := float32(float64(gd[ch]) * inv)
+		shift := float32(float64(bd[ch]) - float64(gd[ch])*mean[ch]*inv)
+		for img := 0; img < n; img++ {
+			base := (img*c + ch) * hw
+			src := xd[base : base+hw]
+			dst := od[base : base+hw]
+			for i, v := range src {
+				dst[i] = v*scale + shift
+			}
+		}
+	}
+	return out
+}
+
+// Backward implements graph.Op, using the standard batch-norm gradient:
+//
+//	dx̂ = dy·γ
+//	dσ² = Σ dx̂·(x−μ)·(−½)(σ²+ε)^(−3/2)
+//	dμ = Σ dx̂·(−1/√(σ²+ε)) + dσ²·Σ(−2(x−μ))/m
+//	dx = dx̂/√(σ²+ε) + dσ²·2(x−μ)/m + dμ/m
+func (b *BatchNorm) Backward(in []*tensor.Tensor, out, gradOut *tensor.Tensor) []*tensor.Tensor {
+	x, gamma := in[0], in[1]
+	xs := x.Shape()
+	n, c, hw := xs[0], xs[1], xs[2]*xs[3]
+	m := float64(n * hw)
+
+	mean, variance := b.stats(x)
+	gradX := tensor.New(xs)
+	gradGamma := tensor.New(tensor.Shape{c})
+	gradBeta := tensor.New(tensor.Shape{c})
+	xd, gd := x.Data(), gradOut.Data()
+
+	for ch := 0; ch < c; ch++ {
+		invStd := 1 / math.Sqrt(variance[ch]+b.Eps)
+		g := float64(gamma.Data()[ch])
+
+		// First pass: channel reductions.
+		var sumDy, sumDyXhat float64
+		for img := 0; img < n; img++ {
+			base := (img*c + ch) * hw
+			for i := 0; i < hw; i++ {
+				dy := float64(gd[base+i])
+				xhat := (float64(xd[base+i]) - mean[ch]) * invStd
+				sumDy += dy
+				sumDyXhat += dy * xhat
+			}
+		}
+		gradBeta.Data()[ch] = float32(sumDy)
+		gradGamma.Data()[ch] = float32(sumDyXhat)
+
+		// Second pass: dx = (γ·invStd/m)·(m·dy − Σdy − x̂·Σ(dy·x̂)).
+		k := g * invStd / m
+		for img := 0; img < n; img++ {
+			base := (img*c + ch) * hw
+			for i := 0; i < hw; i++ {
+				dy := float64(gd[base+i])
+				xhat := (float64(xd[base+i]) - mean[ch]) * invStd
+				gradX.Data()[base+i] = float32(k * (m*dy - sumDy - xhat*sumDyXhat))
+			}
+		}
+	}
+	return []*tensor.Tensor{gradX, gradGamma, gradBeta}
+}
+
+// FwdCost implements graph.Op: two reduction passes plus one scale pass.
+func (b *BatchNorm) FwdCost(in []tensor.Shape, out tensor.Shape, eb int) graph.Cost {
+	return pointwiseCost(out.NumElements(), 3, 4, eb)
+}
+
+// BwdCost implements graph.Op.
+func (b *BatchNorm) BwdCost(in []tensor.Shape, out tensor.Shape, eb int) graph.Cost {
+	return pointwiseCost(out.NumElements(), 4, 6, eb)
+}
+
+// Categories implements graph.Op.
+func (b *BatchNorm) Categories() (graph.Category, graph.Category) {
+	return graph.CatForwardPointwise, graph.CatBackwardPointwise
+}

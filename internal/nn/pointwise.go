@@ -1,0 +1,251 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/graph"
+	"repro/internal/tensor"
+)
+
+// pointwiseCost is the shared cost model for elementwise kernels: a couple
+// of FLOPs per element, traffic of one read and one write per tensor
+// touched. These kernels are memory-bound, which is why the paper's
+// profiles show them near peak memory bandwidth and negligible math.
+func pointwiseCost(elems int, tensorsTouched int, flopsPerElem float64, elemBytes int) graph.Cost {
+	return graph.Cost{
+		FLOPs: flopsPerElem * float64(elems),
+		Bytes: float64(tensorsTouched) * float64(elems) * float64(elemBytes),
+	}
+}
+
+// ReLU is the rectified linear activation.
+type ReLU struct{}
+
+// Name implements graph.Op.
+func (ReLU) Name() string { return "relu" }
+
+// OutShape implements graph.Op.
+func (ReLU) OutShape(in []tensor.Shape) (tensor.Shape, error) {
+	if len(in) != 1 {
+		return nil, fmt.Errorf("relu wants 1 input")
+	}
+	return in[0].Clone(), nil
+}
+
+// Forward implements graph.Op.
+func (ReLU) Forward(in []*tensor.Tensor) *tensor.Tensor { return tensor.ReLU(in[0]) }
+
+// Backward implements graph.Op.
+func (ReLU) Backward(in []*tensor.Tensor, out, gradOut *tensor.Tensor) []*tensor.Tensor {
+	return []*tensor.Tensor{tensor.ReLUGrad(in[0], gradOut)}
+}
+
+// FwdCost implements graph.Op.
+func (ReLU) FwdCost(in []tensor.Shape, out tensor.Shape, eb int) graph.Cost {
+	return pointwiseCost(out.NumElements(), 2, 1, eb)
+}
+
+// BwdCost implements graph.Op.
+func (ReLU) BwdCost(in []tensor.Shape, out tensor.Shape, eb int) graph.Cost {
+	return pointwiseCost(out.NumElements(), 3, 1, eb)
+}
+
+// Categories implements graph.Op.
+func (ReLU) Categories() (graph.Category, graph.Category) {
+	return graph.CatForwardPointwise, graph.CatBackwardPointwise
+}
+
+// BiasAdd adds a per-channel bias vector b[C] to an NCHW activation.
+type BiasAdd struct{}
+
+// Name implements graph.Op.
+func (BiasAdd) Name() string { return "bias_add" }
+
+// OutShape implements graph.Op.
+func (BiasAdd) OutShape(in []tensor.Shape) (tensor.Shape, error) {
+	if len(in) != 2 {
+		return nil, fmt.Errorf("bias_add wants 2 inputs (x, b)")
+	}
+	x, b := in[0], in[1]
+	if x.Rank() != 4 || b.Rank() != 1 || b[0] != x[1] {
+		return nil, fmt.Errorf("bias_add shapes %v, %v incompatible", x, b)
+	}
+	return x.Clone(), nil
+}
+
+// Forward implements graph.Op.
+func (BiasAdd) Forward(in []*tensor.Tensor) *tensor.Tensor {
+	x, b := in[0], in[1]
+	xs := x.Shape()
+	n, c, hw := xs[0], xs[1], xs[2]*xs[3]
+	out := x.Clone()
+	od, bd := out.Data(), b.Data()
+	for i := 0; i < n; i++ {
+		for ch := 0; ch < c; ch++ {
+			base := (i*c + ch) * hw
+			bv := bd[ch]
+			row := od[base : base+hw]
+			for j := range row {
+				row[j] += bv
+			}
+		}
+	}
+	return out
+}
+
+// Backward implements graph.Op.
+func (BiasAdd) Backward(in []*tensor.Tensor, out, gradOut *tensor.Tensor) []*tensor.Tensor {
+	xs := in[0].Shape()
+	n, c, hw := xs[0], xs[1], xs[2]*xs[3]
+	gradB := tensor.New(tensor.Shape{c})
+	gd, gb := gradOut.Data(), gradB.Data()
+	for i := 0; i < n; i++ {
+		for ch := 0; ch < c; ch++ {
+			base := (i*c + ch) * hw
+			var s float64
+			for _, v := range gd[base : base+hw] {
+				s += float64(v)
+			}
+			gb[ch] += float32(s)
+		}
+	}
+	return []*tensor.Tensor{gradOut.Clone(), gradB}
+}
+
+// FwdCost implements graph.Op.
+func (BiasAdd) FwdCost(in []tensor.Shape, out tensor.Shape, eb int) graph.Cost {
+	return pointwiseCost(out.NumElements(), 2, 1, eb)
+}
+
+// BwdCost implements graph.Op.
+func (BiasAdd) BwdCost(in []tensor.Shape, out tensor.Shape, eb int) graph.Cost {
+	return pointwiseCost(out.NumElements(), 2, 1, eb)
+}
+
+// Categories implements graph.Op.
+func (BiasAdd) Categories() (graph.Category, graph.Category) {
+	return graph.CatForwardPointwise, graph.CatBackwardPointwise
+}
+
+// Add is the elementwise residual addition used by ResNet blocks.
+type Add struct{}
+
+// Name implements graph.Op.
+func (Add) Name() string { return "add" }
+
+// OutShape implements graph.Op.
+func (Add) OutShape(in []tensor.Shape) (tensor.Shape, error) {
+	if len(in) != 2 {
+		return nil, fmt.Errorf("add wants 2 inputs")
+	}
+	if !in[0].Equal(in[1]) {
+		return nil, fmt.Errorf("add shape mismatch %v vs %v", in[0], in[1])
+	}
+	return in[0].Clone(), nil
+}
+
+// Forward implements graph.Op.
+func (Add) Forward(in []*tensor.Tensor) *tensor.Tensor { return tensor.Add(in[0], in[1]) }
+
+// Backward implements graph.Op.
+func (Add) Backward(in []*tensor.Tensor, out, gradOut *tensor.Tensor) []*tensor.Tensor {
+	return []*tensor.Tensor{gradOut.Clone(), gradOut.Clone()}
+}
+
+// FwdCost implements graph.Op.
+func (Add) FwdCost(in []tensor.Shape, out tensor.Shape, eb int) graph.Cost {
+	return pointwiseCost(out.NumElements(), 3, 1, eb)
+}
+
+// BwdCost implements graph.Op.
+func (Add) BwdCost(in []tensor.Shape, out tensor.Shape, eb int) graph.Cost {
+	return pointwiseCost(out.NumElements(), 3, 0, eb)
+}
+
+// Categories implements graph.Op.
+func (Add) Categories() (graph.Category, graph.Category) {
+	return graph.CatForwardPointwise, graph.CatBackwardPointwise
+}
+
+// Dropout zeroes activations with probability Rate during training and
+// rescales survivors by 1/(1-Rate). The mask is stored on the op instance
+// between forward and backward (single-executor constraint; see package
+// comment). With Train=false the op is the identity.
+type Dropout struct {
+	Rate  float64
+	Train bool
+	rng   *rand.Rand
+	mask  []float32
+}
+
+// NewDropout returns a dropout op seeded deterministically.
+func NewDropout(rate float64, seed int64) *Dropout {
+	if rate < 0 || rate >= 1 {
+		panic("nn: dropout rate must be in [0,1)")
+	}
+	return &Dropout{Rate: rate, Train: true, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Name implements graph.Op.
+func (d *Dropout) Name() string { return "dropout" }
+
+// OutShape implements graph.Op.
+func (d *Dropout) OutShape(in []tensor.Shape) (tensor.Shape, error) {
+	if len(in) != 1 {
+		return nil, fmt.Errorf("dropout wants 1 input")
+	}
+	return in[0].Clone(), nil
+}
+
+// Forward implements graph.Op.
+func (d *Dropout) Forward(in []*tensor.Tensor) *tensor.Tensor {
+	x := in[0]
+	if !d.Train || d.Rate == 0 {
+		return x.Clone()
+	}
+	out := tensor.New(x.Shape())
+	if cap(d.mask) < x.NumElements() {
+		d.mask = make([]float32, x.NumElements())
+	}
+	d.mask = d.mask[:x.NumElements()]
+	keep := float32(1 / (1 - d.Rate))
+	xd, od := x.Data(), out.Data()
+	for i := range xd {
+		if d.rng.Float64() < d.Rate {
+			d.mask[i] = 0
+		} else {
+			d.mask[i] = keep
+			od[i] = xd[i] * keep
+		}
+	}
+	return out
+}
+
+// Backward implements graph.Op.
+func (d *Dropout) Backward(in []*tensor.Tensor, out, gradOut *tensor.Tensor) []*tensor.Tensor {
+	if !d.Train || d.Rate == 0 {
+		return []*tensor.Tensor{gradOut.Clone()}
+	}
+	g := tensor.New(gradOut.Shape())
+	gd, od := gradOut.Data(), g.Data()
+	for i := range gd {
+		od[i] = gd[i] * d.mask[i]
+	}
+	return []*tensor.Tensor{g}
+}
+
+// FwdCost implements graph.Op.
+func (d *Dropout) FwdCost(in []tensor.Shape, out tensor.Shape, eb int) graph.Cost {
+	return pointwiseCost(out.NumElements(), 2, 1, eb)
+}
+
+// BwdCost implements graph.Op.
+func (d *Dropout) BwdCost(in []tensor.Shape, out tensor.Shape, eb int) graph.Cost {
+	return pointwiseCost(out.NumElements(), 2, 1, eb)
+}
+
+// Categories implements graph.Op.
+func (d *Dropout) Categories() (graph.Category, graph.Category) {
+	return graph.CatForwardPointwise, graph.CatBackwardPointwise
+}

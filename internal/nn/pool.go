@@ -1,0 +1,214 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/tensor"
+)
+
+// MaxPool2D is a max-pooling layer ("3×3 maxpool, /2" in the paper's
+// encoder). The backward pass recomputes the argmax from the saved forward
+// input, so the op is stateless.
+type MaxPool2D struct {
+	Kernel, Stride, Pad int
+}
+
+// NewMaxPool2D returns a max-pooling op.
+func NewMaxPool2D(kernel, stride, pad int) *MaxPool2D {
+	if kernel < 1 || stride < 1 || pad < 0 {
+		panic("nn: invalid MaxPool2D geometry")
+	}
+	return &MaxPool2D{Kernel: kernel, Stride: stride, Pad: pad}
+}
+
+// Name implements graph.Op.
+func (m *MaxPool2D) Name() string { return "maxpool" }
+
+func (m *MaxPool2D) geom(x tensor.Shape) tensor.ConvGeom {
+	return tensor.ConvGeom{
+		InH: x[2], InW: x[3],
+		KH: m.Kernel, KW: m.Kernel,
+		StrideH: m.Stride, StrideW: m.Stride,
+		PadH: m.Pad, PadW: m.Pad,
+		DilH: 1, DilW: 1,
+	}
+}
+
+// OutShape implements graph.Op.
+func (m *MaxPool2D) OutShape(in []tensor.Shape) (tensor.Shape, error) {
+	if len(in) != 1 || in[0].Rank() != 4 {
+		return nil, fmt.Errorf("maxpool wants one rank-4 input")
+	}
+	g := m.geom(in[0])
+	if g.OutH() <= 0 || g.OutW() <= 0 {
+		return nil, fmt.Errorf("maxpool output would be empty")
+	}
+	return tensor.NCHW(in[0][0], in[0][1], g.OutH(), g.OutW()), nil
+}
+
+// Forward implements graph.Op. Padding positions are treated as -Inf, so a
+// window fully in padding yields -MaxFloat (never happens with sane pads).
+func (m *MaxPool2D) Forward(in []*tensor.Tensor) *tensor.Tensor {
+	x := in[0]
+	xs := x.Shape()
+	n, c := xs[0], xs[1]
+	g := m.geom(xs)
+	oh, ow := g.OutH(), g.OutW()
+	out := tensor.New(tensor.NCHW(n, c, oh, ow))
+	xd, od := x.Data(), out.Data()
+	for img := 0; img < n*c; img++ {
+		src := xd[img*g.InH*g.InW:]
+		dst := od[img*oh*ow:]
+		for y := 0; y < oh; y++ {
+			for xo := 0; xo < ow; xo++ {
+				best := float32(math.Inf(-1))
+				for ky := 0; ky < g.KH; ky++ {
+					iy := y*g.StrideH + ky - g.PadH
+					if iy < 0 || iy >= g.InH {
+						continue
+					}
+					for kx := 0; kx < g.KW; kx++ {
+						ix := xo*g.StrideW + kx - g.PadW
+						if ix < 0 || ix >= g.InW {
+							continue
+						}
+						if v := src[iy*g.InW+ix]; v > best {
+							best = v
+						}
+					}
+				}
+				dst[y*ow+xo] = best
+			}
+		}
+	}
+	return out
+}
+
+// Backward routes each output gradient to the first argmax position in its
+// window (ties broken by scan order, matching cuDNN's deterministic mode).
+func (m *MaxPool2D) Backward(in []*tensor.Tensor, out, gradOut *tensor.Tensor) []*tensor.Tensor {
+	x := in[0]
+	xs := x.Shape()
+	n, c := xs[0], xs[1]
+	g := m.geom(xs)
+	oh, ow := g.OutH(), g.OutW()
+	gradX := tensor.New(xs)
+	xd, gd, gx := x.Data(), gradOut.Data(), gradX.Data()
+	for img := 0; img < n*c; img++ {
+		src := xd[img*g.InH*g.InW:]
+		gsrc := gd[img*oh*ow:]
+		gdst := gx[img*g.InH*g.InW:]
+		for y := 0; y < oh; y++ {
+			for xo := 0; xo < ow; xo++ {
+				best := float32(math.Inf(-1))
+				bi := -1
+				for ky := 0; ky < g.KH; ky++ {
+					iy := y*g.StrideH + ky - g.PadH
+					if iy < 0 || iy >= g.InH {
+						continue
+					}
+					for kx := 0; kx < g.KW; kx++ {
+						ix := xo*g.StrideW + kx - g.PadW
+						if ix < 0 || ix >= g.InW {
+							continue
+						}
+						if v := src[iy*g.InW+ix]; v > best {
+							best = v
+							bi = iy*g.InW + ix
+						}
+					}
+				}
+				if bi >= 0 {
+					gdst[bi] += gsrc[y*ow+xo]
+				}
+			}
+		}
+	}
+	return []*tensor.Tensor{gradX}
+}
+
+// FwdCost implements graph.Op: one compare per window tap.
+func (m *MaxPool2D) FwdCost(in []tensor.Shape, out tensor.Shape, eb int) graph.Cost {
+	taps := float64(m.Kernel * m.Kernel)
+	return graph.Cost{
+		FLOPs: taps * float64(out.NumElements()),
+		Bytes: float64(in[0].NumElements()+out.NumElements()) * float64(eb),
+	}
+}
+
+// BwdCost implements graph.Op.
+func (m *MaxPool2D) BwdCost(in []tensor.Shape, out tensor.Shape, eb int) graph.Cost {
+	return m.FwdCost(in, out, eb)
+}
+
+// Categories implements graph.Op.
+func (m *MaxPool2D) Categories() (graph.Category, graph.Category) {
+	return graph.CatForwardPointwise, graph.CatBackwardPointwise
+}
+
+// GlobalAvgPool reduces each channel plane to its mean, producing
+// [N, C, 1, 1]. Used by ASPP image-level features in standard DeepLabv3+.
+type GlobalAvgPool struct{}
+
+// Name implements graph.Op.
+func (GlobalAvgPool) Name() string { return "global_avg_pool" }
+
+// OutShape implements graph.Op.
+func (GlobalAvgPool) OutShape(in []tensor.Shape) (tensor.Shape, error) {
+	if len(in) != 1 || in[0].Rank() != 4 {
+		return nil, fmt.Errorf("global_avg_pool wants one rank-4 input")
+	}
+	return tensor.NCHW(in[0][0], in[0][1], 1, 1), nil
+}
+
+// Forward implements graph.Op.
+func (GlobalAvgPool) Forward(in []*tensor.Tensor) *tensor.Tensor {
+	x := in[0]
+	xs := x.Shape()
+	n, c, hw := xs[0], xs[1], xs[2]*xs[3]
+	out := tensor.New(tensor.NCHW(n, c, 1, 1))
+	xd, od := x.Data(), out.Data()
+	inv := 1 / float64(hw)
+	for i := 0; i < n*c; i++ {
+		var s float64
+		for _, v := range xd[i*hw : (i+1)*hw] {
+			s += float64(v)
+		}
+		od[i] = float32(s * inv)
+	}
+	return out
+}
+
+// Backward implements graph.Op.
+func (GlobalAvgPool) Backward(in []*tensor.Tensor, out, gradOut *tensor.Tensor) []*tensor.Tensor {
+	xs := in[0].Shape()
+	n, c, hw := xs[0], xs[1], xs[2]*xs[3]
+	gradX := tensor.New(xs)
+	gd, gx := gradOut.Data(), gradX.Data()
+	inv := 1 / float32(hw)
+	for i := 0; i < n*c; i++ {
+		g := gd[i] * inv
+		row := gx[i*hw : (i+1)*hw]
+		for j := range row {
+			row[j] = g
+		}
+	}
+	return []*tensor.Tensor{gradX}
+}
+
+// FwdCost implements graph.Op.
+func (GlobalAvgPool) FwdCost(in []tensor.Shape, out tensor.Shape, eb int) graph.Cost {
+	return pointwiseCost(in[0].NumElements(), 1, 1, eb)
+}
+
+// BwdCost implements graph.Op.
+func (GlobalAvgPool) BwdCost(in []tensor.Shape, out tensor.Shape, eb int) graph.Cost {
+	return pointwiseCost(in[0].NumElements(), 1, 1, eb)
+}
+
+// Categories implements graph.Op.
+func (GlobalAvgPool) Categories() (graph.Category, graph.Category) {
+	return graph.CatForwardPointwise, graph.CatBackwardPointwise
+}

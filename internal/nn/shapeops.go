@@ -1,0 +1,222 @@
+package nn
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/tensor"
+)
+
+// Concat joins tensors along the channel axis — the combination primitive
+// of Tiramisu's dense blocks (which concatenate where ResNet adds) and of
+// the ASPP branch merge. Its kernels are pure data movement, which is why
+// the paper files them under "Copies/Transposes".
+type Concat struct{}
+
+// Name implements graph.Op.
+func (Concat) Name() string { return "concat" }
+
+// OutShape implements graph.Op.
+func (Concat) OutShape(in []tensor.Shape) (tensor.Shape, error) {
+	if len(in) < 2 {
+		return nil, fmt.Errorf("concat wants ≥2 inputs")
+	}
+	first := in[0]
+	if first.Rank() != 4 {
+		return nil, fmt.Errorf("concat wants rank-4 inputs")
+	}
+	channels := first[1]
+	for _, s := range in[1:] {
+		if s.Rank() != 4 || s[0] != first[0] || s[2] != first[2] || s[3] != first[3] {
+			return nil, fmt.Errorf("concat incompatible shapes %v vs %v", first, s)
+		}
+		channels += s[1]
+	}
+	return tensor.NCHW(first[0], channels, first[2], first[3]), nil
+}
+
+// Forward implements graph.Op.
+func (Concat) Forward(in []*tensor.Tensor) *tensor.Tensor {
+	first := in[0].Shape()
+	n, h, w := first[0], first[2], first[3]
+	hw := h * w
+	totalC := 0
+	for _, t := range in {
+		totalC += t.Shape()[1]
+	}
+	out := tensor.New(tensor.NCHW(n, totalC, h, w))
+	od := out.Data()
+	for img := 0; img < n; img++ {
+		off := img * totalC * hw
+		for _, t := range in {
+			c := t.Shape()[1]
+			src := t.Data()[img*c*hw : (img+1)*c*hw]
+			copy(od[off:off+c*hw], src)
+			off += c * hw
+		}
+	}
+	return out
+}
+
+// Backward implements graph.Op, splitting the gradient back per input.
+func (Concat) Backward(in []*tensor.Tensor, out, gradOut *tensor.Tensor) []*tensor.Tensor {
+	first := in[0].Shape()
+	n, h, w := first[0], first[2], first[3]
+	hw := h * w
+	totalC := out.Shape()[1]
+	grads := make([]*tensor.Tensor, len(in))
+	for i, t := range in {
+		grads[i] = tensor.New(t.Shape())
+	}
+	gd := gradOut.Data()
+	for img := 0; img < n; img++ {
+		off := img * totalC * hw
+		for i, t := range in {
+			c := t.Shape()[1]
+			dst := grads[i].Data()[img*c*hw : (img+1)*c*hw]
+			copy(dst, gd[off:off+c*hw])
+			off += c * hw
+		}
+	}
+	return grads
+}
+
+// FwdCost implements graph.Op: a pure copy (read+write).
+func (Concat) FwdCost(in []tensor.Shape, out tensor.Shape, eb int) graph.Cost {
+	return graph.Cost{FLOPs: 0, Bytes: 2 * float64(out.NumElements()) * float64(eb)}
+}
+
+// BwdCost implements graph.Op.
+func (Concat) BwdCost(in []tensor.Shape, out tensor.Shape, eb int) graph.Cost {
+	return graph.Cost{FLOPs: 0, Bytes: 2 * float64(out.NumElements()) * float64(eb)}
+}
+
+// Categories implements graph.Op.
+func (Concat) Categories() (graph.Category, graph.Category) {
+	return graph.CatCopyTranspose, graph.CatCopyTranspose
+}
+
+// Upsample2x performs nearest-neighbour spatial upsampling by an integer
+// factor. Tiramisu's up path and ASPP image features use learned deconvs in
+// this codebase, but the op is provided for decoder variants and for
+// broadcasting pooled ASPP features back to the grid.
+type Upsample2x struct {
+	Factor int
+}
+
+// NewUpsample returns a nearest-neighbour upsampler.
+func NewUpsample(factor int) *Upsample2x {
+	if factor < 1 {
+		panic("nn: upsample factor must be ≥1")
+	}
+	return &Upsample2x{Factor: factor}
+}
+
+// Name implements graph.Op.
+func (u *Upsample2x) Name() string { return "upsample" }
+
+// OutShape implements graph.Op.
+func (u *Upsample2x) OutShape(in []tensor.Shape) (tensor.Shape, error) {
+	if len(in) != 1 || in[0].Rank() != 4 {
+		return nil, fmt.Errorf("upsample wants one rank-4 input")
+	}
+	s := in[0]
+	return tensor.NCHW(s[0], s[1], s[2]*u.Factor, s[3]*u.Factor), nil
+}
+
+// Forward implements graph.Op.
+func (u *Upsample2x) Forward(in []*tensor.Tensor) *tensor.Tensor {
+	x := in[0]
+	xs := x.Shape()
+	n, c, h, w := xs[0], xs[1], xs[2], xs[3]
+	f := u.Factor
+	out := tensor.New(tensor.NCHW(n, c, h*f, w*f))
+	xd, od := x.Data(), out.Data()
+	ow := w * f
+	for img := 0; img < n*c; img++ {
+		src := xd[img*h*w:]
+		dst := od[img*h*f*ow:]
+		for y := 0; y < h*f; y++ {
+			sy := y / f
+			for xo := 0; xo < ow; xo++ {
+				dst[y*ow+xo] = src[sy*w+xo/f]
+			}
+		}
+	}
+	return out
+}
+
+// Backward implements graph.Op: gradients of replicated pixels sum.
+func (u *Upsample2x) Backward(in []*tensor.Tensor, out, gradOut *tensor.Tensor) []*tensor.Tensor {
+	xs := in[0].Shape()
+	n, c, h, w := xs[0], xs[1], xs[2], xs[3]
+	f := u.Factor
+	gradX := tensor.New(xs)
+	gd, gx := gradOut.Data(), gradX.Data()
+	ow := w * f
+	for img := 0; img < n*c; img++ {
+		src := gd[img*h*f*ow:]
+		dst := gx[img*h*w:]
+		for y := 0; y < h*f; y++ {
+			sy := y / f
+			for xo := 0; xo < ow; xo++ {
+				dst[sy*w+xo/f] += src[y*ow+xo]
+			}
+		}
+	}
+	return []*tensor.Tensor{gradX}
+}
+
+// FwdCost implements graph.Op.
+func (u *Upsample2x) FwdCost(in []tensor.Shape, out tensor.Shape, eb int) graph.Cost {
+	return graph.Cost{FLOPs: 0, Bytes: float64(in[0].NumElements()+out.NumElements()) * float64(eb)}
+}
+
+// BwdCost implements graph.Op.
+func (u *Upsample2x) BwdCost(in []tensor.Shape, out tensor.Shape, eb int) graph.Cost {
+	return graph.Cost{FLOPs: float64(out.NumElements()), Bytes: float64(in[0].NumElements()+out.NumElements()) * float64(eb)}
+}
+
+// Categories implements graph.Op.
+func (u *Upsample2x) Categories() (graph.Category, graph.Category) {
+	return graph.CatCopyTranspose, graph.CatCopyTranspose
+}
+
+// Identity copies its input — a stand-in for the layout copies/transposes
+// TensorFlow inserts, letting graphs model that traffic explicitly (the
+// paper removed some of these for a 10% gain at scale).
+type Identity struct{}
+
+// Name implements graph.Op.
+func (Identity) Name() string { return "identity" }
+
+// OutShape implements graph.Op.
+func (Identity) OutShape(in []tensor.Shape) (tensor.Shape, error) {
+	if len(in) != 1 {
+		return nil, fmt.Errorf("identity wants 1 input")
+	}
+	return in[0].Clone(), nil
+}
+
+// Forward implements graph.Op.
+func (Identity) Forward(in []*tensor.Tensor) *tensor.Tensor { return in[0].Clone() }
+
+// Backward implements graph.Op.
+func (Identity) Backward(in []*tensor.Tensor, out, gradOut *tensor.Tensor) []*tensor.Tensor {
+	return []*tensor.Tensor{gradOut.Clone()}
+}
+
+// FwdCost implements graph.Op.
+func (Identity) FwdCost(in []tensor.Shape, out tensor.Shape, eb int) graph.Cost {
+	return graph.Cost{Bytes: 2 * float64(out.NumElements()) * float64(eb)}
+}
+
+// BwdCost implements graph.Op.
+func (Identity) BwdCost(in []tensor.Shape, out tensor.Shape, eb int) graph.Cost {
+	return graph.Cost{Bytes: 2 * float64(out.NumElements()) * float64(eb)}
+}
+
+// Categories implements graph.Op.
+func (Identity) Categories() (graph.Category, graph.Category) {
+	return graph.CatCopyTranspose, graph.CatCopyTranspose
+}

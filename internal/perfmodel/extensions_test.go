@@ -1,0 +1,128 @@
+package perfmodel_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/perfmodel"
+)
+
+func TestStrongScalingDecaysFasterThanWeak(t *testing.T) {
+	s := summitDeepLabFP16(t, 1)
+	const globalBatch = 2048
+	weak1k := s.At(1024).Efficiency
+	strong1k := s.StrongScalingAt(1024, globalBatch).Efficiency
+	strong8k := s.StrongScalingAt(8192, globalBatch).Efficiency
+	t.Logf("1024 GPUs: weak %.1f%%, strong %.1f%%; 8192 GPUs strong: %.1f%%",
+		weak1k*100, strong1k*100, strong8k*100)
+	if strong1k > weak1k {
+		t.Fatal("strong scaling cannot beat weak scaling")
+	}
+	if strong8k >= strong1k {
+		t.Fatal("strong-scaling efficiency must fall as per-GPU work shrinks")
+	}
+	// At batch = GPUs (one sample per GPU and shrinking no further),
+	// throughput still grows sublinearly past the comm floor.
+	p1 := s.StrongScalingAt(1024, globalBatch)
+	p2 := s.StrongScalingAt(4096, globalBatch)
+	if p2.ImagesPerS <= p1.ImagesPerS {
+		t.Fatal("strong scaling should still speed up in this range")
+	}
+}
+
+func TestModelParallelSweetSpot(t *testing.T) {
+	// Splitting the paper-size sample across Summit's 6 NVLink GPUs:
+	// speedup must be >1 (NVLink is fast relative to the halo volume) but
+	// sub-linear, and efficiency must decline with ways.
+	s := summitDeepLabFP16(t, 1)
+	single := s.BaseStep()
+	mp := perfmodel.ModelParallelConfig{
+		Machine: perfmodel.Summit(),
+		Height:  768, Width: 1152, Channels: 256,
+		HaloRows: 2, Layers: 60, ElemBytes: 2,
+	}
+	prevEff := 1.1
+	for _, ways := range []int{2, 3, 6} {
+		sp := mp.Speedup(single, ways)
+		eff := mp.Efficiency(single, ways)
+		t.Logf("%d-way model parallel: %.2fx speedup, %.1f%% efficiency", ways, sp, eff*100)
+		if sp <= 1 || sp >= float64(ways) {
+			t.Fatalf("%d-way speedup %.2f outside (1, ways)", ways, sp)
+		}
+		if eff >= prevEff {
+			t.Fatalf("efficiency should decline with ways")
+		}
+		prevEff = eff
+	}
+	if mp.Speedup(single, 1) != 1 {
+		t.Fatal("1-way must be unity")
+	}
+	if mp.HaloBytesPerStep() <= 0 {
+		t.Fatal("halo traffic must be positive")
+	}
+}
+
+func TestModelParallelBreaksDownOnSlowFabric(t *testing.T) {
+	// The same decomposition over the inter-node network (what the paper
+	// says requires "investments in more complex collectives") has a much
+	// earlier sweet spot.
+	s := summitDeepLabFP16(t, 1)
+	single := s.BaseStep()
+	slow := perfmodel.Summit()
+	slow.NVLinkBW = slow.InjectionBW / 4 // pretend halos cross IB per-NIC
+	slow.NetLatency *= 20
+	mp := perfmodel.ModelParallelConfig{
+		Machine: slow,
+		Height:  768, Width: 1152, Channels: 256,
+		HaloRows: 2, Layers: 60, ElemBytes: 2,
+	}
+	fast := mp
+	fast.Machine = perfmodel.Summit()
+	bFast := fast.BestWays(single, 16)
+	bSlow := mp.BestWays(single, 16)
+	t.Logf("best ways: NVLink %d, slow fabric %d", bFast, bSlow)
+	if bSlow > bFast {
+		t.Fatal("slower fabric should not prefer more ways")
+	}
+	if mp.Speedup(single, 6) >= fast.Speedup(single, 6) {
+		t.Fatal("slow fabric must reduce 6-way speedup")
+	}
+}
+
+func TestPaperLRMatchesFig6Labels(t *testing.T) {
+	cases := map[int]float64{384: 0.0001, 1536: 0.0064, 6144: 0.4096}
+	for gpus, want := range cases {
+		got := perfmodel.PaperLR(gpus)
+		if math.Abs(got-want)/want > 1e-9 {
+			t.Fatalf("PaperLR(%d) = %g want %g", gpus, got, want)
+		}
+	}
+	// Monotone in concurrency.
+	if perfmodel.PaperLR(768) <= perfmodel.PaperLR(384) {
+		t.Fatal("LR must grow with concurrency")
+	}
+}
+
+func TestStrongScalingMatchesWeakAtReferenceBatch(t *testing.T) {
+	// When the global batch equals n × per-GPU reference batch, strong
+	// scaling degenerates to weak scaling.
+	s := summitDeepLabFP16(t, 1)
+	n := 1536
+	global := n * s.Analysis.BatchSize
+	weak := s.At(n)
+	strong := s.StrongScalingAt(n, global)
+	if math.Abs(weak.ImagesPerS-strong.ImagesPerS)/weak.ImagesPerS > 1e-9 {
+		t.Fatalf("weak %g vs strong-at-reference %g images/s",
+			weak.ImagesPerS, strong.ImagesPerS)
+	}
+}
+
+func TestKernelEffDefaultsToUnity(t *testing.T) {
+	// A GPU struct with zero KernelEff (hand-constructed) must behave as 1.
+	g := perfmodel.GPU{Name: "x", PeakFP32: 1e12, PeakFP16: 2e12, MemBW: 1e11}
+	a := analysisFor(t, "tiramisu", graph.FP32, 1, 16)
+	if perfmodel.StepSeconds(a, g, graph.FP32) <= 0 {
+		t.Fatal("zero KernelEff should default, not divide by zero")
+	}
+}

@@ -1,0 +1,372 @@
+package perfmodel_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/models"
+	"repro/internal/perfmodel"
+	"repro/internal/stagefs"
+)
+
+// analyses are cached: symbolic graph construction is cheap but not free.
+var analysisCache = map[string]*graph.Analysis{}
+
+func analysisFor(t testing.TB, network string, p graph.Precision, batch, channels int) *graph.Analysis {
+	t.Helper()
+	key := network + p.String() + string(rune('0'+batch)) + string(rune('0'+channels/4))
+	if a, ok := analysisCache[key]; ok {
+		return a
+	}
+	cfg := models.Config{
+		BatchSize:  batch,
+		InChannels: channels,
+		NumClasses: 3,
+		Height:     768,
+		Width:      1152,
+		Symbolic:   true,
+		Seed:       1,
+	}
+	var g *graph.Graph
+	switch network {
+	case "deeplab":
+		net, err := models.BuildDeepLab(models.PaperDeepLab(cfg))
+		if err != nil {
+			t.Fatal(err)
+		}
+		g = net.Graph
+	case "tiramisu":
+		net, err := models.BuildTiramisu(models.PaperTiramisu(cfg))
+		if err != nil {
+			t.Fatal(err)
+		}
+		g = net.Graph
+	default:
+		t.Fatalf("unknown network %s", network)
+	}
+	a := graph.Analyze(g, graph.AnalyzeOptions{
+		Precision:             p,
+		IncludeOptimizer:      true,
+		IncludeAllreduce:      true,
+		IncludeTypeConversion: true,
+	})
+	analysisCache[key] = a
+	return a
+}
+
+// fig2Row is a paper target from Figure 2.
+type fig2Row struct {
+	network  string
+	gpu      perfmodel.GPU
+	prec     graph.Precision
+	batch    int
+	channels int
+	rate     float64 // samples/s
+	pctPeak  float64
+}
+
+var fig2 = []fig2Row{
+	{"deeplab", perfmodel.V100(), graph.FP16, 2, 16, 2.67, 31},
+	{"deeplab", perfmodel.V100(), graph.FP32, 1, 16, 0.87, 80},
+	{"tiramisu", perfmodel.V100(), graph.FP16, 2, 16, 5.00, 17},
+	{"tiramisu", perfmodel.V100(), graph.FP32, 1, 16, 1.91, 51},
+	{"tiramisu", perfmodel.P100(), graph.FP32, 1, 4, 1.20, 48},
+}
+
+func TestFig2SingleGPURates(t *testing.T) {
+	for _, row := range fig2 {
+		a := analysisFor(t, row.network, row.prec, row.batch, row.channels)
+		got := perfmodel.SingleGPUPerf(row.network, a, row.gpu, row.prec)
+		t.Logf("%-9s %s %s: %.2f TF/sample, %.2f samples/s (paper %.2f), %.0f%% peak (paper %.0f%%)",
+			row.network, row.gpu.Name, row.prec, got.TFPerSample,
+			got.SamplesPerS, row.rate, got.PctPeak, row.pctPeak)
+		if got.SamplesPerS < row.rate*0.6 || got.SamplesPerS > row.rate*1.6 {
+			t.Errorf("%s %s %s: rate %.2f outside ±60%% of paper %.2f",
+				row.network, row.gpu.Name, row.prec, got.SamplesPerS, row.rate)
+		}
+	}
+}
+
+func TestFig2Orderings(t *testing.T) {
+	// Robust shape checks across the Fig 2 table:
+	// 1. FP16 runs faster than FP32 for both networks.
+	// 2. DeepLab achieves a higher fraction of peak than Tiramisu.
+	// 3. FP32 achieves a higher fraction of peak than FP16.
+	get := func(n string, p graph.Precision, b int) perfmodel.SingleGPU {
+		a := analysisFor(t, n, p, b, 16)
+		return perfmodel.SingleGPUPerf(n, a, perfmodel.V100(), p)
+	}
+	dl32, dl16 := get("deeplab", graph.FP32, 1), get("deeplab", graph.FP16, 2)
+	tm32, tm16 := get("tiramisu", graph.FP32, 1), get("tiramisu", graph.FP16, 2)
+
+	if dl16.SamplesPerS <= dl32.SamplesPerS || tm16.SamplesPerS <= tm32.SamplesPerS {
+		t.Fatal("FP16 should be faster than FP32")
+	}
+	if dl32.PctPeak <= tm32.PctPeak || dl16.PctPeak <= tm16.PctPeak {
+		t.Fatal("DeepLab should be more efficient than Tiramisu")
+	}
+	if dl32.PctPeak <= dl16.PctPeak || tm32.PctPeak <= tm16.PctPeak {
+		t.Fatal("FP32 percent-of-peak should exceed FP16 percent-of-peak")
+	}
+	// Tiramisu should be faster in absolute samples/s despite lower
+	// efficiency (it does ~3.4x less work).
+	if tm32.SamplesPerS <= dl32.SamplesPerS {
+		t.Fatal("Tiramisu should process more samples/s than DeepLab")
+	}
+}
+
+func TestKernelTableShape(t *testing.T) {
+	a := analysisFor(t, "deeplab", graph.FP32, 1, 16)
+	rows := perfmodel.KernelTable(a, perfmodel.V100(), graph.FP32)
+	if len(rows) < 5 {
+		t.Fatalf("only %d categories", len(rows))
+	}
+	var pct, convPct float64
+	for _, r := range rows {
+		pct += r.PctTime
+		if r.Category == graph.CatForwardConv || r.Category == graph.CatBackwardConv {
+			convPct += r.PctTime
+		}
+		if r.TimeMS < 0 || r.PctMath > 110 || r.PctMem > 110 {
+			t.Fatalf("implausible row %+v", r)
+		}
+	}
+	if math.Abs(pct-100) > 1e-6 {
+		t.Fatalf("%%time sums to %g", pct)
+	}
+	// Fig 9: convolutions dominate FP32 DeepLab time (~82%).
+	if convPct < 60 {
+		t.Fatalf("convolutions only %.0f%% of time", convPct)
+	}
+	t.Logf("\n%s", perfmodel.FormatTable(rows))
+}
+
+func TestTiramisuFP16MemoryBound(t *testing.T) {
+	// Fig 8's FP16 story: Tiramisu's convolutions achieve only ~21–28% of
+	// math peak because they are bandwidth-limited (small filters).
+	a := analysisFor(t, "tiramisu", graph.FP16, 2, 16)
+	rows := perfmodel.KernelTable(a, perfmodel.V100(), graph.FP16)
+	for _, r := range rows {
+		if r.Category == graph.CatForwardConv || r.Category == graph.CatBackwardConv {
+			if r.PctMath > 60 {
+				t.Fatalf("%s achieves %.0f%% math in FP16 — expected memory-bound (<60%%)",
+					r.Category, r.PctMath)
+			}
+		}
+	}
+	// In FP32 the same convolutions should be closer to math-bound.
+	a32 := analysisFor(t, "tiramisu", graph.FP32, 1, 16)
+	rows32 := perfmodel.KernelTable(a32, perfmodel.V100(), graph.FP32)
+	for _, r := range rows32 {
+		if r.Category == graph.CatBackwardConv && r.PctMath < 30 {
+			t.Fatalf("FP32 backward conv %.0f%% math too low", r.PctMath)
+		}
+	}
+}
+
+func summitDeepLabFP16(t testing.TB, lag int) perfmodel.ScalingConfig {
+	a := analysisFor(t, "deeplab", graph.FP16, 2, 16)
+	return perfmodel.ScalingConfig{
+		Machine:         perfmodel.Summit(),
+		Analysis:        a,
+		Precision:       graph.FP16,
+		GradBytes:       44.3e6 * 2, // params × FP16
+		NumTensors:      110,
+		Lag:             lag,
+		HierarchicalCtl: true,
+		Staged:          true,
+	}
+}
+
+func TestFig4bSummitDeepLabScaling(t *testing.T) {
+	s := summitDeepLabFP16(t, 1)
+	full := s.At(27360)
+	t.Logf("27360 GPUs FP16 lag1: %.1f PF/s sustained, %.2f EF/s peak, %.1f%% efficiency "+
+		"(paper: 999 PF/s, 1.13 EF/s, 90.7%%)",
+		full.PFps, full.PeakPFps/1000, full.Efficiency*100)
+	if full.Efficiency < 0.85 || full.Efficiency > 0.96 {
+		t.Fatalf("efficiency %.3f outside the paper's ~0.907 band", full.Efficiency)
+	}
+	if full.PFps < 600 || full.PFps > 1400 {
+		t.Fatalf("sustained %.0f PF/s outside band around paper's 999", full.PFps)
+	}
+	if full.PeakPFps <= full.PFps {
+		t.Fatal("peak must exceed sustained")
+	}
+	if full.PeakPFps < 800 || full.PeakPFps > 1500 {
+		t.Fatalf("peak %.0f PF/s outside band around paper's 1130", full.PeakPFps)
+	}
+}
+
+func TestLag1BeatsLag0AtScale(t *testing.T) {
+	lag0 := summitDeepLabFP16(t, 0)
+	lag1 := summitDeepLabFP16(t, 1)
+	small0, small1 := lag0.At(96), lag1.At(96)
+	big0, big1 := lag0.At(27360), lag1.At(27360)
+	t.Logf("96 GPUs: lag0 %.1f%% lag1 %.1f%%; 27360 GPUs: lag0 %.1f%% lag1 %.1f%%",
+		small0.Efficiency*100, small1.Efficiency*100, big0.Efficiency*100, big1.Efficiency*100)
+	if big1.Efficiency <= big0.Efficiency || small1.Efficiency <= small0.Efficiency {
+		t.Fatal("lag 1 should improve efficiency")
+	}
+	// The absolute throughput advantage grows with scale (the paper's
+	// "improving overall application scalability").
+	gainSmall := small1.ImagesPerS - small0.ImagesPerS
+	gainBig := big1.ImagesPerS - big0.ImagesPerS
+	if gainBig <= gainSmall {
+		t.Fatalf("lag-1 throughput gain should grow with scale: %+.1f at 96 vs %+.1f at 27360",
+			gainSmall, gainBig)
+	}
+}
+
+func TestFlatControlPlaneCollapsesAtScale(t *testing.T) {
+	// The motivating measurement for the hierarchical control plane: with
+	// the flat coordinator, rank 0's message load (millions/step) comes to
+	// dominate the step entirely.
+	tree := summitDeepLabFP16(t, 1)
+	flat := tree
+	flat.HierarchicalCtl = false
+	pTree := tree.At(27360)
+	pFlat := flat.At(27360)
+	t.Logf("27360 GPUs: tree %.1f%% efficiency, flat %.1f%%",
+		pTree.Efficiency*100, pFlat.Efficiency*100)
+	if pFlat.Efficiency > 0.5 {
+		t.Fatalf("flat control plane should collapse, got %.2f", pFlat.Efficiency)
+	}
+	// At 1024 GPUs (stock Horovod's proven range) flat must still be fine.
+	if p := flat.At(1024); p.Efficiency < 0.8 {
+		t.Fatalf("flat control plane should still work at 1024 GPUs, got %.2f", p.Efficiency)
+	}
+}
+
+func pizDaintTiramisu(t testing.TB, staged bool) perfmodel.ScalingConfig {
+	a := analysisFor(t, "tiramisu", graph.FP32, 1, 4)
+	return perfmodel.ScalingConfig{
+		Machine:         perfmodel.PizDaint(),
+		Analysis:        a,
+		Precision:       graph.FP32,
+		GradBytes:       7.2e6 * 4,
+		NumTensors:      110,
+		Lag:             1,
+		HierarchicalCtl: true,
+		Staged:          staged,
+		FS:              stagefs.PizDaintLustre(),
+		SampleBytes:     16 * 768 * 1152 * 4, // full 16-channel sample read from disk
+	}
+}
+
+func TestFig4aPizDaintScaling(t *testing.T) {
+	s := pizDaintTiramisu(t, true)
+	p2048 := s.At(2048)
+	p5300 := s.At(5300)
+	t.Logf("Piz Daint staged: 2048 GPUs %.1f%% (paper 83.4%%), 5300 GPUs %.1f%% (paper 79.0%%), %.1f PF/s (paper 21.0)",
+		p2048.Efficiency*100, p5300.Efficiency*100, p5300.PFps)
+	if p2048.Efficiency < 0.78 || p2048.Efficiency > 0.90 {
+		t.Fatalf("2048-GPU efficiency %.3f outside band around paper's 0.834", p2048.Efficiency)
+	}
+	if p5300.Efficiency < 0.72 || p5300.Efficiency > 0.86 {
+		t.Fatalf("5300-GPU efficiency %.3f outside band around paper's 0.790", p5300.Efficiency)
+	}
+	if p5300.Efficiency >= p2048.Efficiency {
+		t.Fatal("efficiency must fall with scale")
+	}
+	if p5300.PFps < 12 || p5300.PFps > 32 {
+		t.Fatalf("full-machine %.1f PF/s outside band around paper's 21.0", p5300.PFps)
+	}
+}
+
+func TestFig5StagingCrossover(t *testing.T) {
+	staged := pizDaintTiramisu(t, true)
+	global := pizDaintTiramisu(t, false)
+	// Matched at small scale...
+	s128, g128 := staged.At(128), global.At(128)
+	if rel := math.Abs(s128.ImagesPerS-g128.ImagesPerS) / s128.ImagesPerS; rel > 0.02 {
+		t.Fatalf("at 128 GPUs staged and global should match (Δ=%.1f%%)", rel*100)
+	}
+	// ...but global storage falls behind by 2048 (paper: 75.8% vs 83.4%,
+	// a 9.5% penalty).
+	s2048, g2048 := staged.At(2048), global.At(2048)
+	penalty := 1 - g2048.Efficiency/s2048.Efficiency
+	t.Logf("2048 GPUs: staged %.1f%%, global %.1f%% (penalty %.1f%%, paper 9.5%%)",
+		s2048.Efficiency*100, g2048.Efficiency*100, penalty*100)
+	if penalty < 0.04 || penalty > 0.20 {
+		t.Fatalf("staging penalty %.3f outside band around paper's 0.095", penalty)
+	}
+	if g2048.Efficiency >= s2048.Efficiency {
+		t.Fatal("global storage must be slower at scale")
+	}
+}
+
+func TestSummitTiramisuScaling(t *testing.T) {
+	// Fig 4a Summit rows: Tiramisu at 4096 nodes (24576 GPUs): 176.8 PF/s
+	// FP32 and 492.2 PF/s FP16, ≥90% efficiency.
+	for _, tc := range []struct {
+		prec    graph.Precision
+		batch   int
+		grad    float64
+		paperPF float64
+	}{
+		{graph.FP32, 1, 7.2e6 * 4, 176.8},
+		{graph.FP16, 2, 7.2e6 * 2, 492.2},
+	} {
+		a := analysisFor(t, "tiramisu", tc.prec, tc.batch, 16)
+		s := perfmodel.ScalingConfig{
+			Machine: perfmodel.Summit(), Analysis: a, Precision: tc.prec,
+			GradBytes: tc.grad, NumTensors: 110, Lag: 1,
+			HierarchicalCtl: true, Staged: true,
+		}
+		p := s.At(24576)
+		t.Logf("Tiramisu %s 24576 GPUs: %.1f PF/s (paper %.1f), %.1f%% efficiency",
+			tc.prec, p.PFps, tc.paperPF, p.Efficiency*100)
+		if p.Efficiency < 0.85 {
+			t.Errorf("%s efficiency %.3f below the paper's >0.90 ballpark", tc.prec, p.Efficiency)
+		}
+		if p.PFps < tc.paperPF*0.5 || p.PFps > tc.paperPF*1.7 {
+			t.Errorf("%s %.1f PF/s outside band around paper's %.1f", tc.prec, p.PFps, tc.paperPF)
+		}
+	}
+}
+
+func TestSweepMonotonics(t *testing.T) {
+	s := summitDeepLabFP16(t, 1)
+	counts := []int{6, 96, 1536, 6144, 27360}
+	pts := s.Sweep(counts)
+	for i := 1; i < len(pts); i++ {
+		if pts[i].ImagesPerS <= pts[i-1].ImagesPerS {
+			t.Fatal("throughput must grow with GPUs in weak scaling")
+		}
+		if pts[i].Efficiency > pts[i-1].Efficiency+1e-9 {
+			t.Fatal("efficiency must not increase with scale")
+		}
+	}
+	if pts[0].GPUs != 6 || pts[len(pts)-1].GPUs != 27360 {
+		t.Fatal("sweep points mislabeled")
+	}
+}
+
+func TestAllreduceModelProperties(t *testing.T) {
+	s := summitDeepLabFP16(t, 1)
+	// More GPUs → more time (weakly), bounded by the 2·B/injection limit.
+	t96 := s.AllreduceSeconds(96)
+	t27k := s.AllreduceSeconds(27360)
+	if t27k < t96 {
+		t.Fatal("allreduce time should not shrink with scale")
+	}
+	bound := 2*s.GradBytes/s.Machine.InjectionBW +
+		2*2*s.GradBytes/s.Machine.NVLinkBW + 1e-3
+	if t27k > bound {
+		t.Fatalf("allreduce %.4g exceeds bandwidth bound %.4g", t27k, bound)
+	}
+	if s.AllreduceSeconds(1) != 0 {
+		t.Fatal("single GPU needs no allreduce")
+	}
+	// Control plane: flat grows linearly, tree is constant.
+	flat := s
+	flat.HierarchicalCtl = false
+	if flat.ControlSeconds(2000) >= flat.ControlSeconds(20000) {
+		t.Fatal("flat control cost should grow with ranks")
+	}
+	if s.ControlSeconds(2000) != s.ControlSeconds(20000) {
+		t.Fatal("tree control cost should be scale-free")
+	}
+}

@@ -1,0 +1,198 @@
+package perfmodel
+
+import (
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/stagefs"
+)
+
+// ScalingConfig describes a weak-scaling experiment: a fixed per-GPU
+// workload replicated over n GPUs with synchronous gradient exchange.
+type ScalingConfig struct {
+	Machine   Machine
+	Analysis  *graph.Analysis
+	Precision graph.Precision
+
+	// GradBytes is the per-step all-reduce volume (params × element size).
+	GradBytes float64
+	// NumTensors is the gradient tensor count (control-plane load).
+	NumTensors int
+	// Lag enables the paper's gradient-lag optimizer (Section V-B4):
+	// lag 1 overlaps essentially all communication with compute.
+	Lag int
+	// HierarchicalCtl selects the radix-r control plane; false models
+	// stock Horovod's flat coordinator.
+	HierarchicalCtl bool
+	// CtlRadix is the tree radix (default 4).
+	CtlRadix int
+
+	// Staged=true feeds input from node-local storage; false reads the
+	// shared file system every step (Fig 5's "global storage" curves).
+	Staged      bool
+	FS          stagefs.SharedFS
+	SampleBytes float64
+
+	// CoordMsgPerSec is the coordinator's message-processing capacity.
+	CoordMsgPerSec float64
+	// LaunchOverhead is the CPU-side cost to post one fused collective.
+	LaunchOverhead float64
+}
+
+// Defaults fills zero-valued tunables.
+func (s ScalingConfig) withDefaults() ScalingConfig {
+	if s.CtlRadix == 0 {
+		s.CtlRadix = 4
+	}
+	if s.CoordMsgPerSec == 0 {
+		s.CoordMsgPerSec = 2e6
+	}
+	if s.LaunchOverhead == 0 {
+		s.LaunchOverhead = 100e-6
+	}
+	return s
+}
+
+// BaseStep returns the single-GPU step time (no communication, no jitter).
+func (s ScalingConfig) BaseStep() float64 {
+	return StepSeconds(s.Analysis, s.Machine.GPU, s.Precision)
+}
+
+// AllreduceSeconds models the paper's hybrid all-reduce for the given GPU
+// count: an NVLink ring within the node, sharded Rabenseifner-style
+// exchanges across nodes on the virtual NICs, and an NVLink broadcast.
+// With one GPU per node (Piz Daint) only the cross-node phase exists.
+func (s ScalingConfig) AllreduceSeconds(nGPUs int) float64 {
+	m := s.Machine
+	g := m.GPUsPerNode
+	if nGPUs <= 1 {
+		return 0
+	}
+	nodes := (nGPUs + g - 1) / g
+	var t float64
+	if g > 1 && nGPUs >= g {
+		// Intra-node ring reduce + broadcast: each moves (g-1)/g · B.
+		t += 2 * float64(g-1) / float64(g) * s.GradBytes / m.NVLinkBW
+	}
+	if nodes > 1 {
+		// Sharded cross-node phase: all NICs work in parallel, so the
+		// whole buffer crosses the injection link ~2(nodes-1)/nodes times.
+		bw := 2 * float64(nodes-1) / float64(nodes) * s.GradBytes / m.InjectionBW
+		lat := 2 * math.Log2(float64(nodes)) * m.NetLatency
+		t += bw + lat
+	}
+	return t
+}
+
+// ControlSeconds models the per-step control-plane cost. The flat
+// coordinator serializes 2·(n−1) messages per tensor through rank 0; the
+// radix-r tree bounds every rank at 2r+2 per tensor.
+func (s ScalingConfig) ControlSeconds(nGPUs int) float64 {
+	if nGPUs <= 1 {
+		return 0
+	}
+	s = s.withDefaults()
+	var msgs float64
+	if s.HierarchicalCtl {
+		msgs = float64((2*s.CtlRadix + 2) * s.NumTensors)
+	} else {
+		msgs = float64(2 * (nGPUs - 1) * s.NumTensors)
+	}
+	return msgs / s.CoordMsgPerSec
+}
+
+// launchSeconds models CPU-side collective launch costs: lag 1 lets
+// Horovod fuse more tensors per launch (the paper's observation), so
+// fewer, larger batches are posted.
+func (s ScalingConfig) launchSeconds() float64 {
+	s = s.withDefaults()
+	batches := float64(s.NumTensors) / 3
+	if s.Lag >= 1 {
+		batches = float64(s.NumTensors) / 8
+	}
+	return batches * s.LaunchOverhead
+}
+
+// exposedCommSeconds is the portion of communication not hidden behind
+// backpropagation. Without lag, the top layers' gradients arrive last and
+// their reduction serializes with the next step; with lag 1 the schedule
+// has a full step of slack, hiding all but a residue.
+func (s ScalingConfig) exposedCommSeconds(nGPUs int) float64 {
+	ar := s.AllreduceSeconds(nGPUs)
+	frac := 0.5
+	if s.Lag >= 1 {
+		frac = 0.1
+	}
+	return frac*ar + s.ControlSeconds(nGPUs) + s.launchSeconds()
+}
+
+// jitterSeconds is the synchronization penalty: each rank's step time has
+// relative noise, and a synchronous step waits for the slowest of n ranks,
+// an expected maximum that grows with ln(n). The heavier-than-Gaussian
+// tail (input hiccups, OS noise bursts) makes ln(n) — rather than
+// √(2·ln n) — the empirically better fit to the paper's efficiencies.
+func (s ScalingConfig) jitterSeconds(nGPUs int, base float64) float64 {
+	if nGPUs <= 1 {
+		return 0
+	}
+	return base * s.Machine.JitterSigma * math.Log(float64(nGPUs))
+}
+
+// inputStallSeconds is the extra step time when the input pipeline cannot
+// keep up: staged runs read node-local storage (never limiting at these
+// rates); unstaged runs share the file system's aggregate bandwidth.
+func (s ScalingConfig) inputStallSeconds(nGPUs int, computeStep float64) float64 {
+	if s.Staged || s.SampleBytes == 0 {
+		return 0
+	}
+	share := s.FS.AggregateBW / float64(nGPUs)
+	inputStep := float64(s.Analysis.BatchSize) * s.SampleBytes / share
+	if inputStep <= computeStep {
+		return 0
+	}
+	return inputStep - computeStep
+}
+
+// StepSecondsAt returns the modeled per-step wall time at n GPUs.
+func (s ScalingConfig) StepSecondsAt(nGPUs int) float64 {
+	base := s.BaseStep()
+	step := base + s.exposedCommSeconds(nGPUs) + s.jitterSeconds(nGPUs, base)
+	step += s.inputStallSeconds(nGPUs, step)
+	return step
+}
+
+// Point is one weak-scaling measurement.
+type Point struct {
+	GPUs       int
+	ImagesPerS float64
+	PFps       float64 // sustained
+	PeakPFps   float64 // best-step rate (no jitter term)
+	Efficiency float64
+}
+
+// At evaluates the scaling model at n GPUs.
+func (s ScalingConfig) At(nGPUs int) Point {
+	base := s.BaseStep()
+	step := s.StepSecondsAt(nGPUs)
+	images := float64(nGPUs) * float64(s.Analysis.BatchSize) / step
+	flopsPerSample := s.Analysis.FLOPsPerSample()
+	// Peak: the best steps don't pay the straggler penalty.
+	bestStep := step - s.jitterSeconds(nGPUs, base)
+	peakImages := float64(nGPUs) * float64(s.Analysis.BatchSize) / bestStep
+	return Point{
+		GPUs:       nGPUs,
+		ImagesPerS: images,
+		PFps:       images * flopsPerSample / 1e15,
+		PeakPFps:   peakImages * flopsPerSample / 1e15,
+		Efficiency: base / step,
+	}
+}
+
+// Sweep evaluates the model at each GPU count.
+func (s ScalingConfig) Sweep(gpuCounts []int) []Point {
+	out := make([]Point, len(gpuCounts))
+	for i, n := range gpuCounts {
+		out[i] = s.At(n)
+	}
+	return out
+}

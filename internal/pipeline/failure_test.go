@@ -1,0 +1,140 @@
+package pipeline
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/tensor"
+)
+
+// failingSource errors after a few successful loads — simulating a reader
+// process losing its file mid-epoch. Safe for concurrent readers.
+type failingSource struct {
+	failAfter int
+
+	mu    sync.Mutex
+	loads int
+}
+
+func (f *failingSource) NumSamples() int       { return 100 }
+func (f *failingSource) Meta() (int, int, int) { return 2, 4, 4 }
+func (f *failingSource) Load(_, i int) (*tensor.Tensor, *tensor.Tensor, error) {
+	f.mu.Lock()
+	f.loads++
+	fail := f.loads > f.failAfter
+	f.mu.Unlock()
+	if fail {
+		return nil, nil, errors.New("injected read failure")
+	}
+	return tensor.New(tensor.Shape{2, 4, 4}), tensor.New(tensor.Shape{4, 4}), nil
+}
+
+func TestReaderFailurePropagates(t *testing.T) {
+	src := &failingSource{failAfter: 3}
+	p, err := New(src, Config{BatchSize: 2, Readers: 1, PrefetchDepth: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drain until the pipeline dies.
+	deadline := time.After(5 * time.Second)
+	for {
+		select {
+		case <-deadline:
+			t.Fatal("pipeline did not terminate after reader failure")
+		default:
+		}
+		if p.Next() == nil {
+			break
+		}
+	}
+	p.Stop()
+	if p.Err() == nil {
+		t.Fatal("reader failure not reported")
+	}
+}
+
+func TestConcurrentReaderFailureDoesNotDeadlock(t *testing.T) {
+	// Regression: setErr used to call Stop, which waits on the worker
+	// WaitGroup from inside a worker — with several concurrent readers the
+	// pipeline hung forever. The error path must end the stream and leave
+	// Stop callable.
+	src := &failingSource{failAfter: 3}
+	p, err := New(src, Config{BatchSize: 2, Readers: 4, PrefetchDepth: 2, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for p.Next() != nil {
+		}
+		p.Stop()
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("pipeline deadlocked after concurrent reader error")
+	}
+	if p.Err() == nil {
+		t.Fatal("reader error not surfaced")
+	}
+}
+
+func TestImmediateReaderErrorStillTerminates(t *testing.T) {
+	// Failure on the very first sample: no batch is ever produced, the
+	// stream must still close cleanly.
+	src := &failingSource{failAfter: 0}
+	p, err := New(src, Config{BatchSize: 2, Readers: 2, PrefetchDepth: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for p.Next() != nil {
+		}
+		p.Stop()
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("pipeline deadlocked on immediate reader error")
+	}
+	if p.Err() == nil {
+		t.Fatal("error not recorded")
+	}
+}
+
+func TestStopIsIdempotent(t *testing.T) {
+	src := genSource(4)
+	p, err := New(src, Config{BatchSize: 1, Readers: 2, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Stop()
+	p.Stop() // second stop must not panic or deadlock
+}
+
+func TestNextAfterStopReturnsNil(t *testing.T) {
+	src := genSource(4)
+	p, err := New(src, Config{BatchSize: 1, Readers: 1, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Stop()
+	// After stop the channel eventually closes; Next must return nil, not
+	// hang (bounded wait).
+	done := make(chan bool, 1)
+	go func() {
+		for p.Next() != nil {
+		}
+		done <- true
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Next hung after Stop")
+	}
+}

@@ -1,0 +1,114 @@
+// Package simnet models the interconnects of the paper's two machines in
+// virtual time. Communication code (mpi, nccl, horovod, allreduce) moves
+// real payloads between goroutine ranks while charging transfer times from
+// these fabric models, so algorithmic behaviour is exercised for real and
+// timing is simulated — the only way to "run" a 27,360-GPU machine on one
+// CPU core.
+package simnet
+
+import "fmt"
+
+// Fabric describes an interconnect: how ranks map to nodes and how long a
+// point-to-point transfer takes.
+type Fabric interface {
+	// Size returns the total rank count.
+	Size() int
+	// RanksPerNode returns how many ranks (GPUs) share a node.
+	RanksPerNode() int
+	// NodeOf returns the node index hosting a rank.
+	NodeOf(rank int) int
+	// TransferSeconds returns the virtual time for moving n bytes from src
+	// to dst (latency + size/bandwidth over the appropriate link class).
+	TransferSeconds(src, dst, bytes int) float64
+}
+
+// LinkSpec is a latency/bandwidth pair.
+type LinkSpec struct {
+	LatencySec  float64
+	BytesPerSec float64
+}
+
+// Time returns latency + bytes/bandwidth.
+func (l LinkSpec) Time(bytes int) float64 {
+	return l.LatencySec + float64(bytes)/l.BytesPerSec
+}
+
+// TwoLevelFabric is a cluster of identical nodes: ranks on the same node
+// communicate over the intra-node link (NVLink), ranks on different nodes
+// over the inter-node link (InfiniBand / Aries). This captures the
+// bandwidth asymmetry that motivates the paper's hybrid all-reduce.
+type TwoLevelFabric struct {
+	Nodes    int
+	PerNode  int
+	Intra    LinkSpec
+	Inter    LinkSpec
+	selfCopy LinkSpec
+}
+
+var _ Fabric = (*TwoLevelFabric)(nil)
+
+// NewTwoLevelFabric builds a fabric of nodes×perNode ranks.
+func NewTwoLevelFabric(nodes, perNode int, intra, inter LinkSpec) *TwoLevelFabric {
+	if nodes < 1 || perNode < 1 {
+		panic(fmt.Sprintf("simnet: bad fabric %d nodes × %d", nodes, perNode))
+	}
+	return &TwoLevelFabric{
+		Nodes:   nodes,
+		PerNode: perNode,
+		Intra:   intra,
+		Inter:   inter,
+		// Self-sends are queue operations, not wire transfers.
+		selfCopy: LinkSpec{LatencySec: 100e-9, BytesPerSec: 500e9},
+	}
+}
+
+// Size implements Fabric.
+func (f *TwoLevelFabric) Size() int { return f.Nodes * f.PerNode }
+
+// RanksPerNode implements Fabric.
+func (f *TwoLevelFabric) RanksPerNode() int { return f.PerNode }
+
+// NodeOf implements Fabric.
+func (f *TwoLevelFabric) NodeOf(rank int) int { return rank / f.PerNode }
+
+// TransferSeconds implements Fabric.
+func (f *TwoLevelFabric) TransferSeconds(src, dst, bytes int) float64 {
+	switch {
+	case src == dst:
+		return f.selfCopy.Time(bytes)
+	case f.NodeOf(src) == f.NodeOf(dst):
+		return f.Intra.Time(bytes)
+	default:
+		return f.Inter.Time(bytes)
+	}
+}
+
+// Summit returns a fabric modeling ORNL Summit nodes: 6 V100 GPUs per node
+// joined by NVLink (~150 GB/s effective per GPU pair group), nodes joined
+// by dual-rail EDR InfiniBand (2×100 Gb/s ≈ 25 GB/s per node, ~12.5 GB/s
+// per direction per rail pair as seen by one rank).
+func Summit(nodes int) *TwoLevelFabric {
+	return NewTwoLevelFabric(nodes, 6,
+		LinkSpec{LatencySec: 1e-6, BytesPerSec: 150e9},
+		LinkSpec{LatencySec: 1.5e-6, BytesPerSec: 12.5e9},
+	)
+}
+
+// PizDaint returns a fabric modeling CSCS Piz Daint XC50 nodes: one P100
+// per node on a Cray Aries dragonfly (~10 GB/s injection per node). The
+// intra link is only exercised by self-sends.
+func PizDaint(nodes int) *TwoLevelFabric {
+	return NewTwoLevelFabric(nodes, 1,
+		LinkSpec{LatencySec: 1e-6, BytesPerSec: 32e9}, // PCIe staging path
+		LinkSpec{LatencySec: 1.2e-6, BytesPerSec: 10e9},
+	)
+}
+
+// Loopback returns a single-node fabric for unit tests: n ranks all on one
+// node with fast links.
+func Loopback(n int) *TwoLevelFabric {
+	return NewTwoLevelFabric(1, n,
+		LinkSpec{LatencySec: 1e-7, BytesPerSec: 100e9},
+		LinkSpec{LatencySec: 1e-6, BytesPerSec: 10e9},
+	)
+}

@@ -1,0 +1,93 @@
+package simnet
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestLinkSpecTime(t *testing.T) {
+	l := LinkSpec{LatencySec: 1e-6, BytesPerSec: 1e9}
+	if got := l.Time(0); got != 1e-6 {
+		t.Fatalf("latency-only time = %g", got)
+	}
+	if got := l.Time(1e9); math.Abs(got-(1e-6+1)) > 1e-12 {
+		t.Fatalf("1 GB time = %g", got)
+	}
+	// Monotone in size.
+	if l.Time(100) >= l.Time(1000) {
+		t.Fatal("time not monotone in bytes")
+	}
+}
+
+func TestTwoLevelTopology(t *testing.T) {
+	f := NewTwoLevelFabric(3, 4, LinkSpec{1e-6, 100e9}, LinkSpec{2e-6, 10e9})
+	if f.Size() != 12 || f.RanksPerNode() != 4 {
+		t.Fatalf("size=%d perNode=%d", f.Size(), f.RanksPerNode())
+	}
+	if f.NodeOf(0) != 0 || f.NodeOf(3) != 0 || f.NodeOf(4) != 1 || f.NodeOf(11) != 2 {
+		t.Fatal("NodeOf wrong")
+	}
+}
+
+func TestTransferClassSelection(t *testing.T) {
+	f := NewTwoLevelFabric(2, 2, LinkSpec{1e-6, 100e9}, LinkSpec{1e-3, 1e6})
+	const bytes = 1 << 20
+	self := f.TransferSeconds(1, 1, bytes)
+	intra := f.TransferSeconds(0, 1, bytes)
+	inter := f.TransferSeconds(1, 2, bytes)
+	if !(self < intra && intra < inter) {
+		t.Fatalf("ordering violated: self %g, intra %g, inter %g", self, intra, inter)
+	}
+	// Symmetry.
+	if f.TransferSeconds(2, 1, bytes) != inter {
+		t.Fatal("transfer not symmetric")
+	}
+}
+
+func TestMachineFabrics(t *testing.T) {
+	s := Summit(4608)
+	if s.Size() != 27648 || s.RanksPerNode() != 6 {
+		t.Fatalf("summit size %d", s.Size())
+	}
+	// NVLink must be much faster than IB for large transfers.
+	const mb = 1 << 20
+	if s.TransferSeconds(0, 1, mb) >= s.TransferSeconds(0, 6, mb) {
+		t.Fatal("NVLink should beat IB")
+	}
+	p := PizDaint(5320)
+	if p.Size() != 5320 || p.RanksPerNode() != 1 {
+		t.Fatalf("pizdaint size %d", p.Size())
+	}
+	l := Loopback(8)
+	if l.Size() != 8 || l.NodeOf(7) != 0 {
+		t.Fatal("loopback wrong")
+	}
+}
+
+func TestFabricInvalidPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero-node fabric should panic")
+		}
+	}()
+	NewTwoLevelFabric(0, 4, LinkSpec{}, LinkSpec{})
+}
+
+func TestTransferTimeProperties(t *testing.T) {
+	// Property: transfer time is non-negative and monotone in size for
+	// arbitrary rank pairs.
+	f := Summit(8)
+	check := func(src, dst uint8, small, extra uint16) bool {
+		s := int(src) % f.Size()
+		d := int(dst) % f.Size()
+		b1 := int(small)
+		b2 := b1 + int(extra)
+		t1 := f.TransferSeconds(s, d, b1)
+		t2 := f.TransferSeconds(s, d, b2)
+		return t1 >= 0 && t2 >= t1
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

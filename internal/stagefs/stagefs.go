@@ -1,0 +1,122 @@
+// Package stagefs models the storage tiers involved in the paper's data
+// staging (Section V-A1): a shared parallel file system whose aggregate
+// bandwidth is divided among concurrent readers, per-node read bandwidth
+// that scales sub-linearly with reader threads (the paper measured
+// 1.79 GB/s with one thread and 11.98 GB/s with eight), and node-local
+// stores (Summit's 800 GB burst-buffer SSDs, Piz Daint's tmpfs).
+package stagefs
+
+import (
+	"fmt"
+	"math"
+)
+
+// SharedFS is a parallel file system bandwidth model.
+type SharedFS struct {
+	Name string
+	// AggregateBW is the file system's total read bandwidth in bytes/s.
+	AggregateBW float64
+	// PerThreadBW is one reader thread's achievable bandwidth in bytes/s.
+	PerThreadBW float64
+	// ThreadScalingExp is the exponent of the sub-linear thread speedup:
+	// node bandwidth = PerThreadBW · threads^exp (≈0.915 reproduces the
+	// paper's 6.7× at 8 threads).
+	ThreadScalingExp float64
+	// NodeCapBW caps one node's read bandwidth regardless of threads.
+	NodeCapBW float64
+}
+
+// NodeReadBW returns one node's achievable read bandwidth with the given
+// thread count, before aggregate contention.
+func (fs SharedFS) NodeReadBW(threads int) float64 {
+	if threads < 1 {
+		threads = 1
+	}
+	bw := fs.PerThreadBW * math.Pow(float64(threads), fs.ThreadScalingExp)
+	if fs.NodeCapBW > 0 && bw > fs.NodeCapBW {
+		bw = fs.NodeCapBW
+	}
+	return bw
+}
+
+// EffectiveBW returns the per-node bandwidth when `nodes` read
+// concurrently with `threads` threads each: the thread-scaled node rate
+// capped by a fair share of the aggregate.
+func (fs SharedFS) EffectiveBW(nodes, threads int) float64 {
+	if nodes < 1 {
+		nodes = 1
+	}
+	node := fs.NodeReadBW(threads)
+	share := fs.AggregateBW / float64(nodes)
+	return math.Min(node, share)
+}
+
+// ReadSeconds returns the time for `nodes` concurrent readers to each pull
+// bytesPerNode with the given thread count.
+func (fs SharedFS) ReadSeconds(nodes, threads int, bytesPerNode float64) float64 {
+	return bytesPerNode / fs.EffectiveBW(nodes, threads)
+}
+
+// Saturated reports whether the given concurrent demand (bytes/s) exceeds
+// the file system's aggregate bandwidth — the regime of the paper's Fig 5
+// where training directly from Lustre loses efficiency.
+func (fs SharedFS) Saturated(demandBytesPerSec float64) bool {
+	return demandBytesPerSec > fs.AggregateBW
+}
+
+// LocalStore is a node-local staging tier.
+type LocalStore struct {
+	Name          string
+	CapacityBytes float64
+	ReadBW        float64 // bytes/s served to the input pipeline
+	WriteBW       float64
+}
+
+// Fits reports whether a per-node shard fits the local tier.
+func (l LocalStore) Fits(bytes float64) bool {
+	return bytes <= l.CapacityBytes
+}
+
+// WriteSeconds returns the time to persist bytes into the store.
+func (l LocalStore) WriteSeconds(bytes float64) float64 { return bytes / l.WriteBW }
+
+// String describes the store.
+func (l LocalStore) String() string {
+	return fmt.Sprintf("%s(%.0f GB)", l.Name, l.CapacityBytes/1e9)
+}
+
+// SummitGPFS models Summit's Spectrum Scale (Alpine) file system as the
+// paper experienced it: ~2.5 TB/s aggregate, per-thread scaling measured
+// in Section V-A1.
+func SummitGPFS() SharedFS {
+	return SharedFS{
+		Name:             "Summit GPFS",
+		AggregateBW:      2.5e12,
+		PerThreadBW:      1.79e9,
+		ThreadScalingExp: 0.915,
+		NodeCapBW:        12.5e9,
+	}
+}
+
+// PizDaintLustre models the Piz Daint Lustre file system: 744 GB/s peak,
+// but the paper's workload observed an effective read limit of ~112 GB/s.
+func PizDaintLustre() SharedFS {
+	return SharedFS{
+		Name:             "Piz Daint Lustre",
+		AggregateBW:      112e9,
+		PerThreadBW:      1.5e9,
+		ThreadScalingExp: 0.915,
+		NodeCapBW:        6e9,
+	}
+}
+
+// SummitNVMe models the 800 GB node-local burst buffer.
+func SummitNVMe() LocalStore {
+	return LocalStore{Name: "NVMe", CapacityBytes: 800e9, ReadBW: 6e9, WriteBW: 2.1e9}
+}
+
+// PizDaintTmpfs models the Piz Daint DRAM staging tier (tmpfs): fast but
+// small — the capacity constraint the paper notes.
+func PizDaintTmpfs() LocalStore {
+	return LocalStore{Name: "tmpfs", CapacityBytes: 32e9, ReadBW: 40e9, WriteBW: 20e9}
+}

@@ -1,0 +1,94 @@
+package stagefs
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNodeReadBWThreadScaling(t *testing.T) {
+	fs := SummitGPFS()
+	if bw := fs.NodeReadBW(0); bw != fs.NodeReadBW(1) {
+		t.Fatal("0 threads should clamp to 1")
+	}
+	// Monotone (strictly below the cap), sub-linear, capped.
+	prev := 0.0
+	for th := 1; th <= 64; th *= 2 {
+		bw := fs.NodeReadBW(th)
+		if bw < prev {
+			t.Fatalf("bandwidth decreased at %d threads", th)
+		}
+		if bw == prev && prev < fs.NodeCapBW {
+			t.Fatalf("bandwidth stalled below cap at %d threads", th)
+		}
+		if bw > fs.NodeCapBW {
+			t.Fatalf("bandwidth %g exceeds cap %g", bw, fs.NodeCapBW)
+		}
+		prev = bw
+	}
+	if fs.NodeReadBW(64) != fs.NodeCapBW {
+		t.Fatal("high thread counts should saturate the node cap")
+	}
+	// Sub-linear: 8 threads < 8× one thread.
+	if fs.NodeReadBW(8) >= 8*fs.NodeReadBW(1) {
+		t.Fatal("scaling should be sub-linear")
+	}
+}
+
+func TestEffectiveBWFairShare(t *testing.T) {
+	fs := SharedFS{AggregateBW: 100e9, PerThreadBW: 2e9, ThreadScalingExp: 1, NodeCapBW: 10e9}
+	// Few nodes: limited by node rate.
+	if got := fs.EffectiveBW(2, 8); got != 10e9 {
+		t.Fatalf("node-limited bw = %g", got)
+	}
+	// Many nodes: limited by the aggregate share.
+	if got := fs.EffectiveBW(100, 8); got != 1e9 {
+		t.Fatalf("share-limited bw = %g", got)
+	}
+	if fs.EffectiveBW(0, 1) != fs.EffectiveBW(1, 1) {
+		t.Fatal("0 nodes should clamp to 1")
+	}
+}
+
+func TestReadSecondsAndSaturation(t *testing.T) {
+	fs := PizDaintLustre()
+	tm := fs.ReadSeconds(2048, 8, 1e9)
+	want := 1e9 / (112e9 / 2048)
+	if math.Abs(tm-want)/want > 1e-9 {
+		t.Fatalf("read time %g want %g", tm, want)
+	}
+	if fs.Saturated(111e9) || !fs.Saturated(113e9) {
+		t.Fatal("saturation threshold wrong")
+	}
+}
+
+func TestLocalStores(t *testing.T) {
+	nvme := SummitNVMe()
+	tmpfs := PizDaintTmpfs()
+	if !nvme.Fits(700e9) || nvme.Fits(900e9) {
+		t.Fatal("NVMe capacity checks wrong")
+	}
+	if tmpfs.Fits(100e9) {
+		t.Fatal("tmpfs should not fit 100 GB")
+	}
+	if nvme.WriteSeconds(2.1e9) < 0.99 || nvme.WriteSeconds(2.1e9) > 1.01 {
+		t.Fatalf("write time %g", nvme.WriteSeconds(2.1e9))
+	}
+}
+
+func TestEffectiveBWProperties(t *testing.T) {
+	fs := SummitGPFS()
+	// Property: per-node effective bandwidth never increases as more nodes
+	// contend, for any thread count.
+	f := func(nodesA, nodesB uint8, threads uint8) bool {
+		na, nb := int(nodesA)+1, int(nodesB)+1
+		if na > nb {
+			na, nb = nb, na
+		}
+		th := int(threads)%16 + 1
+		return fs.EffectiveBW(na, th) >= fs.EffectiveBW(nb, th)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,153 @@
+package storms
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/climate"
+	"repro/internal/tensor"
+)
+
+func sampleAt(t *testing.T) *climate.Sample {
+	t.Helper()
+	return climate.Generate(climate.DefaultGenConfig(96, 144, 7), 0)
+}
+
+func TestExtractFindsStamps(t *testing.T) {
+	s := sampleAt(t)
+	tcs, ars := ExtractAll(s, 4)
+	t.Logf("found %d TCs, %d ARs", len(tcs), len(ars))
+	if len(tcs) == 0 {
+		t.Fatal("no tropical cyclones extracted")
+	}
+	if len(ars) == 0 {
+		t.Fatal("no atmospheric rivers extracted")
+	}
+}
+
+func TestStormPhysicalSignatures(t *testing.T) {
+	s := sampleAt(t)
+	tcs, ars := ExtractAll(s, 4)
+
+	// Background reference values.
+	hw := 96 * 144
+	var bgWind, bgPrecip float64
+	var bgCount int
+	for i := 0; i < hw; i++ {
+		if s.Labels.Data()[i] == climate.ClassBackground {
+			u := float64(s.Fields.Data()[climate.ChU850*hw+i])
+			v := float64(s.Fields.Data()[climate.ChV850*hw+i])
+			bgWind += math.Hypot(u, v)
+			bgPrecip += float64(s.Fields.Data()[climate.ChPRECT*hw+i])
+			bgCount++
+		}
+	}
+	bgWind /= float64(bgCount)
+	bgPrecip /= float64(bgCount)
+
+	for _, tc := range tcs {
+		// A cyclone's peak wind must far exceed mean background wind, its
+		// central pressure must be depressed below ~1013 hPa.
+		if tc.MaxWind < 2*bgWind {
+			t.Errorf("TC max wind %.1f not anomalous (bg %.1f)", tc.MaxWind, bgWind)
+		}
+		if tc.MinPressure > 1005 {
+			t.Errorf("TC min pressure %.0f not depressed", tc.MinPressure)
+		}
+		if tc.MeanPrecip < bgPrecip {
+			t.Errorf("TC precip %.2f below background %.2f", tc.MeanPrecip, bgPrecip)
+		}
+		if tc.PowerDissipation <= 0 || tc.AreaFrac <= 0 {
+			t.Error("TC missing derived stats")
+		}
+	}
+	for _, ar := range ars {
+		// Rivers carry anomalous moisture.
+		if ar.MeanIWV < 20 {
+			t.Errorf("AR mean IWV %.1f too low", ar.MeanIWV)
+		}
+	}
+}
+
+func TestExtractRespectsMinPixels(t *testing.T) {
+	s := sampleAt(t)
+	all := Extract(s.Fields, s.Labels, climate.ClassTC, 1)
+	big := Extract(s.Fields, s.Labels, climate.ClassTC, 50)
+	if len(big) > len(all) {
+		t.Fatal("filter added storms")
+	}
+	for _, st := range big {
+		if len(st.Pixels) < 50 {
+			t.Fatal("filter leaked small storm")
+		}
+	}
+}
+
+func TestExtractSortsBySize(t *testing.T) {
+	s := sampleAt(t)
+	tcs := Extract(s.Fields, s.Labels, climate.ClassTC, 1)
+	for i := 1; i < len(tcs); i++ {
+		if len(tcs[i].Pixels) > len(tcs[i-1].Pixels) {
+			t.Fatal("storms not sorted by size")
+		}
+	}
+}
+
+func TestDatelineWrappingComponent(t *testing.T) {
+	// A hand-built mask straddling x=0/x=w-1 must come back as ONE storm
+	// with a sensible centroid.
+	h, w := 8, 16
+	labels := tensor.New(tensor.Shape{h, w})
+	fields := tensor.New(tensor.Shape{climate.NumChannels, h, w})
+	for _, x := range []int{14, 15, 0, 1} {
+		labels.Set(climate.ClassTC, 4, x)
+	}
+	storms := Extract(fields, labels, climate.ClassTC, 1)
+	if len(storms) != 1 {
+		t.Fatalf("wrapped component split into %d storms", len(storms))
+	}
+	// Centroid x should sit near the dateline (≈15.5 in unwrapped coords,
+	// possibly expressed above w), not in the middle of the grid.
+	cx := math.Mod(storms[0].CentroidX+float64(w), float64(w))
+	if cx > 2 && cx < 14 {
+		t.Fatalf("wrapped centroid x = %g", cx)
+	}
+}
+
+func TestCensus(t *testing.T) {
+	d := climate.NewDataset(climate.DefaultGenConfig(96, 144, 11), 4)
+	c := RunCensus(d, 4, 4)
+	if c.Samples != 4 {
+		t.Fatalf("samples = %d", c.Samples)
+	}
+	if c.TCCount == 0 || c.ARCount == 0 {
+		t.Fatalf("census empty: %d TCs, %d ARs", c.TCCount, c.ARCount)
+	}
+	if len(c.MaxWinds) != c.TCCount || len(c.MinPressures) != c.TCCount {
+		t.Fatal("per-storm stats incomplete")
+	}
+	if c.MeanMaxWind() <= 0 {
+		t.Fatal("mean max wind not positive")
+	}
+	// Clamped n.
+	c2 := RunCensus(d, 100, 4)
+	if c2.Samples != 4 {
+		t.Fatal("census did not clamp to dataset size")
+	}
+	empty := &Census{}
+	if empty.MeanMaxWind() != 0 {
+		t.Fatal("empty census mean should be 0")
+	}
+}
+
+func TestStormString(t *testing.T) {
+	s := &Storm{Class: climate.ClassTC, Pixels: []int{1, 2}, MaxWind: 42.5,
+		MinPressure: 960, MeanPrecip: 12.5}
+	if got := s.String(); got == "" || got[0:2] != "TC" {
+		t.Fatalf("String = %q", got)
+	}
+	ar := &Storm{Class: climate.ClassAR}
+	if ar.String()[0:2] != "AR" {
+		t.Fatal("AR naming wrong")
+	}
+}

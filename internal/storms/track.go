@@ -1,0 +1,139 @@
+package storms
+
+import (
+	"math"
+	"sort"
+)
+
+// This file links storms across consecutive frames into tracks — the
+// analysis the paper's introduction motivates ("understanding if AR tracks
+// will shift") applied to segmentation output over time. Matching is
+// greedy nearest-centroid with longitude periodicity: each frame's storms
+// attach to the closest open track of the same class within maxDist, or
+// start a new track.
+
+// Track is one storm's trajectory over consecutive frames.
+type Track struct {
+	Class     int
+	Frames    []int        // frame indices, consecutive
+	Centroids [][2]float64 // (y, x) per frame, x unwrapped across the dateline
+	MaxWinds  []float64
+	Pressures []float64
+}
+
+// Duration returns the track length in frames.
+func (t *Track) Duration() int { return len(t.Frames) }
+
+// Displacement returns the net (dy, dx) movement over the track's life.
+func (t *Track) Displacement() (dy, dx float64) {
+	if len(t.Centroids) < 2 {
+		return 0, 0
+	}
+	first, last := t.Centroids[0], t.Centroids[len(t.Centroids)-1]
+	return last[0] - first[0], last[1] - first[1]
+}
+
+// PeakWind returns the lifetime-maximum wind (0 for empty tracks).
+func (t *Track) PeakWind() float64 {
+	peak := 0.0
+	for _, v := range t.MaxWinds {
+		if v > peak {
+			peak = v
+		}
+	}
+	return peak
+}
+
+// LinkTracks joins per-frame storm lists into tracks. frames[t] holds the
+// storms detected in frame t (any mix of classes); w is the grid width for
+// dateline wrapping; maxDist is the association radius in grid cells. A
+// track that finds no continuation in the next frame is closed.
+func LinkTracks(frames [][]*Storm, w int, maxDist float64) []*Track {
+	var open, closed []*Track
+	for t, detections := range frames {
+		// Candidate (track, storm) pairs by distance, greedy-matched.
+		type pair struct {
+			ti, si int
+			d      float64
+		}
+		var pairs []pair
+		for ti, tr := range open {
+			last := tr.Centroids[len(tr.Centroids)-1]
+			for si, st := range detections {
+				if st.Class != tr.Class {
+					continue
+				}
+				d := wrapDist(last[0], last[1], st.CentroidY, st.CentroidX, w)
+				if d <= maxDist {
+					pairs = append(pairs, pair{ti, si, d})
+				}
+			}
+		}
+		sort.Slice(pairs, func(i, j int) bool { return pairs[i].d < pairs[j].d })
+		usedTrack := make([]bool, len(open))
+		usedStorm := make([]bool, len(detections))
+		for _, p := range pairs {
+			if usedTrack[p.ti] || usedStorm[p.si] {
+				continue
+			}
+			usedTrack[p.ti] = true
+			usedStorm[p.si] = true
+			extend(open[p.ti], t, detections[p.si], w)
+		}
+		// Unmatched open tracks close; unmatched storms start tracks.
+		var stillOpen []*Track
+		for ti, tr := range open {
+			if usedTrack[ti] {
+				stillOpen = append(stillOpen, tr)
+			} else {
+				closed = append(closed, tr)
+			}
+		}
+		open = stillOpen
+		for si, st := range detections {
+			if usedStorm[si] {
+				continue
+			}
+			tr := &Track{Class: st.Class}
+			extend(tr, t, st, w)
+			open = append(open, tr)
+		}
+	}
+	closed = append(closed, open...)
+	// Longest (and then earliest) first: the reporting convention.
+	sort.Slice(closed, func(i, j int) bool {
+		if len(closed[i].Frames) != len(closed[j].Frames) {
+			return len(closed[i].Frames) > len(closed[j].Frames)
+		}
+		return closed[i].Frames[0] < closed[j].Frames[0]
+	})
+	return closed
+}
+
+// extend appends a detection to a track, unwrapping the x coordinate so
+// trajectories crossing the dateline stay continuous.
+func extend(tr *Track, frame int, st *Storm, w int) {
+	x := st.CentroidX
+	if n := len(tr.Centroids); n > 0 {
+		prev := tr.Centroids[n-1][1]
+		for x-prev > float64(w)/2 {
+			x -= float64(w)
+		}
+		for prev-x > float64(w)/2 {
+			x += float64(w)
+		}
+	}
+	tr.Frames = append(tr.Frames, frame)
+	tr.Centroids = append(tr.Centroids, [2]float64{st.CentroidY, x})
+	tr.MaxWinds = append(tr.MaxWinds, st.MaxWind)
+	tr.Pressures = append(tr.Pressures, st.MinPressure)
+}
+
+// wrapDist is the Euclidean distance with periodic longitude.
+func wrapDist(y0, x0, y1, x1 float64, w int) float64 {
+	dx := math.Mod(math.Abs(x0-x1), float64(w))
+	if dx > float64(w)/2 {
+		dx = float64(w) - dx
+	}
+	return math.Hypot(y0-y1, dx)
+}

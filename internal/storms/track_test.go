@@ -1,0 +1,174 @@
+package storms
+
+import (
+	"testing"
+
+	"repro/internal/climate"
+)
+
+// synthetic constructs a Storm at a centroid without field statistics.
+func synthetic(class int, y, x, wind float64) *Storm {
+	return &Storm{Class: class, CentroidY: y, CentroidX: x, MaxWind: wind, Pixels: []int{0}}
+}
+
+func TestLinkTracksFollowsMovingStorm(t *testing.T) {
+	// One TC drifting 3 cells east per frame for 5 frames.
+	var frames [][]*Storm
+	for f := 0; f < 5; f++ {
+		frames = append(frames, []*Storm{
+			synthetic(climate.ClassTC, 20, float64(10+3*f), 50+float64(f)),
+		})
+	}
+	tracks := LinkTracks(frames, 100, 6)
+	if len(tracks) != 1 {
+		t.Fatalf("got %d tracks, want 1", len(tracks))
+	}
+	tr := tracks[0]
+	if tr.Duration() != 5 {
+		t.Fatalf("track duration %d, want 5", tr.Duration())
+	}
+	dy, dx := tr.Displacement()
+	if dy != 0 || dx != 12 {
+		t.Errorf("displacement (%v,%v), want (0,12)", dy, dx)
+	}
+	if tr.PeakWind() != 54 {
+		t.Errorf("peak wind %v, want 54", tr.PeakWind())
+	}
+}
+
+func TestLinkTracksSeparatesDistantStorms(t *testing.T) {
+	// Two stationary storms far apart must yield two tracks, not one.
+	var frames [][]*Storm
+	for f := 0; f < 3; f++ {
+		frames = append(frames, []*Storm{
+			synthetic(climate.ClassTC, 10, 10, 40),
+			synthetic(climate.ClassTC, 40, 70, 45),
+		})
+	}
+	tracks := LinkTracks(frames, 100, 5)
+	if len(tracks) != 2 {
+		t.Fatalf("got %d tracks, want 2", len(tracks))
+	}
+	for _, tr := range tracks {
+		if tr.Duration() != 3 {
+			t.Errorf("track duration %d, want 3", tr.Duration())
+		}
+	}
+}
+
+func TestLinkTracksDoesNotMixClasses(t *testing.T) {
+	// A TC and an AR at the same location stay separate tracks.
+	var frames [][]*Storm
+	for f := 0; f < 3; f++ {
+		frames = append(frames, []*Storm{
+			synthetic(climate.ClassTC, 20, 20, 40),
+			synthetic(climate.ClassAR, 20, 21, 30),
+		})
+	}
+	tracks := LinkTracks(frames, 100, 10)
+	if len(tracks) != 2 {
+		t.Fatalf("got %d tracks, want 2", len(tracks))
+	}
+	for _, tr := range tracks {
+		if tr.Duration() != 3 {
+			t.Errorf("class-pure track should span all frames, got %d", tr.Duration())
+		}
+	}
+}
+
+func TestLinkTracksCrossesDateline(t *testing.T) {
+	// Westward motion across x=0: 2 → 99 → 96 on a width-100 grid. The
+	// track must stay continuous and unwrap x monotonically.
+	frames := [][]*Storm{
+		{synthetic(climate.ClassTC, 15, 2, 40)},
+		{synthetic(climate.ClassTC, 15, 99, 40)},
+		{synthetic(climate.ClassTC, 15, 96, 40)},
+	}
+	tracks := LinkTracks(frames, 100, 6)
+	if len(tracks) != 1 {
+		t.Fatalf("dateline crossing split the track: %d tracks", len(tracks))
+	}
+	_, dx := tracks[0].Displacement()
+	if dx != -6 {
+		t.Errorf("unwrapped displacement %v, want -6", dx)
+	}
+}
+
+func TestLinkTracksClosesAndReopens(t *testing.T) {
+	// A storm that disappears for a frame becomes two tracks (no gap
+	// bridging in the greedy tracker).
+	frames := [][]*Storm{
+		{synthetic(climate.ClassTC, 20, 10, 40)},
+		{},
+		{synthetic(climate.ClassTC, 20, 12, 40)},
+	}
+	tracks := LinkTracks(frames, 100, 6)
+	if len(tracks) != 2 {
+		t.Fatalf("got %d tracks, want 2 (gap should split)", len(tracks))
+	}
+}
+
+func TestLinkTracksGreedyPrefersNearest(t *testing.T) {
+	// Two storms swap-adjacent: each frame-1 detection must attach to its
+	// nearest frame-0 ancestor.
+	frames := [][]*Storm{
+		{synthetic(climate.ClassTC, 10, 10, 40), synthetic(climate.ClassTC, 10, 30, 50)},
+		{synthetic(climate.ClassTC, 10, 12, 41), synthetic(climate.ClassTC, 10, 28, 51)},
+	}
+	tracks := LinkTracks(frames, 100, 25)
+	if len(tracks) != 2 {
+		t.Fatalf("got %d tracks, want 2", len(tracks))
+	}
+	for _, tr := range tracks {
+		_, dx := tr.Displacement()
+		if math2Abs(dx) > 2.5 {
+			t.Errorf("greedy matching jumped %v cells; nearest is ≤2", dx)
+		}
+	}
+}
+
+func math2Abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func TestTrackingOnGeneratedSequence(t *testing.T) {
+	// End to end over the temporal generator: extract storms per frame from
+	// the heuristic labels and link them; at least one multi-frame TC track
+	// must emerge and no track may teleport (per-step displacement bounded
+	// by the association radius).
+	cfg := climate.DefaultGenConfig(64, 96, 17)
+	seq, err := climate.NewSequence(cfg, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var frames [][]*Storm
+	for f := 0; f < 8; f++ {
+		s, err := seq.Frame(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tcs, ars := ExtractAll(s, 4)
+		frames = append(frames, append(tcs, ars...))
+	}
+	const maxDist = 12
+	tracks := LinkTracks(frames, 96, maxDist)
+	if len(tracks) == 0 {
+		t.Fatal("no tracks found on generated sequence")
+	}
+	longest := tracks[0]
+	if longest.Duration() < 3 {
+		t.Errorf("longest track spans %d frames; want ≥3 (temporal coherence broken?)", longest.Duration())
+	}
+	for _, tr := range tracks {
+		for i := 1; i < len(tr.Centroids); i++ {
+			dy := tr.Centroids[i][0] - tr.Centroids[i-1][0]
+			dx := tr.Centroids[i][1] - tr.Centroids[i-1][1]
+			if dy*dy+dx*dx > maxDist*maxDist+1e-9 {
+				t.Fatalf("track jumped %.1f cells in one frame", dy*dy+dx*dx)
+			}
+		}
+	}
+}

@@ -1,0 +1,159 @@
+package tensor
+
+import "fmt"
+
+// Gemm computes C = alpha*op(A)*op(B) + beta*C for row-major matrices,
+// where op is identity or transpose per transA/transB. A is m×k (after op),
+// B is k×n, C is m×n. This is the workhorse behind the "implicit GEMM"
+// convolution formulation the paper's FLOP accounting assumes.
+func Gemm(transA, transB bool, m, n, k int, alpha float32, a []float32, lda int,
+	b []float32, ldb int, beta float32, c []float32, ldc int) {
+	checkGemmArgs(transA, transB, m, n, k, a, lda, b, ldb, c, ldc)
+
+	if beta != 1 {
+		parallelFor(m, 64, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				row := c[i*ldc : i*ldc+n]
+				if beta == 0 {
+					clear(row)
+				} else {
+					for j := range row {
+						row[j] *= beta
+					}
+				}
+			}
+		})
+	}
+	if alpha == 0 {
+		return
+	}
+
+	switch {
+	case !transA && !transB:
+		gemmNN(m, n, k, alpha, a, lda, b, ldb, c, ldc)
+	case transA && !transB:
+		gemmTN(m, n, k, alpha, a, lda, b, ldb, c, ldc)
+	case !transA && transB:
+		gemmNT(m, n, k, alpha, a, lda, b, ldb, c, ldc)
+	default:
+		gemmTT(m, n, k, alpha, a, lda, b, ldb, c, ldc)
+	}
+}
+
+func checkGemmArgs(transA, transB bool, m, n, k int, a []float32, lda int,
+	b []float32, ldb int, c []float32, ldc int) {
+	if m < 0 || n < 0 || k < 0 {
+		panic(fmt.Sprintf("tensor: Gemm negative dims m=%d n=%d k=%d", m, n, k))
+	}
+	arows, acols := m, k
+	if transA {
+		arows, acols = k, m
+	}
+	brows, bcols := k, n
+	if transB {
+		brows, bcols = n, k
+	}
+	if lda < acols || ldb < bcols || ldc < n {
+		panic(fmt.Sprintf("tensor: Gemm bad leading dims lda=%d ldb=%d ldc=%d", lda, ldb, ldc))
+	}
+	if arows > 0 && len(a) < (arows-1)*lda+acols {
+		panic("tensor: Gemm A too short")
+	}
+	if brows > 0 && len(b) < (brows-1)*ldb+bcols {
+		panic("tensor: Gemm B too short")
+	}
+	if m > 0 && len(c) < (m-1)*ldc+n {
+		panic("tensor: Gemm C too short")
+	}
+}
+
+// gemmNN: C += alpha * A(m×k) * B(k×n). Inner loop is written as an
+// axpy over rows of B so it vectorizes and stays cache-friendly.
+func gemmNN(m, n, k int, alpha float32, a []float32, lda int, b []float32, ldb int, c []float32, ldc int) {
+	parallelFor(m, 8, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ci := c[i*ldc : i*ldc+n]
+			ai := a[i*lda : i*lda+k]
+			for p := 0; p < k; p++ {
+				av := alpha * ai[p]
+				if av == 0 {
+					continue
+				}
+				bp := b[p*ldb : p*ldb+n]
+				for j, bv := range bp {
+					ci[j] += av * bv
+				}
+			}
+		}
+	})
+}
+
+// gemmTN: C += alpha * Aᵀ(m×k) * B(k×n) where A is stored k×m.
+func gemmTN(m, n, k int, alpha float32, a []float32, lda int, b []float32, ldb int, c []float32, ldc int) {
+	parallelFor(m, 8, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ci := c[i*ldc : i*ldc+n]
+			for p := 0; p < k; p++ {
+				av := alpha * a[p*lda+i]
+				if av == 0 {
+					continue
+				}
+				bp := b[p*ldb : p*ldb+n]
+				for j, bv := range bp {
+					ci[j] += av * bv
+				}
+			}
+		}
+	})
+}
+
+// gemmNT: C += alpha * A(m×k) * Bᵀ(k×n) where B is stored n×k.
+// Dot-product form: both operands stream contiguously.
+func gemmNT(m, n, k int, alpha float32, a []float32, lda int, b []float32, ldb int, c []float32, ldc int) {
+	parallelFor(m, 8, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ai := a[i*lda : i*lda+k]
+			ci := c[i*ldc : i*ldc+n]
+			for j := 0; j < n; j++ {
+				bj := b[j*ldb : j*ldb+k]
+				var sum float32
+				for p, av := range ai {
+					sum += av * bj[p]
+				}
+				ci[j] += alpha * sum
+			}
+		}
+	})
+}
+
+// gemmTT: C += alpha * Aᵀ * Bᵀ (A stored k×m, B stored n×k).
+func gemmTT(m, n, k int, alpha float32, a []float32, lda int, b []float32, ldb int, c []float32, ldc int) {
+	parallelFor(m, 8, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ci := c[i*ldc : i*ldc+n]
+			for j := 0; j < n; j++ {
+				bj := b[j*ldb : j*ldb+k]
+				var sum float32
+				for p := 0; p < k; p++ {
+					sum += a[p*lda+i] * bj[p]
+				}
+				ci[j] += alpha * sum
+			}
+		}
+	})
+}
+
+// MatMul multiplies two rank-2 tensors: (m×k)·(k×n) → m×n.
+func MatMul(a, b *Tensor) *Tensor {
+	if a.shape.Rank() != 2 || b.shape.Rank() != 2 {
+		panic("tensor: MatMul requires rank-2 tensors")
+	}
+	m, k := a.shape[0], a.shape[1]
+	k2, n := b.shape[0], b.shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMul inner dims %d vs %d", k, k2))
+	}
+	c := New(Shape{m, n})
+	Gemm(false, false, m, n, k, 1, a.data, k, b.data, n, 0, c.data, n)
+	return c
+}

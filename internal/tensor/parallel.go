@@ -1,0 +1,58 @@
+package tensor
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Parallelism controls how many worker goroutines the compute kernels in
+// this package fan out to. It defaults to GOMAXPROCS. Setting it to 1
+// makes all kernels run serially, which is useful for deterministic
+// profiling and on single-core machines where goroutine fan-out only
+// adds overhead.
+var parallelism = runtime.GOMAXPROCS(0)
+
+// SetParallelism sets the kernel worker count (minimum 1) and returns the
+// previous value.
+func SetParallelism(n int) int {
+	prev := parallelism
+	if n < 1 {
+		n = 1
+	}
+	parallelism = n
+	return prev
+}
+
+// Parallelism returns the current kernel worker count.
+func Parallelism() int { return parallelism }
+
+// parallelFor splits [0, n) into contiguous chunks and invokes body(lo, hi)
+// on each, using up to Parallelism() goroutines. body must be safe to call
+// concurrently on disjoint ranges. Work smaller than grain elements runs
+// inline to avoid goroutine overhead on tiny tensors.
+func parallelFor(n, grain int, body func(lo, hi int)) {
+	workers := parallelism
+	if workers <= 1 || n <= grain {
+		body(0, n)
+		return
+	}
+	chunks := (n + grain - 1) / grain
+	if chunks < workers {
+		workers = chunks
+	}
+	var wg sync.WaitGroup
+	per := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * per
+		if lo >= n {
+			break
+		}
+		hi := min(lo+per, n)
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			body(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}

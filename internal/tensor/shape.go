@@ -1,0 +1,86 @@
+// Package tensor provides dense, contiguous, row-major float32 tensors and
+// the BLAS-like kernels (GEMM, im2col, elementwise and reduction primitives)
+// that the neural-network layers in this repository are built from.
+//
+// Layout convention is NCHW (batch, channel, height, width), matching the
+// convention used by the paper's cuDNN-backed TensorFlow stack.
+package tensor
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Shape describes the extent of each tensor dimension, outermost first.
+type Shape []int
+
+// NumElements returns the total element count of the shape. An empty shape
+// describes a scalar and has one element.
+func (s Shape) NumElements() int {
+	n := 1
+	for _, d := range s {
+		n *= d
+	}
+	return n
+}
+
+// Rank returns the number of dimensions.
+func (s Shape) Rank() int { return len(s) }
+
+// Clone returns an independent copy of the shape.
+func (s Shape) Clone() Shape {
+	c := make(Shape, len(s))
+	copy(c, s)
+	return c
+}
+
+// Equal reports whether two shapes have identical rank and extents.
+func (s Shape) Equal(o Shape) bool {
+	if len(s) != len(o) {
+		return false
+	}
+	for i := range s {
+		if s[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Valid reports whether every extent is positive.
+func (s Shape) Valid() bool {
+	for _, d := range s {
+		if d <= 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the shape as, e.g., "[2 16 768 1152]".
+func (s Shape) String() string {
+	parts := make([]string, len(s))
+	for i, d := range s {
+		parts[i] = fmt.Sprint(d)
+	}
+	return "[" + strings.Join(parts, " ") + "]"
+}
+
+// Strides returns row-major (C-order) strides for the shape.
+func (s Shape) Strides() []int {
+	st := make([]int, len(s))
+	acc := 1
+	for i := len(s) - 1; i >= 0; i-- {
+		st[i] = acc
+		acc *= s[i]
+	}
+	return st
+}
+
+// NCHW is a convenience constructor for the 4-D activation shape used
+// throughout the networks.
+func NCHW(n, c, h, w int) Shape { return Shape{n, c, h, w} }
+
+// OIHW is a convenience constructor for convolution filter shapes
+// (outChannels, inChannels, kernelH, kernelW).
+func OIHW(o, i, h, w int) Shape { return Shape{o, i, h, w} }

@@ -1,0 +1,61 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNCHWToNHWCKnown(t *testing.T) {
+	// 1 batch, 2 channels, 2×2 spatial.
+	x := FromSlice(NCHW(1, 2, 2, 2), []float32{
+		// channel 0
+		1, 2,
+		3, 4,
+		// channel 1
+		5, 6,
+		7, 8,
+	})
+	y := NCHWToNHWC(x)
+	if !y.Shape().Equal(Shape{1, 2, 2, 2}) {
+		t.Fatalf("shape %v", y.Shape())
+	}
+	// NHWC order: (y=0,x=0,c=0..1), (y=0,x=1,...), ...
+	want := []float32{1, 5, 2, 6, 3, 7, 4, 8}
+	for i, v := range want {
+		if y.Data()[i] != v {
+			t.Fatalf("NHWC[%d] = %g want %g (full %v)", i, y.Data()[i], v, y.Data())
+		}
+	}
+}
+
+func TestLayoutRoundTripIsIdentity(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n, c := 1+rng.Intn(3), 1+rng.Intn(5)
+		h, w := 1+rng.Intn(6), 1+rng.Intn(6)
+		x := RandNormal(NCHW(n, c, h, w), 0, 1, rng)
+		back := NHWCToNCHW(NCHWToNHWC(x))
+		if !back.Shape().Equal(x.Shape()) {
+			return false
+		}
+		for i, v := range x.Data() {
+			if back.Data()[i] != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTransposeRankValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("rank-2 input should panic")
+		}
+	}()
+	NCHWToNHWC(New(Shape{2, 3}))
+}
