@@ -12,6 +12,7 @@ import (
 	"log"
 	"os"
 
+	"repro/exaclim"
 	"repro/internal/climate"
 	"repro/internal/h5lite"
 )
@@ -28,7 +29,7 @@ func main() {
 	stats := flag.Bool("stats", true, "print class statistics")
 	flag.Parse()
 
-	ds := climate.NewDataset(climate.DefaultGenConfig(*height, *width, *seed), *samples)
+	ds := exaclim.SyntheticDataset(*height, *width, *samples, *seed)
 	lib := h5lite.NewLibrary(0)
 	w, err := lib.Create(*out, h5lite.Meta{
 		Channels: climate.NumChannels, Height: *height, Width: *width,

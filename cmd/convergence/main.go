@@ -12,23 +12,19 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 
-	"repro/internal/climate"
-	"repro/internal/core"
-	"repro/internal/graph"
-	"repro/internal/loss"
-	"repro/internal/models"
-	"repro/internal/opt"
+	"repro/exaclim"
 	"repro/internal/perfmodel"
 )
 
 type series struct {
 	name string
-	prec graph.Precision
+	prec exaclim.Precision
 	lag  int
 	rank int
 }
@@ -45,10 +41,10 @@ func main() {
 	flag.Parse()
 
 	configs := []series{
-		{"fp32-lag0-x4", graph.FP32, 0, 4},
-		{"fp16-lag0-x4", graph.FP16, 0, 4},
-		{"fp16-lag1-x4", graph.FP16, 1, 4},
-		{"fp32-lag0-x8", graph.FP32, 0, 8},
+		{"fp32-lag0-x4", exaclim.FP32, 0, 4},
+		{"fp16-lag0-x4", exaclim.FP16, 0, 4},
+		{"fp16-lag1-x4", exaclim.FP16, 1, 4},
+		{"fp32-lag0-x8", exaclim.FP32, 0, 8},
 	}
 
 	w := bufio.NewWriter(os.Stdout)
@@ -70,31 +66,29 @@ func main() {
 		if s.lag == 1 {
 			lr /= 3 // stale gradients take a smaller step (§V-B4)
 		}
-		cfg := core.Config{
-			BuildNet: func() (*models.Network, error) {
-				return models.BuildTiramisu(models.TinyTiramisu(models.Config{
-					BatchSize: 1, InChannels: climate.NumChannels,
-					NumClasses: climate.NumClasses,
-					Height:     *size, Width: *size, Seed: 7,
-				}))
-			},
-			Precision:          s.prec,
-			Optimizer:          core.Adam,
-			LR:                 lr,
-			LRSchedule:         opt.PolynomialDecay(lr, lr/10, *steps, 1),
-			GradientLag:        s.lag,
-			Weighting:          loss.InverseSqrtFrequency,
-			Dataset:            climate.NewDataset(climate.DefaultGenConfig(*size, *size, 42), 32),
-			Ranks:              s.rank,
-			Steps:              *steps,
-			Seed:               5,
-			StepComputeSeconds: *stepSeconds,
-		}
-		res, err := core.Train(cfg)
+		exp, err := exaclim.New(
+			exaclim.WithNetwork("tiramisu", exaclim.Tiny),
+			exaclim.WithSyntheticData(*size, *size, 32, 42),
+			exaclim.WithModelConfig(exaclim.ModelConfig{Seed: 7}),
+			exaclim.WithPrecision(s.prec),
+			exaclim.WithOptimizer("adam"),
+			exaclim.WithLR(lr),
+			exaclim.WithPolynomialDecay(lr/10, 1),
+			exaclim.WithGradientLag(s.lag),
+			exaclim.WithWeighting("sqrt"),
+			exaclim.WithRanks(s.rank, 1),
+			exaclim.WithSteps(*steps),
+			exaclim.WithSeed(5),
+			exaclim.WithStepComputeSeconds(*stepSeconds),
+		)
 		if err != nil {
 			log.Fatalf("%s: %v", s.name, err)
 		}
-		smoothed := core.SmoothedLoss(res.History, *window)
+		res, err := exp.Run(context.Background())
+		if err != nil {
+			log.Fatalf("%s: %v", s.name, err)
+		}
+		smoothed := res.SmoothedLoss(*window)
 		for i, h := range res.History {
 			fmt.Fprintf(w, "%s\t%d\t%.2f\t%.4f\t%.4f\n",
 				s.name, h.Step, h.VirtualTime, h.Loss, smoothed[i])

@@ -10,34 +10,17 @@ import (
 	"fmt"
 	"log"
 
+	"repro/exaclim"
 	"repro/internal/graph"
-	"repro/internal/models"
 	"repro/internal/perfmodel"
 )
 
-func analysis(network string, p graph.Precision, batch, channels int) *graph.Analysis {
-	cfg := models.Config{
-		BatchSize: batch, InChannels: channels, NumClasses: 3,
-		Height: 768, Width: 1152, Symbolic: true, Seed: 1,
+func analysis(network string, p exaclim.Precision, batch, channels int) *graph.Analysis {
+	a, err := exaclim.PaperAnalysis(network, p, batch, channels)
+	if err != nil {
+		log.Fatal(err)
 	}
-	var g *graph.Graph
-	if network == "deeplab" {
-		net, err := models.BuildDeepLab(models.PaperDeepLab(cfg))
-		if err != nil {
-			log.Fatal(err)
-		}
-		g = net.Graph
-	} else {
-		net, err := models.BuildTiramisu(models.PaperTiramisu(cfg))
-		if err != nil {
-			log.Fatal(err)
-		}
-		g = net.Graph
-	}
-	return graph.Analyze(g, graph.AnalyzeOptions{
-		Precision: p, IncludeOptimizer: true,
-		IncludeAllreduce: true, IncludeTypeConversion: true,
-	})
+	return a
 }
 
 func fig2() {
@@ -47,16 +30,16 @@ func fig2() {
 	rows := []struct {
 		network  string
 		gpu      perfmodel.GPU
-		prec     graph.Precision
+		prec     exaclim.Precision
 		batch    int
 		channels int
 		paper    string
 	}{
-		{"deeplab", perfmodel.V100(), graph.FP16, 2, 16, "(2.67, 31%)"},
-		{"deeplab", perfmodel.V100(), graph.FP32, 1, 16, "(0.87, 80%)"},
-		{"tiramisu", perfmodel.V100(), graph.FP16, 2, 16, "(5.00, 17%)"},
-		{"tiramisu", perfmodel.V100(), graph.FP32, 1, 16, "(1.91, 51%)"},
-		{"tiramisu", perfmodel.P100(), graph.FP32, 1, 4, "(1.20, 48%)"},
+		{"deeplab", perfmodel.V100(), exaclim.FP16, 2, 16, "(2.67, 31%)"},
+		{"deeplab", perfmodel.V100(), exaclim.FP32, 1, 16, "(0.87, 80%)"},
+		{"tiramisu", perfmodel.V100(), exaclim.FP16, 2, 16, "(5.00, 17%)"},
+		{"tiramisu", perfmodel.V100(), exaclim.FP32, 1, 16, "(1.91, 51%)"},
+		{"tiramisu", perfmodel.P100(), exaclim.FP32, 1, 4, "(1.20, 48%)"},
 	}
 	for _, r := range rows {
 		a := analysis(r.network, r.prec, r.batch, r.channels)
@@ -68,9 +51,9 @@ func fig2() {
 }
 
 func kernelTable(network string, fig string) {
-	for _, p := range []graph.Precision{graph.FP32, graph.FP16} {
+	for _, p := range []exaclim.Precision{exaclim.FP32, exaclim.FP16} {
 		batch := 1
-		if p == graph.FP16 {
+		if p == exaclim.FP16 {
 			batch = 2
 		}
 		a := analysis(network, p, batch, 16)

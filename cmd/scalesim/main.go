@@ -16,41 +16,24 @@ import (
 	"fmt"
 	"log"
 
+	"repro/exaclim"
 	"repro/internal/graph"
-	"repro/internal/models"
 	"repro/internal/perfmodel"
 	"repro/internal/stagefs"
 	"repro/internal/staging"
 )
 
-func analysis(network string, p graph.Precision, batch, channels int) *graph.Analysis {
-	cfg := models.Config{
-		BatchSize: batch, InChannels: channels, NumClasses: 3,
-		Height: 768, Width: 1152, Symbolic: true, Seed: 1,
+func analysis(network string, p exaclim.Precision, batch, channels int) *graph.Analysis {
+	a, err := exaclim.PaperAnalysis(network, p, batch, channels)
+	if err != nil {
+		log.Fatal(err)
 	}
-	var g *graph.Graph
-	if network == "deeplab" {
-		net, err := models.BuildDeepLab(models.PaperDeepLab(cfg))
-		if err != nil {
-			log.Fatal(err)
-		}
-		g = net.Graph
-	} else {
-		net, err := models.BuildTiramisu(models.PaperTiramisu(cfg))
-		if err != nil {
-			log.Fatal(err)
-		}
-		g = net.Graph
-	}
-	return graph.Analyze(g, graph.AnalyzeOptions{
-		Precision: p, IncludeOptimizer: true,
-		IncludeAllreduce: true, IncludeTypeConversion: true,
-	})
+	return a
 }
 
-func summitConfig(network string, p graph.Precision, lag int) perfmodel.ScalingConfig {
+func summitConfig(network string, p exaclim.Precision, lag int) perfmodel.ScalingConfig {
 	batch := 1
-	if p == graph.FP16 {
+	if p == exaclim.FP16 {
 		batch = 2
 	}
 	a := analysis(network, p, batch, 16)
@@ -66,9 +49,9 @@ func summitConfig(network string, p graph.Precision, lag int) perfmodel.ScalingC
 }
 
 func pizDaintConfig(staged bool) perfmodel.ScalingConfig {
-	a := analysis("tiramisu", graph.FP32, 1, 4)
+	a := analysis("tiramisu", exaclim.FP32, 1, 4)
 	return perfmodel.ScalingConfig{
-		Machine: perfmodel.PizDaint(), Analysis: a, Precision: graph.FP32,
+		Machine: perfmodel.PizDaint(), Analysis: a, Precision: exaclim.FP32,
 		GradBytes: 7.2e6 * 4, NumTensors: 110, Lag: 1,
 		HierarchicalCtl: true, Staged: staged,
 		FS: stagefs.PizDaintLustre(), SampleBytes: 16 * 768 * 1152 * 4,
@@ -98,20 +81,20 @@ func main() {
 	switch *figure {
 	case "4a":
 		printSweep("Fig 4a — Tiramisu, Summit FP16 (lag 1)",
-			summitConfig("tiramisu", graph.FP16, 1), summitCounts)
+			summitConfig("tiramisu", exaclim.FP16, 1), summitCounts)
 		printSweep("Fig 4a — Tiramisu, Summit FP16 (lag 0)",
-			summitConfig("tiramisu", graph.FP16, 0), summitCounts)
+			summitConfig("tiramisu", exaclim.FP16, 0), summitCounts)
 		printSweep("Fig 4a — Tiramisu, Summit FP32 (lag 1)",
-			summitConfig("tiramisu", graph.FP32, 1), summitCounts)
+			summitConfig("tiramisu", exaclim.FP32, 1), summitCounts)
 		printSweep("Fig 4a — Tiramisu, Piz Daint FP32 (staged)",
 			pizDaintConfig(true), daintCounts)
 	case "4b":
 		printSweep("Fig 4b — DeepLabv3+, Summit FP16 (lag 1)",
-			summitConfig("deeplab", graph.FP16, 1), summitCounts)
+			summitConfig("deeplab", exaclim.FP16, 1), summitCounts)
 		printSweep("Fig 4b — DeepLabv3+, Summit FP16 (lag 0)",
-			summitConfig("deeplab", graph.FP16, 0), summitCounts)
+			summitConfig("deeplab", exaclim.FP16, 0), summitCounts)
 		printSweep("Fig 4b — DeepLabv3+, Summit FP32 (lag 1)",
-			summitConfig("deeplab", graph.FP32, 1), summitCounts)
+			summitConfig("deeplab", exaclim.FP32, 1), summitCounts)
 	case "5":
 		staged := pizDaintConfig(true)
 		global := pizDaintConfig(false)

@@ -10,18 +10,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 	"path/filepath"
 
+	"repro/exaclim"
 	"repro/internal/climate"
-	"repro/internal/core"
-	"repro/internal/graph"
-	"repro/internal/infer"
-	"repro/internal/loss"
-	"repro/internal/models"
 	"repro/internal/tensor"
 	"repro/internal/viz"
 )
@@ -43,7 +40,7 @@ func main() {
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		log.Fatal(err)
 	}
-	ds := climate.NewDataset(climate.DefaultGenConfig(*height, *width, *seed), 8)
+	ds := exaclim.SyntheticDataset(*height, *width, 8, *seed)
 	s := ds.Sample(0)
 	iwv := tensor.FromSlice(tensor.Shape{*height, *width},
 		s.Fields.Data()[climate.ChTMQ*(*height)*(*width):(climate.ChTMQ+1)*(*height)*(*width)])
@@ -78,36 +75,28 @@ func main() {
 	// Train a small model on tile-sized crops, then tile-segment the full
 	// snapshot and render the Fig 7b comparison.
 	th := *tile
-	trainSet := climate.NewDataset(climate.DefaultGenConfig(th, th, *seed+1), 32)
-	build := func() (*models.Network, error) {
-		return models.BuildTiramisu(models.TinyTiramisu(models.Config{
-			BatchSize: 1, InChannels: climate.NumChannels, NumClasses: climate.NumClasses,
-			Height: th, Width: th, Seed: 7,
-		}))
+	exp, err := exaclim.New(
+		exaclim.WithNetwork("tiramisu", exaclim.Tiny),
+		exaclim.WithSyntheticData(th, th, 32, *seed+1),
+		exaclim.WithModelConfig(exaclim.ModelConfig{Seed: 7}),
+		exaclim.WithOptimizer("adam"),
+		exaclim.WithLR(3e-3),
+		exaclim.WithWeighting("sqrt"),
+		exaclim.WithRanks(2, 1),
+		exaclim.WithSteps(*steps),
+		exaclim.WithSeed(1),
+	)
+	if err != nil {
+		log.Fatal(err)
 	}
 	fmt.Printf("training %d steps…\n", *steps)
-	res, err := core.Train(core.Config{
-		BuildNet:  build,
-		Precision: graph.FP32,
-		Optimizer: core.Adam,
-		LR:        3e-3,
-		Weighting: loss.InverseSqrtFrequency,
-		Dataset:   trainSet,
-		Ranks:     2,
-		Steps:     *steps,
-		Seed:      1,
-	})
+	res, err := exp.Run(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("  loss %.1f → %.1f\n", res.History[0].Loss, res.FinalLoss)
 
-	net, err := build()
-	if err != nil {
-		log.Fatal(err)
-	}
-	pred, err := infer.Run(infer.FromModel(net), s.Fields,
-		infer.Config{TileH: th, TileW: th, Overlap: 3, Precision: graph.FP32})
+	pred, err := res.Model.Segment(s.Fields, exaclim.SegmentConfig{Overlap: 3})
 	if err != nil {
 		log.Fatal(err)
 	}

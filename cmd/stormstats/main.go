@@ -15,6 +15,7 @@ import (
 	"log"
 	"sort"
 
+	"repro/exaclim"
 	"repro/internal/climate"
 	"repro/internal/storms"
 )
@@ -37,7 +38,7 @@ func main() {
 		return
 	}
 
-	ds := climate.NewDataset(climate.DefaultGenConfig(*height, *width, *seed), *samples)
+	ds := exaclim.SyntheticDataset(*height, *width, *samples, *seed)
 	census := storms.RunCensus(ds, *samples, *minPixels)
 
 	fmt.Printf("census: %d snapshots, %d×%d grid\n", census.Samples, *height, *width)

@@ -9,23 +9,24 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"os/signal"
+	"strings"
 
-	"repro/internal/climate"
-	"repro/internal/core"
-	"repro/internal/graph"
-	"repro/internal/loss"
-	"repro/internal/models"
-	"repro/internal/simnet"
+	"repro/exaclim"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("trainseg: ")
 
-	network := flag.String("network", "tiramisu", "tiramisu or deeplab")
+	network := flag.String("network", "tiramisu",
+		strings.Join(exaclim.Networks(), " or "))
 	ranks := flag.Int("ranks", 4, "simulated GPUs (data-parallel ranks)")
 	perNode := flag.Int("gpus-per-node", 2, "simulated GPUs per node")
 	steps := flag.Int("steps", 60, "training steps")
@@ -37,82 +38,62 @@ func main() {
 	samples := flag.Int("samples", 32, "dataset size")
 	val := flag.Int("validate", 3, "validation samples for IoU")
 	seed := flag.Int64("seed", 12, "seed")
-	weighting := flag.String("weighting", "sqrt", "loss weighting: none, inv, sqrt")
+	weighting := flag.String("weighting", "sqrt",
+		"loss weighting: "+strings.Join(exaclim.Weightings(), ", "))
 	flag.Parse()
 
-	prec := graph.FP32
+	prec := exaclim.FP32
 	if *precision == "fp16" {
-		prec = graph.FP16
-	}
-	var wt loss.Weighting
-	switch *weighting {
-	case "none":
-		wt = loss.Unweighted
-	case "inv":
-		wt = loss.InverseFrequency
-	default:
-		wt = loss.InverseSqrtFrequency
+		prec = exaclim.FP16
 	}
 
-	ds := climate.NewDataset(climate.DefaultGenConfig(*size, *size, *seed), *samples)
-	build := func() (*models.Network, error) {
-		cfg := models.Config{
-			BatchSize:  1,
-			InChannels: climate.NumChannels,
-			NumClasses: climate.NumClasses,
-			Height:     *size,
-			Width:      *size,
-			Seed:       *seed + 1,
-		}
-		if *network == "deeplab" {
-			return models.BuildDeepLab(models.TinyDeepLab(cfg))
-		}
-		return models.BuildTiramisu(models.TinyTiramisu(cfg))
+	opts := []exaclim.Option{
+		exaclim.WithNetwork(*network, exaclim.Tiny),
+		exaclim.WithSyntheticData(*size, *size, *samples, *seed),
+		exaclim.WithPrecision(prec),
+		exaclim.WithOptimizer("adam"),
+		exaclim.WithLR(*lr),
+		exaclim.WithGradientLag(*lag),
+		exaclim.WithWeighting(*weighting),
+		exaclim.WithRanks(*ranks, *perNode),
+		exaclim.WithSteps(*steps),
+		exaclim.WithSeed(*seed),
+		exaclim.WithValidation(*val),
+		exaclim.WithStepComputeSeconds(0.5),
+		exaclim.WithObserver(exaclim.NewProgressLogger(os.Stdout, 10)),
+	}
+	if *perNode > 1 {
+		opts = append(opts, exaclim.WithHybridAllReduce())
+	}
+	if *larc {
+		opts = append(opts, exaclim.WithLARC(0))
 	}
 
-	nodes := (*ranks + *perNode - 1) / *perNode
-	cfg := core.Config{
-		BuildNet:           build,
-		Precision:          prec,
-		Optimizer:          core.Adam,
-		LR:                 *lr,
-		UseLARC:            *larc,
-		GradientLag:        *lag,
-		Weighting:          wt,
-		Dataset:            ds,
-		Ranks:              *ranks,
-		Fabric:             simnet.NewTwoLevelFabric(nodes, *perNode, simnet.LinkSpec{LatencySec: 1e-6, BytesPerSec: 150e9}, simnet.LinkSpec{LatencySec: 1.5e-6, BytesPerSec: 12.5e9}),
-		HybridReduce:       *perNode > 1,
-		Steps:              *steps,
-		Seed:               *seed,
-		ValidationSize:     *val,
-		StepComputeSeconds: 0.5,
-	}
-	if *ranks%*perNode != 0 {
-		log.Fatalf("ranks (%d) must be a multiple of gpus-per-node (%d)", *ranks, *perNode)
-	}
-
-	fmt.Printf("training %s, %d ranks (%d nodes × %d GPUs), %s, %d steps, weighting %s\n",
-		*network, *ranks, nodes, *perNode, prec, *steps, wt)
-	res, err := core.Train(cfg)
+	exp, err := exaclim.New(opts...)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	sm := core.SmoothedLoss(res.History, 10)
-	for i, h := range res.History {
-		if i%10 == 0 || i == len(res.History)-1 {
-			fmt.Printf("  step %3d  t=%6.1fs  loss %8.4f  (smoothed %8.4f)\n",
-				h.Step, h.VirtualTime, h.Loss, sm[i])
+	fmt.Printf("training %s, %d ranks (%d nodes × %d GPUs), %v, %d steps, weighting %s\n",
+		*network, *ranks, *ranks / *perNode, *perNode, prec, *steps, *weighting)
+	// Ctrl-C cancels the run cleanly; the partial result still prints.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	res, err := exp.Run(ctx)
+	if err != nil {
+		if !errors.Is(err, context.Canceled) {
+			log.Fatal(err)
 		}
+		log.Printf("interrupted after %d steps", len(res.History))
 	}
+
 	fmt.Printf("final loss %.4f (virtual makespan %.1fs, %d skipped steps)\n",
 		res.FinalLoss, res.Makespan, res.SkippedSteps)
 	if len(res.IoU) > 0 {
 		fmt.Printf("IoU: BG %.3f  TC %.3f  AR %.3f  (mean %.3f, accuracy %.3f)\n",
-			res.IoU[climate.ClassBackground], res.IoU[climate.ClassTC],
-			res.IoU[climate.ClassAR], res.MeanIoU, res.Accuracy)
+			res.IoU[exaclim.ClassBackground], res.IoU[exaclim.ClassTC],
+			res.IoU[exaclim.ClassAR], res.MeanIoU, res.Accuracy)
 	}
 	fmt.Printf("control plane (rank 0): %d sent, %d received, %d batches\n",
-		res.CtlStats.CtlSent, res.CtlStats.CtlReceived, res.CtlStats.Batches)
+		res.ControlPlane.CtlSent, res.ControlPlane.CtlReceived, res.ControlPlane.Batches)
 }

@@ -5,8 +5,12 @@
 // collective coordination, hybrid all-reduces, distributed data staging,
 // and mixed precision.
 //
-// The root package holds the benchmark harness (bench_test.go): one
-// benchmark per table and figure of the paper's evaluation. The library
-// lives under internal/ (see DESIGN.md for the system inventory), the
-// executables under cmd/, and runnable examples under examples/.
+// The public API is the exaclim package: a functional-options experiment
+// layer (exaclim.New, Experiment.Run) with name-based registries for
+// networks, optimizers, and loss weightings, streaming observers, context
+// cancellation, and the Quickstart/SummitScale presets. The root package
+// holds the benchmark harness (bench_test.go): one benchmark per table and
+// figure of the paper's evaluation. The library internals live under
+// internal/ (see DESIGN.md for the system inventory), the executables
+// under cmd/, and runnable examples under examples/.
 package repro

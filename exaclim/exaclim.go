@@ -1,0 +1,397 @@
+// Package exaclim is the public face of the repro library: one functional-
+// options API over the internal training stack that reproduces "Exascale
+// Deep Learning for Climate Analytics" (Kurth et al., SC18).
+//
+// An experiment is assembled from options, then run under a context:
+//
+//	exp, err := exaclim.New(
+//	    exaclim.WithNetwork("tiramisu", exaclim.Tiny),
+//	    exaclim.WithRanks(8, 2),
+//	    exaclim.WithPrecision(exaclim.FP16),
+//	    exaclim.WithHybridAllReduce(),
+//	)
+//	res, err := exp.Run(ctx)
+//
+// Networks, optimizers, and loss weightings are looked up by name in
+// registries (Networks, Optimizers, Weightings list the keys), so CLI
+// flags map directly onto the API. Progress can be streamed with
+// WithObserver, runs cancel cleanly through the context, and the trained
+// model comes back on Result.Model for checkpointing (SaveCheckpoint) and
+// tiled inference (Segment). Presets Quickstart and SummitScale mirror the
+// paper's Tiramisu and DeepLabv3+ configurations.
+package exaclim
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/climate"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/horovod"
+	"repro/internal/infer"
+	"repro/internal/models"
+	"repro/internal/opt"
+	"repro/internal/simnet"
+	"repro/internal/tensor"
+)
+
+// Experiment is a fully-resolved training configuration, ready to Run.
+type Experiment struct {
+	cfg       core.Config
+	observers []Observer
+	network   string
+	size      Size
+	model     ModelConfig
+}
+
+// New resolves the options into an Experiment. All registry lookups and
+// consistency checks happen here, so a returned Experiment always runs.
+func New(opts ...Option) (*Experiment, error) {
+	o := defaultOptions()
+	for _, opt := range opts {
+		opt(o)
+	}
+	if o.err != nil {
+		return nil, o.err
+	}
+
+	build, err := networks.lookup(o.network)
+	if err != nil {
+		return nil, err
+	}
+	optimizer, err := optimizers.lookup(o.optimizer)
+	if err != nil {
+		return nil, err
+	}
+	weighting, err := weightings.lookup(o.weighting)
+	if err != nil {
+		return nil, err
+	}
+
+	if o.ranks < 1 || o.perNode < 1 || o.ranks%o.perNode != 0 {
+		return nil, fmt.Errorf("exaclim: ranks (%d) must be a positive multiple of gpus-per-node (%d)",
+			o.ranks, o.perNode)
+	}
+	if o.steps < 1 {
+		return nil, fmt.Errorf("exaclim: steps must be positive, got %d", o.steps)
+	}
+	if o.valEvery > 0 && o.valSize == 0 {
+		return nil, fmt.Errorf("exaclim: WithValidationEvery requires WithValidation")
+	}
+	if o.schedule != nil && o.polyDecay {
+		return nil, fmt.Errorf("exaclim: WithLRSchedule and WithPolynomialDecay are mutually exclusive")
+	}
+
+	// Dataset: explicit > synthetic spec > a default synthetic set sized to
+	// the model input (24×32 when that too is unset).
+	dataset := o.dataset
+	if dataset == nil {
+		spec := o.synth
+		if spec == nil {
+			h, w := o.model.Height, o.model.Width
+			if h == 0 || w == 0 {
+				h, w = 24, 32
+			}
+			spec = &synthSpec{height: h, width: w, samples: 32, seed: 42}
+		}
+		dataset = SyntheticDataset(spec.height, spec.width, spec.samples, spec.seed)
+	}
+
+	model := o.model
+	if len(o.channels) > 0 && model.InChannels == 0 {
+		model.InChannels = len(o.channels)
+	}
+	model = model.withDefaults(dataset.Cfg.Height, dataset.Cfg.Width)
+	if model.Seed == 0 {
+		model.Seed = o.seed + 1
+	}
+	if model.Symbolic {
+		return nil, fmt.Errorf("exaclim: symbolic models cannot train; use BuildModel for analysis")
+	}
+
+	fabric := o.fabric
+	nodes := o.ranks / o.perNode
+	switch {
+	case fabric != nil:
+		if fabric.Size() != o.ranks {
+			return nil, fmt.Errorf("exaclim: fabric size %d != ranks %d", fabric.Size(), o.ranks)
+		}
+	case o.summit:
+		if o.perNode != 6 {
+			return nil, fmt.Errorf("exaclim: Summit packs 6 GPUs per node, got WithRanks(%d, %d)",
+				o.ranks, o.perNode)
+		}
+		fabric = simnet.Summit(nodes)
+	case o.perNode > 1:
+		fabric = simnet.NewTwoLevelFabric(nodes, o.perNode,
+			simnet.LinkSpec{LatencySec: 1e-6, BytesPerSec: 150e9},
+			simnet.LinkSpec{LatencySec: 1.5e-6, BytesPerSec: 12.5e9})
+	default:
+		fabric = simnet.Loopback(o.ranks)
+	}
+
+	hvd := horovod.Tree(o.radix)
+	if o.flatCtl {
+		hvd = horovod.Flat(o.ranks)
+	}
+
+	schedule := o.schedule
+	if o.polyDecay {
+		schedule = opt.PolynomialDecay(o.lr, o.polyEnd, o.steps, o.polyPower)
+	}
+	if o.warmup > 0 {
+		base := schedule
+		if base == nil {
+			lr := o.lr
+			base = func(int) float64 { return lr }
+		}
+		schedule = opt.LinearWarmup(base, o.warmup)
+	}
+
+	buildNet := func() (*models.Network, error) {
+		net, err := build(o.size, modelsConfig(model))
+		if err != nil {
+			return nil, err
+		}
+		if o.initCkpt != "" {
+			if err := models.LoadParamsFile(o.initCkpt, net.Graph); err != nil {
+				return nil, err
+			}
+		}
+		return net, nil
+	}
+
+	return &Experiment{
+		cfg: core.Config{
+			BuildNet:           buildNet,
+			Precision:          o.precision,
+			LossScale:          o.lossScale,
+			Optimizer:          optimizer,
+			LR:                 o.lr,
+			UseLARC:            o.larc,
+			LARCTrust:          o.larcTrust,
+			GradientLag:        o.lag,
+			LRSchedule:         schedule,
+			Weighting:          weighting,
+			Dataset:            dataset,
+			Channels:           o.channels,
+			Ranks:              o.ranks,
+			Fabric:             fabric,
+			Horovod:            hvd,
+			HybridReduce:       o.hybrid,
+			Steps:              o.steps,
+			Seed:               o.seed,
+			ValidationSize:     o.valSize,
+			ValidateEvery:      o.valEvery,
+			StepComputeSeconds: o.stepSeconds,
+		},
+		observers: o.observers,
+		network:   o.network,
+		size:      o.size,
+		model:     model,
+	}, nil
+}
+
+// Dataset returns the dataset the experiment trains on.
+func (e *Experiment) Dataset() *climate.Dataset { return e.cfg.Dataset }
+
+// ControlPlaneStats is rank 0's Horovod control-plane traffic.
+type ControlPlaneStats struct {
+	CtlSent     int // control messages sent
+	CtlReceived int // control messages received
+	Batches     int // all-reduce batches executed
+}
+
+// Result summarizes a finished (or cancelled) run.
+type Result struct {
+	History      []StepStat
+	ValHistory   []ValStat // populated by WithValidationEvery
+	FinalLoss    float64
+	IoU          []float64 // per class (index with ClassBackground, ClassTC, ClassAR)
+	MeanIoU      float64
+	Accuracy     float64
+	Makespan     float64 // virtual seconds for the whole run
+	SkippedSteps int     // FP16 overflow skips
+	ControlPlane ControlPlaneStats
+	// Model is the trained model (rank 0's replica; all replicas are
+	// identical after a synchronous run).
+	Model *Model
+}
+
+// Run executes the experiment. Cancelling the context stops training at
+// the next step boundary on every rank and returns the partial Result
+// together with the context's error; any other error returns a nil Result.
+func (e *Experiment) Run(ctx context.Context) (*Result, error) {
+	cfg := e.cfg
+	cfg.Ctx = ctx
+	if n := len(e.observers); n > 0 {
+		obs := e.observers
+		cfg.OnStep = func(s core.StepStat) {
+			for _, ob := range obs {
+				ob.OnStep(StepStat(s))
+			}
+		}
+		cfg.OnValidation = func(v core.ValStat) {
+			for _, ob := range obs {
+				ob.OnValidation(ValStat(v))
+			}
+		}
+	}
+	res, err := core.Train(cfg)
+	if res == nil {
+		return nil, err
+	}
+	out := &Result{
+		History:      make([]StepStat, len(res.History)),
+		ValHistory:   make([]ValStat, len(res.ValHistory)),
+		FinalLoss:    res.FinalLoss,
+		IoU:          res.IoU,
+		MeanIoU:      res.MeanIoU,
+		Accuracy:     res.Accuracy,
+		Makespan:     res.Makespan,
+		SkippedSteps: res.SkippedSteps,
+		ControlPlane: ControlPlaneStats(res.CtlStats),
+	}
+	for i, h := range res.History {
+		out.History[i] = StepStat(h)
+	}
+	for i, v := range res.ValHistory {
+		out.ValHistory[i] = ValStat(v)
+	}
+	if res.Net != nil {
+		out.Model = &Model{name: e.network, net: res.Net}
+	}
+	return out, err
+}
+
+// SmoothedLoss returns a moving average over the loss history with the
+// given window (the paper's Fig 6 uses 10).
+func (r *Result) SmoothedLoss(window int) []float64 {
+	hist := make([]core.StepStat, len(r.History))
+	for i, h := range r.History {
+		hist[i] = core.StepStat(h)
+	}
+	return core.SmoothedLoss(hist, window)
+}
+
+// LossImproved reports whether the smoothed loss fell by at least frac
+// over the run — a convergence check robust to step noise.
+func (r *Result) LossImproved(frac float64) bool {
+	hist := make([]core.StepStat, len(r.History))
+	for i, h := range r.History {
+		hist[i] = core.StepStat(h)
+	}
+	return core.LossImproved(hist, frac)
+}
+
+// SyntheticDataset generates a deterministic synthetic CAM5-style climate
+// dataset: height×width grids of the 16 atmospheric channels with
+// heuristically-labeled tropical cyclones and atmospheric rivers.
+func SyntheticDataset(height, width, samples int, seed int64) *climate.Dataset {
+	return climate.NewDataset(climate.DefaultGenConfig(height, width, seed), samples)
+}
+
+// Model wraps a built network with its post-training utilities.
+type Model struct {
+	name string
+	net  *models.Network
+}
+
+// BuildModel constructs a registered network standalone — for inference
+// from a checkpoint, or (with cfg.Symbolic) for paper-scale analysis.
+func BuildModel(network string, size Size, cfg ModelConfig) (*Model, error) {
+	build, err := networks.lookup(network)
+	if err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults(24, 32)
+	net, err := build(size, modelsConfig(cfg))
+	if err != nil {
+		return nil, err
+	}
+	return &Model{name: network, net: net}, nil
+}
+
+func modelsConfig(c ModelConfig) models.Config {
+	return models.Config{
+		BatchSize:  c.BatchSize,
+		InChannels: c.InChannels,
+		NumClasses: c.NumClasses,
+		Height:     c.Height,
+		Width:      c.Width,
+		Symbolic:   c.Symbolic,
+		Seed:       c.Seed,
+	}
+}
+
+// Name returns the registry name the model was built from.
+func (m *Model) Name() string { return m.name }
+
+// NumParams returns the number of trainable scalars.
+func (m *Model) NumParams() int { return m.net.Graph.NumParamElements() }
+
+// InputSize returns the network's input grid (height, width).
+func (m *Model) InputSize() (h, w int) {
+	return m.net.Images.Shape[2], m.net.Images.Shape[3]
+}
+
+// SaveCheckpoint writes the model's parameters to path in the label+shape-
+// matched checkpoint format.
+func (m *Model) SaveCheckpoint(path string) error {
+	return models.SaveParamsFile(path, m.net.Graph)
+}
+
+// LoadCheckpoint restores parameters saved by SaveCheckpoint into this
+// model; labels and shapes must match.
+func (m *Model) LoadCheckpoint(path string) error {
+	return models.LoadParamsFile(path, m.net.Graph)
+}
+
+// Analyze walks the graph and returns per-kernel-category counts for one
+// full training step (forward, backward, optimizer, all-reduce, and type
+// conversion) at the given precision — the unit of the paper's Figs 2/3/8/9
+// tables and the scaling model's input.
+func (m *Model) Analyze(p Precision) *graph.Analysis {
+	return graph.Analyze(m.net.Graph, graph.AnalyzeOptions{
+		Precision: p, IncludeOptimizer: true,
+		IncludeAllreduce: true, IncludeTypeConversion: true,
+	})
+}
+
+// PaperAnalysis builds a registered network symbolically at the paper's
+// 1152×768 scale and returns its full training-step analysis — the shared
+// input of the Fig 2/3/8/9 tables and the weak-scaling model.
+func PaperAnalysis(network string, p Precision, batch, channels int) (*graph.Analysis, error) {
+	m, err := BuildModel(network, Paper, ModelConfig{
+		BatchSize: batch, InChannels: channels, NumClasses: 3,
+		Height: 768, Width: 1152, Symbolic: true, Seed: 1,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return m.Analyze(p), nil
+}
+
+// SegmentConfig controls tiled inference. Zero tile dimensions default to
+// the model's input window.
+type SegmentConfig struct {
+	TileH, TileW int
+	// Overlap is the margin (pixels) discarded on interior tile edges; it
+	// must be at least the network's receptive-field radius for the
+	// stitched output to match a monolithic pass.
+	Overlap   int
+	Precision Precision
+}
+
+// Segment runs the model over a [channels, H, W] field tensor of arbitrary
+// size by tiling, returning the [H, W] predicted class mask.
+func (m *Model) Segment(fields *tensor.Tensor, cfg SegmentConfig) (*tensor.Tensor, error) {
+	if cfg.TileH == 0 && cfg.TileW == 0 {
+		cfg.TileH, cfg.TileW = m.InputSize()
+	}
+	return infer.Run(infer.FromModel(m.net), fields, infer.Config{
+		TileH: cfg.TileH, TileW: cfg.TileW,
+		Overlap: cfg.Overlap, Precision: cfg.Precision,
+	})
+}

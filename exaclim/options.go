@@ -1,0 +1,339 @@
+package exaclim
+
+import (
+	"repro/internal/climate"
+	"repro/internal/graph"
+	"repro/internal/simnet"
+)
+
+// Precision selects the training arithmetic. FP16 enables the loss-scaled
+// mixed-precision path.
+type Precision = graph.Precision
+
+// Re-exported precision values, so callers need no extra import.
+const (
+	FP32 = graph.FP32
+	FP16 = graph.FP16
+)
+
+// Climate class and channel constants, re-exported for callers reading
+// Result.IoU or assembling channel subsets.
+const (
+	ClassBackground = climate.ClassBackground
+	ClassTC         = climate.ClassTC
+	ClassAR         = climate.ClassAR
+	NumClasses      = climate.NumClasses
+	NumChannels     = climate.NumChannels
+)
+
+// PizDaintChannels is the 4-channel input subset of the early Piz Daint
+// experiments (TMQ, PSL, U850, V850).
+var PizDaintChannels = climate.PizDaintChannels
+
+// ModelConfig sizes a network build. Zero fields take defaults: batch 1,
+// all 16 input channels, 3 classes, and the experiment dataset's grid (or
+// 24×32 when built standalone).
+type ModelConfig struct {
+	BatchSize  int
+	InChannels int
+	NumClasses int
+	Height     int
+	Width      int
+	// Symbolic builds shape-only parameters — not trainable, but analyzable
+	// at the paper's 1152×768×16 scale without allocating gigabytes.
+	Symbolic bool
+	Seed     int64
+}
+
+func (c ModelConfig) withDefaults(h, w int) ModelConfig {
+	if c.BatchSize == 0 {
+		c.BatchSize = 1
+	}
+	if c.InChannels == 0 {
+		c.InChannels = climate.NumChannels
+	}
+	if c.NumClasses == 0 {
+		c.NumClasses = climate.NumClasses
+	}
+	if c.Height == 0 {
+		c.Height = h
+	}
+	if c.Width == 0 {
+		c.Width = w
+	}
+	return c
+}
+
+// Option configures an Experiment. Options that can fail (registry
+// lookups, inconsistent combinations) surface their error from New.
+type Option func(*options)
+
+type options struct {
+	err error
+
+	network string
+	size    Size
+	model   ModelConfig
+
+	precision Precision
+	lossScale float64
+
+	optimizer string
+	lr        float64
+	larc      bool
+	larcTrust float64
+	lag       int
+
+	schedule  func(step int) float64
+	polyDecay bool
+	polyEnd   float64
+	polyPower float64
+	warmup    int
+
+	weighting string
+	channels  []int
+
+	dataset *climate.Dataset
+	synth   *synthSpec
+
+	ranks   int
+	perNode int
+	fabric  simnet.Fabric
+	summit  bool
+
+	hybrid  bool
+	radix   int
+	flatCtl bool
+
+	steps       int
+	seed        int64
+	valSize     int
+	valEvery    int
+	stepSeconds float64
+
+	observers []Observer
+	initCkpt  string
+}
+
+type synthSpec struct {
+	height, width, samples int
+	seed                   int64
+}
+
+func defaultOptions() *options {
+	return &options{
+		network:   "tiramisu",
+		size:      Tiny,
+		precision: FP32,
+		optimizer: "adam",
+		lr:        3e-3,
+		weighting: "sqrt",
+		ranks:     1,
+		perNode:   1,
+		radix:     4,
+		steps:     30,
+		seed:      1,
+	}
+}
+
+// WithNetwork selects a registered network ("tiramisu", "deeplab") at a
+// size (Tiny, Paper, Original). Default: "tiramisu" at Tiny.
+func WithNetwork(name string, size Size) Option {
+	return func(o *options) { o.network, o.size = name, size }
+}
+
+// WithModelConfig overrides the network build parameters. Only non-zero
+// fields are applied, so it composes with WithInputSize and repeated uses
+// rather than silently discarding them; unset fields still take their
+// defaults (see ModelConfig).
+func WithModelConfig(c ModelConfig) Option {
+	return func(o *options) {
+		if c.BatchSize != 0 {
+			o.model.BatchSize = c.BatchSize
+		}
+		if c.InChannels != 0 {
+			o.model.InChannels = c.InChannels
+		}
+		if c.NumClasses != 0 {
+			o.model.NumClasses = c.NumClasses
+		}
+		if c.Height != 0 {
+			o.model.Height = c.Height
+		}
+		if c.Width != 0 {
+			o.model.Width = c.Width
+		}
+		if c.Symbolic {
+			o.model.Symbolic = true
+		}
+		if c.Seed != 0 {
+			o.model.Seed = c.Seed
+		}
+	}
+}
+
+// WithInputSize sets the network's input grid. It normally follows the
+// dataset's grid automatically; set it only to train on crops.
+func WithInputSize(height, width int) Option {
+	return func(o *options) { o.model.Height, o.model.Width = height, width }
+}
+
+// WithPrecision selects FP32 or FP16 (loss-scaled mixed precision).
+func WithPrecision(p Precision) Option {
+	return func(o *options) { o.precision = p }
+}
+
+// WithLossScale sets the FP16 static loss scale (default 1024, adapted
+// dynamically on overflow).
+func WithLossScale(scale float64) Option {
+	return func(o *options) { o.lossScale = scale }
+}
+
+// WithOptimizer selects a registered optimizer ("adam", "sgd").
+func WithOptimizer(name string) Option {
+	return func(o *options) { o.optimizer = name }
+}
+
+// WithLR sets the (initial) learning rate.
+func WithLR(lr float64) Option {
+	return func(o *options) { o.lr = lr }
+}
+
+// WithLARC enables layer-wise adaptive rate control with the given trust
+// coefficient (0 → the paper's 0.01).
+func WithLARC(trust float64) Option {
+	return func(o *options) { o.larc, o.larcTrust = true, trust }
+}
+
+// WithGradientLag delays gradient application by n steps, overlapping the
+// all-reduce with the next forward pass (§V-B4; the paper uses lag 1).
+func WithGradientLag(n int) Option {
+	return func(o *options) { o.lag = n }
+}
+
+// WithLRSchedule overrides the learning rate before each step; WithLR then
+// only sets the initial rate. Mutually exclusive with WithPolynomialDecay.
+func WithLRSchedule(f func(step int) float64) Option {
+	return func(o *options) { o.schedule = f }
+}
+
+// WithPolynomialDecay decays the learning rate from WithLR's value to end
+// over the run with the given power (1 = linear).
+func WithPolynomialDecay(end, power float64) Option {
+	return func(o *options) { o.polyDecay, o.polyEnd, o.polyPower = true, end, power }
+}
+
+// WithWarmup ramps the learning rate linearly from 0 over the first n
+// steps, composing with any schedule.
+func WithWarmup(steps int) Option {
+	return func(o *options) { o.warmup = steps }
+}
+
+// WithWeighting selects a registered per-pixel loss weighting ("none",
+// "inv", "sqrt"). Default: "sqrt", the paper's 1/√f.
+func WithWeighting(name string) Option {
+	return func(o *options) { o.weighting = name }
+}
+
+// WithChannels restricts the input to a subset of the 16 climate channels
+// (e.g. PizDaintChannels) and sizes the network input accordingly.
+func WithChannels(channels ...int) Option {
+	return func(o *options) { o.channels = channels }
+}
+
+// WithDataset trains on a caller-provided dataset instead of the default
+// synthetic one.
+func WithDataset(ds *climate.Dataset) Option {
+	return func(o *options) { o.dataset = ds }
+}
+
+// WithSyntheticData generates a deterministic synthetic CAM5-style dataset
+// of the given grid and size. The network input follows the grid unless
+// WithInputSize overrides it.
+func WithSyntheticData(height, width, samples int, seed int64) Option {
+	return func(o *options) {
+		o.synth = &synthSpec{height: height, width: width, samples: samples, seed: seed}
+	}
+}
+
+// WithRanks runs data-parallel training over ranks simulated GPUs packed
+// gpusPerNode to a node; ranks must divide evenly into nodes. With more
+// than one GPU per node the default fabric is two-level (NVLink-class
+// intra-node, fat-tree-class inter-node).
+func WithRanks(ranks, gpusPerNode int) Option {
+	return func(o *options) { o.ranks, o.perNode = ranks, gpusPerNode }
+}
+
+// WithFabric substitutes a custom interconnect topology. It must agree
+// with WithRanks' world size.
+func WithFabric(f simnet.Fabric) Option {
+	return func(o *options) { o.fabric = f }
+}
+
+// WithSummitFabric models Summit's interconnect (6 GPUs per node over
+// NVLink, EDR InfiniBand between nodes). Requires WithRanks(n, 6).
+func WithSummitFabric() Option {
+	return func(o *options) { o.summit = true }
+}
+
+// WithHybridAllReduce reduces gradients hierarchically — NVLink within a
+// node, ring across node leaders — instead of one flat ring (§V-A2).
+func WithHybridAllReduce() Option {
+	return func(o *options) { o.hybrid = true }
+}
+
+// WithControlTree sets the radix of the hierarchical Horovod control plane
+// (default 4, the paper's choice).
+func WithControlTree(radix int) Option {
+	return func(o *options) { o.radix = radix }
+}
+
+// WithFlatControlPlane uses the original rank-0-coordinated Horovod
+// control plane — the scaling bottleneck §V-A3 removes.
+func WithFlatControlPlane() Option {
+	return func(o *options) { o.flatCtl = true }
+}
+
+// WithSteps sets the number of training steps.
+func WithSteps(n int) Option {
+	return func(o *options) { o.steps = n }
+}
+
+// WithSeed sets the experiment seed (data sharding, weight init, dropout).
+func WithSeed(seed int64) Option {
+	return func(o *options) { o.seed = seed }
+}
+
+// WithValidation evaluates IoU over n validation samples after training.
+func WithValidation(n int) Option {
+	return func(o *options) { o.valSize = n }
+}
+
+// WithValidationEvery additionally runs the validation pass every n steps,
+// recording the trajectory in Result.ValHistory and streaming it to
+// observers. Requires WithValidation.
+func WithValidationEvery(n int) Option {
+	return func(o *options) { o.valEvery = n }
+}
+
+// WithStepComputeSeconds charges virtual GPU time per step so loss-vs-time
+// curves come out at paper-like scales.
+func WithStepComputeSeconds(s float64) Option {
+	return func(o *options) { o.stepSeconds = s }
+}
+
+// WithObserver streams progress to obs during Run. May be given multiple
+// times; observers are invoked in registration order.
+func WithObserver(obs Observer) Option {
+	return func(o *options) {
+		if obs != nil {
+			o.observers = append(o.observers, obs)
+		}
+	}
+}
+
+// WithInitCheckpoint initializes every rank's replica from a checkpoint
+// written by Model.SaveCheckpoint before training starts (resuming a run).
+func WithInitCheckpoint(path string) Option {
+	return func(o *options) { o.initCkpt = path }
+}

@@ -1,0 +1,56 @@
+package exaclim
+
+import "repro/internal/perfmodel"
+
+// Quickstart returns the options of the smallest end-to-end experiment:
+// the paper's Tiramisu configuration at CPU scale — reduced-width network,
+// synthetic 24×32 climate data, Adam, the 1/√f pixel weighting, one rank —
+// with IoU validation. Append further options to override any of it:
+//
+//	exp, err := exaclim.New(append(exaclim.Quickstart(), exaclim.WithSteps(50))...)
+func Quickstart() []Option {
+	return []Option{
+		WithNetwork("tiramisu", Tiny),
+		WithSyntheticData(24, 32, 32, 42),
+		WithPrecision(FP32),
+		WithOptimizer("adam"),
+		WithLR(3e-3),
+		WithWeighting("sqrt"),
+		WithRanks(1, 1),
+		WithSteps(30),
+		WithSeed(1),
+		WithValidation(3),
+		WithStepComputeSeconds(0.5),
+	}
+}
+
+// SummitScale returns the options of the paper's headline configuration —
+// DeepLabv3+ in FP16 with hybrid all-reduce, gradient lag 1, LARC, the
+// radix-4 hierarchical control plane, and the cube-law learning rate —
+// scaled down to `ranks` simulated Summit GPUs (a multiple of 6, Summit's
+// GPUs per node). The network and dataset stay at CPU-trainable size; the
+// distributed machinery is the paper's.
+func SummitScale(ranks int) []Option {
+	// The paper's LR(n) = 1e-4·(n/384)³ cube law, rescaled so the anchor
+	// concurrency of these reduced runs (6 ranks) gets a trainable 2e-3.
+	lr := 2e-3 * perfmodel.PaperLR(384*ranks/6) / perfmodel.PaperLR(384)
+	return []Option{
+		WithNetwork("deeplab", Tiny),
+		WithSyntheticData(16, 16, 32, 42),
+		WithPrecision(FP16),
+		WithLossScale(1024),
+		WithOptimizer("sgd"),
+		WithLR(lr),
+		WithLARC(0.01),
+		WithGradientLag(1),
+		WithWeighting("sqrt"),
+		WithRanks(ranks, 6),
+		WithSummitFabric(),
+		WithHybridAllReduce(),
+		WithControlTree(4),
+		WithSteps(40),
+		WithSeed(1),
+		WithValidation(3),
+		WithStepComputeSeconds(0.9),
+	}
+}

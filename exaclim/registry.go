@@ -1,0 +1,122 @@
+package exaclim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/loss"
+	"repro/internal/models"
+)
+
+// Size selects a configuration scale for a registered network.
+type Size int
+
+const (
+	// Tiny is a reduced-width configuration with the paper topology,
+	// trainable on a CPU in seconds.
+	Tiny Size = iota
+	// Paper is the exact configuration the paper scaled to Summit
+	// (1152×768×16 inputs); build it Symbolic for analysis.
+	Paper
+	// Original is the pre-modification variant where one exists (the
+	// growth-16/3×3 Tiramisu of the §V-B5 ablation).
+	Original
+)
+
+// String names the size.
+func (s Size) String() string {
+	switch s {
+	case Tiny:
+		return "tiny"
+	case Paper:
+		return "paper"
+	case Original:
+		return "original"
+	}
+	return fmt.Sprintf("Size(%d)", int(s))
+}
+
+// registry is a name → value table shared by the network, optimizer, and
+// weighting lookups, so CLI flags map 1:1 to keys and unknown names fail
+// with the valid alternatives spelled out.
+type registry[T any] struct {
+	kind    string
+	entries map[string]T
+}
+
+func (r *registry[T]) lookup(name string) (T, error) {
+	if v, ok := r.entries[name]; ok {
+		return v, nil
+	}
+	var zero T
+	return zero, fmt.Errorf("exaclim: unknown %s %q (valid: %s)",
+		r.kind, name, strings.Join(r.names(), ", "))
+}
+
+func (r *registry[T]) names() []string {
+	names := make([]string, 0, len(r.entries))
+	for n := range r.entries {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// networkBuilder constructs a model replica at one of the registered sizes.
+type networkBuilder func(size Size, c models.Config) (*models.Network, error)
+
+var networks = &registry[networkBuilder]{kind: "network", entries: map[string]networkBuilder{
+	"tiramisu": func(size Size, c models.Config) (*models.Network, error) {
+		switch size {
+		case Paper:
+			return models.BuildTiramisu(models.PaperTiramisu(c))
+		case Original:
+			return models.BuildTiramisu(models.OriginalTiramisu(c))
+		default:
+			return models.BuildTiramisu(models.TinyTiramisu(c))
+		}
+	},
+	"deeplab": func(size Size, c models.Config) (*models.Network, error) {
+		switch size {
+		case Paper:
+			return models.BuildDeepLab(models.PaperDeepLab(c))
+		case Original:
+			return nil, fmt.Errorf("exaclim: network %q has no %q size", "deeplab", "original")
+		default:
+			return models.BuildDeepLab(models.TinyDeepLab(c))
+		}
+	},
+}}
+
+var optimizers = &registry[core.OptimizerKind]{kind: "optimizer", entries: map[string]core.OptimizerKind{
+	"adam": core.Adam, // the paper's Tiramisu optimizer
+	"sgd":  core.SGD,  // SGD with momentum 0.9
+}}
+
+var weightings = &registry[loss.Weighting]{kind: "weighting", entries: map[string]loss.Weighting{
+	"none": loss.Unweighted,
+	"inv":  loss.InverseFrequency,
+	"sqrt": loss.InverseSqrtFrequency, // the paper's 1/√f choice
+}}
+
+// ClassWeights converts class pixel frequencies into per-class loss
+// weights under a registered weighting scheme — the values WeightMap
+// applies per pixel during training.
+func ClassWeights(freq []float64, weighting string) ([]float32, error) {
+	w, err := weightings.lookup(weighting)
+	if err != nil {
+		return nil, err
+	}
+	return loss.ClassWeights(freq, w), nil
+}
+
+// Networks lists the registered network names.
+func Networks() []string { return networks.names() }
+
+// Optimizers lists the registered optimizer names.
+func Optimizers() []string { return optimizers.names() }
+
+// Weightings lists the registered loss-weighting names.
+func Weightings() []string { return weightings.names() }

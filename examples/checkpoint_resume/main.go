@@ -1,56 +1,44 @@
 // Checkpoint/resume: long training runs on shared HPC systems live inside
 // job-queue time limits, so surviving a restart is a production
-// requirement. This example trains a model, checkpoints it, resumes into a
-// freshly built replica, and verifies the resumed model produces identical
-// predictions — the same label+shape-matched restore the paper's
+// requirement. This example trains a model, checkpoints it, restores it
+// into a freshly built replica with different initial weights, verifies the
+// restored model predicts identically, and resumes training from the
+// checkpoint — the same label+shape-matched restore the paper's
 // data-parallel replicas rely on for consistent initialization.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
 	"path/filepath"
 
-	"repro/internal/climate"
-	"repro/internal/core"
-	"repro/internal/graph"
-	"repro/internal/infer"
-	"repro/internal/loss"
-	"repro/internal/models"
+	"repro/exaclim"
 )
 
 func main() {
 	log.SetFlags(0)
 	const h, w = 24, 32
 
-	dataset := climate.NewDataset(climate.DefaultGenConfig(h, w, 42), 24)
-	build := func(seed int64) (*models.Network, error) {
-		return models.BuildTiramisu(models.TinyTiramisu(models.Config{
-			BatchSize: 1, InChannels: climate.NumChannels, NumClasses: climate.NumClasses,
-			Height: h, Width: w, Seed: seed,
-		}))
+	base := []exaclim.Option{
+		exaclim.WithNetwork("tiramisu", exaclim.Tiny),
+		exaclim.WithSyntheticData(h, w, 24, 42),
+		exaclim.WithModelConfig(exaclim.ModelConfig{Seed: 7}),
+		exaclim.WithOptimizer("adam"),
+		exaclim.WithLR(3e-3),
+		exaclim.WithWeighting("sqrt"),
+		exaclim.WithRanks(1, 1),
 	}
 
-	// Phase 1: train for 25 steps, keeping a handle on the rank's network
-	// so we can checkpoint the trained weights.
-	var trained *models.Network
+	// Phase 1: train for 25 steps; the trained model rides back on the
+	// result.
+	exp, err := exaclim.New(append(base, exaclim.WithSteps(25), exaclim.WithSeed(1))...)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Println("phase 1: training 25 steps…")
-	res, err := core.Train(core.Config{
-		BuildNet: func() (*models.Network, error) {
-			n, err := build(7)
-			trained = n
-			return n, err
-		},
-		Precision: graph.FP32,
-		Optimizer: core.Adam,
-		LR:        3e-3,
-		Weighting: loss.InverseSqrtFrequency,
-		Dataset:   dataset,
-		Ranks:     1,
-		Steps:     25,
-		Seed:      1,
-	})
+	res, err := exp.Run(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -62,34 +50,36 @@ func main() {
 	}
 	defer os.RemoveAll(dir)
 	path := filepath.Join(dir, "model.ckpt")
-	if err := models.SaveParamsFile(path, trained.Graph); err != nil {
+	if err := res.Model.SaveCheckpoint(path); err != nil {
 		log.Fatal(err)
 	}
 	st, _ := os.Stat(path)
 	fmt.Printf("  checkpointed %d parameters (%d KB) to %s\n",
-		len(trained.Graph.Params()), st.Size()/1024, filepath.Base(path))
+		res.Model.NumParams(), st.Size()/1024, filepath.Base(path))
 
 	// Phase 2: a fresh replica with a DIFFERENT weight seed — proving the
 	// restore, not the initializer, carries the model.
-	resumed, err := build(999)
+	restored, err := exaclim.BuildModel("tiramisu", exaclim.Tiny,
+		exaclim.ModelConfig{Height: h, Width: w, Seed: 999})
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := models.LoadParamsFile(path, resumed.Graph); err != nil {
+	if err := restored.LoadCheckpoint(path); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("\nphase 2: restored into a fresh replica")
 
-	// Verify: identical masks from both networks on held-out samples.
-	icfg := infer.Config{TileH: h, TileW: w, Overlap: 0, Precision: graph.FP32}
+	// Verify: identical masks from both models on a few dataset samples
+	// (any samples work — this checks the restore, not generalization).
+	ds := exp.Dataset()
 	same, total := 0, 0
 	for i := 0; i < 3; i++ {
-		s := dataset.Sample(dataset.Indices(climate.Validation)[i])
-		a, err := infer.Run(infer.FromModel(trained), s.Fields, icfg)
+		s := ds.Sample(ds.Size - 1 - i)
+		a, err := res.Model.Segment(s.Fields, exaclim.SegmentConfig{})
 		if err != nil {
 			log.Fatal(err)
 		}
-		b, err := infer.Run(infer.FromModel(resumed), s.Fields, icfg)
+		b, err := restored.Segment(s.Fields, exaclim.SegmentConfig{})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -107,27 +97,14 @@ func main() {
 
 	// Phase 3: resume training from the checkpoint for 15 more steps.
 	fmt.Println("\nphase 3: resuming training from the checkpoint…")
-	res2, err := core.Train(core.Config{
-		BuildNet: func() (*models.Network, error) {
-			n, err := build(999)
-			if err != nil {
-				return nil, err
-			}
-			if err := models.LoadParamsFile(path, n.Graph); err != nil {
-				return nil, err
-			}
-			return n, nil
-		},
-		Precision:      graph.FP32,
-		Optimizer:      core.Adam,
-		LR:             3e-3,
-		Weighting:      loss.InverseSqrtFrequency,
-		Dataset:        dataset,
-		Ranks:          1,
-		Steps:          15,
-		Seed:           2,
-		ValidationSize: 3,
-	})
+	resumed, err := exaclim.New(append(base,
+		exaclim.WithSteps(15), exaclim.WithSeed(2),
+		exaclim.WithValidation(3),
+		exaclim.WithInitCheckpoint(path))...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res2, err := resumed.Run(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -6,18 +6,17 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
 	"path/filepath"
 	"strings"
 
+	"repro/exaclim"
 	"repro/internal/climate"
-	"repro/internal/core"
-	"repro/internal/graph"
 	"repro/internal/h5lite"
 	"repro/internal/loss"
-	"repro/internal/models"
 	"repro/internal/mpi"
 	"repro/internal/pipeline"
 	"repro/internal/simnet"
@@ -41,7 +40,7 @@ func main() {
 	}
 	defer os.RemoveAll(dir)
 	path := filepath.Join(dir, "climate.h5l")
-	ds := climate.NewDataset(climate.DefaultGenConfig(gridH, gridW, 3), numSamples)
+	ds := exaclim.SyntheticDataset(gridH, gridW, numSamples, 3)
 	writeDataset(path, ds)
 	fmt.Printf("1. wrote %d snapshots to %s\n", ds.Size, path)
 
@@ -84,31 +83,24 @@ func main() {
 	fmt.Printf("3. input pipeline produced %d prefetched batches with 4 reader processes\n", batches)
 
 	// --- 4. Distributed training of DeepLabv3+ on 4 simulated GPUs. ---
-	cfg := core.Config{
-		BuildNet: func() (*models.Network, error) {
-			return models.BuildDeepLab(models.TinyDeepLab(models.Config{
-				BatchSize:  1,
-				InChannels: climate.NumChannels,
-				NumClasses: climate.NumClasses,
-				Height:     gridH,
-				Width:      gridW,
-				Seed:       11,
-			}))
-		},
-		Precision:          graph.FP32,
-		Optimizer:          core.Adam,
-		LR:                 2e-3,
-		Weighting:          loss.InverseSqrtFrequency,
-		Dataset:            ds,
-		Ranks:              4,
-		Fabric:             simnet.NewTwoLevelFabric(2, 2, simnet.LinkSpec{LatencySec: 1e-6, BytesPerSec: 150e9}, simnet.LinkSpec{LatencySec: 1.5e-6, BytesPerSec: 12.5e9}),
-		HybridReduce:       true,
-		Steps:              30,
-		Seed:               13,
-		ValidationSize:     3,
-		StepComputeSeconds: 0.4,
+	exp, err := exaclim.New(
+		exaclim.WithNetwork("deeplab", exaclim.Tiny),
+		exaclim.WithDataset(ds),
+		exaclim.WithModelConfig(exaclim.ModelConfig{Seed: 11}),
+		exaclim.WithOptimizer("adam"),
+		exaclim.WithLR(2e-3),
+		exaclim.WithWeighting("sqrt"),
+		exaclim.WithRanks(4, 2),
+		exaclim.WithHybridAllReduce(),
+		exaclim.WithSteps(30),
+		exaclim.WithSeed(13),
+		exaclim.WithValidation(3),
+		exaclim.WithStepComputeSeconds(0.4),
+	)
+	if err != nil {
+		log.Fatal(err)
 	}
-	tr, err := core.Train(cfg)
+	tr, err := exp.Run(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,63 +1,44 @@
 // Quickstart: train a small Tiramisu segmentation network on synthetic
 // climate data with a single simulated GPU, then print the loss curve and
-// per-class IoU. This is the smallest end-to-end use of the library.
+// per-class IoU. This is the smallest end-to-end use of the library —
+// one preset, one Run.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"repro/internal/climate"
-	"repro/internal/core"
-	"repro/internal/graph"
-	"repro/internal/loss"
-	"repro/internal/models"
+	"repro/exaclim"
 )
 
 func main() {
 	log.SetFlags(0)
 
-	// A virtual dataset of 32 synthetic CAM5-style snapshots, 16 channels,
-	// 24×32 pixels. Samples are generated on demand and deterministically.
-	dataset := climate.NewDataset(climate.DefaultGenConfig(24, 32, 42), 32)
-
-	cfg := core.Config{
-		BuildNet: func() (*models.Network, error) {
-			return models.BuildTiramisu(models.TinyTiramisu(models.Config{
-				BatchSize:  1,
-				InChannels: climate.NumChannels,
-				NumClasses: climate.NumClasses,
-				Height:     24,
-				Width:      32,
-				Seed:       7,
-			}))
-		},
-		Precision:          graph.FP32,
-		Optimizer:          core.Adam,
-		LR:                 3e-3,
-		Weighting:          loss.InverseSqrtFrequency, // the paper's 1/√f pixel weights
-		Dataset:            dataset,
-		Ranks:              1,
-		Steps:              30,
-		Seed:               1,
-		ValidationSize:     3,
-		StepComputeSeconds: 0.5,
-	}
-
-	fmt.Println("quickstart: training Tiramisu on synthetic climate data…")
-	res, err := core.Train(cfg)
+	// The Quickstart preset is the paper's Tiramisu configuration at CPU
+	// scale: 24×32 synthetic CAM5-style snapshots, Adam, the 1/√f pixel
+	// weighting. An observer streams progress while the run is live.
+	exp, err := exaclim.New(append(exaclim.Quickstart(),
+		exaclim.WithObserver(exaclim.ObserverFuncs{
+			Step: func(s exaclim.StepStat) {
+				if s.Step%8 == 0 || s.Last {
+					fmt.Printf("  step %2d  loss %8.3f\n", s.Step, s.Loss)
+				}
+			},
+		}),
+	)...)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	smoothed := core.SmoothedLoss(res.History, 10)
-	for i, h := range res.History {
-		if i%8 == 0 || i == len(res.History)-1 {
-			fmt.Printf("  step %2d  loss %8.3f  smoothed %8.3f\n", h.Step, h.Loss, smoothed[i])
-		}
+	fmt.Println("quickstart: training Tiramisu on synthetic climate data…")
+	res, err := exp.Run(context.Background())
+	if err != nil {
+		log.Fatal(err)
 	}
+
 	fmt.Printf("\nloss %0.3f → %0.3f\n", res.History[0].Loss, res.FinalLoss)
 	fmt.Printf("IoU: background %.3f, tropical cyclone %.3f, atmospheric river %.3f\n",
-		res.IoU[climate.ClassBackground], res.IoU[climate.ClassTC], res.IoU[climate.ClassAR])
+		res.IoU[exaclim.ClassBackground], res.IoU[exaclim.ClassTC], res.IoU[exaclim.ClassAR])
 	fmt.Printf("pixel accuracy %.3f\n", res.Accuracy)
 }

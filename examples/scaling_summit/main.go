@@ -8,8 +8,7 @@ import (
 	"fmt"
 	"log"
 
-	"repro/internal/graph"
-	"repro/internal/models"
+	"repro/exaclim"
 	"repro/internal/perfmodel"
 )
 
@@ -18,25 +17,22 @@ func main() {
 
 	// Build the paper-exact DeepLabv3+ symbolically (1152×768×16, batch 2
 	// for FP16) and count its work by graph analysis.
-	net, err := models.BuildDeepLab(models.PaperDeepLab(models.Config{
+	m, err := exaclim.BuildModel("deeplab", exaclim.Paper, exaclim.ModelConfig{
 		BatchSize: 2, InChannels: 16, NumClasses: 3,
 		Height: 768, Width: 1152, Symbolic: true, Seed: 1,
-	}))
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	a := graph.Analyze(net.Graph, graph.AnalyzeOptions{
-		Precision: graph.FP16, IncludeOptimizer: true,
-		IncludeAllreduce: true, IncludeTypeConversion: true,
-	})
+	a := m.Analyze(exaclim.FP16)
 	fmt.Printf("DeepLabv3+ at 1152×768×16: %.2f TF/sample (paper: 14.41), %.1fM parameters\n",
-		a.FLOPsPerSample()/1e12, float64(net.Graph.NumParamElements())/1e6)
+		a.FLOPsPerSample()/1e12, float64(m.NumParams())/1e6)
 
 	base := perfmodel.ScalingConfig{
 		Machine:         perfmodel.Summit(),
 		Analysis:        a,
-		Precision:       graph.FP16,
-		GradBytes:       float64(net.Graph.NumParamElements()) * 2,
+		Precision:       exaclim.FP16,
+		GradBytes:       float64(m.NumParams()) * 2,
 		NumTensors:      110,
 		Lag:             1,
 		HierarchicalCtl: true,

@@ -8,15 +8,12 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
+	"repro/exaclim"
 	"repro/internal/climate"
-	"repro/internal/core"
-	"repro/internal/graph"
-	"repro/internal/infer"
-	"repro/internal/loss"
-	"repro/internal/models"
 	"repro/internal/storms"
 )
 
@@ -27,49 +24,38 @@ func main() {
 	const fullH, fullW = 48, 64
 
 	// 1. Train a small segmentation model on tile-sized crops.
-	train := climate.NewDataset(climate.DefaultGenConfig(tileH, tileW, 42), 32)
-	build := func() (*models.Network, error) {
-		return models.BuildTiramisu(models.TinyTiramisu(models.Config{
-			BatchSize: 1, InChannels: climate.NumChannels, NumClasses: climate.NumClasses,
-			Height: tileH, Width: tileW, Seed: 7,
-		}))
+	exp, err := exaclim.New(
+		exaclim.WithNetwork("tiramisu", exaclim.Tiny),
+		exaclim.WithSyntheticData(tileH, tileW, 32, 42),
+		exaclim.WithModelConfig(exaclim.ModelConfig{Seed: 7}),
+		exaclim.WithOptimizer("adam"),
+		exaclim.WithLR(3e-3),
+		exaclim.WithWeighting("sqrt"),
+		exaclim.WithRanks(2, 1),
+		exaclim.WithSteps(40),
+		exaclim.WithSeed(1),
+	)
+	if err != nil {
+		log.Fatal(err)
 	}
 	fmt.Println("storm analytics: training segmentation model…")
-	res, err := core.Train(core.Config{
-		BuildNet:  build,
-		Precision: graph.FP32,
-		Optimizer: core.Adam,
-		LR:        3e-3,
-		Weighting: loss.InverseSqrtFrequency,
-		Dataset:   train,
-		Ranks:     2,
-		Steps:     40,
-		Seed:      1,
-	})
+	res, err := exp.Run(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("  training loss %.1f → %.1f over %d steps\n\n",
 		res.History[0].Loss, res.FinalLoss, len(res.History))
 
-	// 2. Rebuild a replica for inference and segment full-size snapshots by
-	// tiling (the trained weights come from an identically-seeded build; a
-	// real deployment would load a checkpoint — see examples/checkpoint_resume).
-	net, err := build()
-	if err != nil {
-		log.Fatal(err)
-	}
-	inet := infer.FromModel(net)
-	icfg := infer.Config{TileH: tileH, TileW: tileW, Overlap: 4, Precision: graph.FP32}
-
-	full := climate.NewDataset(climate.DefaultGenConfig(fullH, fullW, 99), 4)
+	// 2. Segment full-size snapshots by tiling with the trained model.
+	icfg := exaclim.SegmentConfig{Overlap: 4}
+	full := exaclim.SyntheticDataset(fullH, fullW, 4, 99)
 	fmt.Printf("segmenting %d full %d×%d snapshots with %d×%d tiles…\n",
 		full.Size, fullH, fullW, tileH, tileW)
 
 	var census storms.Census
 	for i := 0; i < full.Size; i++ {
 		s := full.Sample(i)
-		mask, err := infer.Run(inet, s.Fields, icfg)
+		mask, err := res.Model.Segment(s.Fields, icfg)
 		if err != nil {
 			log.Fatal(err)
 		}

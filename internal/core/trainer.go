@@ -9,6 +9,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
@@ -77,6 +79,23 @@ type Config struct {
 	// StepComputeSeconds charges virtual GPU time per step, so loss-vs-
 	// wall-time curves (Fig 6) can be drawn at paper-like scales.
 	StepComputeSeconds float64
+
+	// Ctx, when set, is checked at every step boundary. Because ranks are
+	// goroutines joined by collectives, cancellation must be a collective
+	// decision: each step all ranks reduce a cancellation flag, so every
+	// rank exits at the same step and none is left blocking in an
+	// all-reduce. On cancellation Train returns the partial Result together
+	// with the context's error.
+	Ctx context.Context
+
+	// OnStep, when set, is called from rank 0 after every training step
+	// with the record that was just appended to Result.History. Callbacks
+	// run synchronously on rank 0's training path and should return
+	// quickly.
+	OnStep func(StepStat)
+	// OnValidation is the mid-training analogue of OnStep for the
+	// ValidateEvery passes.
+	OnValidation func(ValStat)
 }
 
 // StepStat is one step's record from rank 0's perspective.
@@ -85,6 +104,7 @@ type StepStat struct {
 	Loss        float64 // mean loss across ranks
 	VirtualTime float64 // rank-0 virtual clock at step end
 	Skipped     bool    // FP16 overflow skip
+	Last        bool    // final step of the configured run
 }
 
 // ValStat is one mid-training validation record (Section VI's per-epoch
@@ -106,6 +126,10 @@ type Result struct {
 	Makespan     float64 // virtual seconds for the whole run
 	SkippedSteps int
 	CtlStats     horovod.Stats // rank 0's control-plane traffic
+	// Net is rank 0's model replica with its trained weights — the handle
+	// callers checkpoint or run inference with. After a synchronous run all
+	// replicas hold identical weights, so rank 0's stands for the model.
+	Net *models.Network
 }
 
 // classFreqCache avoids re-measuring dataset statistics across runs.
@@ -168,12 +192,17 @@ func Train(cfg Config) (*Result, error) {
 			resMu.Unlock()
 		}
 	})
-	if firstErr != nil {
-		return nil, firstErr
-	}
 	res.Makespan = makespan
 	if len(res.History) > 0 {
 		res.FinalLoss = res.History[len(res.History)-1].Loss
+	}
+	if firstErr != nil {
+		if errors.Is(firstErr, context.Canceled) || errors.Is(firstErr, context.DeadlineExceeded) {
+			// Cancellation is a clean collective exit: hand back what the
+			// run produced so far alongside the context's error.
+			return res, firstErr
+		}
+		return nil, firstErr
 	}
 	return res, nil
 }
@@ -198,6 +227,11 @@ func trainRank(c *mpi.Comm, cfg Config, classWeights []float32,
 	net, err := cfg.BuildNet()
 	if err != nil {
 		return err
+	}
+	if c.Rank() == 0 {
+		resMu.Lock()
+		res.Net = net
+		resMu.Unlock()
 	}
 	params := net.Graph.Params()
 	paramIndex := make(map[*graph.Node]int, len(params))
@@ -236,8 +270,35 @@ func trainRank(c *mpi.Comm, cfg Config, classWeights []float32,
 	}
 	rng := newRankRNG(cfg.Seed, c.Rank())
 
+	// Only a context that can actually be cancelled pays for the per-step
+	// cancellation collective; context.Background() (Done() == nil) keeps
+	// the exact pre-existing step timing.
+	cancellable := cfg.Ctx != nil && cfg.Ctx.Done() != nil
+
 	skipped := 0
 	for step := 0; step < cfg.Steps; step++ {
+		if cancellable {
+			// Collective cancellation: every rank contributes a flag and all
+			// see the same sum, so they exit at the same step boundary
+			// instead of deadlocking a partner mid-collective.
+			flag := []float32{0}
+			if cfg.Ctx.Err() != nil {
+				flag[0] = 1
+			}
+			c.Allreduce(flag, mpi.Ring)
+			if flag[0] > 0 {
+				if c.Rank() == 0 {
+					resMu.Lock()
+					res.SkippedSteps = skipped
+					res.CtlStats = sess.Stats()
+					resMu.Unlock()
+				}
+				if err := cfg.Ctx.Err(); err != nil {
+					return err
+				}
+				return context.Canceled
+			}
+		}
 		if cfg.LRSchedule != nil {
 			optimizer.SetLR(cfg.LRSchedule(step))
 		}
@@ -324,14 +385,19 @@ func trainRank(c *mpi.Comm, cfg Config, classWeights []float32,
 		meanLoss := float64(lossBuf[0]) / float64(c.Size())
 
 		if c.Rank() == 0 {
-			resMu.Lock()
-			res.History = append(res.History, StepStat{
+			stat := StepStat{
 				Step:        step,
 				Loss:        meanLoss,
 				VirtualTime: c.Clock(),
 				Skipped:     !apply,
-			})
+				Last:        step == cfg.Steps-1,
+			}
+			resMu.Lock()
+			res.History = append(res.History, stat)
 			resMu.Unlock()
+			if cfg.OnStep != nil {
+				cfg.OnStep(stat)
+			}
 		}
 
 		// Per-epoch validation (Section VI): a collective pass all ranks
@@ -342,13 +408,17 @@ func trainRank(c *mpi.Comm, cfg Config, classWeights []float32,
 				return err
 			}
 			if c.Rank() == 0 {
-				resMu.Lock()
-				res.ValHistory = append(res.ValHistory, ValStat{
+				vstat := ValStat{
 					Step:     step,
 					MeanIoU:  cm.MeanIoU(),
 					Accuracy: cm.PixelAccuracy(),
-				})
+				}
+				resMu.Lock()
+				res.ValHistory = append(res.ValHistory, vstat)
 				resMu.Unlock()
+				if cfg.OnValidation != nil {
+					cfg.OnValidation(vstat)
+				}
 			}
 		}
 	}
