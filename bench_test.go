@@ -139,6 +139,59 @@ func BenchmarkFig2SingleGPU(b *testing.B) {
 			b.ReportMetric(perf.PctPeak, "%peak")
 		})
 	}
+
+	// Real single-"GPU" execution: one full training step (forward +
+	// backward) on this host through the workspace-planned executor — the
+	// measured counterpart of the analytic rows above. steps/s and allocs/op
+	// are the quantities the pooled-memory refactor moves.
+	b.Run("real-step/tiramisu-tiny", func(b *testing.B) {
+		benchRealStep(b, func() (*models.Network, error) {
+			return models.BuildTiramisu(models.TinyTiramisu(models.Config{
+				BatchSize: 1, InChannels: 16, NumClasses: 3,
+				Height: 32, Width: 32, Seed: 3,
+			}))
+		}, 32)
+	})
+	b.Run("real-step/deeplab-tiny", func(b *testing.B) {
+		benchRealStep(b, func() (*models.Network, error) {
+			return models.BuildDeepLab(models.TinyDeepLab(models.Config{
+				BatchSize: 1, InChannels: 16, NumClasses: 3,
+				Height: 32, Width: 32, Seed: 3,
+			}))
+		}, 32)
+	})
+}
+
+// benchRealStep measures real forward+backward step throughput through a
+// persistent pooled executor (the trainer's per-rank configuration).
+func benchRealStep(b *testing.B, build func() (*models.Network, error), hw int) {
+	b.Helper()
+	net, err := build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	ds := climate.NewDataset(climate.DefaultGenConfig(hw, hw, 9), 2)
+	sample := ds.Sample(0)
+	weights := loss.ClassWeights([]float64{0.97, 0.01, 0.02}, loss.InverseSqrtFrequency)
+	labels := sample.Labels.Reshape(tensor.Shape{1, hw, hw})
+	feeds := map[*graph.Node]*tensor.Tensor{
+		net.Images:  sample.Fields.Reshape(tensor.NCHW(1, 16, hw, hw)),
+		net.Labels:  labels,
+		net.Weights: loss.WeightMap(labels, weights),
+	}
+	ex := graph.NewPooledExecutor(net.Graph, graph.FP32, 1, nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ex.Reseed(int64(i))
+		if err := ex.Forward(feeds); err != nil {
+			b.Fatal(err)
+		}
+		if err := ex.Backward(net.Loss); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "steps/s")
 }
 
 // ---------- Fig 3 / Fig 8 / Fig 9: kernel-category profiles ----------
@@ -563,9 +616,13 @@ func BenchmarkTiramisuForwardBackward(b *testing.B) {
 		net.Labels:  labels,
 		net.Weights: loss.WeightMap(labels, weights),
 	}
+	// Persistent pooled executor across steps — the trainer's per-rank
+	// configuration after the workspace refactor.
+	ex := graph.NewPooledExecutor(net.Graph, graph.FP32, 1, nil)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		ex := graph.NewExecutor(net.Graph, graph.FP32, 1)
+		ex.Reseed(int64(i))
 		if err := ex.Forward(feeds); err != nil {
 			b.Fatal(err)
 		}

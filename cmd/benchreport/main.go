@@ -1,0 +1,152 @@
+// Command benchreport converts `go test -bench` output into a
+// machine-readable JSON benchmark table, so the performance trajectory of
+// the repo can be tracked across PRs (BENCH_<n>.json files at the root).
+//
+// Usage:
+//
+//	go test -bench 'Fig2|Fig3' -benchtime 1x -run '^$' . | \
+//	    go run ./cmd/benchreport -label "PR 2" -out BENCH_2.json
+//
+// Each benchmark line is parsed into its name, iteration count, ns/op, and
+// every custom metric (`b.ReportMetric` units like steps/s, %peak, B/op).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed benchmark result line.
+type Benchmark struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Report is the emitted document.
+type Report struct {
+	Label      string      `json:"label,omitempty"`
+	GoOS       string      `json:"goos,omitempty"`
+	GoArch     string      `json:"goarch,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+	Notes      []string    `json:"notes,omitempty"`
+}
+
+func main() {
+	in := flag.String("in", "-", "benchmark output file ('-' = stdin)")
+	out := flag.String("out", "", "output JSON path (default stdout)")
+	label := flag.String("label", "", "free-form label recorded in the report")
+	var notes multiFlag
+	flag.Var(&notes, "note", "free-form note line (repeatable)")
+	flag.Parse()
+
+	var r io.Reader = os.Stdin
+	if *in != "-" {
+		f, err := os.Open(*in)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		r = f
+	}
+
+	report := Report{Label: *label, Notes: notes}
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			report.GoOS = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			report.GoArch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "cpu:"):
+			report.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			if b, ok := parseLine(line); ok {
+				report.Benchmarks = append(report.Benchmarks, b)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		log.Fatal(err)
+	}
+
+	buf, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	buf = append(buf, '\n')
+	if *out == "" {
+		os.Stdout.Write(buf)
+		return
+	}
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "benchreport: wrote %d benchmarks to %s\n",
+		len(report.Benchmarks), *out)
+}
+
+// parseLine parses one benchmark result line:
+//
+//	BenchmarkName/sub-8   123   45678 ns/op   9.1 steps/s   64 B/op
+func parseLine(line string) (Benchmark, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return Benchmark{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{
+		Name:       strings.TrimSuffix(fields[0], cpuSuffix(fields[0])),
+		Iterations: iters,
+		Metrics:    map[string]float64{},
+	}
+	// Remaining fields come in (value, unit) pairs.
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			continue
+		}
+		unit := fields[i+1]
+		if unit == "ns/op" {
+			b.NsPerOp = v
+		} else {
+			b.Metrics[unit] = v
+		}
+	}
+	if len(b.Metrics) == 0 {
+		b.Metrics = nil
+	}
+	return b, true
+}
+
+// cpuSuffix returns the trailing "-N" GOMAXPROCS suffix of a benchmark
+// name, if present, so names stay stable across machines.
+func cpuSuffix(name string) string {
+	i := strings.LastIndex(name, "-")
+	if i < 0 {
+		return ""
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return ""
+	}
+	return name[i:]
+}
+
+// multiFlag collects repeated -note flags.
+type multiFlag []string
+
+func (m *multiFlag) String() string     { return strings.Join(*m, "; ") }
+func (m *multiFlag) Set(s string) error { *m = append(*m, s); return nil }

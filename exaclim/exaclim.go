@@ -185,6 +185,8 @@ func New(opts ...Option) (*Experiment, error) {
 			ValidationSize:     o.valSize,
 			ValidateEvery:      o.valEvery,
 			StepComputeSeconds: o.stepSeconds,
+			Workspace:          o.workspace,
+			KernelWorkers:      o.kernelWorkers,
 		},
 		observers: o.observers,
 		network:   o.network,
@@ -203,6 +205,16 @@ type ControlPlaneStats struct {
 	Batches     int // all-reduce batches executed
 }
 
+// MemoryStats is rank 0's workspace-pool traffic for the run: how much of
+// the execution's buffer demand was served by reuse instead of allocation.
+// Under WorkspaceFresh all fields are zero.
+type MemoryStats struct {
+	Requests   uint64 // buffer requests served by the workspace pool
+	Allocs     uint64 // requests that had to allocate fresh memory
+	Reuses     uint64 // requests served from recycled buffers
+	BytesAlloc uint64 // bytes newly allocated over the whole run
+}
+
 // Result summarizes a finished (or cancelled) run.
 type Result struct {
 	History      []StepStat
@@ -214,6 +226,7 @@ type Result struct {
 	Makespan     float64 // virtual seconds for the whole run
 	SkippedSteps int     // FP16 overflow skips
 	ControlPlane ControlPlaneStats
+	Memory       MemoryStats // workspace allocation/reuse counters
 	// Model is the trained model (rank 0's replica; all replicas are
 	// identical after a synchronous run).
 	Model *Model
@@ -252,6 +265,12 @@ func (e *Experiment) Run(ctx context.Context) (*Result, error) {
 		Makespan:     res.Makespan,
 		SkippedSteps: res.SkippedSteps,
 		ControlPlane: ControlPlaneStats(res.CtlStats),
+		Memory: MemoryStats{
+			Requests:   res.PoolStats.Gets,
+			Allocs:     res.PoolStats.Misses,
+			Reuses:     res.PoolStats.Reuses(),
+			BytesAlloc: res.PoolStats.Bytes,
+		},
 	}
 	for i, h := range res.History {
 		out.History[i] = StepStat(h)

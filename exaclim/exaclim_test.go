@@ -330,3 +330,59 @@ func TestSymbolicAnalysis(t *testing.T) {
 		t.Error("training a symbolic model should fail at New")
 	}
 }
+
+// TestWorkspaceOptions covers the workspace-policy and kernel-worker
+// options plus the allocation/reuse counters on Result and StepStat.
+func TestWorkspaceOptions(t *testing.T) {
+	if _, err := New(WithKernelWorkers(0)); err == nil {
+		t.Fatal("WithKernelWorkers(0) must be rejected")
+	}
+
+	exp, err := New(
+		WithSyntheticData(16, 16, 8, 3),
+		WithSteps(3),
+		WithWorkspacePolicy(WorkspaceFresh),
+		WithKernelWorkers(2),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exp.cfg.Workspace != core.WorkspaceFresh || exp.cfg.KernelWorkers != 2 {
+		t.Fatalf("workspace/kernel workers: %v/%d", exp.cfg.Workspace, exp.cfg.KernelWorkers)
+	}
+	res, err := exp.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Memory.Requests != 0 || res.Memory.Reuses != 0 {
+		t.Fatalf("fresh policy must report zero pool traffic, got %+v", res.Memory)
+	}
+
+	// Default (pooled) policy: counters must move, and steady state must
+	// show reuse on the step records.
+	var last StepStat
+	exp2, err := New(
+		WithSyntheticData(16, 16, 8, 3),
+		WithSteps(4),
+		WithObserver(ObserverFuncs{Step: func(s StepStat) { last = s }}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := exp2.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Memory.Requests == 0 || res2.Memory.Reuses == 0 {
+		t.Fatalf("pooled policy must report pool traffic, got %+v", res2.Memory)
+	}
+	if res2.Memory.Allocs+res2.Memory.Reuses != res2.Memory.Requests {
+		t.Fatalf("counters inconsistent: %+v", res2.Memory)
+	}
+	if last.PoolReuses == 0 {
+		t.Fatalf("final StepStat carries no reuse counter: %+v", last)
+	}
+	if last.PoolAllocs >= last.PoolReuses {
+		t.Fatalf("steady state should reuse more than it allocates: %+v", last)
+	}
+}

@@ -12,6 +12,13 @@ type StepStat struct {
 	VirtualTime float64 // rank-0 virtual clock at step end
 	Skipped     bool    // FP16 overflow skip
 	Last        bool    // final step of the configured run
+
+	// PoolAllocs and PoolReuses are rank 0's cumulative workspace counters
+	// (buffer requests that allocated fresh memory vs. were served from the
+	// pool). Under the default pooled policy, a healthy run shows
+	// PoolReuses growing every step while PoolAllocs plateaus after warmup.
+	PoolAllocs uint64
+	PoolReuses uint64
 }
 
 // ValStat is one mid-training validation record (the paper's per-epoch

@@ -1,7 +1,10 @@
 package exaclim
 
 import (
+	"fmt"
+
 	"repro/internal/climate"
+	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/simnet"
 )
@@ -110,6 +113,9 @@ type options struct {
 	valSize     int
 	valEvery    int
 	stepSeconds float64
+
+	workspace     WorkspacePolicy
+	kernelWorkers int
 
 	observers []Observer
 	initCkpt  string
@@ -320,6 +326,46 @@ func WithValidationEvery(n int) Option {
 // curves come out at paper-like scales.
 func WithStepComputeSeconds(s float64) Option {
 	return func(o *options) { o.stepSeconds = s }
+}
+
+// WorkspacePolicy selects how per-rank execution memory is managed; see
+// the constants for the two policies.
+type WorkspacePolicy = core.WorkspacePolicy
+
+// Workspace policies, re-exported so callers need no extra import.
+const (
+	// WorkspacePooled (the default) gives every rank a persistent buffer
+	// pool and a reusing graph executor: activations, gradients, and kernel
+	// scratch are recycled across steps, which keeps the hot path
+	// FLOP-bound instead of allocator-bound.
+	WorkspacePooled = core.WorkspacePooled
+	// WorkspaceFresh restores step-fresh allocation (a new executor and new
+	// tensors every step) — useful for debugging at a large throughput
+	// cost.
+	WorkspaceFresh = core.WorkspaceFresh
+)
+
+// WithWorkspacePolicy overrides the execution-memory policy (default
+// WorkspacePooled). Allocation/reuse counters appear on every StepStat and
+// on Result.Memory either way.
+func WithWorkspacePolicy(p WorkspacePolicy) Option {
+	return func(o *options) { o.workspace = p }
+}
+
+// WithKernelWorkers sets the goroutine fan-out of the tensor compute
+// kernels (GEMM tiles, im2col, elementwise loops) for the run. The setting
+// is process-wide while the experiment runs and restored afterwards, so
+// concurrent experiments in one process share it (last setter wins) — use
+// it only when runs are serialized. n < 1 is rejected; omit the option
+// entirely to keep the current setting (GOMAXPROCS at startup).
+func WithKernelWorkers(n int) Option {
+	return func(o *options) {
+		if n < 1 {
+			o.err = fmt.Errorf("exaclim: WithKernelWorkers wants n ≥ 1, got %d", n)
+			return
+		}
+		o.kernelWorkers = n
+	}
 }
 
 // WithObserver streams progress to obs during Run. May be given multiple

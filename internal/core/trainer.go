@@ -40,6 +40,28 @@ const (
 	Adam
 )
 
+// WorkspacePolicy selects how per-rank execution memory is managed.
+type WorkspacePolicy int
+
+const (
+	// WorkspacePooled (the default) gives each rank a persistent buffer pool
+	// and a reusing executor: activations, gradients, and kernel scratch are
+	// recycled across steps, and feed tensors are filled in place.
+	WorkspacePooled WorkspacePolicy = iota
+	// WorkspaceFresh restores step-fresh allocation (the pre-workspace
+	// behavior): a new executor and new tensors every step. Useful for
+	// debugging aliasing suspicions at a large throughput cost.
+	WorkspaceFresh
+)
+
+// String names the policy.
+func (w WorkspacePolicy) String() string {
+	if w == WorkspaceFresh {
+		return "fresh"
+	}
+	return "pooled"
+}
+
 // Config describes one training run.
 type Config struct {
 	// BuildNet constructs a rank's model replica. It is called once per
@@ -80,6 +102,15 @@ type Config struct {
 	// wall-time curves (Fig 6) can be drawn at paper-like scales.
 	StepComputeSeconds float64
 
+	// Workspace selects pooled (default) or step-fresh execution memory.
+	Workspace WorkspacePolicy
+	// KernelWorkers, when > 0, sets the tensor-kernel goroutine fan-out for
+	// the run (process-wide; restored afterwards). 0 keeps the current
+	// setting (GOMAXPROCS by default). The knob is a process global:
+	// concurrent Train calls in one process share it (last setter wins), so
+	// set it only when runs are serialized.
+	KernelWorkers int
+
 	// Ctx, when set, is checked at every step boundary. Because ranks are
 	// goroutines joined by collectives, cancellation must be a collective
 	// decision: each step all ranks reduce a cancellation flag, so every
@@ -105,6 +136,13 @@ type StepStat struct {
 	VirtualTime float64 // rank-0 virtual clock at step end
 	Skipped     bool    // FP16 overflow skip
 	Last        bool    // final step of the configured run
+
+	// PoolAllocs and PoolReuses are rank 0's cumulative workspace counters:
+	// buffer requests that allocated fresh memory vs. were served from the
+	// pool. Under the pooled policy, steady state shows PoolReuses growing
+	// and PoolAllocs flat.
+	PoolAllocs uint64
+	PoolReuses uint64
 }
 
 // ValStat is one mid-training validation record (Section VI's per-epoch
@@ -126,6 +164,9 @@ type Result struct {
 	Makespan     float64 // virtual seconds for the whole run
 	SkippedSteps int
 	CtlStats     horovod.Stats // rank 0's control-plane traffic
+	// PoolStats is rank 0's final workspace-pool traffic: how much of the
+	// run's buffer demand was served by reuse instead of allocation.
+	PoolStats tensor.PoolStats
 	// Net is rank 0's model replica with its trained weights — the handle
 	// callers checkpoint or run inference with. After a synchronous run all
 	// replicas hold identical weights, so rank 0's stands for the model.
@@ -173,6 +214,11 @@ func Train(cfg Config) (*Result, error) {
 	}
 	if cfg.LossScale == 0 {
 		cfg.LossScale = 1024
+	}
+
+	if cfg.KernelWorkers > 0 {
+		prev := tensor.SetParallelism(cfg.KernelWorkers)
+		defer tensor.SetParallelism(prev)
 	}
 
 	weights := loss.ClassWeights(classFrequencies(cfg.Dataset), cfg.Weighting)
@@ -270,6 +316,14 @@ func trainRank(c *mpi.Comm, cfg Config, classWeights []float32,
 	}
 	rng := newRankRNG(cfg.Seed, c.Rank())
 
+	// Per-rank persistent workspace: one pool, one reusing executor, and
+	// one set of feed tensors live across every step of the run (and the
+	// validation passes), instead of being reallocated per step. When the
+	// rank retires, per-op kernel caches (im2col panels, index maps) are
+	// dropped so the returned model does not pin them.
+	rw := newRankWorkspace(net, cfg.Workspace)
+	defer graph.ReleaseOpCaches(net.Graph)
+
 	// Only a context that can actually be cancelled pays for the per-step
 	// cancellation collective; context.Background() (Done() == nil) keeps
 	// the exact pre-existing step timing.
@@ -291,6 +345,7 @@ func trainRank(c *mpi.Comm, cfg Config, classWeights []float32,
 					resMu.Lock()
 					res.SkippedSteps = skipped
 					res.CtlStats = sess.Stats()
+					res.PoolStats = rw.poolStats()
 					resMu.Unlock()
 				}
 				if err := cfg.Ctx.Err(); err != nil {
@@ -303,12 +358,12 @@ func trainRank(c *mpi.Comm, cfg Config, classWeights []float32,
 			optimizer.SetLR(cfg.LRSchedule(step))
 		}
 		sample := cfg.Dataset.Sample(trainIdx[rng.Intn(len(trainIdx))])
-		feeds, err := feedsForSample(net, sample, classWeights, cfg.Channels)
+		feeds, err := rw.feedsForSample(net, sample, classWeights, cfg.Channels)
 		if err != nil {
 			return err
 		}
 
-		ex := graph.NewExecutor(net.Graph, cfg.Precision, cfg.Seed+int64(step)*31+int64(c.Rank()))
+		ex := rw.stepExecutor(cfg.Precision, cfg.Seed+int64(step)*31+int64(c.Rank()))
 		if cfg.Precision == graph.FP16 {
 			ex.SetLossScale(scaler.Scale)
 		}
@@ -385,12 +440,15 @@ func trainRank(c *mpi.Comm, cfg Config, classWeights []float32,
 		meanLoss := float64(lossBuf[0]) / float64(c.Size())
 
 		if c.Rank() == 0 {
+			ps := rw.poolStats()
 			stat := StepStat{
 				Step:        step,
 				Loss:        meanLoss,
 				VirtualTime: c.Clock(),
 				Skipped:     !apply,
 				Last:        step == cfg.Steps-1,
+				PoolAllocs:  ps.Misses,
+				PoolReuses:  ps.Reuses(),
 			}
 			resMu.Lock()
 			res.History = append(res.History, stat)
@@ -403,7 +461,7 @@ func trainRank(c *mpi.Comm, cfg Config, classWeights []float32,
 		// Per-epoch validation (Section VI): a collective pass all ranks
 		// enter at the same steps.
 		if cfg.ValidateEvery > 0 && cfg.ValidationSize > 0 && (step+1)%cfg.ValidateEvery == 0 {
-			cm, err := validate(c, cfg, net, classWeights)
+			cm, err := validate(c, cfg, net, classWeights, rw)
 			if err != nil {
 				return err
 			}
@@ -427,13 +485,14 @@ func trainRank(c *mpi.Comm, cfg Config, classWeights []float32,
 		resMu.Lock()
 		res.SkippedSteps = skipped
 		res.CtlStats = sess.Stats()
+		res.PoolStats = rw.poolStats()
 		resMu.Unlock()
 	}
 
 	// Distributed validation: each rank evaluates a slice, confusion
 	// matrices merge by all-reducing the counts.
 	if cfg.ValidationSize > 0 {
-		cm, err := validate(c, cfg, net, classWeights)
+		cm, err := validate(c, cfg, net, classWeights, rw)
 		if err != nil {
 			return err
 		}
@@ -451,8 +510,9 @@ func trainRank(c *mpi.Comm, cfg Config, classWeights []float32,
 	return nil
 }
 
-// validate runs inference over the validation split, sliced across ranks.
-func validate(c *mpi.Comm, cfg Config, net *models.Network, classWeights []float32) (*metrics.ConfusionMatrix, error) {
+// validate runs inference over the validation split, sliced across ranks,
+// reusing the rank's persistent workspace for feeds and execution.
+func validate(c *mpi.Comm, cfg Config, net *models.Network, classWeights []float32, rw *rankWorkspace) (*metrics.ConfusionMatrix, error) {
 	valIdx := cfg.Dataset.Indices(climate.Validation)
 	if len(valIdx) > cfg.ValidationSize {
 		valIdx = valIdx[:cfg.ValidationSize]
@@ -460,11 +520,11 @@ func validate(c *mpi.Comm, cfg Config, net *models.Network, classWeights []float
 	cm := metrics.NewConfusionMatrix(climate.NumClasses)
 	for i := c.Rank(); i < len(valIdx); i += c.Size() {
 		sample := cfg.Dataset.Sample(valIdx[i])
-		feeds, err := feedsForSample(net, sample, classWeights, cfg.Channels)
+		feeds, err := rw.feedsForSample(net, sample, classWeights, cfg.Channels)
 		if err != nil {
 			return nil, err
 		}
-		ex := graph.NewExecutor(net.Graph, cfg.Precision, 1)
+		ex := rw.stepExecutor(cfg.Precision, 1)
 		if err := ex.Forward(feeds); err != nil {
 			return nil, err
 		}
@@ -488,9 +548,56 @@ func validate(c *mpi.Comm, cfg Config, net *models.Network, classWeights []float
 	return cm, nil
 }
 
+// rankWorkspace is one rank's persistent execution memory: a buffer pool, a
+// reusing executor, and the feed tensors, all living across every step of
+// the run instead of being reallocated per step. Under WorkspaceFresh it
+// degenerates to the old step-fresh behavior (nil pool, new executor and
+// tensors each step).
+type rankWorkspace struct {
+	net  *models.Network
+	pool *tensor.Pool
+	ex   *graph.Executor
+
+	images, labels, wmap *tensor.Tensor
+	feeds                map[*graph.Node]*tensor.Tensor
+}
+
+func newRankWorkspace(net *models.Network, policy WorkspacePolicy) *rankWorkspace {
+	rw := &rankWorkspace{net: net}
+	if policy == WorkspacePooled {
+		rw.pool = tensor.NewPool()
+	}
+	return rw
+}
+
+// stepExecutor returns the rank's executor for one step: the persistent
+// pooled executor reseeded for per-step scheduling randomization, or a
+// fresh legacy executor under WorkspaceFresh.
+func (rw *rankWorkspace) stepExecutor(p graph.Precision, seed int64) *graph.Executor {
+	if rw.pool == nil {
+		return graph.NewExecutor(rw.net.Graph, p, seed)
+	}
+	if rw.ex == nil {
+		rw.ex = graph.NewPooledExecutor(rw.net.Graph, p, seed, rw.pool)
+	} else {
+		rw.ex.Reseed(seed)
+	}
+	return rw.ex
+}
+
+// poolStats returns the rank's workspace counters (zero under fresh).
+func (rw *rankWorkspace) poolStats() tensor.PoolStats {
+	if rw.pool == nil {
+		return tensor.PoolStats{}
+	}
+	return rw.pool.Stats()
+}
+
 // feedsForSample converts a climate sample into executor feeds, replicating
 // the sample across the network's batch dimension and selecting channels.
-func feedsForSample(net *models.Network, s *climate.Sample, classWeights []float32, channels []int) (map[*graph.Node]*tensor.Tensor, error) {
+// Under the pooled policy the feed tensors (and the map) are filled in
+// place and reused across steps.
+func (rw *rankWorkspace) feedsForSample(net *models.Network, s *climate.Sample, classWeights []float32, channels []int) (map[*graph.Node]*tensor.Tensor, error) {
 	fields := s.Fields
 	if channels != nil {
 		fields = climate.SelectChannels(fields, channels)
@@ -501,18 +608,22 @@ func feedsForSample(net *models.Network, s *climate.Sample, classWeights []float
 	if fs[0] != ch || fs[1] != h || fs[2] != w {
 		return nil, fmt.Errorf("core: sample %v does not match network input %v", fs, is)
 	}
-	images := tensor.New(is)
-	labels := tensor.New(tensor.Shape{batch, h, w})
-	for b := 0; b < batch; b++ {
-		copy(images.Data()[b*ch*h*w:], fields.Data())
-		copy(labels.Data()[b*h*w:], s.Labels.Data())
+	if rw.pool == nil || rw.images == nil {
+		rw.images = tensor.New(is)
+		rw.labels = tensor.New(tensor.Shape{batch, h, w})
+		rw.wmap = tensor.New(tensor.Shape{batch, h, w})
+		rw.feeds = map[*graph.Node]*tensor.Tensor{
+			net.Images:  rw.images,
+			net.Labels:  rw.labels,
+			net.Weights: rw.wmap,
+		}
 	}
-	wmap := loss.WeightMap(labels, classWeights)
-	return map[*graph.Node]*tensor.Tensor{
-		net.Images:  images,
-		net.Labels:  labels,
-		net.Weights: wmap,
-	}, nil
+	for b := 0; b < batch; b++ {
+		copy(rw.images.Data()[b*ch*h*w:], fields.Data())
+		copy(rw.labels.Data()[b*h*w:], s.Labels.Data())
+	}
+	loss.WeightMapInto(rw.labels, classWeights, rw.wmap)
+	return rw.feeds, nil
 }
 
 // SmoothedLoss returns a moving average over the loss history with the

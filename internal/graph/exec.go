@@ -40,6 +40,22 @@ func (p Precision) String() string {
 // deliberately randomized (per-executor seed). That models TensorFlow's
 // independent per-process scheduling, which is exactly what forces the
 // Horovod control plane to negotiate a total order for collectives.
+//
+// An Executor built with NewPooledExecutor is additionally a *reusing*
+// executor: activation and gradient storage is drawn from a tensor.Pool and
+// kept alive across Run calls, buffer lifetimes are planned from the
+// topological order so dead activations are recycled mid-backward-pass, and
+// everything is released back to the pool at the start of the next Forward
+// (or on Release). This is the workspace model cuDNN-grade runtimes use,
+// and it is what keeps the training hot path FLOP-bound instead of
+// allocator-bound.
+//
+// Pooled lifetime contract: with a pooled executor, Value(n) for op nodes
+// is valid only until Backward (which recycles dead activations) or the
+// next Forward; Grad(n) for parameter and input nodes is valid until the
+// next Forward. Ops executed by any executor must return freshly-allocated
+// tensors that alias neither their inputs nor earlier outputs (all ops in
+// internal/nn and internal/loss do).
 type Executor struct {
 	g         *Graph
 	precision Precision
@@ -53,10 +69,33 @@ type Executor struct {
 	values []*tensor.Tensor // forward activations by node ID
 	grads  []*tensor.Tensor // gradients by node ID
 	scale  float32          // loss scale applied at the loss root (FP16)
+
+	pool *tensor.Pool      // nil → legacy allocate-per-run execution
+	ws   *tensor.Workspace // scratch handle over pool for ScratchOps
+
+	valueOwned []bool // values[i] is executor-owned (recyclable)
+	gradOwned  []bool
+
+	// Static forward plan, built once (graphs are immutable once executed).
+	consumers   [][]*Node
+	pendingInit []int
+
+	// Cached backward plan, keyed by root.
+	planRoot *Node
+	bwdInit  []int // reachable-consumer count per node
+
+	// Reusable per-run scratch.
+	pending []int
+	bwdCons []int
+	done    []bool
+	ready   []*Node
+	insBuf  []*tensor.Tensor
 }
 
-// NewExecutor returns an executor for g. seed controls ready-queue
-// tie-breaking; two executors with the same seed schedule identically.
+// NewExecutor returns a legacy (allocate-per-run) executor for g. seed
+// controls ready-queue tie-breaking; two executors with the same seed
+// schedule identically. Tensors it produces are never recycled, so values
+// and gradients stay valid as long as the caller holds them.
 func NewExecutor(g *Graph, precision Precision, seed int64) *Executor {
 	return &Executor{
 		g:         g,
@@ -64,6 +103,37 @@ func NewExecutor(g *Graph, precision Precision, seed int64) *Executor {
 		rng:       rand.New(rand.NewSource(seed)),
 		scale:     1,
 	}
+}
+
+// NewPooledExecutor returns a reusing executor whose activation, gradient,
+// and kernel-scratch storage is drawn from pool (nil → a fresh private
+// pool). Create one executor per rank and reuse it across steps; Reseed
+// restores per-step scheduling randomization.
+func NewPooledExecutor(g *Graph, precision Precision, seed int64, pool *tensor.Pool) *Executor {
+	if pool == nil {
+		pool = tensor.NewPool()
+	}
+	e := NewExecutor(g, precision, seed)
+	e.pool = pool
+	e.ws = tensor.NewWorkspace(pool)
+	return e
+}
+
+// Pooled reports whether this executor recycles buffers through a pool.
+func (e *Executor) Pooled() bool { return e.pool != nil }
+
+// PoolStats returns the backing pool's counters (zero value if unpooled).
+func (e *Executor) PoolStats() tensor.PoolStats {
+	if e.pool == nil {
+		return tensor.PoolStats{}
+	}
+	return e.pool.Stats()
+}
+
+// Reseed re-randomizes ready-queue tie-breaking for the next run, so a
+// persistent per-rank executor still schedules independently every step.
+func (e *Executor) Reseed(seed int64) {
+	e.rng = rand.New(rand.NewSource(seed))
 }
 
 // Precision returns the executor's storage precision.
@@ -74,19 +144,119 @@ func (e *Executor) Precision() Precision { return e.precision }
 // parameter gradients (see hpfloat.LossScaler).
 func (e *Executor) SetLossScale(s float64) { e.scale = float32(s) }
 
-// Forward runs the graph on the given feeds (one tensor per input node) and
-// returns the value of every node. Feeds for all inputs are required.
-func (e *Executor) Forward(feeds map[*Node]*tensor.Tensor) error {
+// buildPlan constructs the static forward plan: per-edge consumer adjacency
+// (an op consuming a node twice needs two decrements before it is ready)
+// and initial unresolved-input counts.
+func (e *Executor) buildPlan() {
 	n := len(e.g.nodes)
+	e.consumers = make([][]*Node, n)
+	e.pendingInit = make([]int, n)
+	for _, node := range e.g.nodes {
+		if node.Kind != KindOp {
+			continue
+		}
+		e.pendingInit[node.ID] = len(node.Inputs)
+		for _, in := range node.Inputs {
+			e.consumers[in.ID] = append(e.consumers[in.ID], node)
+		}
+	}
 	e.values = make([]*tensor.Tensor, n)
-	e.grads = nil
+	e.grads = make([]*tensor.Tensor, n)
+	e.valueOwned = make([]bool, n)
+	e.gradOwned = make([]bool, n)
+	e.pending = make([]int, n)
+	e.bwdCons = make([]int, n)
+	e.done = make([]bool, n)
+}
 
-	// Per-edge consumer adjacency: consumers[id] lists each op node once
-	// per edge from node id, so an op consuming a node twice needs two
-	// decrements before it becomes ready.
-	consumers := make([][]*Node, n)
-	pending := make([]int, n) // unresolved input count per op node
-	var ready []*Node
+// reset releases every executor-owned buffer from the previous run back to
+// the pool and clears per-run state.
+func (e *Executor) reset() {
+	for i := range e.values {
+		if e.valueOwned[i] && e.values[i] != nil {
+			e.pool.ReleaseTensor(e.values[i])
+		}
+		e.values[i] = nil
+		e.valueOwned[i] = false
+		if e.gradOwned[i] && e.grads[i] != nil {
+			e.pool.ReleaseTensor(e.grads[i])
+		}
+		e.grads[i] = nil
+		e.gradOwned[i] = false
+	}
+}
+
+// Release returns all executor-owned buffers to the pool. Call it when a
+// pooled executor is retired while its pool lives on (e.g. shared per-rank
+// pools); using Value/Grad afterwards returns nil.
+func (e *Executor) Release() {
+	if e.pool == nil || e.values == nil {
+		return
+	}
+	e.reset()
+}
+
+// adoptValue records ownership of an op output so its storage can be
+// recycled once the value is dead.
+func (e *Executor) adoptValue(id int, t *tensor.Tensor) {
+	e.values[id] = t
+	if e.pool != nil {
+		e.valueOwned[id] = true
+	}
+}
+
+func (e *Executor) releaseValue(id int) {
+	if e.valueOwned[id] && e.values[id] != nil {
+		e.pool.ReleaseTensor(e.values[id])
+		e.values[id] = nil
+		e.valueOwned[id] = false
+	}
+}
+
+func (e *Executor) releaseGrad(id int) {
+	if e.gradOwned[id] && e.grads[id] != nil {
+		e.pool.ReleaseTensor(e.grads[id])
+		e.grads[id] = nil
+		e.gradOwned[id] = false
+	}
+}
+
+// runForward dispatches an op through its scratch-aware path when both the
+// op and the executor support it.
+func (e *Executor) runForward(node *Node, ins []*tensor.Tensor) *tensor.Tensor {
+	if e.ws != nil {
+		if so, ok := node.Op.(ScratchOp); ok {
+			return so.ForwardScratch(ins, e.ws)
+		}
+	}
+	return node.Op.Forward(ins)
+}
+
+func (e *Executor) runBackward(node *Node, ins []*tensor.Tensor, out, gradOut *tensor.Tensor) []*tensor.Tensor {
+	if e.ws != nil {
+		if so, ok := node.Op.(ScratchOp); ok {
+			return so.BackwardScratch(ins, out, gradOut, e.ws)
+		}
+	}
+	return node.Op.Backward(ins, out, gradOut)
+}
+
+// Forward runs the graph on the given feeds (one tensor per input node) and
+// returns the value of every node. Feeds for all inputs are required. On a
+// pooled executor this also recycles all buffers from the previous run.
+func (e *Executor) Forward(feeds map[*Node]*tensor.Tensor) error {
+	if e.consumers == nil {
+		e.buildPlan()
+	}
+	if e.pool != nil {
+		e.reset()
+	} else {
+		n := len(e.g.nodes)
+		e.values = make([]*tensor.Tensor, n)
+		e.grads = make([]*tensor.Tensor, n)
+	}
+	copy(e.pending, e.pendingInit)
+	ready := e.ready[:0]
 
 	for _, node := range e.g.nodes {
 		switch node.Kind {
@@ -105,11 +275,6 @@ func (e *Executor) Forward(feeds map[*Node]*tensor.Tensor) error {
 				return fmt.Errorf("graph: parameter %q has no value (symbolic graph executed?)", node.Label)
 			}
 			e.values[node.ID] = node.Value
-		case KindOp:
-			pending[node.ID] = len(node.Inputs)
-			for _, in := range node.Inputs {
-				consumers[in.ID] = append(consumers[in.ID], node)
-			}
 		}
 	}
 	// Seed readiness: every op edge from an already-resolved node counts.
@@ -117,10 +282,10 @@ func (e *Executor) Forward(feeds map[*Node]*tensor.Tensor) error {
 		if node.Kind == KindOp {
 			for _, in := range node.Inputs {
 				if e.values[in.ID] != nil {
-					pending[node.ID]--
+					e.pending[node.ID]--
 				}
 			}
-			if pending[node.ID] == 0 {
+			if e.pending[node.ID] == 0 {
 				ready = append(ready, node)
 			}
 		}
@@ -133,11 +298,8 @@ func (e *Executor) Forward(feeds map[*Node]*tensor.Tensor) error {
 		ready[i] = ready[len(ready)-1]
 		ready = ready[:len(ready)-1]
 
-		ins := make([]*tensor.Tensor, len(node.Inputs))
-		for j, in := range node.Inputs {
-			ins[j] = e.values[in.ID]
-		}
-		out := node.Op.Forward(ins)
+		ins := e.gatherInputs(node)
+		out := e.runForward(node, ins)
 		if !out.Shape().Equal(node.Shape) {
 			return fmt.Errorf("graph: op %q produced shape %v, inferred %v",
 				node.Label, out.Shape(), node.Shape)
@@ -145,15 +307,16 @@ func (e *Executor) Forward(feeds map[*Node]*tensor.Tensor) error {
 		if e.precision == FP16 {
 			hpfloat.RoundTrip(out.Data())
 		}
-		e.values[node.ID] = out
+		e.adoptValue(node.ID, out)
 
-		for _, m := range consumers[node.ID] {
-			pending[m.ID]--
-			if pending[m.ID] == 0 {
+		for _, m := range e.consumers[node.ID] {
+			e.pending[m.ID]--
+			if e.pending[m.ID] == 0 {
 				ready = append(ready, m)
 			}
 		}
 	}
+	e.ready = ready[:0]
 
 	for _, node := range e.g.nodes {
 		if node.Kind == KindOp && e.values[node.ID] == nil {
@@ -163,23 +326,27 @@ func (e *Executor) Forward(feeds map[*Node]*tensor.Tensor) error {
 	return nil
 }
 
-// Value returns the forward value of a node after Forward.
+// gatherInputs assembles the input tensors of an op into a reusable buffer.
+func (e *Executor) gatherInputs(node *Node) []*tensor.Tensor {
+	ins := e.insBuf[:0]
+	for _, in := range node.Inputs {
+		ins = append(ins, e.values[in.ID])
+	}
+	e.insBuf = ins[:0]
+	return ins
+}
+
+// Value returns the forward value of a node after Forward. On a pooled
+// executor, op-node values are recycled during Backward — read them between
+// Forward and Backward.
 func (e *Executor) Value(n *Node) *tensor.Tensor { return e.values[n.ID] }
 
-// Backward runs reverse-mode differentiation from root (typically the
-// scalar loss node), producing gradients for every parameter. Parameter
-// gradients are reported through OnParamGrad in completion order.
-func (e *Executor) Backward(root *Node) error {
-	if e.values == nil || e.values[root.ID] == nil {
-		return fmt.Errorf("graph: Backward before Forward")
-	}
+// buildBackwardPlan computes, for the given root, how many consumers of
+// each node are reachable from root — the count used both for gradient
+// accumulation bookkeeping and for activation lifetime planning.
+func (e *Executor) buildBackwardPlan(root *Node) {
 	n := len(e.g.nodes)
-	e.grads = make([]*tensor.Tensor, n)
-	seed := tensor.Full(root.Shape, e.scale)
-	e.grads[root.ID] = seed
-
-	// Count how many consumers of each node are reachable from root, so we
-	// know when a node's gradient is fully accumulated.
+	e.bwdInit = make([]int, n)
 	reach := make([]bool, n)
 	var mark func(*Node)
 	mark = func(nd *Node) {
@@ -192,23 +359,52 @@ func (e *Executor) Backward(root *Node) error {
 		}
 	}
 	mark(root)
-
-	pendingConsumers := make([]int, n)
 	for _, nd := range e.g.nodes {
 		if !reach[nd.ID] || nd.Kind != KindOp {
 			continue
 		}
 		for _, in := range nd.Inputs {
-			pendingConsumers[in.ID]++
+			e.bwdInit[in.ID]++
 		}
 	}
+	e.planRoot = root
+}
 
-	ready := []*Node{root}
+// Backward runs reverse-mode differentiation from root (typically the
+// scalar loss node), producing gradients for every parameter. Parameter
+// gradients are reported through OnParamGrad in completion order. On a
+// pooled executor, activations and intermediate gradients are returned to
+// the pool as soon as the lifetime plan proves them dead.
+func (e *Executor) Backward(root *Node) error {
+	if e.values == nil || e.values[root.ID] == nil {
+		return fmt.Errorf("graph: Backward before Forward")
+	}
+	if e.planRoot != root {
+		e.buildBackwardPlan(root)
+	}
+	if e.pool == nil {
+		// Legacy semantics: each Backward starts from fresh gradient slots.
+		e.grads = make([]*tensor.Tensor, len(e.g.nodes))
+	}
+	seed := e.seedGrad(root.Shape)
+	e.grads[root.ID] = seed
+	if e.pool != nil {
+		e.gradOwned[root.ID] = true
+	}
+
+	copy(e.bwdCons, e.bwdInit)
+	pendingConsumers := e.bwdCons
+	for i := range e.done {
+		e.done[i] = false
+	}
+	done := e.done
+
+	ready := e.ready[:0]
+	ready = append(ready, root)
 	if pendingConsumers[root.ID] != 0 {
 		// Root feeding other reachable nodes would mean root isn't the sink.
 		return fmt.Errorf("graph: backward root %q has downstream consumers", root.Label)
 	}
-	done := make([]bool, n)
 
 	for len(ready) > 0 {
 		i := e.rng.Intn(len(ready))
@@ -232,6 +428,8 @@ func (e *Executor) Backward(root *Node) error {
 						ready = append(ready, in)
 					}
 				}
+				// Its activation is dead: every reachable consumer has run.
+				e.releaseValue(nd.ID)
 			}
 			continue
 		}
@@ -246,11 +444,8 @@ func (e *Executor) Backward(root *Node) error {
 			continue
 		}
 
-		ins := make([]*tensor.Tensor, len(nd.Inputs))
-		for j, in := range nd.Inputs {
-			ins[j] = e.values[in.ID]
-		}
-		inGrads := nd.Op.Backward(ins, e.values[nd.ID], g)
+		ins := e.gatherInputs(nd)
+		inGrads := e.runBackward(nd, ins, e.values[nd.ID], g)
 		if len(inGrads) != len(nd.Inputs) {
 			return fmt.Errorf("graph: op %q returned %d grads for %d inputs",
 				nd.Label, len(inGrads), len(nd.Inputs))
@@ -266,20 +461,42 @@ func (e *Executor) Backward(root *Node) error {
 				}
 				if e.grads[in.ID] == nil {
 					e.grads[in.ID] = ig
+					if e.pool != nil {
+						e.gradOwned[in.ID] = true
+					}
 				} else {
 					tensor.AddInPlace(e.grads[in.ID], ig)
+					if e.pool != nil {
+						e.pool.ReleaseTensor(ig)
+					}
 				}
 			}
 			if pendingConsumers[in.ID] == 0 {
 				ready = append(ready, in)
 			}
 		}
+		// Lifetime plan: this op's own gradient has been fully consumed and
+		// its activation has no remaining backward readers — recycle both.
+		e.releaseGrad(nd.ID)
+		e.releaseValue(nd.ID)
 	}
+	e.ready = ready[:0]
 	return nil
 }
 
+// seedGrad builds the root gradient tensor filled with the loss scale.
+func (e *Executor) seedGrad(shape tensor.Shape) *tensor.Tensor {
+	if e.pool == nil {
+		return tensor.Full(shape, e.scale)
+	}
+	t := e.pool.NewTensorUninit(shape)
+	t.Fill(e.scale)
+	return t
+}
+
 // Grad returns the accumulated gradient of a node after Backward (nil if
-// the node received none).
+// the node received none). On a pooled executor only parameter and input
+// gradients survive the pass; interior op gradients are recycled.
 func (e *Executor) Grad(n *Node) *tensor.Tensor {
 	if e.grads == nil {
 		return nil

@@ -76,6 +76,9 @@ type Op interface {
 	// graphs can be built symbolically for FLOP analysis.
 	OutShape(in []tensor.Shape) (tensor.Shape, error)
 	// Forward computes the op's output. in[i] corresponds to input node i.
+	// The returned tensor must be freshly allocated and alias neither the
+	// inputs nor any earlier output: the pooled executor recycles dead
+	// values in place, so an aliased return would be corrupted.
 	Forward(in []*tensor.Tensor) *tensor.Tensor
 	// Backward computes gradients with respect to each input, given the
 	// inputs, the forward output, and the gradient flowing into the output.
@@ -89,6 +92,39 @@ type Op interface {
 	// Categories returns the paper's kernel category for the forward and
 	// backward kernels of this op.
 	Categories() (fwd, bwd Category)
+}
+
+// ScratchOp is the scratch-aware extension of Op: kernels that implement it
+// draw their output tensors and internal scratch (im2col panels, batch-norm
+// temporaries, pooling index maps) from the executor's Workspace instead of
+// the Go heap, so a pooled executor runs at steady state with near-zero
+// allocation. ForwardScratch/BackwardScratch must be semantically identical
+// to Forward/Backward; the plain methods remain the path for unpooled
+// execution.
+type ScratchOp interface {
+	Op
+	ForwardScratch(in []*tensor.Tensor, ws *tensor.Workspace) *tensor.Tensor
+	BackwardScratch(in []*tensor.Tensor, out, gradOut *tensor.Tensor, ws *tensor.Workspace) []*tensor.Tensor
+}
+
+// CachedOp is implemented by ops that keep per-instance kernel caches
+// between forward and backward (im2col panels, pooling index maps, saved
+// batch statistics, dropout masks). ReleaseCaches drops them; the op stays
+// fully usable and simply recomputes or re-sizes on its next execution.
+type CachedOp interface {
+	ReleaseCaches()
+}
+
+// ReleaseOpCaches drops every per-instance kernel cache in the graph. Call
+// it when a network is retired from the hot loop (e.g. before handing a
+// trained replica back to the caller), so cached panels do not stay pinned
+// as long as the model object lives.
+func ReleaseOpCaches(g *Graph) {
+	for _, n := range g.nodes {
+		if c, ok := n.Op.(CachedOp); ok {
+			c.ReleaseCaches()
+		}
+	}
 }
 
 // NodeKind distinguishes graph node roles.

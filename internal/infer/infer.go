@@ -134,8 +134,8 @@ func keep(window int, origins []int, i int) (int, int) {
 }
 
 // Run segments a [C, H, W] field tensor and returns the [H, W] class mask.
-// The network window must match cfg. Each tile runs a fresh executor, so
-// the call is safe for a network used by one goroutine at a time.
+// The network window must match cfg. All tiles share one pooled executor,
+// so the call is safe for a network used by one goroutine at a time.
 func Run(net *Network, fields *tensor.Tensor, cfg Config) (*tensor.Tensor, error) {
 	fs := fields.Shape()
 	if fs.Rank() != 3 {
@@ -153,13 +153,18 @@ func Run(net *Network, fields *tensor.Tensor, cfg Config) (*tensor.Tensor, error
 	}
 	mask := tensor.New(tensor.Shape{h, w})
 	window := tensor.New(tensor.NCHW(1, c, cfg.TileH, cfg.TileW))
+	// One pooled executor serves every tile: activations from tile i are
+	// recycled into tile i+1 instead of reallocated, so full-snapshot
+	// segmentation runs at steady-state near-zero allocation. Kernel caches
+	// are dropped on return so the network does not pin them.
+	ex := graph.NewPooledExecutor(net.Graph, cfg.Precision, 1, nil)
+	defer graph.ReleaseOpCaches(net.Graph)
+	feeds := map[*graph.Node]*tensor.Tensor{net.Images: window}
+	for n, v := range net.ExtraFeeds {
+		feeds[n] = v
+	}
 	for _, t := range tiles {
 		crop(fields, window, t.Y, t.X, cfg.TileH, cfg.TileW)
-		feeds := map[*graph.Node]*tensor.Tensor{net.Images: window}
-		for n, v := range net.ExtraFeeds {
-			feeds[n] = v
-		}
-		ex := graph.NewExecutor(net.Graph, cfg.Precision, 1)
 		if err := ex.Forward(feeds); err != nil {
 			return nil, fmt.Errorf("infer: tile (%d,%d): %w", t.Y, t.X, err)
 		}

@@ -81,12 +81,23 @@ func ClassWeights(freq []float64, w Weighting) []float32 {
 // pipeline on the CPU and ships it alongside the image.
 func WeightMap(labels *tensor.Tensor, classWeights []float32) *tensor.Tensor {
 	out := tensor.New(labels.Shape())
-	ld, od := labels.Data(), out.Data()
+	WeightMapInto(labels, classWeights, out)
+	return out
+}
+
+// WeightMapInto writes the weight map into dst (same element count as
+// labels), so steady-state training loops can reuse one buffer per rank.
+func WeightMapInto(labels *tensor.Tensor, classWeights []float32, dst *tensor.Tensor) {
+	ld, od := labels.Data(), dst.Data()
 	for i, l := range ld {
 		od[i] = classWeights[int(l)]
 	}
-	return out
 }
+
+// heapWS backs the plain Forward/Backward paths (see the matching variable
+// in internal/nn): outputs keep allocate-per-call semantics while pooled
+// executors pass their own workspace.
+var heapWS = tensor.NewWorkspace(nil)
 
 // WeightedSoftmaxCE is the graph op computing the mean weighted softmax
 // cross-entropy over all pixels. Inputs:
@@ -118,7 +129,12 @@ func (WeightedSoftmaxCE) OutShape(in []tensor.Shape) (tensor.Shape, error) {
 
 // Forward implements graph.Op. The softmax is computed with the max-shift
 // trick for stability; the loss is averaged over all pixels.
-func (WeightedSoftmaxCE) Forward(in []*tensor.Tensor) *tensor.Tensor {
+func (l WeightedSoftmaxCE) Forward(in []*tensor.Tensor) *tensor.Tensor {
+	return l.ForwardScratch(in, heapWS)
+}
+
+// ForwardScratch implements graph.ScratchOp.
+func (WeightedSoftmaxCE) ForwardScratch(in []*tensor.Tensor, wsp *tensor.Workspace) *tensor.Tensor {
 	logits, labels, weights := in[0], in[1], in[2]
 	ls := logits.Shape()
 	n, c, h, w := ls[0], ls[1], ls[2], ls[3]
@@ -146,14 +162,19 @@ func (WeightedSoftmaxCE) Forward(in []*tensor.Tensor) *tensor.Tensor {
 			total += ce * float64(wd[img*hw+p])
 		}
 	}
-	out := tensor.New(tensor.Shape{1})
+	out := wsp.NewTensorUninit(tensor.Shape{1})
 	out.Data()[0] = float32(total / float64(n*hw))
 	return out
 }
 
 // Backward implements graph.Op: dL/dlogit = weight·(softmax − onehot)/(N·H·W),
 // scaled by the incoming gradient (the loss scale in FP16 training).
-func (WeightedSoftmaxCE) Backward(in []*tensor.Tensor, out, gradOut *tensor.Tensor) []*tensor.Tensor {
+func (l WeightedSoftmaxCE) Backward(in []*tensor.Tensor, out, gradOut *tensor.Tensor) []*tensor.Tensor {
+	return l.BackwardScratch(in, out, gradOut, heapWS)
+}
+
+// BackwardScratch implements graph.ScratchOp.
+func (WeightedSoftmaxCE) BackwardScratch(in []*tensor.Tensor, out, gradOut *tensor.Tensor, wsp *tensor.Workspace) []*tensor.Tensor {
 	logits, labels, weights := in[0], in[1], in[2]
 	ls := logits.Shape()
 	n, c, h, w := ls[0], ls[1], ls[2], ls[3]
@@ -161,7 +182,7 @@ func (WeightedSoftmaxCE) Backward(in []*tensor.Tensor, out, gradOut *tensor.Tens
 	ld, lbd, wd := logits.Data(), labels.Data(), weights.Data()
 	g := float64(gradOut.Data()[0]) / float64(n*hw)
 
-	grad := tensor.New(ls)
+	grad := wsp.NewTensorUninit(ls) // every logit slot assigned below
 	gd := grad.Data()
 	for img := 0; img < n; img++ {
 		for p := 0; p < hw; p++ {

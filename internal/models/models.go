@@ -101,12 +101,14 @@ func (b *builder) conv(x *graph.Node, outCh, k, s, d int) *graph.Node {
 }
 
 // convLinear adds a convolution with bias and no activation (logit heads,
-// skip projections).
+// skip projections), as a single fused conv+bias kernel: the bias epilogue
+// runs over each batch tile while it is cache-hot instead of as a separate
+// graph node and full-tensor pass. Parameter labels and numerics match the
+// previous conv→bias_add chain, so checkpoints stay compatible.
 func (b *builder) convLinear(x *graph.Node, outCh, k, s, d int) *graph.Node {
 	w := b.param("conv", tensor.OIHW(outCh, x.Shape[1], k, k))
-	h := b.g.Apply(nn.NewConv2D(s, tensor.SamePad(k, d), d), x, w)
 	bias := b.scalarParam("bias", outCh, 0)
-	return b.g.Apply(nn.BiasAdd{}, h, bias)
+	return b.g.Apply(nn.NewFusedConvBias(s, tensor.SamePad(k, d), d, false), x, w, bias)
 }
 
 func (b *builder) bnRelu(x *graph.Node, ch int) *graph.Node {

@@ -22,8 +22,24 @@ import (
 // Conv2D is a 2-D convolution over NCHW input with OIHW weights. Dilation
 // implements the paper's atrous convolutions; stride implements
 // downscaling. Inputs: x [N,Cin,H,W], w [Cout,Cin,KH,KW].
+//
+// The scratch-aware path keeps the forward im2col panel on the op instance
+// so the backward weight-gradient GEMM reuses it instead of re-expanding
+// the input — the same compute/memory trade cuDNN's workspace-grown
+// algorithms make. Like Dropout's mask, this per-instance state means a
+// graph instance must not be executed by two executors concurrently.
 type Conv2D struct {
 	Stride, Pad, Dilation int
+
+	fwdCols []float32 // im2col panels from the last scratch forward (all batch elements)
+}
+
+// is1x1 reports whether the convolution is a pure pointwise (1×1, stride 1,
+// no padding) channel mix, for which the im2col panel IS the input and both
+// the expansion and the backward scatter can be skipped entirely.
+func is1x1(g tensor.ConvGeom) bool {
+	return g.KH == 1 && g.KW == 1 && g.StrideH == 1 && g.StrideW == 1 &&
+		g.PadH == 0 && g.PadW == 0
 }
 
 // NewConv2D returns a dense stride-1 convolution with SAME-style padding
@@ -71,6 +87,12 @@ func (c *Conv2D) OutShape(in []tensor.Shape) (tensor.Shape, error) {
 // Forward implements graph.Op via im2col + GEMM (the "implicit GEMM"
 // formulation the paper's FLOP audit found cuDNN using).
 func (c *Conv2D) Forward(in []*tensor.Tensor) *tensor.Tensor {
+	return c.ForwardScratch(in, heapWS)
+}
+
+// ForwardScratch implements graph.ScratchOp: the im2col panel and the
+// output tensor come from the workspace instead of the heap.
+func (c *Conv2D) ForwardScratch(in []*tensor.Tensor, wsp *tensor.Workspace) *tensor.Tensor {
 	x, w := in[0], in[1]
 	xs, ws := x.Shape(), w.Shape()
 	n, cin := xs[0], xs[1]
@@ -80,10 +102,27 @@ func (c *Conv2D) Forward(in []*tensor.Tensor) *tensor.Tensor {
 	cols := oh * ow
 	k := cin * g.KH * g.KW
 
-	out := tensor.New(tensor.NCHW(n, cout, oh, ow))
-	col := make([]float32, k*cols)
+	// Every output element is written by the beta=0 GEMM, so the tensor may
+	// start uninitialized; Im2col likewise writes its whole panel.
+	out := wsp.NewTensorUninit(tensor.NCHW(n, cout, oh, ow))
 	imSize := cin * g.InH * g.InW
+	if is1x1(g) {
+		// Pointwise fast path: the input already is the [Cin, H·W] matrix.
+		for b := 0; b < n; b++ {
+			tensor.Gemm(false, false, cout, cols, k, 1, w.Data(), k,
+				x.Data()[b*imSize:(b+1)*imSize], cols, 0, out.Data()[b*cout*cols:], cols)
+		}
+		c.fwdCols = nil
+		return out
+	}
+	// Expand into the instance-cached panel so the backward weight gradient
+	// reuses it instead of recomputing Im2col.
+	if cap(c.fwdCols) < n*k*cols {
+		c.fwdCols = make([]float32, n*k*cols)
+	}
+	c.fwdCols = c.fwdCols[:n*k*cols]
 	for b := 0; b < n; b++ {
+		col := c.fwdCols[b*k*cols : (b+1)*k*cols]
 		tensor.Im2col(x.Data()[b*imSize:(b+1)*imSize], cin, g, col)
 		// [Cout, k] × [k, cols] → [Cout, cols]
 		tensor.Gemm(false, false, cout, cols, k, 1, w.Data(), k, col, cols,
@@ -94,6 +133,11 @@ func (c *Conv2D) Forward(in []*tensor.Tensor) *tensor.Tensor {
 
 // Backward implements graph.Op, producing gradients for x and w.
 func (c *Conv2D) Backward(in []*tensor.Tensor, out, gradOut *tensor.Tensor) []*tensor.Tensor {
+	return c.BackwardScratch(in, out, gradOut, heapWS)
+}
+
+// BackwardScratch implements graph.ScratchOp.
+func (c *Conv2D) BackwardScratch(in []*tensor.Tensor, out, gradOut *tensor.Tensor, wsp *tensor.Workspace) []*tensor.Tensor {
 	x, w := in[0], in[1]
 	xs, ws := x.Shape(), w.Shape()
 	n, cin := xs[0], xs[1]
@@ -104,18 +148,41 @@ func (c *Conv2D) Backward(in []*tensor.Tensor, out, gradOut *tensor.Tensor) []*t
 	k := cin * g.KH * g.KW
 	imSize := cin * g.InH * g.InW
 
-	gradX := tensor.New(xs)
-	gradW := tensor.New(ws)
-	col := make([]float32, k*cols)
+	if is1x1(g) {
+		// Pointwise fast path: no expansion, no scatter — the data gradient
+		// GEMM writes straight into gradX.
+		gradX := wsp.NewTensorUninit(xs) // fully written by the beta=0 GEMMs
+		gradW := wsp.NewTensor(ws)       // zeroed: beta=1 accumulation across batch
+		for b := 0; b < n; b++ {
+			gOut := gradOut.Data()[b*cout*cols : (b+1)*cout*cols]
+			xb := x.Data()[b*imSize : (b+1)*imSize]
+			tensor.Gemm(false, true, cout, k, cols, 1, gOut, cols, xb, cols, 1, gradW.Data(), k)
+			tensor.Gemm(true, false, k, cols, cout, 1, w.Data(), k, gOut, cols,
+				0, gradX.Data()[b*imSize:(b+1)*imSize], cols)
+		}
+		return []*tensor.Tensor{gradX, gradW}
+	}
+
+	gradX := wsp.NewTensor(xs) // zeroed: Col2im accumulates
+	gradW := wsp.NewTensor(ws) // zeroed: beta=1 accumulation across batch
+	col := wsp.GetF32(k * cols)
+	cached := len(c.fwdCols) == n*k*cols
 	for b := 0; b < n; b++ {
 		gOut := gradOut.Data()[b*cout*cols : (b+1)*cout*cols]
-		// Weight gradient: gradW += gOut [Cout,cols] × im2col(x)ᵀ [cols,k].
-		tensor.Im2col(x.Data()[b*imSize:(b+1)*imSize], cin, g, col)
-		tensor.Gemm(false, true, cout, k, cols, 1, gOut, cols, col, cols, 1, gradW.Data(), k)
+		// Weight gradient: gradW += gOut [Cout,cols] × im2col(x)ᵀ [cols,k],
+		// reusing the forward panel when the last scratch forward saved it.
+		fcol := col
+		if cached {
+			fcol = c.fwdCols[b*k*cols : (b+1)*k*cols]
+		} else {
+			tensor.Im2col(x.Data()[b*imSize:(b+1)*imSize], cin, g, col)
+		}
+		tensor.Gemm(false, true, cout, k, cols, 1, gOut, cols, fcol, cols, 1, gradW.Data(), k)
 		// Data gradient: cols ← wᵀ [k,Cout] × gOut [Cout,cols]; scatter.
 		tensor.Gemm(true, false, k, cols, cout, 1, w.Data(), k, gOut, cols, 0, col, cols)
 		tensor.Col2im(col, cin, g, gradX.Data()[b*imSize:(b+1)*imSize])
 	}
+	wsp.PutF32(col)
 	return []*tensor.Tensor{gradX, gradW}
 }
 
@@ -210,6 +277,11 @@ func (d *Deconv2D) OutShape(in []tensor.Shape) (tensor.Shape, error) {
 // Forward computes the adjoint of the virtual convolution: columns are
 // produced by a GEMM with the transposed filter, then scattered by Col2im.
 func (d *Deconv2D) Forward(in []*tensor.Tensor) *tensor.Tensor {
+	return d.ForwardScratch(in, heapWS)
+}
+
+// ForwardScratch implements graph.ScratchOp.
+func (d *Deconv2D) ForwardScratch(in []*tensor.Tensor, wsp *tensor.Workspace) *tensor.Tensor {
 	x, w := in[0], in[1]
 	xs, ws := x.Shape(), w.Shape()
 	n, cin, h, wd := xs[0], xs[1], xs[2], xs[3]
@@ -218,8 +290,8 @@ func (d *Deconv2D) Forward(in []*tensor.Tensor) *tensor.Tensor {
 	k := cout * g.KH * g.KW
 	cols := h * wd
 
-	out := tensor.New(tensor.NCHW(n, cout, g.InH, g.InW))
-	col := make([]float32, k*cols)
+	out := wsp.NewTensor(tensor.NCHW(n, cout, g.InH, g.InW)) // zeroed: Col2im accumulates
+	col := wsp.GetF32(k * cols)
 	outSize := cout * g.InH * g.InW
 	for b := 0; b < n; b++ {
 		// cols[k, H·W] = w_matᵀ [k, Cin] × x_mat [Cin, H·W]
@@ -227,12 +299,18 @@ func (d *Deconv2D) Forward(in []*tensor.Tensor) *tensor.Tensor {
 			x.Data()[b*cin*cols:], cols, 0, col, cols)
 		tensor.Col2im(col, cout, g, out.Data()[b*outSize:(b+1)*outSize])
 	}
+	wsp.PutF32(col)
 	return out
 }
 
 // Backward produces gradients for x (a plain forward convolution of gradOut
 // by w) and w (conv weight-gradient with roles of input/output swapped).
 func (d *Deconv2D) Backward(in []*tensor.Tensor, out, gradOut *tensor.Tensor) []*tensor.Tensor {
+	return d.BackwardScratch(in, out, gradOut, heapWS)
+}
+
+// BackwardScratch implements graph.ScratchOp.
+func (d *Deconv2D) BackwardScratch(in []*tensor.Tensor, out, gradOut *tensor.Tensor, wsp *tensor.Workspace) []*tensor.Tensor {
 	x, w := in[0], in[1]
 	xs, ws := x.Shape(), w.Shape()
 	n, cin, h, wd := xs[0], xs[1], xs[2], xs[3]
@@ -242,9 +320,9 @@ func (d *Deconv2D) Backward(in []*tensor.Tensor, out, gradOut *tensor.Tensor) []
 	cols := h * wd
 	outSize := cout * g.InH * g.InW
 
-	gradX := tensor.New(xs)
-	gradW := tensor.New(ws)
-	col := make([]float32, k*cols)
+	gradX := wsp.NewTensorUninit(xs) // fully written by the beta=0 GEMM
+	gradW := wsp.NewTensor(ws)       // zeroed: beta=1 accumulation across batch
+	col := wsp.GetF32(k * cols)
 	for b := 0; b < n; b++ {
 		gOut := gradOut.Data()[b*outSize : (b+1)*outSize]
 		tensor.Im2col(gOut, cout, g, col)
@@ -255,6 +333,7 @@ func (d *Deconv2D) Backward(in []*tensor.Tensor, out, gradOut *tensor.Tensor) []
 		tensor.Gemm(false, true, cin, k, cols, 1, x.Data()[b*cin*cols:], cols,
 			col, cols, 1, gradW.Data(), k)
 	}
+	wsp.PutF32(col)
 	return []*tensor.Tensor{gradX, gradW}
 }
 

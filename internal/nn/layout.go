@@ -28,14 +28,36 @@ func (LayoutRoundTrip) OutShape(in []tensor.Shape) (tensor.Shape, error) {
 
 // Forward implements graph.Op: a real double transpose, so the data path
 // (and its cache behaviour) is exercised, not just costed.
-func (LayoutRoundTrip) Forward(in []*tensor.Tensor) *tensor.Tensor {
-	return tensor.NHWCToNCHW(tensor.NCHWToNHWC(in[0]))
+func (l LayoutRoundTrip) Forward(in []*tensor.Tensor) *tensor.Tensor {
+	return l.ForwardScratch(in, heapWS)
+}
+
+// ForwardScratch implements graph.ScratchOp: the NHWC intermediate lives in
+// workspace scratch instead of a heap tensor.
+func (LayoutRoundTrip) ForwardScratch(in []*tensor.Tensor, wsp *tensor.Workspace) *tensor.Tensor {
+	return layoutRoundTrip(in[0], wsp)
 }
 
 // Backward implements graph.Op: gradient of the identity, transposed back
 // and forth the same way.
-func (LayoutRoundTrip) Backward(in []*tensor.Tensor, out, gradOut *tensor.Tensor) []*tensor.Tensor {
+func (l LayoutRoundTrip) Backward(in []*tensor.Tensor, out, gradOut *tensor.Tensor) []*tensor.Tensor {
 	return []*tensor.Tensor{tensor.NHWCToNCHW(tensor.NCHWToNHWC(gradOut))}
+}
+
+// BackwardScratch implements graph.ScratchOp.
+func (LayoutRoundTrip) BackwardScratch(in []*tensor.Tensor, out, gradOut *tensor.Tensor, wsp *tensor.Workspace) []*tensor.Tensor {
+	return []*tensor.Tensor{layoutRoundTrip(gradOut, wsp)}
+}
+
+func layoutRoundTrip(x *tensor.Tensor, wsp *tensor.Workspace) *tensor.Tensor {
+	s := x.Shape()
+	n, c, h, w := s[0], s[1], s[2], s[3]
+	tmp := wsp.GetF32(x.NumElements())
+	out := wsp.NewTensorUninit(s)
+	tensor.NCHWToNHWCInto(x.Data(), n, c, h, w, tmp)
+	tensor.NHWCToNCHWInto(tmp, n, c, h, w, out.Data())
+	wsp.PutF32(tmp)
+	return out
 }
 
 // FwdCost implements graph.Op: four full-tensor passes (read+write twice).

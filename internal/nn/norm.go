@@ -20,6 +20,14 @@ type BatchNorm struct {
 
 	RunningMean []float32
 	RunningVar  []float32
+
+	// savedMean/savedVar hold the batch statistics of the last training
+	// forward so the backward pass skips its reduction pass over x;
+	// savedValid marks them fresh (an eval-mode forward invalidates them).
+	// Like Dropout's mask, this per-instance state restricts a graph
+	// instance to one executor at a time.
+	savedMean, savedVar []float64
+	savedValid          bool
 }
 
 // NewBatchNorm returns a training-mode batch normalization op.
@@ -42,12 +50,11 @@ func (b *BatchNorm) OutShape(in []tensor.Shape) (tensor.Shape, error) {
 	return x.Clone(), nil
 }
 
-// stats computes per-channel mean and (biased) variance over N,H,W.
-func (b *BatchNorm) stats(x *tensor.Tensor) (mean, variance []float64) {
+// statsInto computes per-channel mean and (biased) variance over N,H,W
+// into the provided buffers (length C).
+func statsInto(x *tensor.Tensor, mean, variance []float64) {
 	xs := x.Shape()
 	n, c, hw := xs[0], xs[1], xs[2]*xs[3]
-	mean = make([]float64, c)
-	variance = make([]float64, c)
 	cnt := float64(n * hw)
 	xd := x.Data()
 	for ch := 0; ch < c; ch++ {
@@ -67,18 +74,39 @@ func (b *BatchNorm) stats(x *tensor.Tensor) (mean, variance []float64) {
 			variance[ch] = 0
 		}
 	}
-	return mean, variance
+}
+
+// ensureSaved sizes the instance's saved-statistics buffers for C channels.
+func (b *BatchNorm) ensureSaved(c int) {
+	if cap(b.savedMean) < c {
+		b.savedMean = make([]float64, c)
+		b.savedVar = make([]float64, c)
+	}
+	b.savedMean = b.savedMean[:c]
+	b.savedVar = b.savedVar[:c]
 }
 
 // Forward implements graph.Op.
 func (b *BatchNorm) Forward(in []*tensor.Tensor) *tensor.Tensor {
+	return b.ForwardScratch(in, heapWS)
+}
+
+// ForwardScratch implements graph.ScratchOp: the batch-statistics
+// temporaries and the output tensor come from the workspace.
+func (b *BatchNorm) ForwardScratch(in []*tensor.Tensor, wsp *tensor.Workspace) *tensor.Tensor {
 	x, gamma, beta := in[0], in[1], in[2]
 	xs := x.Shape()
 	n, c, hw := xs[0], xs[1], xs[2]*xs[3]
 
 	var mean, variance []float64
+	eval := false
 	if b.Train {
-		mean, variance = b.stats(x)
+		// Batch statistics land in the instance's saved buffers so the
+		// backward pass skips its reduction pass over x.
+		b.ensureSaved(c)
+		mean, variance = b.savedMean, b.savedVar
+		statsInto(x, mean, variance)
+		b.savedValid = true
 		if b.RunningMean == nil {
 			b.RunningMean = make([]float32, c)
 			b.RunningVar = make([]float32, c)
@@ -92,19 +120,22 @@ func (b *BatchNorm) Forward(in []*tensor.Tensor) *tensor.Tensor {
 			b.RunningVar[ch] = float32((1-mom)*float64(b.RunningVar[ch]) + mom*variance[ch])
 		}
 	} else {
-		mean = make([]float64, c)
-		variance = make([]float64, c)
+		eval = true
+		b.savedValid = false // backward after an eval forward must recompute
+		mean = wsp.GetF64(c)
+		variance = wsp.GetF64(c)
 		for ch := 0; ch < c; ch++ {
 			if b.RunningMean != nil {
 				mean[ch] = float64(b.RunningMean[ch])
 				variance[ch] = float64(b.RunningVar[ch])
 			} else {
+				mean[ch] = 0
 				variance[ch] = 1
 			}
 		}
 	}
 
-	out := tensor.New(xs)
+	out := wsp.NewTensorUninit(xs) // fully written below
 	xd, od, gd, bd := x.Data(), out.Data(), gamma.Data(), beta.Data()
 	for ch := 0; ch < c; ch++ {
 		inv := 1 / math.Sqrt(variance[ch]+b.Eps)
@@ -119,6 +150,10 @@ func (b *BatchNorm) Forward(in []*tensor.Tensor) *tensor.Tensor {
 			}
 		}
 	}
+	if eval {
+		wsp.PutF64(mean)
+		wsp.PutF64(variance)
+	}
 	return out
 }
 
@@ -129,15 +164,31 @@ func (b *BatchNorm) Forward(in []*tensor.Tensor) *tensor.Tensor {
 //	dμ = Σ dx̂·(−1/√(σ²+ε)) + dσ²·Σ(−2(x−μ))/m
 //	dx = dx̂/√(σ²+ε) + dσ²·2(x−μ)/m + dμ/m
 func (b *BatchNorm) Backward(in []*tensor.Tensor, out, gradOut *tensor.Tensor) []*tensor.Tensor {
+	return b.BackwardScratch(in, out, gradOut, heapWS)
+}
+
+// BackwardScratch implements graph.ScratchOp.
+func (b *BatchNorm) BackwardScratch(in []*tensor.Tensor, out, gradOut *tensor.Tensor, wsp *tensor.Workspace) []*tensor.Tensor {
 	x, gamma := in[0], in[1]
 	xs := x.Shape()
 	n, c, hw := xs[0], xs[1], xs[2]*xs[3]
 	m := float64(n * hw)
 
-	mean, variance := b.stats(x)
-	gradX := tensor.New(xs)
-	gradGamma := tensor.New(tensor.Shape{c})
-	gradBeta := tensor.New(tensor.Shape{c})
+	// Reuse the statistics saved by the matching training forward; fall
+	// back to recomputation for standalone use or after an eval-mode
+	// forward (which does not refresh them).
+	var mean, variance []float64
+	fresh := !b.savedValid || len(b.savedMean) != c
+	if fresh {
+		mean = wsp.GetF64(c)
+		variance = wsp.GetF64(c)
+		statsInto(x, mean, variance)
+	} else {
+		mean, variance = b.savedMean, b.savedVar
+	}
+	gradX := wsp.NewTensorUninit(xs) // every element assigned below
+	gradGamma := wsp.NewTensorUninit(tensor.Shape{c})
+	gradBeta := wsp.NewTensorUninit(tensor.Shape{c})
 	xd, gd := x.Data(), gradOut.Data()
 
 	for ch := 0; ch < c; ch++ {
@@ -168,6 +219,10 @@ func (b *BatchNorm) Backward(in []*tensor.Tensor, out, gradOut *tensor.Tensor) [
 				gradX.Data()[base+i] = float32(k * (m*dy - sumDy - xhat*sumDyXhat))
 			}
 		}
+	}
+	if fresh {
+		wsp.PutF64(mean)
+		wsp.PutF64(variance)
 	}
 	return []*tensor.Tensor{gradX, gradGamma, gradBeta}
 }

@@ -25,6 +25,10 @@ func contractCases() []opCase {
 			tensor.NCHW(1, 3, 8, 8), {4, 3, 3, 3}}},
 		{"conv2d-atrous", NewConv2D(1, 4, 4), []tensor.Shape{
 			tensor.NCHW(1, 2, 12, 12), {2, 2, 3, 3}}},
+		{"conv2d_bias", NewFusedConvBias(1, 1, 1, false), []tensor.Shape{
+			tensor.NCHW(1, 3, 8, 8), {4, 3, 3, 3}, {4}}},
+		{"conv2d_bias_relu", NewFusedConvBias(1, 1, 1, true), []tensor.Shape{
+			tensor.NCHW(1, 3, 8, 8), {4, 3, 3, 3}, {4}}},
 		{"deconv2d", NewDeconv2DOutPad(2, 1, 1), []tensor.Shape{
 			tensor.NCHW(1, 4, 6, 6), {4, 2, 3, 3}}},
 		{"maxpool", NewMaxPool2D(3, 2, 1), []tensor.Shape{
@@ -188,6 +192,42 @@ func TestLayoutRoundTripIsIdentity(t *testing.T) {
 	for i, v := range x.Data() {
 		if g[0].Data()[i] != v {
 			t.Fatalf("layout round trip gradient altered element %d", i)
+		}
+	}
+}
+
+// TestBatchNormEvalBackwardRecomputesStats guards the saved-statistics
+// cache: a backward pass following an eval-mode forward must not reuse
+// statistics from an earlier training batch.
+func TestBatchNormEvalBackwardRecomputesStats(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	bn := NewBatchNorm(1e-5, 0.1)
+	gamma := tensor.Ones(tensor.Shape{3})
+	beta := tensor.Zeros(tensor.Shape{3})
+
+	// Training forward on batch A populates the saved statistics.
+	xA := tensor.RandNormal(tensor.NCHW(2, 3, 4, 4), 0, 1, rng)
+	bn.Forward([]*tensor.Tensor{xA, gamma, beta})
+
+	// Eval forward on a very different batch B, then backward through it.
+	xB := tensor.RandNormal(tensor.NCHW(2, 3, 4, 4), 5, 2, rng)
+	bn.Train = false
+	outB := bn.Forward([]*tensor.Tensor{xB, gamma, beta})
+	gradOut := tensor.Ones(outB.Shape())
+	got := bn.Backward([]*tensor.Tensor{xB, gamma, beta}, outB, gradOut)
+
+	// Reference: a fresh instance with no saved state (always recomputes).
+	ref := NewBatchNorm(1e-5, 0.1)
+	ref.Train = false
+	refOut := ref.Forward([]*tensor.Tensor{xB, gamma, beta})
+	want := ref.Backward([]*tensor.Tensor{xB, gamma, beta}, refOut, gradOut)
+
+	for gi := range want {
+		for i := range want[gi].Data() {
+			if got[gi].Data()[i] != want[gi].Data()[i] {
+				t.Fatalf("grad %d elem %d: %g, want %g (stale saved stats used)",
+					gi, i, got[gi].Data()[i], want[gi].Data()[i])
+			}
 		}
 	}
 }

@@ -34,11 +34,43 @@ func (ReLU) OutShape(in []tensor.Shape) (tensor.Shape, error) {
 }
 
 // Forward implements graph.Op.
-func (ReLU) Forward(in []*tensor.Tensor) *tensor.Tensor { return tensor.ReLU(in[0]) }
+func (r ReLU) Forward(in []*tensor.Tensor) *tensor.Tensor {
+	return r.ForwardScratch(in, heapWS)
+}
+
+// ForwardScratch implements graph.ScratchOp.
+func (ReLU) ForwardScratch(in []*tensor.Tensor, wsp *tensor.Workspace) *tensor.Tensor {
+	x := in[0]
+	out := wsp.NewTensorUninit(x.Shape())
+	xd, od := x.Data(), out.Data()
+	for i, v := range xd {
+		if v > 0 {
+			od[i] = v
+		} else {
+			od[i] = 0
+		}
+	}
+	return out
+}
 
 // Backward implements graph.Op.
-func (ReLU) Backward(in []*tensor.Tensor, out, gradOut *tensor.Tensor) []*tensor.Tensor {
-	return []*tensor.Tensor{tensor.ReLUGrad(in[0], gradOut)}
+func (r ReLU) Backward(in []*tensor.Tensor, out, gradOut *tensor.Tensor) []*tensor.Tensor {
+	return r.BackwardScratch(in, out, gradOut, heapWS)
+}
+
+// BackwardScratch implements graph.ScratchOp.
+func (ReLU) BackwardScratch(in []*tensor.Tensor, out, gradOut *tensor.Tensor, wsp *tensor.Workspace) []*tensor.Tensor {
+	x := in[0]
+	g := wsp.NewTensorUninit(x.Shape())
+	xd, gd, od := x.Data(), gradOut.Data(), g.Data()
+	for i, v := range xd {
+		if v > 0 {
+			od[i] = gd[i]
+		} else {
+			od[i] = 0
+		}
+	}
+	return []*tensor.Tensor{g}
 }
 
 // FwdCost implements graph.Op.
@@ -75,19 +107,25 @@ func (BiasAdd) OutShape(in []tensor.Shape) (tensor.Shape, error) {
 }
 
 // Forward implements graph.Op.
-func (BiasAdd) Forward(in []*tensor.Tensor) *tensor.Tensor {
+func (b BiasAdd) Forward(in []*tensor.Tensor) *tensor.Tensor {
+	return b.ForwardScratch(in, heapWS)
+}
+
+// ForwardScratch implements graph.ScratchOp.
+func (BiasAdd) ForwardScratch(in []*tensor.Tensor, wsp *tensor.Workspace) *tensor.Tensor {
 	x, b := in[0], in[1]
 	xs := x.Shape()
 	n, c, hw := xs[0], xs[1], xs[2]*xs[3]
-	out := x.Clone()
-	od, bd := out.Data(), b.Data()
+	out := wsp.NewTensorUninit(xs)
+	xd, od, bd := x.Data(), out.Data(), b.Data()
 	for i := 0; i < n; i++ {
 		for ch := 0; ch < c; ch++ {
 			base := (i*c + ch) * hw
 			bv := bd[ch]
+			src := xd[base : base+hw]
 			row := od[base : base+hw]
-			for j := range row {
-				row[j] += bv
+			for j, v := range src {
+				row[j] = v + bv
 			}
 		}
 	}
@@ -95,22 +133,29 @@ func (BiasAdd) Forward(in []*tensor.Tensor) *tensor.Tensor {
 }
 
 // Backward implements graph.Op.
-func (BiasAdd) Backward(in []*tensor.Tensor, out, gradOut *tensor.Tensor) []*tensor.Tensor {
+func (b BiasAdd) Backward(in []*tensor.Tensor, out, gradOut *tensor.Tensor) []*tensor.Tensor {
+	return b.BackwardScratch(in, out, gradOut, heapWS)
+}
+
+// BackwardScratch implements graph.ScratchOp.
+func (BiasAdd) BackwardScratch(in []*tensor.Tensor, out, gradOut *tensor.Tensor, wsp *tensor.Workspace) []*tensor.Tensor {
 	xs := in[0].Shape()
 	n, c, hw := xs[0], xs[1], xs[2]*xs[3]
-	gradB := tensor.New(tensor.Shape{c})
+	gradB := wsp.NewTensorUninit(tensor.Shape{c})
 	gd, gb := gradOut.Data(), gradB.Data()
-	for i := 0; i < n; i++ {
-		for ch := 0; ch < c; ch++ {
+	for ch := 0; ch < c; ch++ {
+		var s float64
+		for i := 0; i < n; i++ {
 			base := (i*c + ch) * hw
-			var s float64
 			for _, v := range gd[base : base+hw] {
 				s += float64(v)
 			}
-			gb[ch] += float32(s)
 		}
+		gb[ch] = float32(s)
 	}
-	return []*tensor.Tensor{gradOut.Clone(), gradB}
+	gradX := wsp.NewTensorUninit(xs)
+	copy(gradX.Data(), gd)
+	return []*tensor.Tensor{gradX, gradB}
 }
 
 // FwdCost implements graph.Op.
@@ -146,11 +191,33 @@ func (Add) OutShape(in []tensor.Shape) (tensor.Shape, error) {
 }
 
 // Forward implements graph.Op.
-func (Add) Forward(in []*tensor.Tensor) *tensor.Tensor { return tensor.Add(in[0], in[1]) }
+func (a Add) Forward(in []*tensor.Tensor) *tensor.Tensor {
+	return a.ForwardScratch(in, heapWS)
+}
+
+// ForwardScratch implements graph.ScratchOp.
+func (Add) ForwardScratch(in []*tensor.Tensor, wsp *tensor.Workspace) *tensor.Tensor {
+	x, y := in[0], in[1]
+	out := wsp.NewTensorUninit(x.Shape())
+	xd, yd, od := x.Data(), y.Data(), out.Data()
+	for i, v := range xd {
+		od[i] = v + yd[i]
+	}
+	return out
+}
 
 // Backward implements graph.Op.
-func (Add) Backward(in []*tensor.Tensor, out, gradOut *tensor.Tensor) []*tensor.Tensor {
-	return []*tensor.Tensor{gradOut.Clone(), gradOut.Clone()}
+func (a Add) Backward(in []*tensor.Tensor, out, gradOut *tensor.Tensor) []*tensor.Tensor {
+	return a.BackwardScratch(in, out, gradOut, heapWS)
+}
+
+// BackwardScratch implements graph.ScratchOp.
+func (Add) BackwardScratch(in []*tensor.Tensor, out, gradOut *tensor.Tensor, wsp *tensor.Workspace) []*tensor.Tensor {
+	g1 := wsp.NewTensorUninit(gradOut.Shape())
+	g2 := wsp.NewTensorUninit(gradOut.Shape())
+	copy(g1.Data(), gradOut.Data())
+	copy(g2.Data(), gradOut.Data())
+	return []*tensor.Tensor{g1, g2}
 }
 
 // FwdCost implements graph.Op.
@@ -200,20 +267,27 @@ func (d *Dropout) OutShape(in []tensor.Shape) (tensor.Shape, error) {
 
 // Forward implements graph.Op.
 func (d *Dropout) Forward(in []*tensor.Tensor) *tensor.Tensor {
+	return d.ForwardScratch(in, heapWS)
+}
+
+// ForwardScratch implements graph.ScratchOp.
+func (d *Dropout) ForwardScratch(in []*tensor.Tensor, wsp *tensor.Workspace) *tensor.Tensor {
 	x := in[0]
+	out := wsp.NewTensorUninit(x.Shape())
+	xd, od := x.Data(), out.Data()
 	if !d.Train || d.Rate == 0 {
-		return x.Clone()
+		copy(od, xd)
+		return out
 	}
-	out := tensor.New(x.Shape())
 	if cap(d.mask) < x.NumElements() {
 		d.mask = make([]float32, x.NumElements())
 	}
 	d.mask = d.mask[:x.NumElements()]
 	keep := float32(1 / (1 - d.Rate))
-	xd, od := x.Data(), out.Data()
 	for i := range xd {
 		if d.rng.Float64() < d.Rate {
 			d.mask[i] = 0
+			od[i] = 0
 		} else {
 			d.mask[i] = keep
 			od[i] = xd[i] * keep
@@ -224,11 +298,17 @@ func (d *Dropout) Forward(in []*tensor.Tensor) *tensor.Tensor {
 
 // Backward implements graph.Op.
 func (d *Dropout) Backward(in []*tensor.Tensor, out, gradOut *tensor.Tensor) []*tensor.Tensor {
-	if !d.Train || d.Rate == 0 {
-		return []*tensor.Tensor{gradOut.Clone()}
-	}
-	g := tensor.New(gradOut.Shape())
+	return d.BackwardScratch(in, out, gradOut, heapWS)
+}
+
+// BackwardScratch implements graph.ScratchOp.
+func (d *Dropout) BackwardScratch(in []*tensor.Tensor, out, gradOut *tensor.Tensor, wsp *tensor.Workspace) []*tensor.Tensor {
+	g := wsp.NewTensorUninit(gradOut.Shape())
 	gd, od := gradOut.Data(), g.Data()
+	if !d.Train || d.Rate == 0 {
+		copy(od, gd)
+		return []*tensor.Tensor{g}
+	}
 	for i := range gd {
 		od[i] = gd[i] * d.mask[i]
 	}

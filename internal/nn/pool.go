@@ -9,10 +9,17 @@ import (
 )
 
 // MaxPool2D is a max-pooling layer ("3×3 maxpool, /2" in the paper's
-// encoder). The backward pass recomputes the argmax from the saved forward
-// input, so the op is stateless.
+// encoder). The scratch-aware forward records the argmax index of every
+// window in an instance-cached index map, so the backward pass is a single
+// gather instead of recomputing every window (cuDNN keeps exactly this map
+// in its pooling workspace); without the map the backward falls back to
+// recomputation. The index map is per-instance state, so — like Dropout and
+// BatchNorm — a graph instance must not be executed by two executors
+// concurrently.
 type MaxPool2D struct {
 	Kernel, Stride, Pad int
+
+	idx []int32 // argmax index per output element, from the last forward
 }
 
 // NewMaxPool2D returns a max-pooling op.
@@ -51,19 +58,60 @@ func (m *MaxPool2D) OutShape(in []tensor.Shape) (tensor.Shape, error) {
 // Forward implements graph.Op. Padding positions are treated as -Inf, so a
 // window fully in padding yields -MaxFloat (never happens with sane pads).
 func (m *MaxPool2D) Forward(in []*tensor.Tensor) *tensor.Tensor {
+	return m.ForwardScratch(in, heapWS)
+}
+
+// ForwardScratch implements graph.ScratchOp: the output comes from the
+// workspace and the per-window argmax is recorded for the backward gather.
+func (m *MaxPool2D) ForwardScratch(in []*tensor.Tensor, wsp *tensor.Workspace) *tensor.Tensor {
 	x := in[0]
 	xs := x.Shape()
 	n, c := xs[0], xs[1]
 	g := m.geom(xs)
 	oh, ow := g.OutH(), g.OutW()
-	out := tensor.New(tensor.NCHW(n, c, oh, ow))
+	out := wsp.NewTensorUninit(tensor.NCHW(n, c, oh, ow))
+	if cap(m.idx) < n*c*oh*ow {
+		m.idx = make([]int32, n*c*oh*ow)
+	}
+	m.idx = m.idx[:n*c*oh*ow]
 	xd, od := x.Data(), out.Data()
+	if g.KH == 2 && g.KW == 2 && g.StrideH == 2 && g.StrideW == 2 &&
+		g.PadH == 0 && g.PadW == 0 && g.InH >= 2*oh && g.InW >= 2*ow {
+		// The encoder's 2×2/2 pool: four in-bounds taps, no boundary tests.
+		for img := 0; img < n*c; img++ {
+			src := xd[img*g.InH*g.InW:]
+			dst := od[img*oh*ow:]
+			idx := m.idx[img*oh*ow:]
+			for y := 0; y < oh; y++ {
+				r0 := src[2*y*g.InW : 2*y*g.InW+g.InW]
+				r1 := src[(2*y+1)*g.InW : (2*y+1)*g.InW+g.InW]
+				for xo := 0; xo < ow; xo++ {
+					i := 2 * xo
+					best, bi := r0[i], int32(2*y*g.InW+i)
+					if v := r0[i+1]; v > best {
+						best, bi = v, int32(2*y*g.InW+i+1)
+					}
+					if v := r1[i]; v > best {
+						best, bi = v, int32((2*y+1)*g.InW+i)
+					}
+					if v := r1[i+1]; v > best {
+						best, bi = v, int32((2*y+1)*g.InW+i+1)
+					}
+					dst[y*ow+xo] = best
+					idx[y*ow+xo] = bi
+				}
+			}
+		}
+		return out
+	}
 	for img := 0; img < n*c; img++ {
 		src := xd[img*g.InH*g.InW:]
 		dst := od[img*oh*ow:]
+		idx := m.idx[img*oh*ow:]
 		for y := 0; y < oh; y++ {
 			for xo := 0; xo < ow; xo++ {
 				best := float32(math.Inf(-1))
+				bi := int32(-1)
 				for ky := 0; ky < g.KH; ky++ {
 					iy := y*g.StrideH + ky - g.PadH
 					if iy < 0 || iy >= g.InH {
@@ -76,10 +124,12 @@ func (m *MaxPool2D) Forward(in []*tensor.Tensor) *tensor.Tensor {
 						}
 						if v := src[iy*g.InW+ix]; v > best {
 							best = v
+							bi = int32(iy*g.InW + ix)
 						}
 					}
 				}
 				dst[y*ow+xo] = best
+				idx[y*ow+xo] = bi
 			}
 		}
 	}
@@ -89,13 +139,37 @@ func (m *MaxPool2D) Forward(in []*tensor.Tensor) *tensor.Tensor {
 // Backward routes each output gradient to the first argmax position in its
 // window (ties broken by scan order, matching cuDNN's deterministic mode).
 func (m *MaxPool2D) Backward(in []*tensor.Tensor, out, gradOut *tensor.Tensor) []*tensor.Tensor {
+	return m.BackwardScratch(in, out, gradOut, heapWS)
+}
+
+// BackwardScratch implements graph.ScratchOp: a single gather through the
+// index map saved by the last forward (recomputed if the map is missing or
+// sized for a different input).
+func (m *MaxPool2D) BackwardScratch(in []*tensor.Tensor, out, gradOut *tensor.Tensor, wsp *tensor.Workspace) []*tensor.Tensor {
 	x := in[0]
 	xs := x.Shape()
 	n, c := xs[0], xs[1]
 	g := m.geom(xs)
 	oh, ow := g.OutH(), g.OutW()
-	gradX := tensor.New(xs)
-	xd, gd, gx := x.Data(), gradOut.Data(), gradX.Data()
+	gradX := wsp.NewTensor(xs) // zeroed: gradients scatter-accumulate
+	gd, gx := gradOut.Data(), gradX.Data()
+
+	if len(m.idx) == n*c*oh*ow {
+		for img := 0; img < n*c; img++ {
+			gsrc := gd[img*oh*ow:]
+			gdst := gx[img*g.InH*g.InW:]
+			idx := m.idx[img*oh*ow:]
+			for o := 0; o < oh*ow; o++ {
+				if bi := idx[o]; bi >= 0 {
+					gdst[bi] += gsrc[o]
+				}
+			}
+		}
+		return []*tensor.Tensor{gradX}
+	}
+
+	// Fallback: recompute each window's argmax from the saved input.
+	xd := x.Data()
 	for img := 0; img < n*c; img++ {
 		src := xd[img*g.InH*g.InW:]
 		gsrc := gd[img*oh*ow:]
@@ -164,11 +238,16 @@ func (GlobalAvgPool) OutShape(in []tensor.Shape) (tensor.Shape, error) {
 }
 
 // Forward implements graph.Op.
-func (GlobalAvgPool) Forward(in []*tensor.Tensor) *tensor.Tensor {
+func (p GlobalAvgPool) Forward(in []*tensor.Tensor) *tensor.Tensor {
+	return p.ForwardScratch(in, heapWS)
+}
+
+// ForwardScratch implements graph.ScratchOp.
+func (GlobalAvgPool) ForwardScratch(in []*tensor.Tensor, wsp *tensor.Workspace) *tensor.Tensor {
 	x := in[0]
 	xs := x.Shape()
 	n, c, hw := xs[0], xs[1], xs[2]*xs[3]
-	out := tensor.New(tensor.NCHW(n, c, 1, 1))
+	out := wsp.NewTensorUninit(tensor.NCHW(n, c, 1, 1))
 	xd, od := x.Data(), out.Data()
 	inv := 1 / float64(hw)
 	for i := 0; i < n*c; i++ {
@@ -182,10 +261,15 @@ func (GlobalAvgPool) Forward(in []*tensor.Tensor) *tensor.Tensor {
 }
 
 // Backward implements graph.Op.
-func (GlobalAvgPool) Backward(in []*tensor.Tensor, out, gradOut *tensor.Tensor) []*tensor.Tensor {
+func (p GlobalAvgPool) Backward(in []*tensor.Tensor, out, gradOut *tensor.Tensor) []*tensor.Tensor {
+	return p.BackwardScratch(in, out, gradOut, heapWS)
+}
+
+// BackwardScratch implements graph.ScratchOp.
+func (GlobalAvgPool) BackwardScratch(in []*tensor.Tensor, out, gradOut *tensor.Tensor, wsp *tensor.Workspace) []*tensor.Tensor {
 	xs := in[0].Shape()
 	n, c, hw := xs[0], xs[1], xs[2]*xs[3]
-	gradX := tensor.New(xs)
+	gradX := wsp.NewTensorUninit(xs) // fully written below
 	gd, gx := gradOut.Data(), gradX.Data()
 	inv := 1 / float32(hw)
 	for i := 0; i < n*c; i++ {

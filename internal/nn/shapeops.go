@@ -36,7 +36,12 @@ func (Concat) OutShape(in []tensor.Shape) (tensor.Shape, error) {
 }
 
 // Forward implements graph.Op.
-func (Concat) Forward(in []*tensor.Tensor) *tensor.Tensor {
+func (c Concat) Forward(in []*tensor.Tensor) *tensor.Tensor {
+	return c.ForwardScratch(in, heapWS)
+}
+
+// ForwardScratch implements graph.ScratchOp.
+func (Concat) ForwardScratch(in []*tensor.Tensor, wsp *tensor.Workspace) *tensor.Tensor {
 	first := in[0].Shape()
 	n, h, w := first[0], first[2], first[3]
 	hw := h * w
@@ -44,7 +49,7 @@ func (Concat) Forward(in []*tensor.Tensor) *tensor.Tensor {
 	for _, t := range in {
 		totalC += t.Shape()[1]
 	}
-	out := tensor.New(tensor.NCHW(n, totalC, h, w))
+	out := wsp.NewTensorUninit(tensor.NCHW(n, totalC, h, w))
 	od := out.Data()
 	for img := 0; img < n; img++ {
 		off := img * totalC * hw
@@ -59,14 +64,19 @@ func (Concat) Forward(in []*tensor.Tensor) *tensor.Tensor {
 }
 
 // Backward implements graph.Op, splitting the gradient back per input.
-func (Concat) Backward(in []*tensor.Tensor, out, gradOut *tensor.Tensor) []*tensor.Tensor {
+func (c Concat) Backward(in []*tensor.Tensor, out, gradOut *tensor.Tensor) []*tensor.Tensor {
+	return c.BackwardScratch(in, out, gradOut, heapWS)
+}
+
+// BackwardScratch implements graph.ScratchOp.
+func (Concat) BackwardScratch(in []*tensor.Tensor, out, gradOut *tensor.Tensor, wsp *tensor.Workspace) []*tensor.Tensor {
 	first := in[0].Shape()
 	n, h, w := first[0], first[2], first[3]
 	hw := h * w
 	totalC := out.Shape()[1]
 	grads := make([]*tensor.Tensor, len(in))
 	for i, t := range in {
-		grads[i] = tensor.New(t.Shape())
+		grads[i] = wsp.NewTensorUninit(t.Shape()) // fully written by the copies
 	}
 	gd := gradOut.Data()
 	for img := 0; img < n; img++ {
@@ -126,11 +136,16 @@ func (u *Upsample2x) OutShape(in []tensor.Shape) (tensor.Shape, error) {
 
 // Forward implements graph.Op.
 func (u *Upsample2x) Forward(in []*tensor.Tensor) *tensor.Tensor {
+	return u.ForwardScratch(in, heapWS)
+}
+
+// ForwardScratch implements graph.ScratchOp.
+func (u *Upsample2x) ForwardScratch(in []*tensor.Tensor, wsp *tensor.Workspace) *tensor.Tensor {
 	x := in[0]
 	xs := x.Shape()
 	n, c, h, w := xs[0], xs[1], xs[2], xs[3]
 	f := u.Factor
-	out := tensor.New(tensor.NCHW(n, c, h*f, w*f))
+	out := wsp.NewTensorUninit(tensor.NCHW(n, c, h*f, w*f))
 	xd, od := x.Data(), out.Data()
 	ow := w * f
 	for img := 0; img < n*c; img++ {
@@ -148,10 +163,15 @@ func (u *Upsample2x) Forward(in []*tensor.Tensor) *tensor.Tensor {
 
 // Backward implements graph.Op: gradients of replicated pixels sum.
 func (u *Upsample2x) Backward(in []*tensor.Tensor, out, gradOut *tensor.Tensor) []*tensor.Tensor {
+	return u.BackwardScratch(in, out, gradOut, heapWS)
+}
+
+// BackwardScratch implements graph.ScratchOp.
+func (u *Upsample2x) BackwardScratch(in []*tensor.Tensor, out, gradOut *tensor.Tensor, wsp *tensor.Workspace) []*tensor.Tensor {
 	xs := in[0].Shape()
 	n, c, h, w := xs[0], xs[1], xs[2], xs[3]
 	f := u.Factor
-	gradX := tensor.New(xs)
+	gradX := wsp.NewTensor(xs) // zeroed: replicated pixels accumulate
 	gd, gx := gradOut.Data(), gradX.Data()
 	ow := w * f
 	for img := 0; img < n*c; img++ {
@@ -199,11 +219,27 @@ func (Identity) OutShape(in []tensor.Shape) (tensor.Shape, error) {
 }
 
 // Forward implements graph.Op.
-func (Identity) Forward(in []*tensor.Tensor) *tensor.Tensor { return in[0].Clone() }
+func (id Identity) Forward(in []*tensor.Tensor) *tensor.Tensor {
+	return id.ForwardScratch(in, heapWS)
+}
+
+// ForwardScratch implements graph.ScratchOp.
+func (Identity) ForwardScratch(in []*tensor.Tensor, wsp *tensor.Workspace) *tensor.Tensor {
+	out := wsp.NewTensorUninit(in[0].Shape())
+	copy(out.Data(), in[0].Data())
+	return out
+}
 
 // Backward implements graph.Op.
-func (Identity) Backward(in []*tensor.Tensor, out, gradOut *tensor.Tensor) []*tensor.Tensor {
-	return []*tensor.Tensor{gradOut.Clone()}
+func (id Identity) Backward(in []*tensor.Tensor, out, gradOut *tensor.Tensor) []*tensor.Tensor {
+	return id.BackwardScratch(in, out, gradOut, heapWS)
+}
+
+// BackwardScratch implements graph.ScratchOp.
+func (Identity) BackwardScratch(in []*tensor.Tensor, out, gradOut *tensor.Tensor, wsp *tensor.Workspace) []*tensor.Tensor {
+	g := wsp.NewTensorUninit(gradOut.Shape())
+	copy(g.Data(), gradOut.Data())
+	return []*tensor.Tensor{g}
 }
 
 // FwdCost implements graph.Op.

@@ -5,25 +5,43 @@ import (
 	"math"
 )
 
-// Axpy computes y += alpha*x over the raw slices (BLAS saxpy).
+// Axpy computes y += alpha*x over the raw slices (BLAS saxpy). The serial
+// branch avoids constructing an escaping closure, keeping the pooled
+// training loop allocation-free.
 func Axpy(alpha float32, x, y []float32) {
 	if len(x) != len(y) {
 		panic(fmt.Sprintf("tensor: Axpy length mismatch %d vs %d", len(x), len(y)))
 	}
+	if Parallelism() <= 1 || len(x) <= 4096 {
+		axpyRange(alpha, x, y, 0, len(x))
+		return
+	}
 	parallelFor(len(x), 4096, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			y[i] += alpha * x[i]
-		}
+		axpyRange(alpha, x, y, lo, hi)
 	})
+}
+
+func axpyRange(alpha float32, x, y []float32, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		y[i] += alpha * x[i]
+	}
 }
 
 // Scale multiplies every element of x by alpha in place.
 func Scale(alpha float32, x []float32) {
+	if Parallelism() <= 1 || len(x) <= 4096 {
+		scaleRange(alpha, x, 0, len(x))
+		return
+	}
 	parallelFor(len(x), 4096, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			x[i] *= alpha
-		}
+		scaleRange(alpha, x, lo, hi)
 	})
+}
+
+func scaleRange(alpha float32, x []float32, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		x[i] *= alpha
+	}
 }
 
 // Dot returns the inner product of x and y.

@@ -2,42 +2,52 @@ package tensor
 
 import "fmt"
 
+// Cache-blocked GEMM geometry. The kernel follows the classic panel-packing
+// decomposition (GotoBLAS/BLIS): C is computed in MR×NR register tiles from
+// an A panel packed into MR-strips and a B panel packed into NR-strips, so
+// the innermost loop streams both operands contiguously regardless of the
+// transpose flags, and each packed panel is reused across a whole cache
+// block instead of being re-read strided from DRAM.
+const (
+	gemmMR = 4   // register-tile rows
+	gemmNR = 8   // register-tile cols
+	gemmKC = 256 // K cache block (A strip + B strip stay L1/L2 resident)
+	gemmMC = 128 // M cache block (one packed A panel)
+	gemmNC = 2048
+)
+
+// gemmSmallMNK is the m*n*k product below which the packed path's panel
+// traffic costs more than it saves; such calls take the serial unblocked
+// kernels (single pass, no goroutines, beta folded in).
+var gemmSmallMNK = 1 << 18
+
 // Gemm computes C = alpha*op(A)*op(B) + beta*C for row-major matrices,
 // where op is identity or transpose per transA/transB. A is m×k (after op),
 // B is k×n, C is m×n. This is the workhorse behind the "implicit GEMM"
 // convolution formulation the paper's FLOP accounting assumes.
+//
+// Beta scaling is folded into the compute tiles (no separate pass over C),
+// and with beta == 0 the previous contents of C are never read, so C may be
+// an uninitialized pool buffer.
 func Gemm(transA, transB bool, m, n, k int, alpha float32, a []float32, lda int,
 	b []float32, ldb int, beta float32, c []float32, ldc int) {
 	checkGemmArgs(transA, transB, m, n, k, a, lda, b, ldb, c, ldc)
-
-	if beta != 1 {
-		parallelFor(m, 64, func(lo, hi int) {
-			for i := lo; i < hi; i++ {
-				row := c[i*ldc : i*ldc+n]
-				if beta == 0 {
-					clear(row)
-				} else {
-					for j := range row {
-						row[j] *= beta
-					}
-				}
-			}
-		})
-	}
-	if alpha == 0 {
+	if m == 0 || n == 0 {
 		return
 	}
-
-	switch {
-	case !transA && !transB:
-		gemmNN(m, n, k, alpha, a, lda, b, ldb, c, ldc)
-	case transA && !transB:
-		gemmTN(m, n, k, alpha, a, lda, b, ldb, c, ldc)
-	case !transA && transB:
-		gemmNT(m, n, k, alpha, a, lda, b, ldb, c, ldc)
-	default:
-		gemmTT(m, n, k, alpha, a, lda, b, ldb, c, ldc)
+	if alpha == 0 || k == 0 {
+		gemmScaleC(beta, m, n, c, ldc)
+		return
 	}
+	// The packed path pays for its panel traffic only when the panels are
+	// reused enough: a skinny M (few C rows per packed B) or a shallow K
+	// (few micro-kernel steps per packed element) makes packing a net loss,
+	// as does a small problem overall.
+	if m*n*k <= gemmSmallMNK || m < 4*gemmMR || k < 32 {
+		gemmSmall(transA, transB, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc)
+		return
+	}
+	gemmBlocked(transA, transB, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc)
 }
 
 func checkGemmArgs(transA, transB bool, m, n, k int, a []float32, lda int,
@@ -56,10 +66,10 @@ func checkGemmArgs(transA, transB bool, m, n, k int, a []float32, lda int,
 	if lda < acols || ldb < bcols || ldc < n {
 		panic(fmt.Sprintf("tensor: Gemm bad leading dims lda=%d ldb=%d ldc=%d", lda, ldb, ldc))
 	}
-	if arows > 0 && len(a) < (arows-1)*lda+acols {
+	if arows > 0 && acols > 0 && len(a) < (arows-1)*lda+acols {
 		panic("tensor: Gemm A too short")
 	}
-	if brows > 0 && len(b) < (brows-1)*ldb+bcols {
+	if brows > 0 && bcols > 0 && len(b) < (brows-1)*ldb+bcols {
 		panic("tensor: Gemm B too short")
 	}
 	if m > 0 && len(c) < (m-1)*ldc+n {
@@ -67,68 +77,129 @@ func checkGemmArgs(transA, transB bool, m, n, k int, a []float32, lda int,
 	}
 }
 
-// gemmNN: C += alpha * A(m×k) * B(k×n). Inner loop is written as an
-// axpy over rows of B so it vectorizes and stays cache-friendly.
-func gemmNN(m, n, k int, alpha float32, a []float32, lda int, b []float32, ldb int, c []float32, ldc int) {
-	parallelFor(m, 8, func(lo, hi int) {
+// gemmScaleC applies C = beta*C when there is no multiply work (alpha==0 or
+// k==0). It runs inline for small C and parallelizes only when the scaling
+// itself is substantial.
+func gemmScaleC(beta float32, m, n int, c []float32, ldc int) {
+	if beta == 1 {
+		return
+	}
+	parallelFor(m, max(1, 4096/max(n, 1)), func(lo, hi int) {
 		for i := lo; i < hi; i++ {
-			ci := c[i*ldc : i*ldc+n]
-			ai := a[i*lda : i*lda+k]
-			for p := 0; p < k; p++ {
-				av := alpha * ai[p]
-				if av == 0 {
-					continue
-				}
-				bp := b[p*ldb : p*ldb+n]
-				for j, bv := range bp {
-					ci[j] += av * bv
+			row := c[i*ldc : i*ldc+n]
+			if beta == 0 {
+				clear(row)
+			} else {
+				for j := range row {
+					row[j] *= beta
 				}
 			}
 		}
 	})
 }
 
-// gemmTN: C += alpha * Aᵀ(m×k) * B(k×n) where A is stored k×m.
-func gemmTN(m, n, k int, alpha float32, a []float32, lda int, b []float32, ldb int, c []float32, ldc int) {
+// ---------- small path: serial single-pass kernels ----------
+
+// gemmSmall handles shapes the packed path cannot amortize: unblocked
+// row-wise kernels with beta folded into the row/tile updates. Tiny
+// problems run inline with no goroutines (and no escaping closure); larger
+// skinny problems still parallelize over rows.
+func gemmSmall(transA, transB bool, m, n, k int, alpha float32, a []float32, lda int,
+	b []float32, ldb int, beta float32, c []float32, ldc int) {
+	if Parallelism() <= 1 || m <= 8 {
+		gemmSmallRows(transA, transB, 0, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc)
+		return
+	}
 	parallelFor(m, 8, func(lo, hi int) {
+		gemmSmallRows(transA, transB, lo, hi, n, k, alpha, a, lda, b, ldb, beta, c, ldc)
+	})
+}
+
+// gemmSmallRows computes C rows [lo, hi).
+func gemmSmallRows(transA, transB bool, lo, hi, n, k int, alpha float32, a []float32, lda int,
+	b []float32, ldb int, beta float32, c []float32, ldc int) {
+	switch {
+	case !transB:
+		// Axpy form over rows of B, register-blocked 4 B-rows deep: each
+		// pass streams four B rows against one C row, quartering the C
+		// load/store traffic. The C row is beta-scaled once, in cache.
 		for i := lo; i < hi; i++ {
 			ci := c[i*ldc : i*ldc+n]
-			for p := 0; p < k; p++ {
-				av := alpha * a[p*lda+i]
-				if av == 0 {
+			scaleRow(ci, beta)
+			p := 0
+			for ; p+3 < k; p += 4 {
+				var a0, a1, a2, a3 float32
+				if transA {
+					a0 = alpha * a[p*lda+i]
+					a1 = alpha * a[(p+1)*lda+i]
+					a2 = alpha * a[(p+2)*lda+i]
+					a3 = alpha * a[(p+3)*lda+i]
+				} else {
+					a0 = alpha * a[i*lda+p]
+					a1 = alpha * a[i*lda+p+1]
+					a2 = alpha * a[i*lda+p+2]
+					a3 = alpha * a[i*lda+p+3]
+				}
+				if a0 == 0 && a1 == 0 && a2 == 0 && a3 == 0 {
+					continue
+				}
+				b0 := b[p*ldb : p*ldb+n]
+				b1 := b[(p+1)*ldb : (p+1)*ldb+n]
+				b2 := b[(p+2)*ldb : (p+2)*ldb+n]
+				b3 := b[(p+3)*ldb : (p+3)*ldb+n]
+				for j := range ci {
+					ci[j] += a0*b0[j] + a1*b1[j] + a2*b2[j] + a3*b3[j]
+				}
+			}
+			for ; p < k; p++ {
+				var ap float32
+				if transA {
+					ap = alpha * a[p*lda+i]
+				} else {
+					ap = alpha * a[i*lda+p]
+				}
+				if ap == 0 {
 					continue
 				}
 				bp := b[p*ldb : p*ldb+n]
 				for j, bv := range bp {
-					ci[j] += av * bv
+					ci[j] += ap * bv
 				}
 			}
 		}
-	})
-}
-
-// gemmNT: C += alpha * A(m×k) * Bᵀ(k×n) where B is stored n×k.
-// Dot-product form: both operands stream contiguously.
-func gemmNT(m, n, k int, alpha float32, a []float32, lda int, b []float32, ldb int, c []float32, ldc int) {
-	parallelFor(m, 8, func(lo, hi int) {
+	case !transA:
+		// Dot form (B stored n×k). Four B rows are streamed per pass so the
+		// A row is loaded once per step, and the four running sums form
+		// independent FP-add chains (a single-accumulator dot is
+		// latency-bound); the tail uses a 4-way unrolled single dot.
 		for i := lo; i < hi; i++ {
 			ai := a[i*lda : i*lda+k]
 			ci := c[i*ldc : i*ldc+n]
-			for j := 0; j < n; j++ {
-				bj := b[j*ldb : j*ldb+k]
-				var sum float32
+			j := 0
+			for ; j+3 < n; j += 4 {
+				b0 := b[j*ldb : j*ldb+k]
+				b1 := b[(j+1)*ldb : (j+1)*ldb+k]
+				b2 := b[(j+2)*ldb : (j+2)*ldb+k]
+				b3 := b[(j+3)*ldb : (j+3)*ldb+k]
+				var s0, s1, s2, s3 float32
 				for p, av := range ai {
-					sum += av * bj[p]
+					s0 += av * b0[p]
+					s1 += av * b1[p]
+					s2 += av * b2[p]
+					s3 += av * b3[p]
 				}
-				ci[j] += alpha * sum
+				ci[j] = betaTimes(beta, ci[j]) + alpha*s0
+				ci[j+1] = betaTimes(beta, ci[j+1]) + alpha*s1
+				ci[j+2] = betaTimes(beta, ci[j+2]) + alpha*s2
+				ci[j+3] = betaTimes(beta, ci[j+3]) + alpha*s3
+			}
+			for ; j < n; j++ {
+				bj := b[j*ldb : j*ldb+k]
+				ci[j] = betaTimes(beta, ci[j]) + alpha*dot4(ai, bj, k)
 			}
 		}
-	})
-}
-
-// gemmTT: C += alpha * Aᵀ * Bᵀ (A stored k×m, B stored n×k).
-func gemmTT(m, n, k int, alpha float32, a []float32, lda int, b []float32, ldb int, c []float32, ldc int) {
-	parallelFor(m, 8, func(lo, hi int) {
+	default:
+		// Aᵀ·Bᵀ: dot over strided A column and contiguous B row.
 		for i := lo; i < hi; i++ {
 			ci := c[i*ldc : i*ldc+n]
 			for j := 0; j < n; j++ {
@@ -137,10 +208,201 @@ func gemmTT(m, n, k int, alpha float32, a []float32, lda int, b []float32, ldb i
 				for p := 0; p < k; p++ {
 					sum += a[p*lda+i] * bj[p]
 				}
-				ci[j] += alpha * sum
+				ci[j] = betaTimes(beta, ci[j]) + alpha*sum
 			}
 		}
-	})
+	}
+}
+
+// dot4 is a 4-accumulator float32 dot product over x[:k], y[:k].
+func dot4(x, y []float32, k int) float32 {
+	var s0, s1, s2, s3 float32
+	p := 0
+	for ; p+3 < k; p += 4 {
+		s0 += x[p] * y[p]
+		s1 += x[p+1] * y[p+1]
+		s2 += x[p+2] * y[p+2]
+		s3 += x[p+3] * y[p+3]
+	}
+	for ; p < k; p++ {
+		s0 += x[p] * y[p]
+	}
+	return (s0 + s1) + (s2 + s3)
+}
+
+// betaTimes returns beta*v without reading v when beta is zero, so C may
+// hold uninitialized pool memory (including NaNs) under beta==0 semantics.
+func betaTimes(beta, v float32) float32 {
+	if beta == 0 {
+		return 0
+	}
+	return beta * v
+}
+
+func scaleRow(row []float32, beta float32) {
+	switch beta {
+	case 1:
+	case 0:
+		clear(row)
+	default:
+		for j := range row {
+			row[j] *= beta
+		}
+	}
+}
+
+// ---------- blocked path: packed panels + register micro-kernel ----------
+
+func gemmBlocked(transA, transB bool, m, n, k int, alpha float32, a []float32, lda int,
+	b []float32, ldb int, beta float32, c []float32, ldc int) {
+	nc := min(gemmNC, n)
+	kc := min(gemmKC, k)
+	mc := min(gemmMC, m)
+
+	bPanelMax := ((nc + gemmNR - 1) / gemmNR) * gemmNR * kc
+	aPanelMax := ((mc + gemmMR - 1) / gemmMR) * gemmMR * kc
+	mcBlocks := (m + mc - 1) / mc
+
+	bPanel := defaultPool.GetF32(bPanelMax)
+	defer defaultPool.PutF32(bPanel)
+
+	for jc := 0; jc < n; jc += nc {
+		ncEff := min(nc, n-jc)
+		for pc := 0; pc < k; pc += kc {
+			kcEff := min(kc, k-pc)
+			packB(transB, b, ldb, jc, ncEff, pc, kcEff, bPanel)
+			first := pc == 0
+			// Parallel over disjoint M blocks: each worker packs its own A
+			// panel and owns a distinct row range of C.
+			parallelFor(mcBlocks, 1, func(blo, bhi int) {
+				aPanel := defaultPool.GetF32(aPanelMax)
+				defer defaultPool.PutF32(aPanel)
+				for blk := blo; blk < bhi; blk++ {
+					i0 := blk * mc
+					mcEff := min(mc, m-i0)
+					packA(transA, a, lda, i0, mcEff, pc, kcEff, aPanel)
+					for jr := 0; jr < ncEff; jr += gemmNR {
+						bStrip := bPanel[(jr/gemmNR)*kcEff*gemmNR:]
+						nEdge := min(gemmNR, ncEff-jr)
+						for ir := 0; ir < mcEff; ir += gemmMR {
+							aStrip := aPanel[(ir/gemmMR)*kcEff*gemmMR:]
+							mEdge := min(gemmMR, mcEff-ir)
+							gemmMicro(kcEff, aStrip, bStrip, alpha, beta, first,
+								c[(i0+ir)*ldc+jc+jr:], ldc, mEdge, nEdge)
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// gemmMicro computes one MR×NR register tile: acc = Ap·Bp over kc packed
+// steps, then writes C[:mEdge,:nEdge] with alpha/beta applied. `first`
+// marks the first K block, where beta scaling happens exactly once.
+func gemmMicro(kc int, ap, bp []float32, alpha, beta float32, first bool,
+	c []float32, ldc, mEdge, nEdge int) {
+	var acc [gemmMR * gemmNR]float32
+	for p := 0; p < kc; p++ {
+		av := (*[gemmMR]float32)(ap[p*gemmMR:])
+		bv := (*[gemmNR]float32)(bp[p*gemmNR:])
+		a0, a1, a2, a3 := av[0], av[1], av[2], av[3]
+		for j := 0; j < gemmNR; j++ {
+			bj := bv[j]
+			acc[0*gemmNR+j] += a0 * bj
+			acc[1*gemmNR+j] += a1 * bj
+			acc[2*gemmNR+j] += a2 * bj
+			acc[3*gemmNR+j] += a3 * bj
+		}
+	}
+	for i := 0; i < mEdge; i++ {
+		ci := c[i*ldc : i*ldc+nEdge]
+		accRow := acc[i*gemmNR:]
+		switch {
+		case !first:
+			for j := range ci {
+				ci[j] += alpha * accRow[j]
+			}
+		case beta == 0:
+			for j := range ci {
+				ci[j] = alpha * accRow[j]
+			}
+		default:
+			for j := range ci {
+				ci[j] = beta*ci[j] + alpha*accRow[j]
+			}
+		}
+	}
+}
+
+// packA copies rows [i0, i0+mcEff) × cols [pc, pc+kcEff) of op(A) into
+// MR-strips: dst[strip*kcEff*MR + p*MR + i], zero-padding edge rows so the
+// micro-kernel never branches on M.
+func packA(transA bool, a []float32, lda, i0, mcEff, pc, kcEff int, dst []float32) {
+	for s := 0; s*gemmMR < mcEff; s++ {
+		base := s * kcEff * gemmMR
+		rows := min(gemmMR, mcEff-s*gemmMR)
+		if transA {
+			// op(A)[i][p] = a[p*lda + i] (A stored k×m): one contiguous read
+			// per p covers the whole strip.
+			for p := 0; p < kcEff; p++ {
+				src := a[(pc+p)*lda+i0+s*gemmMR:]
+				d := dst[base+p*gemmMR:]
+				for i := 0; i < rows; i++ {
+					d[i] = src[i]
+				}
+				for i := rows; i < gemmMR; i++ {
+					d[i] = 0
+				}
+			}
+		} else {
+			for i := 0; i < rows; i++ {
+				src := a[(i0+s*gemmMR+i)*lda+pc:]
+				for p := 0; p < kcEff; p++ {
+					dst[base+p*gemmMR+i] = src[p]
+				}
+			}
+			for i := rows; i < gemmMR; i++ {
+				for p := 0; p < kcEff; p++ {
+					dst[base+p*gemmMR+i] = 0
+				}
+			}
+		}
+	}
+}
+
+// packB copies rows [pc, pc+kcEff) × cols [jc, jc+ncEff) of op(B) into
+// NR-strips: dst[strip*kcEff*NR + p*NR + j], zero-padding edge columns.
+func packB(transB bool, b []float32, ldb, jc, ncEff, pc, kcEff int, dst []float32) {
+	for s := 0; s*gemmNR < ncEff; s++ {
+		base := s * kcEff * gemmNR
+		cols := min(gemmNR, ncEff-s*gemmNR)
+		if transB {
+			// op(B)[p][j] = b[j*ldb + p] (B stored n×k).
+			for j := 0; j < cols; j++ {
+				src := b[(jc+s*gemmNR+j)*ldb+pc:]
+				for p := 0; p < kcEff; p++ {
+					dst[base+p*gemmNR+j] = src[p]
+				}
+			}
+			for j := cols; j < gemmNR; j++ {
+				for p := 0; p < kcEff; p++ {
+					dst[base+p*gemmNR+j] = 0
+				}
+			}
+		} else {
+			for p := 0; p < kcEff; p++ {
+				src := b[(pc+p)*ldb+jc+s*gemmNR:]
+				d := dst[base+p*gemmNR:]
+				for j := 0; j < cols; j++ {
+					d[j] = src[j]
+				}
+				for j := cols; j < gemmNR; j++ {
+					d[j] = 0
+				}
+			}
+		}
+	}
 }
 
 // MatMul multiplies two rank-2 tensors: (m×k)·(k×n) → m×n.

@@ -1,0 +1,24 @@
+package tensor
+
+import "testing"
+
+func benchGemm(b *testing.B, m, n, k int) {
+	a := make([]float32, m*k)
+	bb := make([]float32, k*n)
+	c := make([]float32, m*n)
+	for i := range a {
+		a[i] = float32(i%7) - 3
+	}
+	for i := range bb {
+		bb[i] = float32(i%5) - 2
+	}
+	b.SetBytes(int64(2 * m * n * k))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Gemm(false, false, m, n, k, 1, a, k, bb, n, 0, c, n)
+	}
+	b.ReportMetric(float64(2*m*n*k)*float64(b.N)/b.Elapsed().Seconds()/1e9, "GFLOP/s")
+}
+func BenchmarkGemmConvLike(b *testing.B) { benchGemm(b, 32, 1024, 288) }
+func BenchmarkGemmBig(b *testing.B)      { benchGemm(b, 256, 512, 512) }
+func BenchmarkGemmTiny(b *testing.B)     { benchGemm(b, 8, 256, 72) }

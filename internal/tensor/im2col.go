@@ -41,39 +41,59 @@ func Im2col(src []float32, c int, g ConvGeom, dst []float32) {
 	if len(dst) < c*g.KH*g.KW*cols {
 		panic("tensor: Im2col dst too small")
 	}
+	// Serial fast path: skip the closure (which escapes to the heap) when
+	// no fan-out can happen — this keeps the pooled hot loop allocation-free.
+	if Parallelism() <= 1 || c <= 1 {
+		im2colRange(src, c, g, dst, 0, c)
+		return
+	}
 	parallelFor(c, 1, func(clo, chi int) {
-		for ch := clo; ch < chi; ch++ {
-			chanSrc := src[ch*g.InH*g.InW:]
-			for kh := 0; kh < g.KH; kh++ {
-				for kw := 0; kw < g.KW; kw++ {
-					row := dst[((ch*g.KH+kh)*g.KW+kw)*cols:]
-					ih0 := kh*g.DilH - g.PadH
-					iw0 := kw*g.DilW - g.PadW
-					for oh := 0; oh < outH; oh++ {
-						ih := ih0 + oh*g.StrideH
-						dstRow := row[oh*outW : oh*outW+outW]
-						if ih < 0 || ih >= g.InH {
-							clear(dstRow)
-							continue
+		im2colRange(src, c, g, dst, clo, chi)
+	})
+}
+
+func im2colRange(src []float32, c int, g ConvGeom, dst []float32, clo, chi int) {
+	outH, outW := g.OutH(), g.OutW()
+	cols := outH * outW
+	for ch := clo; ch < chi; ch++ {
+		chanSrc := src[ch*g.InH*g.InW:]
+		for kh := 0; kh < g.KH; kh++ {
+			for kw := 0; kw < g.KW; kw++ {
+				row := dst[((ch*g.KH+kh)*g.KW+kw)*cols:]
+				ih0 := kh*g.DilH - g.PadH
+				iw0 := kw*g.DilW - g.PadW
+				for oh := 0; oh < outH; oh++ {
+					ih := ih0 + oh*g.StrideH
+					dstRow := row[oh*outW : oh*outW+outW]
+					if ih < 0 || ih >= g.InH {
+						clear(dstRow)
+						continue
+					}
+					srcRow := chanSrc[ih*g.InW : ih*g.InW+g.InW]
+					if g.StrideW == 1 {
+						// Stride-1: the valid span is one contiguous copy;
+						// only the padded edge columns are zeroed.
+						lo := min(outW, max(0, -iw0))
+						hi := min(outW, g.InW-iw0)
+						clear(dstRow[:lo])
+						if hi > lo {
+							copy(dstRow[lo:hi], srcRow[iw0+lo:iw0+hi])
 						}
-						srcRow := chanSrc[ih*g.InW : ih*g.InW+g.InW]
-						if g.StrideW == 1 && iw0 >= 0 && iw0+outW <= g.InW {
-							copy(dstRow, srcRow[iw0:iw0+outW])
-							continue
-						}
-						for ow := 0; ow < outW; ow++ {
-							iw := iw0 + ow*g.StrideW
-							if iw < 0 || iw >= g.InW {
-								dstRow[ow] = 0
-							} else {
-								dstRow[ow] = srcRow[iw]
-							}
+						clear(dstRow[max(lo, hi):])
+						continue
+					}
+					for ow := 0; ow < outW; ow++ {
+						iw := iw0 + ow*g.StrideW
+						if iw < 0 || iw >= g.InW {
+							dstRow[ow] = 0
+						} else {
+							dstRow[ow] = srcRow[iw]
 						}
 					}
 				}
 			}
 		}
-	})
+	}
 }
 
 // Col2im is the adjoint of Im2col: it scatters (accumulates) the column
@@ -81,42 +101,57 @@ func Im2col(src []float32, c int, g ConvGeom, dst []float32) {
 // dst is accumulated into, not overwritten, so the caller usually zeroes it
 // first; this matches the gradient-accumulation semantics of backprop.
 func Col2im(src []float32, c int, g ConvGeom, dst []float32) {
-	outH, outW := g.OutH(), g.OutW()
-	cols := outH * outW
 	if len(dst) < c*g.InH*g.InW {
 		panic("tensor: Col2im dst too small")
 	}
 	// Channels are independent, so the scatter parallelizes safely over them.
+	if Parallelism() <= 1 || c <= 1 {
+		col2imRange(src, c, g, dst, 0, c)
+		return
+	}
 	parallelFor(c, 1, func(clo, chi int) {
-		for ch := clo; ch < chi; ch++ {
-			chanDst := dst[ch*g.InH*g.InW:]
-			for kh := 0; kh < g.KH; kh++ {
-				for kw := 0; kw < g.KW; kw++ {
-					row := src[((ch*g.KH+kh)*g.KW+kw)*cols:]
-					ih0 := kh*g.DilH - g.PadH
-					iw0 := kw*g.DilW - g.PadW
-					for oh := 0; oh < outH; oh++ {
-						ih := ih0 + oh*g.StrideH
-						if ih < 0 || ih >= g.InH {
-							continue
-						}
-						srcRow := row[oh*outW : oh*outW+outW]
-						dstRow := chanDst[ih*g.InW : ih*g.InW+g.InW]
-						if g.StrideW == 1 && iw0 >= 0 && iw0+outW <= g.InW {
-							for ow, v := range srcRow {
-								dstRow[iw0+ow] += v
+		col2imRange(src, c, g, dst, clo, chi)
+	})
+}
+
+func col2imRange(src []float32, c int, g ConvGeom, dst []float32, clo, chi int) {
+	outH, outW := g.OutH(), g.OutW()
+	cols := outH * outW
+	for ch := clo; ch < chi; ch++ {
+		chanDst := dst[ch*g.InH*g.InW:]
+		for kh := 0; kh < g.KH; kh++ {
+			for kw := 0; kw < g.KW; kw++ {
+				row := src[((ch*g.KH+kh)*g.KW+kw)*cols:]
+				ih0 := kh*g.DilH - g.PadH
+				iw0 := kw*g.DilW - g.PadW
+				for oh := 0; oh < outH; oh++ {
+					ih := ih0 + oh*g.StrideH
+					if ih < 0 || ih >= g.InH {
+						continue
+					}
+					srcRow := row[oh*outW : oh*outW+outW]
+					dstRow := chanDst[ih*g.InW : ih*g.InW+g.InW]
+					if g.StrideW == 1 {
+						// Stride-1: accumulate the single valid span with
+						// no per-element bounds tests.
+						lo := min(outW, max(0, -iw0))
+						hi := min(outW, g.InW-iw0)
+						if hi > lo {
+							dr := dstRow[iw0+lo:]
+							for ow, v := range srcRow[lo:hi] {
+								dr[ow] += v
 							}
-							continue
 						}
-						for ow := 0; ow < outW; ow++ {
-							iw := iw0 + ow*g.StrideW
-							if iw >= 0 && iw < g.InW {
-								dstRow[iw] += srcRow[ow]
-							}
+						continue
+					}
+					for ow := 0; ow < outW; ow++ {
+						iw := iw0 + ow*g.StrideW
+						if iw >= 0 && iw < g.InW {
+							dstRow[iw] += srcRow[ow]
 						}
 					}
 				}
 			}
 		}
-	})
+	}
 }

@@ -3,35 +3,37 @@ package tensor
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
-// Parallelism controls how many worker goroutines the compute kernels in
+// parallelismV controls how many worker goroutines the compute kernels in
 // this package fan out to. It defaults to GOMAXPROCS. Setting it to 1
 // makes all kernels run serially, which is useful for deterministic
 // profiling and on single-core machines where goroutine fan-out only
-// adds overhead.
-var parallelism = runtime.GOMAXPROCS(0)
+// adds overhead. Stored atomically: kernels read it concurrently with
+// runs that adjust it (core.Config.KernelWorkers).
+var parallelismV atomic.Int64
+
+func init() { parallelismV.Store(int64(runtime.GOMAXPROCS(0))) }
 
 // SetParallelism sets the kernel worker count (minimum 1) and returns the
 // previous value.
 func SetParallelism(n int) int {
-	prev := parallelism
 	if n < 1 {
 		n = 1
 	}
-	parallelism = n
-	return prev
+	return int(parallelismV.Swap(int64(n)))
 }
 
 // Parallelism returns the current kernel worker count.
-func Parallelism() int { return parallelism }
+func Parallelism() int { return int(parallelismV.Load()) }
 
 // parallelFor splits [0, n) into contiguous chunks and invokes body(lo, hi)
 // on each, using up to Parallelism() goroutines. body must be safe to call
 // concurrently on disjoint ranges. Work smaller than grain elements runs
 // inline to avoid goroutine overhead on tiny tensors.
 func parallelFor(n, grain int, body func(lo, hi int)) {
-	workers := parallelism
+	workers := Parallelism()
 	if workers <= 1 || n <= grain {
 		body(0, n)
 		return
@@ -41,7 +43,10 @@ func parallelFor(n, grain int, body func(lo, hi int)) {
 		workers = chunks
 	}
 	var wg sync.WaitGroup
-	per := (n + workers - 1) / workers
+	// Chunk size honours the grain: splitting n evenly across workers could
+	// otherwise produce sub-grain chunks (small n, many workers), paying
+	// goroutine overhead for less work than the kernel's stated minimum.
+	per := max((n+workers-1)/workers, grain)
 	for w := 0; w < workers; w++ {
 		lo := w * per
 		if lo >= n {

@@ -1,0 +1,58 @@
+package tensor
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestParallelForChunksRespectGrain covers the chunk-sizing rule: even with
+// many workers and small n, no chunk may be smaller than the grain (except
+// the final remainder chunk), and every index is visited exactly once.
+func TestParallelForChunksRespectGrain(t *testing.T) {
+	prev := SetParallelism(8)
+	defer SetParallelism(prev)
+
+	for _, tc := range []struct{ n, grain int }{
+		{100, 64},  // 2 chunks of ≥64, not 8 chunks of 13
+		{65, 64},   // just over one grain
+		{640, 64},  // even split across workers
+		{7, 64},    // below grain: runs inline
+		{1000, 1},  // grain 1: worker-count chunks
+		{8, 3},     // sub-worker chunk count
+		{4096, 64}, // large
+	} {
+		var mu sync.Mutex
+		visited := make([]int, tc.n)
+		var spans [][2]int
+		parallelFor(tc.n, tc.grain, func(lo, hi int) {
+			mu.Lock()
+			spans = append(spans, [2]int{lo, hi})
+			mu.Unlock()
+			for i := lo; i < hi; i++ {
+				mu.Lock()
+				visited[i]++
+				mu.Unlock()
+			}
+		})
+		for i, v := range visited {
+			if v != 1 {
+				t.Fatalf("n=%d grain=%d: index %d visited %d times", tc.n, tc.grain, i, v)
+			}
+		}
+		for _, s := range spans {
+			size := s[1] - s[0]
+			if size < tc.grain && s[1] != tc.n {
+				t.Errorf("n=%d grain=%d: non-final chunk [%d,%d) smaller than grain",
+					tc.n, tc.grain, s[0], s[1])
+			}
+		}
+	}
+}
+
+func TestSetParallelismClampsToOne(t *testing.T) {
+	prev := SetParallelism(-3)
+	if Parallelism() != 1 {
+		t.Fatalf("Parallelism() = %d after SetParallelism(-3)", Parallelism())
+	}
+	SetParallelism(prev)
+}

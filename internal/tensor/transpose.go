@@ -14,19 +14,24 @@ func NCHWToNHWC(x *Tensor) *Tensor {
 	}
 	n, c, h, w := s[0], s[1], s[2], s[3]
 	out := New(Shape{n, h, w, c})
-	xd, od := x.Data(), out.Data()
+	NCHWToNHWCInto(x.Data(), n, c, h, w, out.Data())
+	return out
+}
+
+// NCHWToNHWCInto performs the layout change into caller-provided storage
+// (e.g. a workspace scratch buffer), writing every element of dst.
+func NCHWToNHWCInto(xd []float32, n, c, h, w int, dst []float32) {
 	parallelFor(n*h, 8, func(lo, hi int) {
 		for nh := lo; nh < hi; nh++ {
 			img, y := nh/h, nh%h
 			for xw := 0; xw < w; xw++ {
-				dst := ((img*h+y)*w + xw) * c
+				d := ((img*h+y)*w + xw) * c
 				for ch := 0; ch < c; ch++ {
-					od[dst+ch] = xd[((img*c+ch)*h+y)*w+xw]
+					dst[d+ch] = xd[((img*c+ch)*h+y)*w+xw]
 				}
 			}
 		}
 	})
-	return out
 }
 
 // NHWCToNCHW converts a [N,H,W,C] tensor back to [N,C,H,W].
@@ -37,16 +42,21 @@ func NHWCToNCHW(x *Tensor) *Tensor {
 	}
 	n, h, w, c := s[0], s[1], s[2], s[3]
 	out := New(Shape{n, c, h, w})
-	xd, od := x.Data(), out.Data()
+	NHWCToNCHWInto(x.Data(), n, c, h, w, out.Data())
+	return out
+}
+
+// NHWCToNCHWInto performs the inverse layout change into caller-provided
+// storage, writing every element of dst.
+func NHWCToNCHWInto(xd []float32, n, c, h, w int, dst []float32) {
 	parallelFor(n*c, 8, func(lo, hi int) {
 		for nc := lo; nc < hi; nc++ {
 			img, ch := nc/c, nc%c
 			for y := 0; y < h; y++ {
 				for xw := 0; xw < w; xw++ {
-					od[((img*c+ch)*h+y)*w+xw] = xd[((img*h+y)*w+xw)*c+ch]
+					dst[((img*c+ch)*h+y)*w+xw] = xd[((img*h+y)*w+xw)*c+ch]
 				}
 			}
 		}
 	})
-	return out
 }
