@@ -162,6 +162,11 @@ func New(opts ...Option) (*Experiment, error) {
 		return net, nil
 	}
 
+	exchange := core.ExchangeOverlap
+	if o.noOverlap {
+		exchange = core.ExchangeSerial
+	}
+
 	return &Experiment{
 		cfg: core.Config{
 			BuildNet:           buildNet,
@@ -180,6 +185,9 @@ func New(opts ...Option) (*Experiment, error) {
 			Fabric:             fabric,
 			Horovod:            hvd,
 			HybridReduce:       o.hybrid,
+			Exchange:           exchange,
+			FusionBufferBytes:  o.fusionBytes,
+			Wire:               o.wire,
 			Steps:              o.steps,
 			Seed:               o.seed,
 			ValidationSize:     o.valSize,
@@ -202,7 +210,12 @@ func (e *Experiment) Dataset() *climate.Dataset { return e.cfg.Dataset }
 type ControlPlaneStats struct {
 	CtlSent     int // control messages sent
 	CtlReceived int // control messages received
-	Batches     int // all-reduce batches executed
+	Batches     int // all-reduce batches (fusion buckets) executed
+	// WireBytes is the gradient payload presented to the cross-node
+	// reduction at the wire width (each element once per step, not per
+	// hop). The hybrid reducer's intra-node NVLink phases always run FP32
+	// and are not counted here.
+	WireBytes int64
 }
 
 // MemoryStats is rank 0's workspace-pool traffic for the run: how much of
@@ -227,6 +240,14 @@ type Result struct {
 	SkippedSteps int     // FP16 overflow skips
 	ControlPlane ControlPlaneStats
 	Memory       MemoryStats // workspace allocation/reuse counters
+	// OverlapFraction is the mean fraction of gradient-exchange buckets
+	// reduced before each backward pass finished (0 when WithCommOverlap
+	// is disabled).
+	OverlapFraction float64
+	// WireBytes is rank 0's cumulative gradient payload presented to the
+	// cross-node reduction at the wire width (see ControlPlaneStats) —
+	// WithWireFormat(WireFP16) halves it.
+	WireBytes int64
 	// Model is the trained model (rank 0's replica; all replicas are
 	// identical after a synchronous run).
 	Model *Model
@@ -256,15 +277,17 @@ func (e *Experiment) Run(ctx context.Context) (*Result, error) {
 		return nil, err
 	}
 	out := &Result{
-		History:      make([]StepStat, len(res.History)),
-		ValHistory:   make([]ValStat, len(res.ValHistory)),
-		FinalLoss:    res.FinalLoss,
-		IoU:          res.IoU,
-		MeanIoU:      res.MeanIoU,
-		Accuracy:     res.Accuracy,
-		Makespan:     res.Makespan,
-		SkippedSteps: res.SkippedSteps,
-		ControlPlane: ControlPlaneStats(res.CtlStats),
+		History:         make([]StepStat, len(res.History)),
+		ValHistory:      make([]ValStat, len(res.ValHistory)),
+		FinalLoss:       res.FinalLoss,
+		IoU:             res.IoU,
+		MeanIoU:         res.MeanIoU,
+		Accuracy:        res.Accuracy,
+		Makespan:        res.Makespan,
+		SkippedSteps:    res.SkippedSteps,
+		ControlPlane:    ControlPlaneStats(res.CtlStats),
+		OverlapFraction: res.OverlapFrac,
+		WireBytes:       res.CtlStats.WireBytes,
 		Memory: MemoryStats{
 			Requests:   res.PoolStats.Gets,
 			Allocs:     res.PoolStats.Misses,

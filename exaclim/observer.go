@@ -13,6 +13,12 @@ type StepStat struct {
 	Skipped     bool    // FP16 overflow skip
 	Last        bool    // final step of the configured run
 
+	// OverlapFrac is the fraction of this step's gradient-exchange buckets
+	// that were already reduced when the backward pass finished —
+	// communication hidden behind compute. Zero when WithCommOverlap is
+	// disabled.
+	OverlapFrac float64
+
 	// PoolAllocs and PoolReuses are rank 0's cumulative workspace counters
 	// (buffer requests that allocated fresh memory vs. were served from the
 	// pool). Under the default pooled policy, a healthy run shows

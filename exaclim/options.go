@@ -6,6 +6,7 @@ import (
 	"repro/internal/climate"
 	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/mpi"
 	"repro/internal/simnet"
 )
 
@@ -104,9 +105,12 @@ type options struct {
 	fabric  simnet.Fabric
 	summit  bool
 
-	hybrid  bool
-	radix   int
-	flatCtl bool
+	hybrid      bool
+	radix       int
+	flatCtl     bool
+	noOverlap   bool
+	fusionBytes int
+	wire        WireFormat
 
 	steps       int
 	seed        int64
@@ -298,6 +302,49 @@ func WithControlTree(radix int) Option {
 // control plane — the scaling bottleneck §V-A3 removes.
 func WithFlatControlPlane() Option {
 	return func(o *options) { o.flatCtl = true }
+}
+
+// WithCommOverlap toggles the overlapped gradient exchange (default on):
+// each rank's gradients are fused into size-capped buckets and all-reduced
+// by a background goroutine while the backward pass is still computing
+// earlier layers, with sample generation prefetched alongside. Disabling
+// it runs the identical bucket-planned exchange synchronously after
+// backward — bit-identical weights at FP32, no overlap. Every StepStat
+// reports the achieved overlap fraction.
+func WithCommOverlap(enabled bool) Option {
+	return func(o *options) { o.noOverlap = !enabled }
+}
+
+// WithFusionBufferBytes caps the fused payload of one gradient-exchange
+// bucket (default 64 KiB). Larger buckets amortize collective latency over
+// more bytes; smaller ones start reducing earlier in the backward pass.
+func WithFusionBufferBytes(n int) Option {
+	return func(o *options) {
+		if n < 4 {
+			o.err = fmt.Errorf("exaclim: WithFusionBufferBytes wants n ≥ 4, got %d", n)
+			return
+		}
+		o.fusionBytes = n
+	}
+}
+
+// WireFormat selects the gradient all-reduce wire format.
+type WireFormat = mpi.Wire
+
+// Wire formats, re-exported so callers need no extra import. WireFP16
+// halves the bytes the (simulated) cross-node fabric carries — gradients
+// are rounded to binary16 on send and accumulated in FP32 on receive, the
+// paper's mixed-precision communication datapath — at a bounded precision
+// cost. Under the hybrid all-reduce only the cross-node phase converts;
+// NVLink-class intra-node traffic stays FP32.
+const (
+	WireFP32 = mpi.WireFP32
+	WireFP16 = mpi.WireFP16
+)
+
+// WithWireFormat sets the all-reduce wire format (default WireFP32).
+func WithWireFormat(w WireFormat) Option {
+	return func(o *options) { o.wire = w }
 }
 
 // WithSteps sets the number of training steps.

@@ -5,10 +5,17 @@
 // node's virtual InfiniBand devices), and NCCL broadcasts re-assemble the
 // full result on every GPU. Plain single-algorithm reducers are provided
 // for the ablation benchmarks.
+//
+// Both reducers support an FP16 wire format (mpi.WireFP16): gradients are
+// rounded to binary16 on send and accumulated in FP32 on receive, halving
+// the bytes the cross-node fabric carries — the paper's mixed-precision
+// communication datapath. The hybrid reducer applies the wire format only
+// to the cross-node phase; NVLink-class intra-node traffic stays FP32.
 package allreduce
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/mpi"
 	"repro/internal/nccl"
@@ -28,6 +35,8 @@ type Reducer interface {
 // the baseline the hybrid improves on.
 type Flat struct {
 	Algorithm mpi.Algorithm
+	// Wire selects the on-the-wire element format (default mpi.WireFP32).
+	Wire mpi.Wire
 }
 
 // Name implements Reducer.
@@ -35,10 +44,15 @@ func (f Flat) Name() string { return "flat-" + f.Algorithm.String() }
 
 // Reduce implements Reducer.
 func (f Flat) Reduce(c *mpi.Comm, data []float32) {
-	c.Allreduce(data, f.Algorithm)
+	c.AllreduceWire(data, f.Algorithm, f.Wire)
 }
 
-// Hybrid is the paper's three-phase all-reduce.
+// WireBytesPerElem reports the reducer's wire width (see horovod.Stats).
+func (f Flat) WireBytesPerElem() int { return f.Wire.BytesPerElem() }
+
+// Hybrid is the paper's three-phase all-reduce. One instance may be shared
+// by every rank goroutine (per-rank communicator state is memoized in a
+// concurrent map, so steady-state reduces allocate nothing).
 type Hybrid struct {
 	Fabric simnet.Fabric
 	// ShardRanks is how many local ranks participate in the cross-node
@@ -46,6 +60,20 @@ type Hybrid struct {
 	ShardRanks int
 	// CrossAlgorithm is the MPI algorithm for the cross-node phase.
 	CrossAlgorithm mpi.Algorithm
+	// Wire is the cross-node wire format (default mpi.WireFP32). Intra-node
+	// phases always run FP32 — on the real machine they ride NVLink, where
+	// the paper kept full precision.
+	Wire mpi.Wire
+
+	// perComm memoizes each rank's node-local communicator and cross-node
+	// group (keyed by *mpi.Comm), so steady-state reduces allocate nothing.
+	perComm sync.Map
+}
+
+// hybridState is one rank's memoized communicator state.
+type hybridState struct {
+	local *nccl.Communicator
+	group []int
 }
 
 // NewHybrid returns the Summit configuration: 4 shard ranks,
@@ -59,9 +87,23 @@ func (h *Hybrid) Name() string {
 	return fmt.Sprintf("hybrid-%d-%s", h.ShardRanks, h.CrossAlgorithm)
 }
 
+// WireBytesPerElem reports the cross-node wire width.
+func (h *Hybrid) WireBytesPerElem() int { return h.Wire.BytesPerElem() }
+
+// stateFor returns the rank's memoized communicator state.
+func (h *Hybrid) stateFor(c *mpi.Comm) *hybridState {
+	if st, ok := h.perComm.Load(c); ok {
+		return st.(*hybridState)
+	}
+	st := &hybridState{local: nccl.New(c, h.Fabric)}
+	h.perComm.Store(c, st)
+	return st
+}
+
 // Reduce implements Reducer.
 func (h *Hybrid) Reduce(c *mpi.Comm, data []float32) {
-	local := nccl.New(c, h.Fabric)
+	st := h.stateFor(c)
+	local := st.local
 	perNode := local.Size()
 	shards := h.ShardRanks
 	if shards > perNode {
@@ -80,104 +122,48 @@ func (h *Hybrid) Reduce(c *mpi.Comm, data []float32) {
 	local.Allreduce(data)
 
 	// Phase 2: the first `shards` local ranks each all-reduce their shard
-	// of the buffer with the corresponding rank on every other node.
-	spans := shardSpans(len(data), shards)
+	// of the buffer with the corresponding rank on every other node, at the
+	// configured wire format.
 	lr := local.LocalRank()
 	if lr < shards {
-		group := make([]int, nodes)
-		for nd := 0; nd < nodes; nd++ {
-			group[nd] = nd*perNode + lr
+		if len(st.group) != nodes {
+			st.group = make([]int, nodes)
 		}
-		shard := data[spans[lr].lo:spans[lr].hi]
-		reduceOverGroup(c, shard, group, h.CrossAlgorithm)
+		for nd := 0; nd < nodes; nd++ {
+			st.group[nd] = nd*perNode + lr
+		}
+		lo, hi := mpi.ChunkSpan(len(data), shards, lr)
+		reduceOverGroup(c, data[lo:hi], st.group, h.CrossAlgorithm, h.Wire)
 	}
 
 	// Phase 3: shard owners broadcast their final shard across the node.
 	for s := 0; s < shards; s++ {
-		shard := data[spans[s].lo:spans[s].hi]
-		local.Bcast(s, shard)
+		lo, hi := mpi.ChunkSpan(len(data), shards, s)
+		local.Bcast(s, data[lo:hi])
 	}
 }
 
 // reduceOverGroup runs the chosen algorithm over an arbitrary rank group.
-// Ring reuses mpi's group ring; other algorithms fall back to a gather-
-// scatter chain over the group (correct, if not latency-optimal) unless
-// the group is the full world.
-func reduceOverGroup(c *mpi.Comm, data []float32, group []int, alg mpi.Algorithm) {
+// Ring reuses mpi's group ring; other algorithms fall back to recursive
+// doubling over the group (correct, if not latency-optimal) unless the
+// group is the full world.
+func reduceOverGroup(c *mpi.Comm, data []float32, group []int, alg mpi.Algorithm, wire mpi.Wire) {
 	if len(group) == c.Size() {
-		c.Allreduce(data, alg)
+		c.AllreduceWire(data, alg, wire)
 		return
 	}
 	switch alg {
 	case mpi.Ring:
-		c.AllreduceGroup(data, group)
+		c.AllreduceGroupWire(data, group, wire)
 	default:
-		// Recursive doubling over the subgroup by index.
+		// Recursive doubling over the subgroup by index (one shared
+		// implementation in mpi carries the FP16 bit-identity discipline).
 		me := -1
 		for i, r := range group {
 			if r == c.Rank() {
 				me = i
 			}
 		}
-		recursiveDoublingGroup(c, data, group, me)
+		c.RecursiveDoublingGroupWire(data, group, me, wire, tagShard)
 	}
-}
-
-// recursiveDoublingGroup is recursive doubling over a subgroup, with the
-// standard fold/unfold for non-power-of-two sizes.
-func recursiveDoublingGroup(c *mpi.Comm, data []float32, group []int, me int) {
-	n := len(group)
-	if n <= 1 {
-		return
-	}
-	pow2 := 1
-	for pow2*2 <= n {
-		pow2 *= 2
-	}
-	rem := n - pow2
-
-	inGame := true
-	if me >= pow2 {
-		c.Send(group[me-pow2], tagShard, data)
-		inGame = false
-	} else if me < rem {
-		got := c.Recv(group[me+pow2], tagShard)
-		for i := range data {
-			data[i] += got[i]
-		}
-	}
-	if inGame {
-		for dist := 1; dist < pow2; dist *= 2 {
-			peer := me ^ dist
-			c.Send(group[peer], tagShard+dist, data)
-			got := c.Recv(group[peer], tagShard+dist)
-			for i := range data {
-				data[i] += got[i]
-			}
-		}
-	}
-	if me >= pow2 {
-		got := c.Recv(group[me-pow2], tagShard+1<<19)
-		copy(data, got)
-	} else if me < rem {
-		c.Send(group[me+pow2], tagShard+1<<19, data)
-	}
-}
-
-type span struct{ lo, hi int }
-
-func shardSpans(length, n int) []span {
-	spans := make([]span, n)
-	base := length / n
-	extra := length % n
-	off := 0
-	for i := 0; i < n; i++ {
-		sz := base
-		if i < extra {
-			sz++
-		}
-		spans[i] = span{off, off + sz}
-		off += sz
-	}
-	return spans
 }

@@ -41,7 +41,7 @@ func runReducer(t *testing.T, r Reducer, fabric simnet.Fabric, length int) float
 
 func TestFlatReducers(t *testing.T) {
 	for _, alg := range []mpi.Algorithm{mpi.Ring, mpi.RecursiveDoubling, mpi.BinomialTree} {
-		runReducer(t, Flat{alg}, simnet.Loopback(6), 100)
+		runReducer(t, Flat{Algorithm: alg}, simnet.Loopback(6), 100)
 	}
 }
 
@@ -80,7 +80,7 @@ func TestHybridFasterThanFlatRingOnSummit(t *testing.T) {
 	// beats a flat ring that pushes the whole buffer over IB hops.
 	fabric := simnet.Summit(4)
 	const length = 1 << 16
-	flatTime := runReducer(t, Flat{mpi.Ring}, fabric, length)
+	flatTime := runReducer(t, Flat{Algorithm: mpi.Ring}, fabric, length)
 	hybridTime := runReducer(t, NewHybrid(fabric), fabric, length)
 	t.Logf("24 GPUs, %d floats: flat ring %.3gs, hybrid %.3gs (%.1fx)",
 		length, flatTime, hybridTime, flatTime/hybridTime)
@@ -106,29 +106,11 @@ func TestMoreShardRanksImproveCrossNodeBandwidth(t *testing.T) {
 }
 
 func TestReducerNames(t *testing.T) {
-	if (Flat{mpi.Ring}).Name() != "flat-ring" {
+	if (Flat{Algorithm: mpi.Ring}).Name() != "flat-ring" {
 		t.Fatal("flat name wrong")
 	}
 	h := NewHybrid(simnet.Summit(1))
 	if h.Name() != "hybrid-4-recursive-doubling" {
 		t.Fatalf("hybrid name = %s", h.Name())
-	}
-}
-
-func TestShardSpansCoverBuffer(t *testing.T) {
-	for length := 0; length < 40; length++ {
-		for n := 1; n < 7; n++ {
-			spans := shardSpans(length, n)
-			prev := 0
-			for _, s := range spans {
-				if s.lo != prev {
-					t.Fatalf("gap at %d/%d", length, n)
-				}
-				prev = s.hi
-			}
-			if prev != length {
-				t.Fatalf("spans cover %d of %d", prev, length)
-			}
-		}
 	}
 }

@@ -82,9 +82,23 @@ func DefaultGenConfig(h, w int, seed int64) GenConfig {
 // (config, index) pair always yields the same sample, so distributed ranks
 // can regenerate any shard without storing the dataset.
 func Generate(cfg GenConfig, index int) *Sample {
-	rng := rand.New(rand.NewSource(cfg.Seed*1_000_003 + int64(index)))
 	h, w := cfg.Height, cfg.Width
-	f := tensor.New(tensor.Shape{NumChannels, h, w})
+	s := &Sample{
+		Fields: tensor.New(tensor.Shape{NumChannels, h, w}),
+		Labels: tensor.New(tensor.Shape{h, w}),
+	}
+	GenerateInto(cfg, index, s)
+	return s
+}
+
+// GenerateInto generates snapshot `index` into the sample's existing
+// tensors ([NumChannels, H, W] fields and [H, W] labels), overwriting every
+// element — the allocation-free path the per-rank sample prefetcher cycles
+// its double buffers through. Results are bit-identical to Generate.
+func GenerateInto(cfg GenConfig, index int, s *Sample) {
+	rng := rand.New(rand.NewSource(cfg.Seed*1_000_003 + int64(index)))
+	s.Index = index
+	f := s.Fields
 
 	genBaseClimate(f, rng)
 
@@ -100,8 +114,7 @@ func Generate(cfg GenConfig, index int) *Sample {
 		stampRiver(f, rng)
 	}
 
-	labels := Label(f)
-	return &Sample{Index: index, Fields: f, Labels: labels}
+	LabelInto(f, s.Labels)
 }
 
 // latitude returns the latitude in degrees of grid row y (row 0 = 90°N).

@@ -16,9 +16,14 @@ import (
 // labels where they overlap, as in the paper's 3-class masks.
 func Label(fields *tensor.Tensor) *tensor.Tensor {
 	s := fields.Shape()
-	h, w := s[1], s[2]
-	labels := tensor.New(tensor.Shape{h, w})
+	labels := tensor.New(tensor.Shape{s[1], s[2]})
+	LabelInto(fields, labels)
+	return labels
+}
 
+// LabelInto runs the labeling pipeline into an existing [H, W] tensor,
+// overwriting every element (so reused buffers need no prior clearing).
+func LabelInto(fields, labels *tensor.Tensor) {
 	arMask := detectARs(fields)
 	tcMask := detectTCs(fields)
 	ld := labels.Data()
@@ -28,9 +33,10 @@ func Label(fields *tensor.Tensor) *tensor.Tensor {
 			ld[i] = ClassTC
 		case arMask[i]:
 			ld[i] = ClassAR
+		default:
+			ld[i] = ClassBackground
 		}
 	}
-	return labels
 }
 
 // ---- Tropical cyclone detection (TECA-style) ----

@@ -13,7 +13,6 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"math/rand"
 	"sync"
 
 	"repro/internal/allreduce"
@@ -62,6 +61,37 @@ func (w WorkspacePolicy) String() string {
 	return "pooled"
 }
 
+// ExchangeMode selects the multi-rank gradient-exchange pipeline.
+type ExchangeMode int
+
+const (
+	// ExchangeOverlap (the default) streams gradients to a per-rank
+	// background exchange goroutine as the backward pass produces them:
+	// size-capped fusion buckets are negotiated and reduced while earlier
+	// layers are still differentiating, and each step's cancellation vote
+	// rides in the first bucket. Bit-identical to ExchangeSerial at FP32.
+	ExchangeOverlap ExchangeMode = iota
+	// ExchangeSerial runs the same bucket-planned exchange synchronously
+	// after backward — the debugging/ablation twin of ExchangeOverlap.
+	ExchangeSerial
+	// ExchangeLegacy is the pre-overlap baseline: count-fused
+	// horovod.Session.Step after backward, a dedicated cancellation
+	// collective per step, and inline sample generation. Kept for
+	// benchmarking the overlap win.
+	ExchangeLegacy
+)
+
+// String names the exchange mode.
+func (m ExchangeMode) String() string {
+	switch m {
+	case ExchangeSerial:
+		return "serial"
+	case ExchangeLegacy:
+		return "legacy"
+	}
+	return "overlap"
+}
+
 // Config describes one training run.
 type Config struct {
 	// BuildNet constructs a rank's model replica. It is called once per
@@ -86,10 +116,22 @@ type Config struct {
 	Dataset   *climate.Dataset
 	Channels  []int // input channel subset (nil = all 16)
 
-	Ranks          int
-	Fabric         simnet.Fabric // nil → loopback fabric of Ranks
-	Horovod        horovod.Config
-	HybridReduce   bool
+	Ranks        int
+	Fabric       simnet.Fabric // nil → loopback fabric of Ranks
+	Horovod      horovod.Config
+	HybridReduce bool
+	// Exchange selects the gradient-exchange pipeline (default
+	// ExchangeOverlap: comm overlapped with backward). All modes train the
+	// same weights at FP32; ExchangeLegacy differs in rounding (its fusion
+	// batching is timing-dependent) and exists as the benchmark baseline.
+	Exchange ExchangeMode
+	// FusionBufferBytes caps one fused all-reduce bucket of the bucketed
+	// exchange modes (0 → horovod.DefaultFusionBufferBytes).
+	FusionBufferBytes int
+	// Wire selects the gradient all-reduce wire format. mpi.WireFP16
+	// halves cross-node bytes (FP16 on the wire, FP32 accumulation) at a
+	// bounded precision cost; default mpi.WireFP32.
+	Wire           mpi.Wire
 	Steps          int
 	Seed           int64
 	ValidationSize int // samples evaluated for IoU after training (0=skip)
@@ -137,6 +179,12 @@ type StepStat struct {
 	Skipped     bool    // FP16 overflow skip
 	Last        bool    // final step of the configured run
 
+	// OverlapFrac is the fraction of this step's exchange buckets that had
+	// already been reduced when the backward pass finished — gradient
+	// communication hidden behind compute. Zero under the serial and
+	// legacy exchange modes.
+	OverlapFrac float64
+
 	// PoolAllocs and PoolReuses are rank 0's cumulative workspace counters:
 	// buffer requests that allocated fresh memory vs. were served from the
 	// pool. Under the pooled policy, steady state shows PoolReuses growing
@@ -164,6 +212,9 @@ type Result struct {
 	Makespan     float64 // virtual seconds for the whole run
 	SkippedSteps int
 	CtlStats     horovod.Stats // rank 0's control-plane traffic
+	// OverlapFrac is the mean StepStat.OverlapFrac over the run (rank 0).
+	// Wire-byte accounting lives on CtlStats.WireBytes.
+	OverlapFrac float64
 	// PoolStats is rank 0's final workspace-pool traffic: how much of the
 	// run's buffer demand was served by reuse instead of allocation.
 	PoolStats tensor.PoolStats
@@ -253,18 +304,14 @@ func Train(cfg Config) (*Result, error) {
 	return res, nil
 }
 
-// newRankRNG derives a rank-local random stream: different per rank so
-// shards differ, deterministic per (seed, rank) so runs reproduce.
-func newRankRNG(seed int64, rank int) *rand.Rand {
-	return rand.New(rand.NewSource(seed*1_000_033 + int64(rank)*7919))
-}
-
 // reducerFor builds the gradient reducer for the run.
 func reducerFor(cfg Config, fabric simnet.Fabric) horovod.Reducer {
 	if cfg.HybridReduce && fabric.RanksPerNode() > 1 {
-		return allreduce.NewHybrid(fabric)
+		h := allreduce.NewHybrid(fabric)
+		h.Wire = cfg.Wire
+		return h
 	}
-	return allreduce.Flat{Algorithm: mpi.Ring}
+	return allreduce.Flat{Algorithm: mpi.Ring, Wire: cfg.Wire}
 }
 
 func trainRank(c *mpi.Comm, cfg Config, classWeights []float32,
@@ -289,7 +336,26 @@ func trainRank(c *mpi.Comm, cfg Config, classWeights []float32,
 	if fabric == nil {
 		fabric = simnet.Loopback(cfg.Ranks)
 	}
-	sess := horovod.NewSession(c, reducerFor(cfg, fabric), cfg.Horovod)
+	hvd := cfg.Horovod
+	if cfg.FusionBufferBytes > 0 {
+		hvd.FusionBufferBytes = cfg.FusionBufferBytes
+	}
+	sess := horovod.NewSession(c, reducerFor(cfg, fabric), hvd)
+	defer sess.Close()
+
+	bucketed := cfg.Exchange != ExchangeLegacy
+	overlapped := cfg.Exchange == ExchangeOverlap
+	if bucketed {
+		// The fusion-bucket plan is fixed up front from the parameter
+		// shapes: identical on every rank, every step, and across the
+		// serial/overlapped drivers — which is what pins the fused
+		// summation order and keeps overlapped training bit-identical.
+		sizes := make([]int, len(params))
+		for i, p := range params {
+			sizes[i] = p.Shape.NumElements()
+		}
+		sess.PlanBuckets(sizes)
+	}
 
 	var base opt.Optimizer
 	switch cfg.Optimizer {
@@ -309,12 +375,23 @@ func trainRank(c *mpi.Comm, cfg Config, classWeights []float32,
 
 	scaler := &hpfloat.LossScaler{Scale: cfg.LossScale, GrowthInterval: 0}
 
-	// Rank-local data shard: independent random draws, as staged data.
+	// Rank-local data shard: independent deterministic draws, as staged
+	// data. The bucketed modes generate samples on a per-rank prefetcher
+	// goroutine (double-buffered, bounded) so data generation overlaps the
+	// training step; the legacy mode keeps the inline draw. Both consume
+	// the identical per-(seed, rank) index stream.
 	trainIdx := cfg.Dataset.Indices(climate.Train)
 	if len(trainIdx) == 0 {
 		return fmt.Errorf("core: dataset has no training samples")
 	}
-	rng := newRankRNG(cfg.Seed, c.Rank())
+	var pf *climate.Prefetcher
+	var nextIdx func() int
+	if bucketed {
+		pf = climate.NewPrefetcher(cfg.Dataset, trainIdx, cfg.Seed, c.Rank(), 2)
+		defer pf.Stop()
+	} else {
+		nextIdx = climate.NewIndexStream(trainIdx, cfg.Seed, c.Rank())
+	}
 
 	// Per-rank persistent workspace: one pool, one reusing executor, and
 	// one set of feed tensors live across every step of the run (and the
@@ -322,45 +399,93 @@ func trainRank(c *mpi.Comm, cfg Config, classWeights []float32,
 	// rank retires, per-op kernel caches (im2col panels, index maps) are
 	// dropped so the returned model does not pin them.
 	rw := newRankWorkspace(net, cfg.Workspace)
+	rw.initExchange(len(params))
 	defer graph.ReleaseOpCaches(net.Graph)
 
-	// Only a context that can actually be cancelled pays for the per-step
-	// cancellation collective; context.Background() (Done() == nil) keeps
-	// the exact pre-existing step timing.
+	// Only a context that can actually be cancelled pays for cancellation
+	// plumbing; context.Background() (Done() == nil) costs nothing. In the
+	// bucketed modes the vote is folded into the gradient exchange (the
+	// first bucket's flag slot) instead of a dedicated collective — every
+	// step saves one blocking all-reduce, at the cost that a cancellation
+	// is acted on at the end of the step whose exchange carried the vote
+	// (up to one extra step of compute vs the legacy upfront check).
 	cancellable := cfg.Ctx != nil && cfg.Ctx.Done() != nil
 
 	skipped := 0
+	overlapSum := 0.0
+	recordFinal := func() {
+		if c.Rank() != 0 {
+			return
+		}
+		resMu.Lock()
+		res.SkippedSteps = skipped
+		res.CtlStats = sess.Stats()
+		res.PoolStats = rw.poolStats()
+		if n := len(res.History); n > 0 {
+			res.OverlapFrac = overlapSum / float64(n)
+		}
+		resMu.Unlock()
+	}
+	exitCancelled := func() error {
+		recordFinal()
+		if err := cfg.Ctx.Err(); err != nil {
+			return err
+		}
+		return context.Canceled
+	}
+
+	// The gradient hook is installed once: the overlapped mode hands each
+	// finished gradient straight to the exchange goroutine (reduction of
+	// earlier buckets proceeds while backward still differentiates later
+	// layers); the synchronous modes record the readiness order for the
+	// post-backward exchange.
+	var onGrad func(p *graph.Node, g *tensor.Tensor)
+	if overlapped {
+		onGrad = func(p *graph.Node, g *tensor.Tensor) {
+			id := paramIndex[p]
+			rw.gradBufs[id] = g.Data()
+			rw.pushed[id] = true
+			sess.Push(horovod.TensorID(id), g.Data())
+		}
+	} else {
+		onGrad = func(p *graph.Node, g *tensor.Tensor) {
+			id := paramIndex[p]
+			rw.gradBufs[id] = g.Data()
+			rw.pushed[id] = true
+			rw.readyOrder = append(rw.readyOrder, horovod.TensorID(id))
+		}
+	}
+
 	for step := 0; step < cfg.Steps; step++ {
-		if cancellable {
-			// Collective cancellation: every rank contributes a flag and all
-			// see the same sum, so they exit at the same step boundary
-			// instead of deadlocking a partner mid-collective.
-			flag := []float32{0}
+		if !bucketed && cancellable {
+			// Legacy path: the dedicated cancellation collective the
+			// bucketed modes fold into the exchange.
+			flag := rw.lossBuf[:1]
+			flag[0] = 0
 			if cfg.Ctx.Err() != nil {
 				flag[0] = 1
 			}
 			c.Allreduce(flag, mpi.Ring)
 			if flag[0] > 0 {
-				if c.Rank() == 0 {
-					resMu.Lock()
-					res.SkippedSteps = skipped
-					res.CtlStats = sess.Stats()
-					res.PoolStats = rw.poolStats()
-					resMu.Unlock()
-				}
-				if err := cfg.Ctx.Err(); err != nil {
-					return err
-				}
-				return context.Canceled
+				return exitCancelled()
 			}
 		}
 		if cfg.LRSchedule != nil {
 			optimizer.SetLR(cfg.LRSchedule(step))
 		}
-		sample := cfg.Dataset.Sample(trainIdx[rng.Intn(len(trainIdx))])
+
+		var sample *climate.Sample
+		if pf != nil {
+			sample = pf.Next()
+		} else {
+			sample = cfg.Dataset.Sample(nextIdx())
+		}
 		feeds, err := rw.feedsForSample(net, sample, classWeights, cfg.Channels)
 		if err != nil {
 			return err
+		}
+		if pf != nil {
+			pf.Recycle(sample)
 		}
 
 		ex := rw.stepExecutor(cfg.Precision, cfg.Seed+int64(step)*31+int64(c.Rank()))
@@ -368,15 +493,24 @@ func trainRank(c *mpi.Comm, cfg Config, classWeights []float32,
 			ex.SetLossScale(scaler.Scale)
 		}
 
-		// Gradients become ready back-to-front; Horovod negotiates the
-		// all-reduce order from these per-rank readiness sequences.
-		var readyOrder []horovod.TensorID
-		grads := map[horovod.TensorID][]float32{}
-		ex.OnParamGrad = func(p *graph.Node, g *tensor.Tensor) {
-			id := horovod.TensorID(paramIndex[p])
-			readyOrder = append(readyOrder, id)
-			grads[id] = g.Data()
+		flag := float32(0)
+		if cancellable && cfg.Ctx.Err() != nil {
+			flag = 1
 		}
+		rw.readyOrder = rw.readyOrder[:0]
+		for i := range rw.pushed {
+			rw.pushed[i] = false
+		}
+		if overlapped {
+			// From here until Wait the comm belongs to the exchange
+			// goroutine; this goroutine only computes. The step's virtual
+			// compute time is charged along the backward timeline inside
+			// the exchange, so virtual step cost is max(compute, staggered
+			// comm) — the overlap the paper hides its all-reduces behind —
+			// instead of their sum.
+			sess.BeginStep(flag, cfg.StepComputeSeconds)
+		}
+		ex.OnParamGrad = onGrad
 
 		if err := ex.Forward(feeds); err != nil {
 			return err
@@ -385,31 +519,58 @@ func trainRank(c *mpi.Comm, cfg Config, classWeights []float32,
 		if err := ex.Backward(net.Loss); err != nil {
 			return err
 		}
-		if cfg.StepComputeSeconds > 0 {
-			c.Advance(cfg.StepComputeSeconds)
-		}
 
 		// Missing gradients (possible under extreme FP16 underflow) still
-		// need collective participation: substitute zeros.
+		// need collective participation: substitute pooled zeros reused
+		// across steps.
 		for i := range params {
-			id := horovod.TensorID(i)
-			if grads[id] == nil {
-				grads[id] = make([]float32, params[i].Shape.NumElements())
-				readyOrder = append(readyOrder, id)
+			if !rw.pushed[i] {
+				z := rw.zeroGrad(i, params[i].Shape.NumElements())
+				rw.gradBufs[i] = z
+				if overlapped {
+					sess.Push(horovod.TensorID(i), z)
+				} else {
+					rw.readyOrder = append(rw.readyOrder, horovod.TensorID(i))
+				}
 			}
 		}
-		sess.Step(readyOrder, grads)
 
-		// Average and unscale; detect overflow consistently (the reduced
-		// values are identical on all ranks).
-		overflow := false
-		inv := float32(1.0 / float64(c.Size()))
-		for _, g := range grads {
-			tensor.Scale(inv, g)
-			if cfg.Precision == graph.FP16 {
-				scaler.Unapply(g)
+		var flagSum float32
+		overlapFrac := 0.0
+		switch {
+		case overlapped:
+			flagSum = sess.Wait()
+			overlapFrac = sess.LastOverlap()
+		case bucketed:
+			if cfg.StepComputeSeconds > 0 {
+				c.Advance(cfg.StepComputeSeconds)
 			}
-			if !tensor.AllFinite(g) {
+			flagSum = sess.Exchange(rw.readyOrder, rw.gradBufs, flag)
+		default:
+			if cfg.StepComputeSeconds > 0 {
+				c.Advance(cfg.StepComputeSeconds)
+			}
+			for i := range params {
+				rw.gradMap[horovod.TensorID(i)] = rw.gradBufs[i]
+			}
+			sess.Step(rw.readyOrder, rw.gradMap)
+		}
+		if flagSum > 0 {
+			// Some rank voted to cancel; the reduced flag is identical
+			// everywhere, so every rank exits at this same boundary.
+			return exitCancelled()
+		}
+
+		// Fused epilogue: average over ranks, remove the loss scale, and
+		// detect overflow in a single pass per gradient (the reduced values
+		// are identical on all ranks, so the decision is too).
+		factor := float32(1.0 / float64(c.Size()))
+		if cfg.Precision == graph.FP16 {
+			factor *= float32(1 / scaler.Scale)
+		}
+		overflow := false
+		for i := range params {
+			if !tensor.ScaleAllFinite(factor, rw.gradBufs[i]) {
 				overflow = true
 			}
 		}
@@ -421,25 +582,25 @@ func trainRank(c *mpi.Comm, cfg Config, classWeights []float32,
 			apply = false
 		}
 		if apply {
-			ps := make([]opt.Param, len(params))
 			for i, p := range params {
-				ps[i] = opt.Param{
+				rw.ps[i] = opt.Param{
 					Name:  p.Label,
 					Value: p.Value,
-					Grad:  tensor.FromSlice(p.Shape, grads[horovod.TensorID(i)]),
+					Grad:  tensor.FromSlice(p.Shape, rw.gradBufs[i]),
 				}
 			}
-			optimizer.Step(ps)
+			optimizer.Step(rw.ps)
 		} else {
 			skipped++
 		}
 
 		// Mean loss across ranks for the history (a real collective).
-		lossBuf := []float32{float32(stepLoss)}
-		c.Allreduce(lossBuf, mpi.Ring)
-		meanLoss := float64(lossBuf[0]) / float64(c.Size())
+		rw.lossBuf[0] = float32(stepLoss)
+		c.Allreduce(rw.lossBuf[:1], mpi.Ring)
+		meanLoss := float64(rw.lossBuf[0]) / float64(c.Size())
 
 		if c.Rank() == 0 {
+			overlapSum += overlapFrac
 			ps := rw.poolStats()
 			stat := StepStat{
 				Step:        step,
@@ -447,6 +608,7 @@ func trainRank(c *mpi.Comm, cfg Config, classWeights []float32,
 				VirtualTime: c.Clock(),
 				Skipped:     !apply,
 				Last:        step == cfg.Steps-1,
+				OverlapFrac: overlapFrac,
 				PoolAllocs:  ps.Misses,
 				PoolReuses:  ps.Reuses(),
 			}
@@ -481,13 +643,7 @@ func trainRank(c *mpi.Comm, cfg Config, classWeights []float32,
 		}
 	}
 
-	if c.Rank() == 0 {
-		resMu.Lock()
-		res.SkippedSteps = skipped
-		res.CtlStats = sess.Stats()
-		res.PoolStats = rw.poolStats()
-		resMu.Unlock()
-	}
+	recordFinal()
 
 	// Distributed validation: each rank evaluates a slice, confusion
 	// matrices merge by all-reducing the counts.
@@ -560,6 +716,19 @@ type rankWorkspace struct {
 
 	images, labels, wmap *tensor.Tensor
 	feeds                map[*graph.Node]*tensor.Tensor
+
+	// Exchange scratch, reused every step so the hot loop allocates
+	// nothing: this step's gradient buffers by parameter index, which of
+	// them the backward pass produced, pooled zero substitutes for the
+	// ones it didn't, the readiness order, the legacy Step's map view, the
+	// optimizer's parameter slice, and the 1-float collective buffer.
+	gradBufs   [][]float32
+	pushed     []bool
+	zeroBufs   [][]float32
+	readyOrder []horovod.TensorID
+	gradMap    map[horovod.TensorID][]float32
+	ps         []opt.Param
+	lossBuf    []float32
 }
 
 func newRankWorkspace(net *models.Network, policy WorkspacePolicy) *rankWorkspace {
@@ -568,6 +737,35 @@ func newRankWorkspace(net *models.Network, policy WorkspacePolicy) *rankWorkspac
 		rw.pool = tensor.NewPool()
 	}
 	return rw
+}
+
+// initExchange sizes the per-step exchange scratch for n parameters.
+func (rw *rankWorkspace) initExchange(n int) {
+	rw.gradBufs = make([][]float32, n)
+	rw.pushed = make([]bool, n)
+	rw.zeroBufs = make([][]float32, n)
+	rw.readyOrder = make([]horovod.TensorID, 0, n)
+	rw.gradMap = make(map[horovod.TensorID][]float32, n)
+	rw.ps = make([]opt.Param, n)
+	rw.lossBuf = make([]float32, 1)
+}
+
+// zeroGrad returns the rank's reusable zero gradient for parameter i (n
+// elements), drawn from the workspace pool on first use and re-zeroed on
+// every later one — the exchange may have left the previous step's sums in
+// it.
+func (rw *rankWorkspace) zeroGrad(i, n int) []float32 {
+	buf := rw.zeroBufs[i]
+	if buf == nil {
+		if rw.pool != nil {
+			buf = rw.pool.GetF32(n)
+		} else {
+			buf = make([]float32, n)
+		}
+		rw.zeroBufs[i] = buf
+	}
+	clear(buf)
+	return buf
 }
 
 // stepExecutor returns the rank's executor for one step: the persistent

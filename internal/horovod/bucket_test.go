@@ -1,0 +1,288 @@
+package horovod
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/mpi"
+	"repro/internal/simnet"
+)
+
+// mkValues builds per-rank tensor values and their expected global sums.
+func mkValues(n, numTensors, elems int) (values [][][]float32, expected [][]float32) {
+	values = make([][][]float32, n)
+	expected = make([][]float32, numTensors)
+	for id := 0; id < numTensors; id++ {
+		expected[id] = make([]float32, elems)
+	}
+	for r := 0; r < n; r++ {
+		values[r] = make([][]float32, numTensors)
+		rng := rand.New(rand.NewSource(int64(r*999 + 7)))
+		for id := 0; id < numTensors; id++ {
+			values[r][id] = make([]float32, elems)
+			for e := range values[r][id] {
+				values[r][id][e] = float32(rng.Intn(10))
+				expected[id][e] += values[r][id][e]
+			}
+		}
+	}
+	return values, expected
+}
+
+func shuffledReady(rank, numTensors int) []TensorID {
+	rng := rand.New(rand.NewSource(int64(rank*31 + 5)))
+	ready := make([]TensorID, numTensors)
+	for i := range ready {
+		ready[i] = TensorID(i)
+	}
+	rng.Shuffle(len(ready), func(i, j int) { ready[i], ready[j] = ready[j], ready[i] })
+	return ready
+}
+
+// runBucketed drives `steps` bucketed steps on n loopback ranks, serially or
+// overlapped, and returns each rank's final tensor buffers and flag sums.
+func runBucketed(t *testing.T, n, numTensors, elems, steps int, cfg Config,
+	flags []float32, overlapped bool) ([][][]float32, []float32) {
+	t.Helper()
+	values, _ := mkValues(n, numTensors, elems)
+	out := make([][][]float32, n)
+	flagOut := make([]float32, n)
+	var mu sync.Mutex
+
+	sizes := make([]int, numTensors)
+	for i := range sizes {
+		sizes[i] = elems
+	}
+
+	w := mpi.NewWorld(simnet.Loopback(n))
+	w.Run(func(c *mpi.Comm) {
+		sess := NewSession(c, plainRing{}, cfg)
+		defer sess.Close()
+		sess.PlanBuckets(sizes)
+		ready := shuffledReady(c.Rank(), numTensors)
+		bufs := make([][]float32, numTensors)
+		for id := 0; id < numTensors; id++ {
+			buf := make([]float32, elems)
+			copy(buf, values[c.Rank()][id])
+			bufs[id] = buf
+		}
+		flag := float32(0)
+		if flags != nil {
+			flag = flags[c.Rank()]
+		}
+		var fsum float32
+		for s := 0; s < steps; s++ {
+			if overlapped {
+				sess.BeginStep(flag, 0)
+				for _, id := range ready {
+					sess.Push(id, bufs[id])
+				}
+				fsum = sess.Wait()
+			} else {
+				fsum = sess.Exchange(ready, bufs, flag)
+			}
+		}
+		mu.Lock()
+		out[c.Rank()] = bufs
+		flagOut[c.Rank()] = fsum
+		mu.Unlock()
+	})
+	return out, flagOut
+}
+
+func TestBucketPlanProperties(t *testing.T) {
+	w := mpi.NewWorld(simnet.Loopback(1))
+	w.Run(func(c *mpi.Comm) {
+		sess := NewSession(c, plainRing{}, Config{Radix: 2, FusionBufferBytes: 64})
+		sizes := []int{4, 9, 2, 16, 1, 7, 3} // 16 floats/bucket cap
+		sess.PlanBuckets(sizes)
+		seen := map[TensorID]bool{}
+		total := 0
+		for b, bk := range sess.plan {
+			floats := bk.n
+			if b == 0 {
+				floats-- // flag slot
+			}
+			if b > 0 && floats > 16 && len(bk.ids) > 1 {
+				t.Fatalf("bucket %d holds %d floats over the 16-float cap", b, floats)
+			}
+			prev := TensorID(len(sizes))
+			for k, id := range bk.ids {
+				if seen[id] {
+					t.Fatalf("tensor %d planned twice", id)
+				}
+				seen[id] = true
+				if id >= prev {
+					t.Fatalf("bucket %d ids not descending: %v", b, bk.ids)
+				}
+				prev = id
+				if bk.offs[k] > floats {
+					t.Fatalf("offset %d outside bucket", bk.offs[k])
+				}
+				total += sizes[id]
+			}
+		}
+		if len(seen) != len(sizes) {
+			t.Fatalf("plan covers %d of %d tensors", len(seen), len(sizes))
+		}
+		want := 0
+		for _, n := range sizes {
+			want += n
+		}
+		if total != want {
+			t.Fatalf("plan covers %d floats, want %d", total, want)
+		}
+		// The oversized tensor (16 floats) must sit alone in its bucket.
+		b := sess.bucketOf[3]
+		if len(sess.plan[b].ids) != 1 {
+			t.Fatalf("oversized tensor shares bucket %v", sess.plan[b].ids)
+		}
+	})
+}
+
+func TestBucketedExchangeCorrectSums(t *testing.T) {
+	const numTensors, elems = 12, 16
+	_, expected := mkValues(6, numTensors, elems)
+	for _, cfg := range []Config{
+		{Radix: 2, FusionBufferBytes: 4 * elems * 3},
+		{Radix: 5, FusionBufferBytes: 1}, // one tensor per bucket
+		{Radix: 3},                       // default cap: everything in one bucket
+	} {
+		out, _ := runBucketed(t, 6, numTensors, elems, 1, cfg, nil, false)
+		for r := range out {
+			for id := 0; id < numTensors; id++ {
+				for e := 0; e < elems; e++ {
+					if out[r][id][e] != expected[id][e] {
+						t.Fatalf("radix %d: rank %d tensor %d elem %d = %g want %g",
+							cfg.Radix, r, id, e, out[r][id][e], expected[id][e])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestOverlappedMatchesSerialBitExact(t *testing.T) {
+	// The PR's core invariant: the overlapped driver reduces exactly the
+	// same fused buffers as the serial driver, so results agree bit for bit
+	// — at 1, 2, and 8 ranks, across multiple steps.
+	const numTensors, elems, steps = 14, 33, 3
+	for _, n := range []int{1, 2, 8} {
+		cfg := Config{Radix: 2, FusionBufferBytes: 4 * elems * 4}
+		serial, _ := runBucketed(t, n, numTensors, elems, steps, cfg, nil, false)
+		over, _ := runBucketed(t, n, numTensors, elems, steps, cfg, nil, true)
+		for r := 0; r < n; r++ {
+			for id := 0; id < numTensors; id++ {
+				for e := 0; e < elems; e++ {
+					if serial[r][id][e] != over[r][id][e] {
+						t.Fatalf("%d ranks: rank %d tensor %d elem %d: serial %g != overlapped %g",
+							n, r, id, e, serial[r][id][e], over[r][id][e])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestStepFlagReducesAcrossRanks(t *testing.T) {
+	for _, overlapped := range []bool{false, true} {
+		flags := []float32{0, 1, 0, 1}
+		_, got := runBucketed(t, 4, 5, 8, 1, Config{Radix: 2}, flags, overlapped)
+		for r, f := range got {
+			if f != 2 {
+				t.Fatalf("overlapped=%v rank %d flag sum %g, want 2", overlapped, r, f)
+			}
+		}
+		// All-zero flags reduce to zero.
+		_, got = runBucketed(t, 4, 5, 8, 1, Config{Radix: 2}, []float32{0, 0, 0, 0}, overlapped)
+		for r, f := range got {
+			if f != 0 {
+				t.Fatalf("overlapped=%v rank %d flag sum %g, want 0", overlapped, r, f)
+			}
+		}
+	}
+}
+
+func TestOverlappedMultiStepReuse(t *testing.T) {
+	// Back-to-back overlapped steps must not cross-contaminate epochs.
+	const n, numTensors, steps = 4, 6, 4
+	sizes := make([]int, numTensors)
+	for i := range sizes {
+		sizes[i] = 3
+	}
+	w := mpi.NewWorld(simnet.Loopback(n))
+	w.Run(func(c *mpi.Comm) {
+		sess := NewSession(c, plainRing{}, Tree(2))
+		defer sess.Close()
+		sess.PlanBuckets(sizes)
+		bufs := make([][]float32, numTensors)
+		for i := range bufs {
+			bufs[i] = make([]float32, 3)
+		}
+		ready := shuffledReady(c.Rank(), numTensors)
+		for step := 0; step < steps; step++ {
+			for i := range bufs {
+				for e := range bufs[i] {
+					bufs[i][e] = float32(step + 1)
+				}
+			}
+			sess.BeginStep(0, 0)
+			for _, id := range ready {
+				sess.Push(id, bufs[id])
+			}
+			sess.Wait()
+			want := float32((step + 1) * n)
+			for i := range bufs {
+				for e := range bufs[i] {
+					if bufs[i][e] != want {
+						t.Errorf("step %d tensor %d = %g want %g", step, i, bufs[i][e], want)
+						return
+					}
+				}
+			}
+		}
+	})
+}
+
+// TestExchangeAllocsSteadyState is the regression guard on the steady-state
+// exchange: with pooled wire payloads, persistent fusion buffers, and
+// pre-boxed control messages, a whole-world bucketed step should allocate
+// (almost) nothing once warm.
+func TestExchangeAllocsSteadyState(t *testing.T) {
+	const n, numTensors, elems = 4, 12, 512
+	const measured = 5
+	sizes := make([]int, numTensors)
+	for i := range sizes {
+		sizes[i] = elems
+	}
+	var avg float64
+	w := mpi.NewWorld(simnet.Loopback(n))
+	w.Run(func(c *mpi.Comm) {
+		sess := NewSession(c, plainRing{}, Config{Radix: 2, FusionBufferBytes: 4 * elems * 4})
+		sess.PlanBuckets(sizes)
+		bufs := make([][]float32, numTensors)
+		for i := range bufs {
+			bufs[i] = make([]float32, elems)
+		}
+		ready := shuffledReady(c.Rank(), numTensors)
+		step := func() { sess.Exchange(ready, bufs, 0) }
+		for i := 0; i < 4; i++ { // warm pools, mailboxes, fusion buffers
+			step()
+		}
+		if c.Rank() == 0 {
+			// AllocsPerRun reads the process-wide counter, so this measures
+			// the whole world's allocations per collective step: every other
+			// rank is lock-stepped with rank 0 through the collectives.
+			avg = testing.AllocsPerRun(measured, step)
+		} else {
+			for i := 0; i < measured+1; i++ {
+				step()
+			}
+		}
+	})
+	t.Logf("whole-world allocs per steady-state exchange step: %.1f", avg)
+	if avg > 24 {
+		t.Fatalf("steady-state exchange allocates %.1f times per step, want ≈0 (≤24)", avg)
+	}
+}

@@ -13,6 +13,7 @@ package horovod
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"repro/internal/mpi"
 )
@@ -29,11 +30,17 @@ type ctlKind int
 const (
 	kindReady ctlKind = iota
 	kindExec
+	kindReadyOne   // bucketed: one tensor became ready in this subtree
+	kindExecBucket // bucketed: execute the given fusion bucket
 )
 
 type ctlMsg struct {
 	kind ctlKind
 	ids  []TensorID
+	// Bucketed-exchange fields (kindReadyOne / kindExecBucket): one tensor
+	// id or one bucket index, so these messages pre-box and never allocate.
+	id     TensorID
+	bucket int
 }
 
 // Config selects the control-plane shape and fusion behaviour.
@@ -43,9 +50,13 @@ type Config struct {
 	// original flat Horovod control plane.
 	Radix int
 	// FusionTensors caps how many completed tensors the coordinator fuses
-	// into one all-reduce batch (0 or 1 disables fusion). Fusing amortizes
-	// collective latency over more bytes, the effect gradient lag amplifies.
+	// into one all-reduce batch (0 or 1 disables fusion) on the legacy Step
+	// path. The bucketed Exchange/streaming paths use FusionBufferBytes
+	// instead.
 	FusionTensors int
+	// FusionBufferBytes caps the fused payload of one exchange bucket for
+	// the bucketed paths (PlanBuckets). 0 takes DefaultFusionBufferBytes.
+	FusionBufferBytes int
 }
 
 // Flat returns the stock-Horovod configuration for a given world size.
@@ -62,7 +73,13 @@ func Tree(radix int) Config {
 type Stats struct {
 	CtlSent     int // control messages sent by this rank
 	CtlReceived int // control messages received by this rank
-	Batches     int // all-reduce batches executed
+	Batches     int // all-reduce batches (fusion buckets) executed
+	// WireBytes is the gradient payload presented to the cross-node
+	// reduction, at the reducer's cross-node wire width (each element
+	// counted once per step, not per hop). Under the hybrid reducer the
+	// intra-node NVLink phases always run FP32 and are not part of this
+	// figure; actual per-hop fabric traffic is mpi.World.BytesSent.
+	WireBytes int64
 }
 
 // Reducer matches allreduce.Reducer without importing it (avoids a cycle
@@ -72,7 +89,11 @@ type Reducer interface {
 	Name() string
 }
 
-// Session drives the negotiation protocol for one rank across steps.
+// Session drives the negotiation protocol for one rank across steps. Two
+// exchange paths share it: the legacy Step (count-based fusion, synchronous)
+// and the bucketed path (PlanBuckets + Exchange or BeginStep/Push/Wait),
+// which fuses gradients into size-capped buckets whose layout — and
+// therefore summation order — is fixed by the plan, not by arrival timing.
 type Session struct {
 	comm    *mpi.Comm
 	cfg     Config
@@ -83,6 +104,34 @@ type Session struct {
 	// execOrder records the TensorIDs in executed order for the last step,
 	// used by tests to verify the total order is rank-invariant.
 	execOrder []TensorID
+
+	// Bucketed-exchange state (see bucket.go).
+	plan      []bucket
+	bucketOf  []int
+	sizes     []int
+	fused     [][]float32 // one persistent fusion buffer per bucket
+	tensors   [][]float32 // this step's gradient buffers, by tensor id
+	counts    []int       // readiness marks per tensor
+	bRemain   []int       // root: tensors still incomplete per bucket
+	children_ []int
+	need      int
+	isRoot    bool
+	wireElem  int
+	flagIn    float32
+	flagOut   float32
+	executed  int
+	executedA atomic.Int32
+	readyMsgs []any // pre-boxed kindReadyOne per tensor (alloc-free sends)
+	execMsgs  []any // pre-boxed kindExecBucket per bucket
+
+	// Streaming (overlapped) exchange goroutine.
+	loopStarted bool
+	lastOverlap float64
+	pushCh      chan pushMsg
+	beginCh     chan beginMsg
+	doneCh      chan float32
+	closeCh     chan struct{}
+	notifyCh    chan struct{}
 }
 
 // NewSession creates a session. All ranks must use identical cfg.

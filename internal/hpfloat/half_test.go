@@ -269,3 +269,35 @@ func TestScalingRescuesSmallGradients(t *testing.T) {
 		t.Fatalf("recovered gradient off by %g", rel)
 	}
 }
+
+func TestPackWordsRoundtrip(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 5, 64, 101} {
+		src := make([]float32, n)
+		for i := range src {
+			src[i] = float32(i)*0.37 - 11.5
+		}
+		words := make([]float32, WireWords(n))
+		PackWords(src, words)
+
+		dst := make([]float32, n)
+		UnpackWords(words, dst)
+		for i := range src {
+			want := FromFloat32(src[i]).Float32()
+			if dst[i] != want {
+				t.Fatalf("n=%d elem %d: unpack %v, want fp16 round %v", n, i, dst[i], want)
+			}
+		}
+
+		acc := make([]float32, n)
+		for i := range acc {
+			acc[i] = 1000
+		}
+		UnpackAddWords(words, acc)
+		for i := range acc {
+			want := 1000 + FromFloat32(src[i]).Float32()
+			if acc[i] != want {
+				t.Fatalf("n=%d elem %d: unpack-add %v, want %v", n, i, acc[i], want)
+			}
+		}
+	}
+}

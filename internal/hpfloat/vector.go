@@ -1,5 +1,7 @@
 package hpfloat
 
+import "math"
+
 // Vector kernels for bulk FP32↔FP16 conversion and FP16-storage arithmetic.
 // These model the "Type Conversions" kernel category that appears in the
 // paper's FP16 profiles (Figs 8 and 9).
@@ -31,6 +33,56 @@ func ToFloat32(src []Half, dst []float32) {
 func RoundTrip(x []float32) {
 	for i, v := range x {
 		x[i] = FromFloat32(v).Float32()
+	}
+}
+
+// WireWords returns how many packed float32 words carry n FP16 values on
+// the wire: two halves per 32-bit word.
+func WireWords(n int) int { return (n + 1) / 2 }
+
+// PackWords rounds src to FP16 and packs the halves two-per-word into dst
+// (len(dst) ≥ WireWords(len(src))). The words are raw bit containers — the
+// FP16 wire format of the cross-node gradient exchange — and must only be
+// copied, never used arithmetically.
+func PackWords(src, dst []float32) {
+	n := len(src)
+	if len(dst) < WireWords(n) {
+		panic("hpfloat: PackWords destination too short")
+	}
+	for i := 0; i+1 < n; i += 2 {
+		w := uint32(FromFloat32(src[i])) | uint32(FromFloat32(src[i+1]))<<16
+		dst[i/2] = math.Float32frombits(w)
+	}
+	if n%2 == 1 {
+		dst[n/2] = math.Float32frombits(uint32(FromFloat32(src[n-1])))
+	}
+}
+
+// UnpackAddWords unpacks n FP16 values from wire words and accumulates them
+// into dst in FP32 — the receive side of the FP16 wire format (FP32
+// accumulate on reduce).
+func UnpackAddWords(words, dst []float32) {
+	n := len(dst)
+	for i := 0; i+1 < n; i += 2 {
+		w := math.Float32bits(words[i/2])
+		dst[i] += Half(w & 0xFFFF).Float32()
+		dst[i+1] += Half(w >> 16).Float32()
+	}
+	if n%2 == 1 {
+		dst[n-1] += Half(math.Float32bits(words[n/2]) & 0xFFFF).Float32()
+	}
+}
+
+// UnpackWords unpacks n FP16 values from wire words into dst, overwriting.
+func UnpackWords(words, dst []float32) {
+	n := len(dst)
+	for i := 0; i+1 < n; i += 2 {
+		w := math.Float32bits(words[i/2])
+		dst[i] = Half(w & 0xFFFF).Float32()
+		dst[i+1] = Half(w >> 16).Float32()
+	}
+	if n%2 == 1 {
+		dst[n-1] = Half(math.Float32bits(words[n/2]) & 0xFFFF).Float32()
 	}
 }
 

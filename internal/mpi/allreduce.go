@@ -65,132 +65,36 @@ func (c *Comm) AllreduceGroup(data []float32, group []int) {
 	if me < 0 {
 		panic("mpi: caller not in group")
 	}
-	c.ringOver(data, group, me)
+	c.ringOverWire(data, group, me, WireFP32)
 }
+
+// The three algorithms are implemented once, wire-format-aware, in
+// wire.go; at WireFP32 the wire helpers degenerate to plain pooled
+// send/recv, so these are exact aliases of the historical FP32 paths.
 
 func (c *Comm) ringAllreduce(data []float32) {
-	group := make([]int, c.Size())
-	for i := range group {
-		group[i] = i
-	}
-	c.ringOver(data, group, c.rank)
+	c.ringOverWire(data, c.world.allRanks, c.rank, WireFP32)
 }
 
-// ringOver runs reduce-scatter + allgather over an arbitrary rank group.
-// Chunks are the standard n-partition of the buffer; after n-1 reduce steps
-// each member owns one fully reduced chunk, and n-1 gather steps circulate
-// the results.
-func (c *Comm) ringOver(data []float32, group []int, me int) {
-	n := len(group)
-	chunks := partition(len(data), n)
-	next := group[(me+1)%n]
-	prev := group[(me-1+n)%n]
-
-	// Reduce-scatter: at step s, send chunk (me-s) and receive+accumulate
-	// chunk (me-s-1).
-	for s := 0; s < n-1; s++ {
-		sendIdx := ((me-s)%n + n) % n
-		recvIdx := ((me-s-1)%n + n) % n
-		sc := chunks[sendIdx]
-		c.Send(next, tagAllreduce+s, data[sc.lo:sc.hi])
-		got := c.Recv(prev, tagAllreduce+s)
-		rc := chunks[recvIdx]
-		buf := data[rc.lo:rc.hi]
-		for i := range buf {
-			buf[i] += got[i]
-		}
-	}
-	// Allgather: circulate the reduced chunks.
-	for s := 0; s < n-1; s++ {
-		sendIdx := ((me+1-s)%n + n) % n
-		recvIdx := ((me-s)%n + n) % n
-		sc := chunks[sendIdx]
-		c.Send(next, tagAllreduce+n+s, data[sc.lo:sc.hi])
-		got := c.Recv(prev, tagAllreduce+n+s)
-		rc := chunks[recvIdx]
-		copy(data[rc.lo:rc.hi], got)
-	}
-}
-
-// recursiveDoublingAllreduce handles power-of-two sizes directly and folds
-// stragglers for other sizes (standard pre/post step).
 func (c *Comm) recursiveDoublingAllreduce(data []float32) {
-	n := c.Size()
-	pow2 := 1
-	for pow2*2 <= n {
-		pow2 *= 2
-	}
-	rem := n - pow2
-	rank := c.rank
-
-	// Fold stragglers: ranks ≥ pow2 send to rank-pow2 partners.
-	inGame := true
-	if rank >= pow2 {
-		c.Send(rank-pow2, tagAllreduce, data)
-		inGame = false
-	} else if rank < rem {
-		got := c.Recv(rank+pow2, tagAllreduce)
-		for i := range data {
-			data[i] += got[i]
-		}
-	}
-
-	if inGame {
-		for dist := 1; dist < pow2; dist *= 2 {
-			peer := rank ^ dist
-			c.Send(peer, tagAllreduce+dist, data)
-			got := c.Recv(peer, tagAllreduce+dist)
-			for i := range data {
-				data[i] += got[i]
-			}
-		}
-	}
-
-	// Unfold: partners get the final result.
-	if rank >= pow2 {
-		got := c.Recv(rank-pow2, tagAllreduce+1<<19)
-		copy(data, got)
-	} else if rank < rem {
-		c.Send(rank+pow2, tagAllreduce+1<<19, data)
-	}
+	c.recursiveDoublingWire(data, WireFP32)
 }
 
-// treeAllreduce reduces up a binomial tree to rank 0, then broadcasts.
 func (c *Comm) treeAllreduce(data []float32) {
-	n := c.Size()
-	rank := c.rank
-	// Reduce: receive from children (rank | bit), send to parent.
-	for bit := 1; bit < n; bit *= 2 {
-		if rank&bit != 0 {
-			c.Send(rank&^bit, tagAllreduce+bit, data)
-			break
-		}
-		child := rank | bit
-		if child < n {
-			got := c.Recv(child, tagAllreduce+bit)
-			for i := range data {
-				data[i] += got[i]
-			}
-		}
-	}
-	c.Bcast(0, data)
+	c.treeAllreduceWire(data, WireFP32)
 }
 
-type span struct{ lo, hi int }
-
-// partition splits length into n nearly equal contiguous spans.
-func partition(length, n int) []span {
-	spans := make([]span, n)
+// ChunkSpan returns the bounds of the i-th of n nearly equal contiguous
+// chunks of a buffer of the given length (the first length%n chunks get
+// one extra element) — the shared partition of ring chunks and hybrid
+// reducer shards.
+func ChunkSpan(length, n, i int) (lo, hi int) {
 	base := length / n
 	extra := length % n
-	off := 0
-	for i := 0; i < n; i++ {
-		sz := base
-		if i < extra {
-			sz++
-		}
-		spans[i] = span{off, off + sz}
-		off += sz
+	lo = i*base + min(i, extra)
+	hi = lo + base
+	if i < extra {
+		hi++
 	}
-	return spans
+	return lo, hi
 }

@@ -12,6 +12,7 @@ import (
 	"sync"
 
 	"repro/internal/simnet"
+	"repro/internal/tensor"
 )
 
 // Tag namespaces for internal collectives sit high so user tags stay free.
@@ -34,6 +35,11 @@ type mailbox struct {
 	mu   sync.Mutex
 	cond *sync.Cond
 	msgs []message
+	// notify, when set, receives a non-blocking token on every delivery so
+	// a consumer can wait on a Go channel instead of the condvar (the
+	// overlapped gradient exchange waits on local pushes and incoming
+	// control messages at once).
+	notify chan<- struct{}
 }
 
 func newMailbox() *mailbox {
@@ -45,8 +51,15 @@ func newMailbox() *mailbox {
 func (mb *mailbox) put(m message) {
 	mb.mu.Lock()
 	mb.msgs = append(mb.msgs, m)
+	n := mb.notify
 	mb.mu.Unlock()
 	mb.cond.Broadcast()
+	if n != nil {
+		select {
+		case n <- struct{}{}:
+		default: // a token is already pending; the drain loop will see us
+		}
+	}
 }
 
 // take blocks until a message from src with tag is present and removes it.
@@ -65,6 +78,19 @@ func (mb *mailbox) take(src, tag int) message {
 	}
 }
 
+// tryTake removes a matching message without blocking.
+func (mb *mailbox) tryTake(src, tag int) (message, bool) {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	for i, m := range mb.msgs {
+		if (src == AnySource || m.src == src) && m.tag == tag {
+			mb.msgs = append(mb.msgs[:i], mb.msgs[i+1:]...)
+			return m, true
+		}
+	}
+	return message{}, false
+}
+
 // AnySource matches any sending rank in Recv.
 const AnySource = -1
 
@@ -72,6 +98,13 @@ const AnySource = -1
 type World struct {
 	fabric simnet.Fabric
 	boxes  []*mailbox
+	// pool recycles wire payload buffers: Send copies draw from it, and
+	// receivers that are done with a payload hand it back with Release, so
+	// steady-state collective traffic allocates nothing.
+	pool *tensor.Pool
+	// allRanks is the identity rank group, shared by full-world rings so
+	// they need not rebuild it per collective.
+	allRanks []int
 
 	statsMu sync.Mutex
 	// MessageCount and BytesSent are aggregate traffic statistics.
@@ -86,7 +119,11 @@ func NewWorld(fabric simnet.Fabric) *World {
 	for i := range boxes {
 		boxes[i] = newMailbox()
 	}
-	return &World{fabric: fabric, boxes: boxes}
+	allRanks := make([]int, n)
+	for i := range allRanks {
+		allRanks[i] = i
+	}
+	return &World{fabric: fabric, boxes: boxes, pool: tensor.NewPool(), allRanks: allRanks}
 }
 
 // Size returns the number of ranks.
@@ -159,6 +196,16 @@ func (c *Comm) Advance(seconds float64) {
 	c.clock += seconds
 }
 
+// AdvanceTo raises the rank's clock to at least t (no-op if already past).
+// Overlapped pipelines use it to model work that becomes available partway
+// through a concurrent compute phase: the consumer's clock rides
+// max(availability, message arrival) instead of summing the two phases.
+func (c *Comm) AdvanceTo(t float64) {
+	if t > c.clock {
+		c.clock = t
+	}
+}
+
 // Send transmits data to dst with the given tag. The payload is copied so
 // the caller may reuse the buffer. Virtual send cost (injection overhead)
 // is charged to the sender; wire time is charged to the receiver via the
@@ -178,7 +225,7 @@ func (c *Comm) sendInternal(dst, tag int, data []float32, meta any) {
 	}
 	var cp []float32
 	if data != nil {
-		cp = make([]float32, len(data))
+		cp = c.world.pool.GetF32(len(data))
 		copy(cp, data)
 	}
 	bytes := len(data)*4 + 64 // payload plus a small header
@@ -212,6 +259,40 @@ func (c *Comm) RecvMeta(src, tag int) ([]float32, any) {
 	return m.payload, m.meta
 }
 
+// TryRecvMeta is RecvMeta without blocking: it returns ok=false when no
+// matching message has been delivered yet.
+func (c *Comm) TryRecvMeta(src, tag int) ([]float32, any, bool) {
+	m, ok := c.world.boxes[c.rank].tryTake(src, tag)
+	if !ok {
+		return nil, nil, false
+	}
+	if m.arrive > c.clock {
+		c.clock = m.arrive
+	}
+	return m.payload, m.meta, true
+}
+
+// SetNotify registers ch to receive a non-blocking token whenever a message
+// is delivered to this rank, letting a consumer multiplex the mailbox with
+// Go channels (see TryRecvMeta). Pass nil to unregister.
+func (c *Comm) SetNotify(ch chan<- struct{}) {
+	mb := c.world.boxes[c.rank]
+	mb.mu.Lock()
+	mb.notify = ch
+	mb.mu.Unlock()
+}
+
+// GetBuf returns a scratch buffer from the world's wire pool (unspecified
+// contents). Pair with Release.
+func (c *Comm) GetBuf(n int) []float32 { return c.world.pool.GetF32(n) }
+
+// Release returns a buffer obtained from Recv, RecvMeta, or GetBuf to the
+// wire pool for reuse. Callers that retain a received payload simply skip
+// Release and the buffer is garbage-collected as before; callers on hot
+// collective paths release so steady-state traffic allocates nothing. The
+// buffer must not be used afterwards.
+func (c *Comm) Release(buf []float32) { c.world.pool.PutF32(buf) }
+
 // Barrier synchronizes all ranks (dissemination algorithm) and aligns
 // clocks to the latest participant.
 func (c *Comm) Barrier() {
@@ -236,6 +317,7 @@ func (c *Comm) Bcast(root int, data []float32) {
 		src := (parent + root) % n
 		got := c.Recv(src, tagBcast)
 		copy(data, got)
+		c.Release(got)
 	}
 	// Forward to children: set bits above the lowest set bit of vrank.
 	for bit := 1; bit < n; bit *= 2 {
@@ -260,6 +342,7 @@ func (c *Comm) Gather(root int, value float32) []float32 {
 			}
 			got := c.Recv(i, tagGather)
 			out[i] = got[0]
+			c.Release(got)
 		}
 		return out
 	}

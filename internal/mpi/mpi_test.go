@@ -267,21 +267,21 @@ func TestAlgorithmString(t *testing.T) {
 func TestPartitionProperty(t *testing.T) {
 	for length := 0; length < 50; length++ {
 		for n := 1; n <= 8; n++ {
-			spans := partition(length, n)
 			total := 0
 			prev := 0
-			for _, s := range spans {
-				if s.lo != prev {
-					t.Fatalf("gap in partition(%d,%d)", length, n)
+			for i := 0; i < n; i++ {
+				lo, hi := ChunkSpan(length, n, i)
+				if lo != prev {
+					t.Fatalf("gap in ChunkSpan(%d,%d,%d)", length, n, i)
 				}
-				if s.hi < s.lo {
-					t.Fatalf("negative span in partition(%d,%d)", length, n)
+				if hi < lo {
+					t.Fatalf("negative span in ChunkSpan(%d,%d,%d)", length, n, i)
 				}
-				total += s.hi - s.lo
-				prev = s.hi
+				total += hi - lo
+				prev = hi
 			}
 			if total != length {
-				t.Fatalf("partition(%d,%d) covers %d", length, n, total)
+				t.Fatalf("ChunkSpan(%d,%d) covers %d", length, n, total)
 			}
 		}
 	}

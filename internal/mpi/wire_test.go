@@ -1,0 +1,158 @@
+package mpi
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/simnet"
+)
+
+// runWire all-reduces per-rank random buffers at the given wire format and
+// returns every rank's final buffer plus the exact FP64 sums.
+func runWire(t *testing.T, n, length int, alg Algorithm, wire Wire) ([][]float32, []float64) {
+	t.Helper()
+	values := make([][]float32, n)
+	exact := make([]float64, length)
+	for r := 0; r < n; r++ {
+		rng := rand.New(rand.NewSource(int64(r*77 + 3)))
+		values[r] = make([]float32, length)
+		for i := range values[r] {
+			values[r][i] = rng.Float32()*2 - 1
+			exact[i] += float64(values[r][i])
+		}
+	}
+	out := make([][]float32, n)
+	var mu sync.Mutex
+	w := NewWorld(simnet.Loopback(n))
+	w.Run(func(c *Comm) {
+		buf := make([]float32, length)
+		copy(buf, values[c.Rank()])
+		c.AllreduceWire(buf, alg, wire)
+		mu.Lock()
+		out[c.Rank()] = buf
+		mu.Unlock()
+	})
+	return out, exact
+}
+
+// TestWireFP16RanksBitIdentical is the data-parallel invariant under the
+// FP16 wire: every rank must end with exactly the same bits (replicas that
+// drift by one ULP diverge over thousands of steps).
+func TestWireFP16RanksBitIdentical(t *testing.T) {
+	for _, alg := range []Algorithm{Ring, RecursiveDoubling, BinomialTree} {
+		for _, n := range []int{2, 3, 4, 8} {
+			for _, length := range []int{1, 7, 64, 129} {
+				out, _ := runWire(t, n, length, alg, WireFP16)
+				ref := out[0]
+				for r := 1; r < n; r++ {
+					for i := range ref {
+						if math.Float32bits(out[r][i]) != math.Float32bits(ref[i]) {
+							t.Fatalf("%v n=%d len=%d: rank %d elem %d %v != rank 0 %v",
+								alg, n, length, r, i, out[r][i], ref[i])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestWireFP16ErrorBounded bounds the FP16-wire error against the FP32
+// wire: each wire hop rounds to binary16 (relative error ≤ 2⁻¹¹), and at
+// most ~log₂(n)+1 roundings touch any partial, so the final error stays
+// within a small multiple of the sum's magnitude.
+func TestWireFP16ErrorBounded(t *testing.T) {
+	for _, alg := range []Algorithm{Ring, RecursiveDoubling, BinomialTree} {
+		const n, length = 8, 257
+		half, exact := runWire(t, n, length, alg, WireFP16)
+		full, _ := runWire(t, n, length, alg, WireFP32)
+		var maxErrHalf, maxErrFull float64
+		for i := 0; i < length; i++ {
+			eh := math.Abs(float64(half[0][i]) - exact[i])
+			ef := math.Abs(float64(full[0][i]) - exact[i])
+			maxErrHalf = math.Max(maxErrHalf, eh)
+			maxErrFull = math.Max(maxErrFull, ef)
+		}
+		// Sum magnitudes are O(n); FP16 relative step is 2⁻¹¹ per rounding,
+		// ≤ log₂(n)+2 roundings: bound max abs error by n·(log₂n+2)·2⁻¹¹.
+		bound := float64(n) * (math.Log2(float64(n)) + 2) / 2048
+		t.Logf("%v: max abs err fp16-wire %.3e (fp32-wire %.3e, bound %.3e)",
+			alg, maxErrHalf, maxErrFull, bound)
+		if maxErrHalf > bound {
+			t.Fatalf("%v: FP16 wire error %.3e exceeds bound %.3e", alg, maxErrHalf, bound)
+		}
+		if maxErrHalf < maxErrFull {
+			continue // fine: fp16 happened to round favorably
+		}
+	}
+}
+
+// TestWireFP16HalvesBytes checks the point of the format: the fabric
+// carries half the payload bytes (modulo per-message headers).
+func TestWireFP16HalvesBytes(t *testing.T) {
+	const n, length = 4, 1 << 12
+	run := func(wire Wire) int64 {
+		w := NewWorld(simnet.Loopback(n))
+		w.Run(func(c *Comm) {
+			buf := make([]float32, length)
+			c.AllreduceWire(buf, Ring, wire)
+		})
+		return w.BytesSent()
+	}
+	full, half := run(WireFP32), run(WireFP16)
+	ratio := float64(full) / float64(half)
+	t.Logf("ring %d floats on %d ranks: fp32 wire %d B, fp16 wire %d B (%.2fx)",
+		length, n, full, half, ratio)
+	if ratio < 1.8 {
+		t.Fatalf("FP16 wire moved %d bytes vs FP32 %d: expected ≈2x reduction", half, full)
+	}
+}
+
+// TestWireGroupRing covers the subgroup ring (the hybrid reducer's
+// cross-node phase) at both wire formats.
+func TestWireGroupRing(t *testing.T) {
+	const n, length = 6, 55
+	group := []int{0, 2, 4} // even ranks reduce; odd ranks idle
+	for _, wire := range []Wire{WireFP32, WireFP16} {
+		out := make([][]float32, n)
+		var mu sync.Mutex
+		w := NewWorld(simnet.Loopback(n))
+		w.Run(func(c *Comm) {
+			buf := make([]float32, length)
+			for i := range buf {
+				buf[i] = float32(c.Rank() + 1)
+			}
+			inGroup := false
+			for _, r := range group {
+				if r == c.Rank() {
+					inGroup = true
+				}
+			}
+			if inGroup {
+				c.AllreduceGroupWire(buf, group, wire)
+			}
+			mu.Lock()
+			out[c.Rank()] = buf
+			mu.Unlock()
+		})
+		want := float32(1 + 3 + 5) // ranks 0,2,4 contribute rank+1
+		for _, r := range group {
+			for i, v := range out[r] {
+				if math.Abs(float64(v-want)) > 0.01 {
+					t.Fatalf("wire %v rank %d elem %d = %v want %v", wire, r, i, v, want)
+				}
+				if math.Float32bits(v) != math.Float32bits(out[group[0]][i]) {
+					t.Fatalf("wire %v: group members disagree bitwise at %d", wire, i)
+				}
+			}
+		}
+		// Idle ranks untouched.
+		for i, v := range out[1] {
+			if v != 2 {
+				t.Fatalf("idle rank mutated at %d: %v", i, v)
+			}
+		}
+	}
+}

@@ -77,20 +77,26 @@ func (nc *Communicator) Reduce(localRoot int, data []float32) {
 			for i := range acc {
 				acc[i] += got[i]
 			}
+			nc.comm.Release(got)
 			return
 		}
-		acc = make([]float32, len(data))
+		acc = nc.comm.GetBuf(len(data))
 		copy(acc, data)
 		for i := range acc {
 			acc[i] += got[i]
 		}
+		nc.comm.Release(got)
 	}
 	if nextPos <= n-1 {
 		nc.comm.Send(toRank(nextPos), tagReduce, acc)
 	}
-	// Non-root ranks drop their partials; only the root holds the sum.
+	// Non-root ranks return their pooled partials; only the root holds the
+	// sum (pos == n-1 is unreachable here once it received above).
 	if pos == n-1 {
 		copy(data, acc)
+	}
+	if prevPos >= 0 {
+		nc.comm.Release(acc)
 	}
 }
 
@@ -105,6 +111,7 @@ func (nc *Communicator) Bcast(localRoot int, data []float32) {
 		prev := nc.group[(pos-1+localRoot)%n]
 		got := nc.comm.Recv(prev, tagBcast)
 		copy(data, got)
+		nc.comm.Release(got)
 	}
 	if pos < n-1 {
 		next := nc.group[(pos+1+localRoot)%n]

@@ -180,3 +180,19 @@ func AllFinite(x []float32) bool {
 	}
 	return true
 }
+
+// ScaleAllFinite multiplies every element of x by alpha in place and
+// reports whether all scaled values are finite — the trainer's fused
+// gradient epilogue (rank averaging + loss-scale removal + overflow check
+// in one sweep instead of three).
+func ScaleAllFinite(alpha float32, x []float32) bool {
+	ok := true
+	for i, v := range x {
+		v *= alpha
+		x[i] = v
+		if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
+			ok = false
+		}
+	}
+	return ok
+}
