@@ -10,12 +10,16 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"path/filepath"
+	"runtime"
+	"sync"
 	"testing"
 	"time"
 
+	"repro/exaclim"
 	"repro/internal/allreduce"
 	"repro/internal/climate"
 	"repro/internal/compress"
@@ -913,6 +917,178 @@ func BenchmarkChannelAblation(b *testing.B) {
 		b.ReportMetric(res.MeanIoU*100, "%meanIoU")
 		b.ReportMetric(res.FinalLoss, "loss-final")
 	})
+}
+
+// ---------- PR 4: batched tiled-inference serving ----------
+
+// servingNet is the serving benchmark model: the tiny Tiramisu topology
+// with the paper's dropout rate (0.2) — the configuration the pre-batching
+// Segment path actually executed at inference time, dropout and all.
+func servingNet(b *testing.B) *models.Network {
+	b.Helper()
+	net, err := models.BuildTiramisu(models.TiramisuConfig{
+		Config: models.Config{
+			BatchSize: 1, InChannels: climate.NumChannels, NumClasses: 3,
+			Height: 16, Width: 16, Seed: 3,
+		},
+		GrowthRate: 4, Kernel: 3, DownLayers: []int{2, 2},
+		BottleneckLayers: 2, InitialChannels: 8, DropoutRate: 0.2,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return net
+}
+
+// legacySingleTileSegment replicates one pre-PR-4 Model.Segment call bit
+// for bit in structure: adapter rebuilt with placeholder label/weight
+// feeds, a fresh pooled executor per call, the full training graph (loss
+// head, training-mode batch norm and dropout) executed per tile, kernel
+// caches dropped on return.
+func legacySingleTileSegment(b *testing.B, net *models.Network, fields *tensor.Tensor, tileHW, overlap int) *tensor.Tensor {
+	b.Helper()
+	fs := fields.Shape()
+	c, h, w := fs[0], fs[1], fs[2]
+	cfg := infer.Config{TileH: tileHW, TileW: tileHW, Overlap: overlap, Precision: graph.FP32}
+	tiles, err := infer.Plan(h, w, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	lshape := tensor.Shape{1, h, w}
+	mask := tensor.New(tensor.Shape{h, w})
+	window := tensor.New(tensor.NCHW(1, c, tileHW, tileHW))
+	ex := graph.NewPooledExecutor(net.Graph, graph.FP32, 1, nil)
+	defer graph.ReleaseOpCaches(net.Graph)
+	feeds := map[*graph.Node]*tensor.Tensor{
+		net.Images:  window,
+		net.Labels:  tensor.New(lshape),
+		net.Weights: tensor.Ones(lshape),
+	}
+	for _, t := range tiles {
+		cropWindow(fields, window, t.Y, t.X, tileHW)
+		if err := ex.Forward(feeds); err != nil {
+			b.Fatal(err)
+		}
+		pred := loss.Predictions(ex.Value(net.Logits))
+		pd, md := pred.Data(), mask.Data()
+		for y := t.KeepY0; y < t.KeepY1; y++ {
+			for x := t.KeepX0; x < t.KeepX1; x++ {
+				md[(t.Y+y)*w+t.X+x] = pd[y*tileHW+x]
+			}
+		}
+	}
+	return mask
+}
+
+func cropWindow(src, dst *tensor.Tensor, y, x, t int) {
+	ss := src.Shape()
+	c, h, w := ss[0], ss[1], ss[2]
+	sd, dd := src.Data(), dst.Data()
+	for ch := 0; ch < c; ch++ {
+		for r := 0; r < t; r++ {
+			copy(dd[ch*t*t+r*t:ch*t*t+r*t+t], sd[ch*h*w+(y+r)*w+x:ch*h*w+(y+r)*w+x+t])
+		}
+	}
+}
+
+// BenchmarkServing is the serving acceptance benchmark: a stream of
+// window-sized (single-tile) segmentation requests served two ways —
+// serially through the pre-refactor Segment path (per-call adapter,
+// executor, loss head, training-mode normalization), and through the
+// batched serving stack (16 concurrent clients, cross-request
+// micro-batching at the max batch). It reports both throughputs, the
+// speedup (the ≥1.5× acceptance quantity), and the server's latency
+// quantiles. Masks are bit-identical across the engines for dropout-free
+// configurations (asserted by the infer and exaclim test suites); this
+// configuration carries the paper's dropout, which the legacy path really
+// executed per tile.
+func BenchmarkServing(b *testing.B) {
+	const tileHW, overlap, nReq, clients, maxBatch = 16, 2, 96, 16, 8
+	net := servingNet(b)
+	ds := climate.NewDataset(climate.DefaultGenConfig(tileHW, tileHW, 7), 8)
+	fields := make([]*tensor.Tensor, 8)
+	for i := range fields {
+		fields[i] = ds.Sample(i).Fields
+	}
+
+	var legacyRPS, serveRPS, p50ms, p99ms, meanBatch float64
+	b.ResetTimer()
+	for it := 0; it < b.N; it++ {
+		// Phase 1: the legacy serial single-tile Segment path.
+		runtime.GC()
+		start := time.Now()
+		for i := 0; i < nReq; i++ {
+			legacySingleTileSegment(b, net, fields[i%len(fields)], tileHW, overlap)
+		}
+		legacyRPS = float64(nReq) / time.Since(start).Seconds()
+
+		// Phase 2: the batched serving stack under concurrent clients. The
+		// GC fence keeps phase 1's per-call allocation debt from being
+		// collected on phase 2's clock.
+		runtime.GC()
+		model, err := exaclim.BuildModel("tiramisu", exaclim.Tiny, exaclim.ModelConfig{
+			Height: tileHW, Width: tileHW, Seed: 3,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		copyWeights(b, net, model)
+		srv, err := exaclim.NewServer(model,
+			exaclim.WithReplicas(1),
+			exaclim.WithMaxBatch(maxBatch),
+			exaclim.WithQueueDepth(256),
+			exaclim.WithBatchDeadline(200*time.Microsecond),
+			exaclim.WithServeSegmentConfig(exaclim.SegmentConfig{Overlap: overlap}),
+		)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		jobs := make(chan int)
+		start = time.Now()
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range jobs {
+					if _, _, err := srv.Segment(context.Background(), fields[i%len(fields)]); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			}()
+		}
+		for i := 0; i < nReq; i++ {
+			jobs <- i
+		}
+		close(jobs)
+		wg.Wait()
+		serveRPS = float64(nReq) / time.Since(start).Seconds()
+		st := srv.Stats()
+		p50ms = st.LatencyP50.Seconds() * 1e3
+		p99ms = st.LatencyP99.Seconds() * 1e3
+		meanBatch = st.MeanBatch
+		srv.Close()
+	}
+	b.ReportMetric(serveRPS, "req/s")
+	b.ReportMetric(legacyRPS, "serial-req/s")
+	b.ReportMetric(serveRPS/legacyRPS, "batch-speedup")
+	b.ReportMetric(p50ms, "p50-ms")
+	b.ReportMetric(p99ms, "p99-ms")
+	b.ReportMetric(meanBatch, "mean-batch")
+}
+
+// copyWeights copies src's parameter tensors into the registry-built model
+// (same topology, different dropout seeds — weights are what matter).
+func copyWeights(b *testing.B, src *models.Network, dst *exaclim.Model) {
+	b.Helper()
+	ckpt := filepath.Join(b.TempDir(), "serving.ckpt")
+	if err := models.SaveParamsFile(ckpt, src.Graph); err != nil {
+		b.Fatal(err)
+	}
+	if err := dst.LoadCheckpoint(ckpt); err != nil {
+		b.Fatal(err)
+	}
 }
 
 // ---------- tiled inference ----------

@@ -31,35 +31,78 @@ type Benchmark struct {
 	Metrics    map[string]float64 `json:"metrics,omitempty"`
 }
 
+// ServingSummary surfaces the serving SLO quantities (PR 4's acceptance
+// numbers) at the top of the report, extracted from the BenchmarkServing
+// metrics: requests/s through the batched server, the serial single-tile
+// baseline, their ratio, and the tail latency.
+type ServingSummary struct {
+	RequestsPerSec  float64 `json:"requests_per_sec"`
+	SerialReqPerSec float64 `json:"serial_requests_per_sec,omitempty"`
+	BatchSpeedup    float64 `json:"batch_speedup,omitempty"`
+	P50ms           float64 `json:"p50_ms,omitempty"`
+	P99ms           float64 `json:"p99_ms,omitempty"`
+	MeanBatch       float64 `json:"mean_batch,omitempty"`
+}
+
 // Report is the emitted document.
 type Report struct {
-	Label      string      `json:"label,omitempty"`
-	GoOS       string      `json:"goos,omitempty"`
-	GoArch     string      `json:"goarch,omitempty"`
-	CPU        string      `json:"cpu,omitempty"`
-	Benchmarks []Benchmark `json:"benchmarks"`
-	Notes      []string    `json:"notes,omitempty"`
+	Label      string          `json:"label,omitempty"`
+	GoOS       string          `json:"goos,omitempty"`
+	GoArch     string          `json:"goarch,omitempty"`
+	CPU        string          `json:"cpu,omitempty"`
+	Serving    *ServingSummary `json:"serving,omitempty"`
+	Benchmarks []Benchmark     `json:"benchmarks"`
+	Notes      []string        `json:"notes,omitempty"`
 }
 
 func main() {
-	in := flag.String("in", "-", "benchmark output file ('-' = stdin)")
+	var ins multiFlag
+	flag.Var(&ins, "in", "benchmark output file ('-' = stdin; repeatable, results are merged)")
 	out := flag.String("out", "", "output JSON path (default stdout)")
 	label := flag.String("label", "", "free-form label recorded in the report")
 	var notes multiFlag
 	flag.Var(&notes, "note", "free-form note line (repeatable)")
 	flag.Parse()
+	if len(ins) == 0 {
+		ins = multiFlag{"-"}
+	}
 
-	var r io.Reader = os.Stdin
-	if *in != "-" {
-		f, err := os.Open(*in)
-		if err != nil {
+	report := Report{Label: *label, Notes: notes}
+	for _, in := range ins {
+		if err := scanInput(in, &report); err != nil {
 			log.Fatal(err)
+		}
+	}
+	report.Serving = servingSummary(report.Benchmarks)
+
+	buf, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	buf = append(buf, '\n')
+	if *out == "" {
+		os.Stdout.Write(buf)
+		return
+	}
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "benchreport: wrote %d benchmarks to %s\n",
+		len(report.Benchmarks), *out)
+}
+
+// scanInput parses one input ('-' = stdin) into the report, closing the
+// file before returning.
+func scanInput(in string, report *Report) error {
+	var r io.Reader = os.Stdin
+	if in != "-" {
+		f, err := os.Open(in)
+		if err != nil {
+			return err
 		}
 		defer f.Close()
 		r = f
 	}
-
-	report := Report{Label: *label, Notes: notes}
 	sc := bufio.NewScanner(r)
 	for sc.Scan() {
 		line := sc.Text()
@@ -76,24 +119,7 @@ func main() {
 			}
 		}
 	}
-	if err := sc.Err(); err != nil {
-		log.Fatal(err)
-	}
-
-	buf, err := json.MarshalIndent(report, "", "  ")
-	if err != nil {
-		log.Fatal(err)
-	}
-	buf = append(buf, '\n')
-	if *out == "" {
-		os.Stdout.Write(buf)
-		return
-	}
-	if err := os.WriteFile(*out, buf, 0o644); err != nil {
-		log.Fatal(err)
-	}
-	fmt.Fprintf(os.Stderr, "benchreport: wrote %d benchmarks to %s\n",
-		len(report.Benchmarks), *out)
+	return sc.Err()
 }
 
 // parseLine parses one benchmark result line:
@@ -130,6 +156,28 @@ func parseLine(line string) (Benchmark, bool) {
 		b.Metrics = nil
 	}
 	return b, true
+}
+
+// servingSummary extracts the serving SLOs from a BenchmarkServing result
+// line, if one was parsed (nil otherwise).
+func servingSummary(benches []Benchmark) *ServingSummary {
+	for _, b := range benches {
+		if !strings.HasPrefix(b.Name, "BenchmarkServing") || b.Metrics == nil {
+			continue
+		}
+		if _, ok := b.Metrics["req/s"]; !ok {
+			continue
+		}
+		return &ServingSummary{
+			RequestsPerSec:  b.Metrics["req/s"],
+			SerialReqPerSec: b.Metrics["serial-req/s"],
+			BatchSpeedup:    b.Metrics["batch-speedup"],
+			P50ms:           b.Metrics["p50-ms"],
+			P99ms:           b.Metrics["p99-ms"],
+			MeanBatch:       b.Metrics["mean-batch"],
+		}
+	}
+	return nil
 }
 
 // cpuSuffix returns the trailing "-N" GOMAXPROCS suffix of a benchmark

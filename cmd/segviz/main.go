@@ -34,6 +34,7 @@ func main() {
 	train := flag.Bool("train", false, "train a model and render its predictions")
 	steps := flag.Int("steps", 60, "training steps when -train is set")
 	tile := flag.Int("tile", 24, "inference tile size when -train is set")
+	maxBatch := flag.Int("max-batch", 8, "tiles per executor run when segmenting")
 	opacity := flag.Float64("opacity", 0.65, "mask overlay opacity")
 	flag.Parse()
 
@@ -96,10 +97,22 @@ func main() {
 	}
 	fmt.Printf("  loss %.1f → %.1f\n", res.History[0].Loss, res.FinalLoss)
 
-	pred, err := res.Model.Segment(s.Fields, exaclim.SegmentConfig{Overlap: 3})
+	// Segment through the batched serving stack — the deployment path —
+	// and report its per-request serving record.
+	srv, err := exaclim.NewServer(res.Model,
+		exaclim.WithMaxBatch(*maxBatch),
+		exaclim.WithServeSegmentConfig(exaclim.SegmentConfig{Overlap: 3}),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer srv.Close()
+	pred, stat, err := srv.Segment(context.Background(), s.Fields)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("segmented %d tiles in %.1fms (mean batch %.1f)\n",
+		stat.Tiles, stat.Latency.Seconds()*1e3, stat.MeanBatch)
 	save("predictions_overlay.png", iwv, pred)
 	cmp, err := viz.Comparison(iwv, pred, s.Labels, *opacity)
 	if err != nil {

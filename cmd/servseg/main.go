@@ -1,0 +1,147 @@
+// Command servseg load-tests the batched tiled-inference serving stack: it
+// builds (or quick-trains) a segmentation model, stands up an exaclim
+// Server, drives it with concurrent Segment requests over synthetic CAM5
+// snapshots, and prints a latency/throughput table — optionally against
+// the serial single-goroutine Segment baseline.
+//
+// Usage:
+//
+//	servseg -requests 64 -concurrency 16 -replicas 1 -max-batch 8 -baseline
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"repro/exaclim"
+	"repro/internal/tensor"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("servseg: ")
+
+	network := flag.String("network", "tiramisu", "registered network (tiramisu, deeplab)")
+	tile := flag.Int("tile", 16, "model window / tile size")
+	overlap := flag.Int("overlap", 2, "stitching overlap margin")
+	height := flag.Int("height", 16, "request grid rows")
+	width := flag.Int("width", 16, "request grid columns")
+	snapshots := flag.Int("snapshots", 8, "distinct synthetic snapshots to rotate through")
+	seed := flag.Int64("seed", 7, "generator seed")
+	trainSteps := flag.Int("train-steps", 0, "quick-train the model first (0 serves untrained weights)")
+
+	replicas := flag.Int("replicas", 1, "replica workers")
+	maxBatch := flag.Int("max-batch", 8, "tiles per executor run (cross-request)")
+	queue := flag.Int("queue", 256, "admission queue depth (tiles)")
+	deadline := flag.Duration("deadline", 200*time.Microsecond, "batch-fill deadline")
+
+	requests := flag.Int("requests", 64, "total requests to issue")
+	concurrency := flag.Int("concurrency", 16, "concurrent client goroutines")
+	baseline := flag.Bool("baseline", true, "also measure the serial single-goroutine Segment baseline")
+	flag.Parse()
+
+	model, err := buildModel(*network, *tile, *trainSteps, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ds := exaclim.SyntheticDataset(*height, *width, *snapshots, *seed)
+	fields := make([]*tensor.Tensor, *snapshots)
+	for i := range fields {
+		fields[i] = ds.Sample(i).Fields
+	}
+	segCfg := exaclim.SegmentConfig{Overlap: *overlap}
+
+	fmt.Printf("servseg: %s, window %d×%d, overlap %d, %d channels\n",
+		*network, *tile, *tile, *overlap, exaclim.NumChannels)
+	fmt.Printf("  %d requests over %d snapshots of %d×%d, concurrency %d\n",
+		*requests, *snapshots, *height, *width, *concurrency)
+
+	var serialRPS float64
+	if *baseline {
+		start := time.Now()
+		for i := 0; i < *requests; i++ {
+			if _, err := model.Segment(fields[i%len(fields)], segCfg); err != nil {
+				log.Fatal(err)
+			}
+		}
+		el := time.Since(start)
+		serialRPS = float64(*requests) / el.Seconds()
+		fmt.Printf("  serial baseline: %.1f req/s (1 goroutine, MaxBatch 1, %.1fms/req)\n",
+			serialRPS, el.Seconds()*1e3/float64(*requests))
+	}
+
+	srv, err := exaclim.NewServer(model,
+		exaclim.WithReplicas(*replicas),
+		exaclim.WithMaxBatch(*maxBatch),
+		exaclim.WithQueueDepth(*queue),
+		exaclim.WithBatchDeadline(*deadline),
+		exaclim.WithServeSegmentConfig(segCfg),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+
+	var wg sync.WaitGroup
+	next := make(chan int)
+	start := time.Now()
+	for c := 0; c < *concurrency; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				if _, _, err := srv.Segment(context.Background(), fields[i%len(fields)]); err != nil {
+					log.Fatal(err)
+				}
+			}
+		}()
+	}
+	for i := 0; i < *requests; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	st := srv.Stats()
+	rps := float64(*requests) / elapsed.Seconds()
+	fmt.Printf("  serving: replicas=%d max-batch=%d queue=%d deadline=%v\n",
+		*replicas, *maxBatch, *queue, *deadline)
+	fmt.Printf("    throughput  %.1f req/s   %.1f tiles/s", rps, float64(st.Tiles)/elapsed.Seconds())
+	if serialRPS > 0 {
+		fmt.Printf("   (%.2f× serial)", rps/serialRPS)
+	}
+	fmt.Println()
+	fmt.Printf("    latency     p50 %.1fms  p95 %.1fms  p99 %.1fms\n",
+		st.LatencyP50.Seconds()*1e3, st.LatencyP95.Seconds()*1e3, st.LatencyP99.Seconds()*1e3)
+	fmt.Printf("    batching    mean batch %.2f over %d runs, queue peak %d\n",
+		st.MeanBatch, st.Batches, st.QueueDepthPeak)
+}
+
+// buildModel constructs (or quick-trains) the serving model at the tile
+// window.
+func buildModel(network string, tile, trainSteps int, seed int64) (*exaclim.Model, error) {
+	if trainSteps <= 0 {
+		return exaclim.BuildModel(network, exaclim.Tiny, exaclim.ModelConfig{
+			Height: tile, Width: tile, Seed: seed,
+		})
+	}
+	exp, err := exaclim.New(
+		exaclim.WithNetwork(network, exaclim.Tiny),
+		exaclim.WithSyntheticData(tile, tile, 32, seed+1),
+		exaclim.WithSteps(trainSteps),
+		exaclim.WithSeed(seed),
+	)
+	if err != nil {
+		return nil, err
+	}
+	res, err := exp.Run(context.Background())
+	if err != nil {
+		return nil, err
+	}
+	return res.Model, nil
+}

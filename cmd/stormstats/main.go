@@ -10,10 +10,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"repro/exaclim"
 	"repro/internal/climate"
@@ -31,6 +34,9 @@ func main() {
 	minPixels := flag.Int("min-pixels", 6, "minimum component size (mask speckle filter)")
 	top := flag.Int("top", 5, "largest storms to print per class")
 	track := flag.Int("track", 0, "if > 0, track storms across this many coherent frames instead")
+	predictSteps := flag.Int("predict-steps", 0, "if > 0, also train this many steps and census model-predicted masks through the serving stack")
+	replicas := flag.Int("replicas", 1, "serving replicas for -predict-steps")
+	maxBatch := flag.Int("max-batch", 8, "serving tile batch for -predict-steps")
 	flag.Parse()
 
 	if *track > 0 {
@@ -76,6 +82,67 @@ func main() {
 	if len(tcs) == 0 && len(ars) == 0 {
 		log.Println("no storms found in snapshot 0; try a larger grid or lower -min-pixels")
 	}
+
+	if *predictSteps > 0 {
+		runPredictedCensus(ds, census, *samples, *predictSteps, *seed, *minPixels, *replicas, *maxBatch)
+	}
+}
+
+// runPredictedCensus trains a small model, serves every snapshot through
+// the batched serving stack concurrently, and compares the storm census
+// extracted from the predicted masks against the heuristic-label census —
+// the paper's deployment loop (segment → extract → analyze) end to end.
+func runPredictedCensus(ds *climate.Dataset, heuristic *storms.Census, samples, steps int, seed int64, minPixels, replicas, maxBatch int) {
+	const tile = 24
+	exp, err := exaclim.New(
+		exaclim.WithNetwork("tiramisu", exaclim.Tiny),
+		exaclim.WithSyntheticData(tile, tile, 32, seed+1),
+		exaclim.WithOptimizer("adam"),
+		exaclim.WithLR(3e-3),
+		exaclim.WithSteps(steps),
+		exaclim.WithSeed(1),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ntraining %d steps for the predicted census…\n", steps)
+	res, err := exp.Run(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	srv, err := exaclim.NewServer(res.Model,
+		exaclim.WithReplicas(replicas),
+		exaclim.WithMaxBatch(maxBatch),
+		exaclim.WithServeSegmentConfig(exaclim.SegmentConfig{Overlap: 3}),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+
+	var wg sync.WaitGroup
+	var tcCount, arCount atomic.Int64
+	for i := 0; i < samples; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			s := ds.Sample(i)
+			mask, _, err := srv.Segment(context.Background(), s.Fields)
+			if err != nil {
+				log.Fatal(err)
+			}
+			tcCount.Add(int64(len(storms.Extract(s.Fields, mask, climate.ClassTC, minPixels))))
+			arCount.Add(int64(len(storms.Extract(s.Fields, mask, climate.ClassAR, minPixels))))
+		}(i)
+	}
+	wg.Wait()
+
+	st := srv.Stats()
+	fmt.Printf("predicted census (served %d snapshots, %.1f tiles/s, p99 %.0fms, mean batch %.1f):\n",
+		samples, st.TilesPerSec, st.LatencyP99.Seconds()*1e3, st.MeanBatch)
+	fmt.Printf("  tropical cyclones:  %d predicted vs %d heuristic\n", tcCount.Load(), heuristic.TCCount)
+	fmt.Printf("  atmospheric rivers: %d predicted vs %d heuristic\n", arCount.Load(), heuristic.ARCount)
 }
 
 // runTracking generates a temporally-coherent sequence, extracts storms

@@ -24,6 +24,7 @@ package exaclim
 import (
 	"context"
 	"fmt"
+	"sync"
 
 	"repro/internal/climate"
 	"repro/internal/core"
@@ -334,10 +335,20 @@ func SyntheticDataset(height, width, samples int, seed int64) *climate.Dataset {
 	return climate.NewDataset(climate.DefaultGenConfig(height, width, seed), samples)
 }
 
-// Model wraps a built network with its post-training utilities.
+// Model wraps a built network with its post-training utilities. The
+// inference adapter and the tiled-segmentation engine behind Segment are
+// built on first use and cached on the model, so repeated Segment calls
+// reuse executors, plans, and pooled buffers instead of rebuilding them per
+// call. A Model's Segment is safe for one goroutine at a time; for
+// concurrent serving build a Server (NewServer).
 type Model struct {
 	name string
 	net  *models.Network
+
+	mu        sync.Mutex
+	adapted   *infer.Network
+	runner    *infer.Runner
+	runnerCfg infer.Config
 }
 
 // BuildModel constructs a registered network standalone — for inference
@@ -385,9 +396,34 @@ func (m *Model) SaveCheckpoint(path string) error {
 }
 
 // LoadCheckpoint restores parameters saved by SaveCheckpoint into this
-// model; labels and shapes must match.
+// model; labels and shapes must match. Any cached inference engine is
+// dropped, so later Segment calls see the restored weights even if the
+// load replaced parameter tensors. Do not call while a Server built from
+// this model is running.
 func (m *Model) LoadCheckpoint(path string) error {
+	m.mu.Lock()
+	m.invalidateLocked()
+	m.mu.Unlock()
 	return models.LoadParamsFile(path, m.net.Graph)
+}
+
+// invalidateLocked drops the cached adapter and engine (caller holds mu).
+func (m *Model) invalidateLocked() {
+	if m.runner != nil {
+		m.runner.Close()
+		m.runner = nil
+	}
+	m.adapted = nil
+}
+
+// adapter returns the cached inference adapter, building it on first use.
+func (m *Model) adapter() *infer.Network {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.adapted == nil {
+		m.adapted = infer.FromModel(m.net)
+	}
+	return m.adapted
 }
 
 // Analyze walks the graph and returns per-kernel-category counts for one
@@ -415,8 +451,21 @@ func PaperAnalysis(network string, p Precision, batch, channels int) (*graph.Ana
 	return m.Analyze(p), nil
 }
 
-// SegmentConfig controls tiled inference. Zero tile dimensions default to
-// the model's input window.
+// SegmentConfig controls tiled inference. The zero value is valid and
+// means: tile dimensions follow the model's input window, no overlap
+// margin, FP32 execution, serial (batch-1) tile execution. Field by field:
+//
+//   - TileH, TileW — the window size tiles are cut to; both zero → the
+//     model's input window (they must match the window the model was built
+//     with, so overriding them is only useful for models accepting several
+//     window sizes). Negative values are rejected.
+//   - Overlap — margin (pixels) discarded on interior tile edges; must be
+//     at least the network's receptive-field radius for the stitched
+//     output to match a monolithic pass. Default 0; negative rejected.
+//   - Precision — FP32 (default) or FP16.
+//   - MaxBatch — tiles stacked into one executor run; masks are
+//     bit-identical for every value. Default 0 → 1 (the serial reference
+//     path); negative rejected. Servers set their own batching instead.
 type SegmentConfig struct {
 	TileH, TileW int
 	// Overlap is the margin (pixels) discarded on interior tile edges; it
@@ -424,16 +473,68 @@ type SegmentConfig struct {
 	// stitched output to match a monolithic pass.
 	Overlap   int
 	Precision Precision
+	// MaxBatch stacks up to this many tiles into one executor run.
+	MaxBatch int
+}
+
+// inferConfig resolves defaults and validates a SegmentConfig against the
+// model, with field-specific errors (the internal infer layer would reject
+// the same values with less context).
+func (m *Model) inferConfig(cfg SegmentConfig) (infer.Config, error) {
+	if cfg.TileH < 0 || cfg.TileW < 0 {
+		return infer.Config{}, fmt.Errorf("exaclim: SegmentConfig tile %dx%d must not be negative", cfg.TileH, cfg.TileW)
+	}
+	if cfg.Overlap < 0 {
+		return infer.Config{}, fmt.Errorf("exaclim: SegmentConfig.Overlap must be ≥ 0, got %d", cfg.Overlap)
+	}
+	if cfg.MaxBatch < 0 {
+		return infer.Config{}, fmt.Errorf("exaclim: SegmentConfig.MaxBatch must be ≥ 0, got %d", cfg.MaxBatch)
+	}
+	h, w := m.InputSize()
+	if cfg.TileH == 0 && cfg.TileW == 0 {
+		cfg.TileH, cfg.TileW = h, w
+	}
+	if cfg.TileH != h || cfg.TileW != w {
+		return infer.Config{}, fmt.Errorf("exaclim: SegmentConfig tile %dx%d does not match the model window %dx%d",
+			cfg.TileH, cfg.TileW, h, w)
+	}
+	if 2*cfg.Overlap >= cfg.TileH || 2*cfg.Overlap >= cfg.TileW {
+		return infer.Config{}, fmt.Errorf("exaclim: SegmentConfig.Overlap %d leaves no interior in a %dx%d tile",
+			cfg.Overlap, cfg.TileH, cfg.TileW)
+	}
+	return infer.Config{
+		TileH: cfg.TileH, TileW: cfg.TileW,
+		Overlap: cfg.Overlap, Precision: cfg.Precision,
+		MaxBatch: cfg.MaxBatch,
+	}, nil
 }
 
 // Segment runs the model over a [channels, H, W] field tensor of arbitrary
-// size by tiling, returning the [H, W] predicted class mask.
+// size by tiling, returning the [H, W] predicted class mask. The first
+// call builds the inference engine (a loss-free inference clone of the
+// network with its own executors and buffer pool); later calls with the
+// same config reuse it, so steady-state segmentation allocates almost
+// nothing. It is the single-shot wrapper over the serving engine — for
+// concurrent traffic use NewServer.
 func (m *Model) Segment(fields *tensor.Tensor, cfg SegmentConfig) (*tensor.Tensor, error) {
-	if cfg.TileH == 0 && cfg.TileW == 0 {
-		cfg.TileH, cfg.TileW = m.InputSize()
+	icfg, err := m.inferConfig(cfg)
+	if err != nil {
+		return nil, err
 	}
-	return infer.Run(infer.FromModel(m.net), fields, infer.Config{
-		TileH: cfg.TileH, TileW: cfg.TileW,
-		Overlap: cfg.Overlap, Precision: cfg.Precision,
-	})
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.runner == nil || m.runnerCfg != icfg {
+		if m.adapted == nil {
+			m.adapted = infer.FromModel(m.net)
+		}
+		if m.runner != nil {
+			m.runner.Close()
+		}
+		r, err := infer.NewRunner(m.adapted, icfg)
+		if err != nil {
+			return nil, err
+		}
+		m.runner, m.runnerCfg = r, icfg
+	}
+	return m.runner.Segment(fields)
 }

@@ -1,0 +1,159 @@
+package exaclim
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/serve"
+	"repro/internal/tensor"
+)
+
+// ServeStat is the per-request serving record: how many tiles the request
+// decomposed into, the mean executor batch its tiles rode in, how long it
+// waited in the admission queue, and its end-to-end latency.
+type ServeStat = serve.RequestStat
+
+// ServerStats is a snapshot of server-level counters: request/tile
+// throughput, latency quantiles (p50/p95/p99), batch occupancy, and
+// queue depth.
+type ServerStats = serve.Stats
+
+// ServerOption configures NewServer.
+type ServerOption func(*serverOptions)
+
+type serverOptions struct {
+	err      error
+	replicas int
+	maxBatch int
+	queue    int
+	deadline time.Duration
+	segment  SegmentConfig
+	observer func(ServeStat)
+}
+
+// WithReplicas sets the number of replica workers, each with an isolated
+// inference engine (executors, plans, and a private tensor pool), so
+// replicas never contend on execution state. Default 1.
+func WithReplicas(n int) ServerOption {
+	return func(o *serverOptions) {
+		if n < 1 {
+			o.err = fmt.Errorf("exaclim: WithReplicas wants n ≥ 1, got %d", n)
+			return
+		}
+		o.replicas = n
+	}
+}
+
+// WithMaxBatch sets how many tiles — across requests — are stacked into
+// one executor run. Stitched masks are bit-identical for every batch size;
+// larger batches amortize per-run cost. Default 8.
+func WithMaxBatch(n int) ServerOption {
+	return func(o *serverOptions) {
+		if n < 1 {
+			o.err = fmt.Errorf("exaclim: WithMaxBatch wants n ≥ 1, got %d", n)
+			return
+		}
+		o.maxBatch = n
+	}
+}
+
+// WithQueueDepth bounds the admission queue in tiles; admission blocks
+// (backpressure) while it is full. Default 256.
+func WithQueueDepth(n int) ServerOption {
+	return func(o *serverOptions) {
+		if n < 1 {
+			o.err = fmt.Errorf("exaclim: WithQueueDepth wants n ≥ 1, got %d", n)
+			return
+		}
+		o.queue = n
+	}
+}
+
+// WithBatchDeadline sets how long a worker holding a partial batch waits
+// for more tiles before running it — latency traded for batch occupancy
+// under bursty load. Default 200µs; 0 runs whatever is queued immediately.
+func WithBatchDeadline(d time.Duration) ServerOption {
+	return func(o *serverOptions) {
+		if d < 0 {
+			o.err = fmt.Errorf("exaclim: WithBatchDeadline wants d ≥ 0, got %v", d)
+			return
+		}
+		o.deadline = d
+	}
+}
+
+// WithServeSegmentConfig sets the tiling geometry and precision requests
+// are served with (SegmentConfig.MaxBatch is ignored here — WithMaxBatch
+// governs the server's batching).
+func WithServeSegmentConfig(cfg SegmentConfig) ServerOption {
+	return func(o *serverOptions) { o.segment = cfg }
+}
+
+// WithServeObserver streams every finished request's ServeStat (including
+// failed and cancelled requests) to obs, from worker goroutines: obs must
+// be safe for concurrent use and return quickly.
+func WithServeObserver(obs func(ServeStat)) ServerOption {
+	return func(o *serverOptions) { o.observer = obs }
+}
+
+// Server is a batched tiled-inference service over one trained model: a
+// bounded admission queue, cross-request micro-batching, and replica
+// workers with isolated execution state. Create with NewServer, issue
+// requests with Segment from any number of goroutines, and Close to drain.
+type Server struct {
+	inner *serve.Server
+	model *Model
+}
+
+// NewServer builds a serving stack over the model. The model's weights are
+// shared by reference with the server's inference clones: do not train the
+// model (or load a checkpoint into it) while the server is running;
+// sequential train → serve is fine.
+func NewServer(m *Model, opts ...ServerOption) (*Server, error) {
+	o := &serverOptions{
+		replicas: 1,
+		maxBatch: 8,
+		queue:    256,
+		deadline: 200 * time.Microsecond,
+	}
+	for _, opt := range opts {
+		opt(o)
+	}
+	if o.err != nil {
+		return nil, o.err
+	}
+	tile, err := m.inferConfig(o.segment)
+	if err != nil {
+		return nil, err
+	}
+	inner, err := serve.New(m.adapter(), serve.Config{
+		Replicas:      o.replicas,
+		MaxBatch:      o.maxBatch,
+		QueueDepth:    o.queue,
+		BatchDeadline: o.deadline,
+		Tile:          tile,
+		OnStat:        o.observer,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Server{inner: inner, model: m}, nil
+}
+
+// Segment schedules a [channels, H, W] field tensor for tiled segmentation
+// and blocks until the stitched [H, W] class mask is complete, the context
+// is cancelled, or the server closes. Its ServeStat is returned alongside
+// (and streamed to WithServeObserver). Safe for concurrent use; concurrent
+// requests' tiles coalesce into shared executor batches.
+func (s *Server) Segment(ctx context.Context, fields *tensor.Tensor) (*tensor.Tensor, ServeStat, error) {
+	return s.inner.Segment(ctx, fields)
+}
+
+// Stats snapshots the server's throughput, latency quantiles, batch
+// occupancy, and queue depth.
+func (s *Server) Stats() ServerStats { return s.inner.Stats() }
+
+// Close drains the server: running requests finish, new ones are refused.
+// Safe to call more than once.
+func (s *Server) Close() error { return s.inner.Close() }

@@ -1,0 +1,218 @@
+package exaclim
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// serveModel builds a small untrained tiramisu for serving tests (serving
+// correctness is weight-independent).
+func serveModel(t *testing.T) *Model {
+	t.Helper()
+	m, err := BuildModel("tiramisu", Tiny, ModelConfig{Height: 16, Width: 16, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestServerMatchesModelSegment(t *testing.T) {
+	m := serveModel(t)
+	ds := SyntheticDataset(48, 64, 2, 9)
+	cfg := SegmentConfig{Overlap: 2}
+	want, err := m.Segment(ds.Sample(0).Fields, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s, err := NewServer(m,
+		WithReplicas(2),
+		WithMaxBatch(4),
+		WithQueueDepth(64),
+		WithBatchDeadline(100*time.Microsecond),
+		WithServeSegmentConfig(cfg),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	got, stat, err := s.Segment(context.Background(), ds.Sample(0).Fields)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range want.Data() {
+		if got.Data()[i] != v {
+			t.Fatalf("server mask diverges from Model.Segment at pixel %d", i)
+		}
+	}
+	if stat.Tiles < 2 || stat.Latency <= 0 {
+		t.Errorf("implausible ServeStat %+v", stat)
+	}
+	st := s.Stats()
+	if st.Requests != 1 || st.Tiles == 0 || st.LatencyP99 <= 0 {
+		t.Errorf("implausible ServerStats %+v", st)
+	}
+}
+
+func TestServerObserverStreams(t *testing.T) {
+	m := serveModel(t)
+	var mu sync.Mutex
+	var stats []ServeStat
+	s, err := NewServer(m, WithServeObserver(func(st ServeStat) {
+		mu.Lock()
+		stats = append(stats, st)
+		mu.Unlock()
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ds := SyntheticDataset(16, 16, 1, 3)
+	for i := 0; i < 3; i++ {
+		if _, _, err := s.Segment(context.Background(), ds.Sample(0).Fields); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(stats) != 3 {
+		t.Fatalf("observer saw %d stats, want 3", len(stats))
+	}
+	for _, st := range stats {
+		if st.Tiles != 1 || st.Failed {
+			t.Errorf("unexpected streamed stat %+v", st)
+		}
+	}
+}
+
+func TestServerOptionValidation(t *testing.T) {
+	m := serveModel(t)
+	for name, opt := range map[string]ServerOption{
+		"replicas":  WithReplicas(0),
+		"max batch": WithMaxBatch(-1),
+		"queue":     WithQueueDepth(0),
+		"deadline":  WithBatchDeadline(-time.Second),
+	} {
+		if _, err := NewServer(m, opt); err == nil {
+			t.Errorf("%s: NewServer accepted an invalid value", name)
+		}
+	}
+	if _, err := NewServer(m, WithServeSegmentConfig(SegmentConfig{Overlap: -2})); err == nil {
+		t.Error("negative overlap should fail")
+	}
+}
+
+// TestSegmentConfigValidation covers the satellite requirement: negative
+// or inconsistent SegmentConfig fields fail with field-specific messages
+// instead of falling through to the internal layer.
+func TestSegmentConfigValidation(t *testing.T) {
+	m := serveModel(t)
+	ds := SyntheticDataset(32, 32, 1, 3)
+	fields := ds.Sample(0).Fields
+	for name, tc := range map[string]struct {
+		cfg  SegmentConfig
+		want string
+	}{
+		"negative overlap":   {SegmentConfig{Overlap: -3}, "Overlap"},
+		"negative tile":      {SegmentConfig{TileH: -16, TileW: 16}, "tile"},
+		"negative max batch": {SegmentConfig{MaxBatch: -2}, "MaxBatch"},
+		"window mismatch":    {SegmentConfig{TileH: 8, TileW: 8}, "window"},
+		"overlap eats tile":  {SegmentConfig{Overlap: 8}, "interior"},
+	} {
+		_, err := m.Segment(fields, tc.cfg)
+		if err == nil {
+			t.Errorf("%s: Segment accepted %+v", name, tc.cfg)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", name, err, tc.want)
+		}
+	}
+}
+
+// TestModelSegmentCachesEngine covers the satellite requirement: repeated
+// Segment calls reuse the cached engine, and a config change rebuilds it.
+func TestModelSegmentCachesEngine(t *testing.T) {
+	m := serveModel(t)
+	ds := SyntheticDataset(32, 48, 1, 7)
+	fields := ds.Sample(0).Fields
+	a, err := m.Segment(fields, SegmentConfig{Overlap: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1 := m.runner
+	if r1 == nil {
+		t.Fatal("no engine cached after Segment")
+	}
+	b, err := m.Segment(fields, SegmentConfig{Overlap: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.runner != r1 {
+		t.Error("engine rebuilt for an identical config")
+	}
+	for i, v := range a.Data() {
+		if b.Data()[i] != v {
+			t.Fatalf("cached engine diverges at pixel %d", i)
+		}
+	}
+	if _, err := m.Segment(fields, SegmentConfig{Overlap: 2, MaxBatch: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if m.runner == r1 {
+		t.Error("engine not rebuilt for a changed config")
+	}
+}
+
+func TestServerSegmentsBatchedBitIdentical(t *testing.T) {
+	// The public acceptance property: serial Model.Segment, batched
+	// Model.Segment, and the concurrent Server produce identical masks.
+	m := serveModel(t)
+	ds := SyntheticDataset(37, 45, 3, 21) // non-divisible grid
+	serialMasks := make([][]float32, 3)
+	for i := range serialMasks {
+		mask, err := m.Segment(ds.Sample(i).Fields, SegmentConfig{Overlap: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		serialMasks[i] = append([]float32(nil), mask.Data()...)
+	}
+	for i := 0; i < 3; i++ {
+		mask, err := m.Segment(ds.Sample(i).Fields, SegmentConfig{Overlap: 2, MaxBatch: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for p, v := range serialMasks[i] {
+			if mask.Data()[p] != v {
+				t.Fatalf("batched Segment diverges on sample %d pixel %d", i, p)
+			}
+		}
+	}
+	s, err := NewServer(m, WithMaxBatch(5), WithServeSegmentConfig(SegmentConfig{Overlap: 2}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			mask, _, err := s.Segment(context.Background(), ds.Sample(i).Fields)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for p, v := range serialMasks[i] {
+				if mask.Data()[p] != v {
+					t.Errorf("server diverges on sample %d pixel %d", i, p)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+}

@@ -222,6 +222,11 @@ func (g *Graph) Apply(op Op, inputs ...*Node) *Node {
 	return n
 }
 
+// Consumers returns the number of graph edges out of the node (an op
+// consuming a node twice counts twice). Fusion rules use it to prove a
+// pattern interior has no outside readers.
+func (n *Node) Consumers() int { return n.consumers }
+
 // Nodes returns all nodes in creation (topological) order.
 func (g *Graph) Nodes() []*Node { return g.nodes }
 

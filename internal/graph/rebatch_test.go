@@ -1,0 +1,130 @@
+package graph_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/loss"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// buildBNNet constructs a conv→BN→ReLU→conv→loss network (BatchNorm and a
+// loss head are exactly the pieces inference cloning must handle: the first
+// needs per-sample semantics, the second must be pruned).
+func buildBNNet(seed int64) (g *graph.Graph, x, logits, root *graph.Node) {
+	rng := rand.New(rand.NewSource(seed))
+	g = graph.New()
+	x = g.Input("x", tensor.NCHW(1, 2, 4, 4))
+	lb := g.Input("labels", tensor.Shape{1, 4, 4})
+	wt := g.Input("weights", tensor.Shape{1, 4, 4})
+	w1 := g.Param("w1", tensor.HeInit(tensor.OIHW(3, 2, 3, 3), rng))
+	gamma := g.Param("gamma", tensor.Full(tensor.Shape{3}, 1))
+	beta := g.Param("beta", tensor.New(tensor.Shape{3}))
+	w2 := g.Param("w2", tensor.HeInit(tensor.OIHW(3, 3, 1, 1), rng))
+	h := g.Apply(nn.NewConv2D(1, 1, 1), x, w1)
+	h = g.Apply(nn.NewBatchNorm(1e-5, 0.1), h, gamma, beta)
+	h = g.Apply(nn.ReLU{}, h)
+	logits = g.Apply(nn.NewConv2D(1, 0, 1), h, w2)
+	root = g.Apply(loss.WeightedSoftmaxCE{}, logits, lb, wt)
+	return g, x, logits, root
+}
+
+func TestCloneForInferencePrunesAndRebinds(t *testing.T) {
+	g, x, logits, _ := buildBNNet(3)
+	ng, m, err := graph.CloneForInference(g, logits, 5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ng.Nodes()) >= len(g.Nodes()) {
+		t.Errorf("clone has %d nodes, original %d: loss head not pruned", len(ng.Nodes()), len(g.Nodes()))
+	}
+	if got := len(ng.Inputs()); got != 1 {
+		t.Errorf("clone has %d inputs, want 1 (labels/weights pruned)", got)
+	}
+	ci := m[x]
+	if ci == nil || ci.Shape[0] != 5 {
+		t.Fatalf("cloned input shape %v, want batch 5", ci.Shape)
+	}
+	cl := m[logits]
+	if cl == nil || cl.Shape[0] != 5 {
+		t.Fatalf("cloned logits shape %v, want batch 5", cl.Shape)
+	}
+	// Parameters must be shared by reference, not copied.
+	for i, p := range ng.Params() {
+		if p.Value != g.Params()[i].Value {
+			t.Errorf("param %q copied instead of shared", p.Label)
+		}
+	}
+	// Stateful ops must be fresh instances; the clone runs independently.
+	for _, n := range g.Nodes() {
+		cn, ok := m[n]
+		if !ok || n.Kind != graph.KindOp {
+			continue
+		}
+		if _, stateful := n.Op.(graph.InferenceCloner); stateful && cn.Op == n.Op {
+			t.Errorf("stateful op %q shared with clone", n.Label)
+		}
+	}
+}
+
+// TestCloneForInferenceBatchParity is the core serving property: one
+// batch-N forward of the inference clone produces, per element, exactly the
+// batch-1 training-graph forward of that element.
+func TestCloneForInferenceBatchParity(t *testing.T) {
+	g, x, logits, _ := buildBNNet(7)
+	const batch = 3
+	ng, m, err := graph.CloneForInference(g, logits, batch, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(11))
+	batched := tensor.RandNormal(tensor.NCHW(batch, 2, 4, 4), 0, 1, rng)
+	ex := graph.NewPooledExecutor(ng, graph.FP32, 1, nil)
+	if err := ex.Forward(map[*graph.Node]*tensor.Tensor{m[x]: batched}); err != nil {
+		t.Fatal(err)
+	}
+	got := ex.Value(m[logits])
+	per := got.NumElements() / batch
+	perIn := batched.NumElements() / batch
+
+	// Reference: each element through the original training graph at batch
+	// 1 (train-mode BN at batch 1 == per-sample inference BN, bit for bit).
+	lb := tensor.New(tensor.Shape{1, 4, 4})
+	wt := tensor.Ones(tensor.Shape{1, 4, 4})
+	for b := 0; b < batch; b++ {
+		one := tensor.FromSlice(tensor.NCHW(1, 2, 4, 4), batched.Data()[b*perIn:(b+1)*perIn])
+		// labels/weights still required by the unpruned training graph
+		lbN, wtN := g.Inputs()[1], g.Inputs()[2]
+		ref := graph.NewExecutor(g, graph.FP32, int64(b))
+		if err := ref.Forward(map[*graph.Node]*tensor.Tensor{x: one, lbN: lb, wtN: wt}); err != nil {
+			t.Fatal(err)
+		}
+		want := ref.Value(logits).Data()
+		for i, v := range want {
+			if got.Data()[b*per+i] != v {
+				t.Fatalf("batch element %d diverges at %d: got %v want %v", b, i, got.Data()[b*per+i], v)
+			}
+		}
+	}
+}
+
+func TestCloneForInferenceErrors(t *testing.T) {
+	g, _, logits, _ := buildBNNet(5)
+	if _, _, err := graph.CloneForInference(g, logits, 0, nil); err == nil {
+		t.Error("batch 0 should fail")
+	}
+	if _, _, err := graph.CloneForInference(g, nil, 2, nil); err == nil {
+		t.Error("nil root should fail")
+	}
+	// Symbolic graphs have no parameter values to share.
+	sg := graph.New()
+	sx := sg.Input("x", tensor.NCHW(1, 2, 4, 4))
+	sw := sg.ParamShaped("w", tensor.OIHW(3, 2, 3, 3))
+	sl := sg.Apply(nn.NewConv2D(1, 1, 1), sx, sw)
+	if _, _, err := graph.CloneForInference(sg, sl, 2, nil); err == nil {
+		t.Error("symbolic parameters should fail")
+	}
+}

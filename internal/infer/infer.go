@@ -6,47 +6,45 @@
 // resolution serves the paper's science use case — producing storm masks
 // over arbitrary simulation output — on hardware that cannot hold the
 // 1152×768×16 activations of a full-resolution pass.
+//
+// Execution is batched: up to Config.MaxBatch tiles are stacked into the
+// batch dimension of one pooled-executor run, so per-run costs (executor
+// scheduling, workspace traffic, kernel dispatch, normalization setup)
+// amortize across the batch. Every kernel in the stack computes each batch
+// element with arithmetic independent of its batch neighbors (convolutions
+// run per-image GEMMs of batch-invariant dimensions; inference batch norm
+// uses per-sample statistics), so the stitched mask is bit-identical for
+// every batch size — MaxBatch 1 is the serial reference path.
 package infer
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/graph"
-	"repro/internal/loss"
 	"repro/internal/models"
+	"repro/internal/nn"
 	"repro/internal/tensor"
 )
 
 // Network is the slice of a model the inference path needs: feed an image
-// window, read logits. models.Network satisfies it via Adapt.
+// window, read logits. It carries handles into the source (training) graph;
+// execution happens on per-batch-size inference clones built by a Runner,
+// which share the source graph's parameter tensors by reference.
 type Network struct {
 	Graph  *graph.Graph
-	Images *graph.Node // [1, C, th, tw]
-	Logits *graph.Node // [1, classes, th, tw]
-	// ExtraFeeds supplies tensors for inputs the graph requires but
-	// inference does not use (label and weight-map placeholders for graphs
-	// that also compute a loss).
-	ExtraFeeds map[*graph.Node]*tensor.Tensor
+	Images *graph.Node // [N, C, th, tw]
+	Logits *graph.Node // [N, classes, th, tw]
 }
 
-// FromModel adapts a trained models.Network (which computes a loss and so
-// requires label and weight inputs) for inference: placeholder labels and
-// unit weights are fed, and only the logits are read.
+// FromModel adapts a trained models.Network for inference. The loss head
+// and its label/weight inputs are pruned when the Runner clones the graph,
+// so no placeholder feeds are needed.
 func FromModel(net *models.Network) *Network {
-	is := net.Images.Shape
-	lshape := tensor.Shape{is[0], is[2], is[3]}
-	return &Network{
-		Graph:  net.Graph,
-		Images: net.Images,
-		Logits: net.Logits,
-		ExtraFeeds: map[*graph.Node]*tensor.Tensor{
-			net.Labels:  tensor.New(lshape),
-			net.Weights: tensor.Ones(lshape),
-		},
-	}
+	return &Network{Graph: net.Graph, Images: net.Images, Logits: net.Logits}
 }
 
-// Config controls the tiling.
+// Config controls the tiling and batching.
 type Config struct {
 	TileH, TileW int // network window size
 	// Overlap is the margin (pixels) discarded on every interior tile edge.
@@ -54,6 +52,10 @@ type Config struct {
 	// stitched output to match a monolithic full-image pass.
 	Overlap   int
 	Precision graph.Precision
+	// MaxBatch is the number of tiles stacked into one executor run
+	// (0 → 1, the serial path). The final batch of a pass may be ragged;
+	// the Runner keeps one replanned executor per batch size it has seen.
+	MaxBatch int
 }
 
 func (c Config) validate() error {
@@ -64,7 +66,18 @@ func (c Config) validate() error {
 		return fmt.Errorf("infer: overlap %d incompatible with tile %dx%d",
 			c.Overlap, c.TileH, c.TileW)
 	}
+	if c.MaxBatch < 0 {
+		return fmt.Errorf("infer: max batch %d must be ≥ 0", c.MaxBatch)
+	}
 	return nil
+}
+
+// maxBatch returns the effective batch cap (the zero value means serial).
+func (c Config) maxBatch() int {
+	if c.MaxBatch < 1 {
+		return 1
+	}
+	return c.MaxBatch
 }
 
 // Tile is one window placement: the source rectangle and the sub-rectangle
@@ -133,59 +146,227 @@ func keep(window int, origins []int, i int) (int, int) {
 	return lo, hi
 }
 
-// Run segments a [C, H, W] field tensor and returns the [H, W] class mask.
-// The network window must match cfg. All tiles share one pooled executor,
-// so the call is safe for a network used by one goroutine at a time.
-func Run(net *Network, fields *tensor.Tensor, cfg Config) (*tensor.Tensor, error) {
+// sizedNet is one batch size's execution state: an inference clone of the
+// source graph rebound to that batch, a pooled executor planned for it, and
+// the persistent window tensor tiles are cropped into.
+type sizedNet struct {
+	g      *graph.Graph
+	images *graph.Node
+	logits *graph.Node
+	ex     *graph.Executor
+	window *tensor.Tensor
+	feeds  map[*graph.Node]*tensor.Tensor
+}
+
+// Runner is a persistent tiled-segmentation engine over one network: the
+// per-replica worker of the serving stack, and the engine behind one-shot
+// Run. It owns an isolated tensor pool (replicas never contend) and a cache
+// of executors keyed by batch size — a new batch size (the ragged final
+// batch of a pass, typically) triggers one clone + replan; every later
+// batch of that size reuses the plan and its pooled buffers.
+//
+// A Runner executes inference clones with per-instance kernel state, so it
+// must be used by one goroutine at a time. The clones share the source
+// model's parameter tensors by reference: training the model concurrently
+// with a Runner is a data race, but sequential train → serve → train is
+// fine (clones see updated weights written in place).
+type Runner struct {
+	src      *Network
+	cfg      Config
+	channels int
+	classes  int
+	pool     *tensor.Pool
+	sized    map[int]*sizedNet
+}
+
+// NewRunner validates the configuration against the network window and
+// returns an engine with no executors built yet (they are created on first
+// use, per batch size).
+func NewRunner(net *Network, cfg Config) (*Runner, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	is := net.Images.Shape
+	if is.Rank() != 4 {
+		return nil, fmt.Errorf("infer: network input must be [N,C,H,W], got %v", is)
+	}
+	if is[2] != cfg.TileH || is[3] != cfg.TileW {
+		return nil, fmt.Errorf("infer: network window %dx%d does not match tile %dx%d",
+			is[2], is[3], cfg.TileH, cfg.TileW)
+	}
+	return &Runner{
+		src:      net,
+		cfg:      cfg,
+		channels: is[1],
+		classes:  net.Logits.Shape[1],
+		pool:     tensor.NewPool(),
+		sized:    make(map[int]*sizedNet),
+	}, nil
+}
+
+// Channels returns the network's expected input channel count.
+func (r *Runner) Channels() int { return r.channels }
+
+// MaxBatch returns the effective tile batch cap.
+func (r *Runner) MaxBatch() int { return r.cfg.maxBatch() }
+
+// PoolStats returns the runner's workspace-pool counters.
+func (r *Runner) PoolStats() tensor.PoolStats { return r.pool.Stats() }
+
+// sizedFor returns (building on first use) the execution state for batch b.
+func (r *Runner) sizedFor(b int) (*sizedNet, error) {
+	if s, ok := r.sized[b]; ok {
+		return s, nil
+	}
+	g, m, err := graph.CloneForInference(r.src.Graph, r.src.Logits, b, nn.InferenceFusions)
+	if err != nil {
+		return nil, err
+	}
+	images := m[r.src.Images]
+	if images == nil {
+		return nil, fmt.Errorf("infer: logits do not depend on the image input")
+	}
+	s := &sizedNet{
+		g:      g,
+		images: images,
+		logits: m[r.src.Logits],
+		ex:     graph.NewPooledExecutor(g, r.cfg.Precision, int64(b), r.pool),
+		window: tensor.New(tensor.NCHW(b, r.channels, r.cfg.TileH, r.cfg.TileW)),
+	}
+	s.feeds = map[*graph.Node]*tensor.Tensor{images: s.window}
+	r.sized[b] = s
+	return s, nil
+}
+
+// Close releases every cached executor's buffers back to the runner's pool
+// and drops per-op kernel caches, so a retired replica pins no memory.
+func (r *Runner) Close() {
+	for b, s := range r.sized {
+		s.ex.Release()
+		graph.ReleaseOpCaches(s.g)
+		delete(r.sized, b)
+	}
+}
+
+// BatchItem is one tile of one segmentation request: where to read the
+// window, and which mask to stitch the keep-region into. Items in a batch
+// may belong to different requests (cross-request micro-batching).
+type BatchItem struct {
+	Fields *tensor.Tensor // [C, H, W] source field stack
+	Tile   Tile
+	Mask   *tensor.Tensor // [H, W] destination class mask
+}
+
+// RunBatch segments up to MaxBatch tiles in one executor run and stitches
+// each tile's keep-region into its item's mask. Tiles of one batch are
+// computed with arithmetic independent of each other, so any grouping of
+// tiles into batches produces identical masks.
+func (r *Runner) RunBatch(items []BatchItem) error {
+	n := len(items)
+	if n == 0 {
+		return nil
+	}
+	if n > r.cfg.maxBatch() {
+		return fmt.Errorf("infer: batch of %d exceeds max batch %d", n, r.cfg.maxBatch())
+	}
+	s, err := r.sizedFor(n)
+	if err != nil {
+		return err
+	}
+	th, tw := r.cfg.TileH, r.cfg.TileW
+	for i, it := range items {
+		fs := it.Fields.Shape()
+		if fs.Rank() != 3 || fs[0] != r.channels {
+			return fmt.Errorf("infer: fields must be [%d,H,W], got %v", r.channels, fs)
+		}
+		crop(it.Fields, s.window, i, it.Tile.Y, it.Tile.X, th, tw)
+	}
+	if err := s.ex.Forward(s.feeds); err != nil {
+		return fmt.Errorf("infer: batch of %d tiles: %w", n, err)
+	}
+	logits := s.ex.Value(s.logits)
+	for i, it := range items {
+		r.stitch(logits, i, it)
+	}
+	return nil
+}
+
+// stitch writes the argmax class of batch element i's keep-region into the
+// item's mask, reading logits [N, classes, th, tw] directly (no
+// intermediate prediction tensor). The argmax scan order matches
+// loss.Predictions (first maximum wins), so masks are identical to the
+// historical predict-then-copy path.
+func (r *Runner) stitch(logits *tensor.Tensor, i int, it BatchItem) {
+	th, tw := r.cfg.TileH, r.cfg.TileW
+	hw := th * tw
+	ld := logits.Data()[i*r.classes*hw:]
+	md := it.Mask.Data()
+	w := it.Mask.Shape()[1]
+	t := it.Tile
+	for y := t.KeepY0; y < t.KeepY1; y++ {
+		row := md[(t.Y+y)*w+t.X:]
+		for x := t.KeepX0; x < t.KeepX1; x++ {
+			p := y*tw + x
+			best, bi := float32(math.Inf(-1)), 0
+			for ch := 0; ch < r.classes; ch++ {
+				if v := ld[ch*hw+p]; v > best {
+					best, bi = v, ch
+				}
+			}
+			row[x] = float32(bi)
+		}
+	}
+}
+
+// Segment runs the full tiled pass over a [C, H, W] field tensor and
+// returns the [H, W] class mask, batching tiles up to MaxBatch.
+func (r *Runner) Segment(fields *tensor.Tensor) (*tensor.Tensor, error) {
 	fs := fields.Shape()
 	if fs.Rank() != 3 {
 		return nil, fmt.Errorf("infer: fields must be [C,H,W], got %v", fs)
 	}
-	c, h, w := fs[0], fs[1], fs[2]
-	is := net.Images.Shape
-	if is[0] != 1 || is[1] != c || is[2] != cfg.TileH || is[3] != cfg.TileW {
-		return nil, fmt.Errorf("infer: network input %v does not match channels %d tile %dx%d",
-			is, c, cfg.TileH, cfg.TileW)
+	if fs[0] != r.channels {
+		return nil, fmt.Errorf("infer: fields have %d channels, network wants %d", fs[0], r.channels)
 	}
-	tiles, err := Plan(h, w, cfg)
+	tiles, err := Plan(fs[1], fs[2], r.cfg)
 	if err != nil {
 		return nil, err
 	}
-	mask := tensor.New(tensor.Shape{h, w})
-	window := tensor.New(tensor.NCHW(1, c, cfg.TileH, cfg.TileW))
-	// One pooled executor serves every tile: activations from tile i are
-	// recycled into tile i+1 instead of reallocated, so full-snapshot
-	// segmentation runs at steady-state near-zero allocation. Kernel caches
-	// are dropped on return so the network does not pin them.
-	ex := graph.NewPooledExecutor(net.Graph, cfg.Precision, 1, nil)
-	defer graph.ReleaseOpCaches(net.Graph)
-	feeds := map[*graph.Node]*tensor.Tensor{net.Images: window}
-	for n, v := range net.ExtraFeeds {
-		feeds[n] = v
-	}
-	for _, t := range tiles {
-		crop(fields, window, t.Y, t.X, cfg.TileH, cfg.TileW)
-		if err := ex.Forward(feeds); err != nil {
-			return nil, fmt.Errorf("infer: tile (%d,%d): %w", t.Y, t.X, err)
+	mask := tensor.New(tensor.Shape{fs[1], fs[2]})
+	kb := r.cfg.maxBatch()
+	items := make([]BatchItem, 0, kb)
+	for start := 0; start < len(tiles); start += kb {
+		end := min(start+kb, len(tiles))
+		items = items[:0]
+		for _, t := range tiles[start:end] {
+			items = append(items, BatchItem{Fields: fields, Tile: t, Mask: mask})
 		}
-		pred := loss.Predictions(ex.Value(net.Logits)) // [1, th, tw]
-		pd, md := pred.Data(), mask.Data()
-		for y := t.KeepY0; y < t.KeepY1; y++ {
-			gy := t.Y + y
-			for x := t.KeepX0; x < t.KeepX1; x++ {
-				md[gy*w+t.X+x] = pd[y*cfg.TileW+x]
-			}
+		if err := r.RunBatch(items); err != nil {
+			return nil, err
 		}
 	}
 	return mask, nil
 }
 
-// crop copies the [th, tw] window at (y, x) of src [C, H, W] into dst
-// [1, C, th, tw].
-func crop(src, dst *tensor.Tensor, y, x, th, tw int) {
+// Run segments a [C, H, W] field tensor and returns the [H, W] class mask —
+// the one-shot form of a Runner, for callers that segment a single image.
+// Persistent callers (and the serving stack) hold a Runner instead, which
+// keeps its executors, plans, and pooled buffers across calls.
+func Run(net *Network, fields *tensor.Tensor, cfg Config) (*tensor.Tensor, error) {
+	r, err := NewRunner(net, cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer r.Close()
+	return r.Segment(fields)
+}
+
+// crop copies the [th, tw] window at (y, x) of src [C, H, W] into batch
+// element b of dst [N, C, th, tw].
+func crop(src, dst *tensor.Tensor, b, y, x, th, tw int) {
 	ss := src.Shape()
 	c, h, w := ss[0], ss[1], ss[2]
-	sd, dd := src.Data(), dst.Data()
+	sd, dd := src.Data(), dst.Data()[b*c*th*tw:]
 	for ch := 0; ch < c; ch++ {
 		for r := 0; r < th; r++ {
 			sOff := ch*h*w + (y+r)*w + x

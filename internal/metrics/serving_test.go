@@ -1,0 +1,112 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := NewHistogram()
+	// Uniform 1..1000 ms: quantiles are known, buckets are ±4.5%.
+	for i := 1; i <= 1000; i++ {
+		h.Observe(float64(i) * 1e-3)
+	}
+	if h.Count() != 1000 {
+		t.Fatalf("count %d", h.Count())
+	}
+	for _, tc := range []struct{ q, want float64 }{
+		{0.5, 0.5}, {0.95, 0.95}, {0.99, 0.99},
+	} {
+		got := h.Quantile(tc.q)
+		if math.Abs(got-tc.want)/tc.want > 0.06 {
+			t.Errorf("q%.2f = %.4f, want %.4f ±6%%", tc.q, got, tc.want)
+		}
+	}
+	if m := h.Mean(); math.Abs(m-0.5005) > 1e-6 {
+		t.Errorf("mean %.6f, want 0.5005", m)
+	}
+	// Extremes clamp to observed min/max.
+	if got := h.Quantile(0); got != 1e-3 {
+		t.Errorf("q0 = %v, want observed min 1e-3", got)
+	}
+	if got := h.Quantile(1); got != 1.0 {
+		t.Errorf("q1 = %v, want observed max 1.0", got)
+	}
+}
+
+func TestHistogramEdgeCases(t *testing.T) {
+	h := NewHistogram()
+	if h.Quantile(0.5) != 0 || h.Mean() != 0 {
+		t.Error("empty histogram should report zeros")
+	}
+	h.Observe(-1) // clamps
+	h.Observe(math.NaN())
+	h.Observe(0)
+	if h.Count() != 3 {
+		t.Errorf("count %d, want 3", h.Count())
+	}
+	if got := h.Quantile(0.5); got != 0 {
+		t.Errorf("q50 of zeros = %v", got)
+	}
+	// A single huge value must not panic or escape the bucket range.
+	h2 := NewHistogram()
+	h2.Observe(1e9)
+	if got := h2.Quantile(0.99); got != 1e9 {
+		t.Errorf("single observation q99 = %v, want clamped 1e9", got)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 1000; i++ {
+				h.Observe(rng.Float64())
+			}
+		}(int64(g))
+	}
+	wg.Wait()
+	if h.Count() != 8000 {
+		t.Fatalf("count %d, want 8000", h.Count())
+	}
+	if q := h.Quantile(0.5); q < 0.4 || q > 0.6 {
+		t.Errorf("uniform q50 = %v", q)
+	}
+}
+
+func TestGauge(t *testing.T) {
+	var g Gauge
+	g.Add(3)
+	g.Add(2)
+	g.Add(-4)
+	if g.Value() != 1 {
+		t.Errorf("value %d, want 1", g.Value())
+	}
+	if g.Peak() != 5 {
+		t.Errorf("peak %d, want 5", g.Peak())
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				g.Add(1)
+				g.Add(-1)
+			}
+		}()
+	}
+	wg.Wait()
+	if g.Value() != 1 {
+		t.Errorf("value after churn %d, want 1", g.Value())
+	}
+	if g.Peak() < 5 {
+		t.Errorf("peak regressed to %d", g.Peak())
+	}
+}

@@ -31,6 +31,12 @@ import (
 type Conv2D struct {
 	Stride, Pad, Dilation int
 
+	// Inference marks an instance cloned for serving: eligible geometries
+	// take the direct (im2col-free) kernel — bit-identical to the GEMM
+	// formulation, see infconv.go — and the forward panel is never cached,
+	// since no backward pass will want it.
+	Inference bool
+
 	fwdCols []float32 // im2col panels from the last scratch forward (all batch elements)
 }
 
@@ -113,6 +119,25 @@ func (c *Conv2D) ForwardScratch(in []*tensor.Tensor, wsp *tensor.Workspace) *ten
 				x.Data()[b*imSize:(b+1)*imSize], cols, 0, out.Data()[b*cout*cols:], cols)
 		}
 		c.fwdCols = nil
+		return out
+	}
+	if c.Inference {
+		if directConvEligible(g, cout, cols, k) {
+			for b := 0; b < n; b++ {
+				directConv(x.Data()[b*imSize:(b+1)*imSize], cin, g, w.Data(),
+					out.Data()[b*cout*cols:(b+1)*cout*cols], cout, wsp)
+			}
+			return out
+		}
+		// Ineligible geometry: im2col + GEMM through workspace scratch, no
+		// instance cache (nothing will read it back).
+		col := wsp.GetF32(k * cols)
+		for b := 0; b < n; b++ {
+			tensor.Im2col(x.Data()[b*imSize:(b+1)*imSize], cin, g, col)
+			tensor.Gemm(false, false, cout, cols, k, 1, w.Data(), k, col, cols,
+				0, out.Data()[b*cout*cols:], cols)
+		}
+		wsp.PutF32(col)
 		return out
 	}
 	// Expand into the instance-cached panel so the backward weight gradient

@@ -80,24 +80,42 @@ func (c *FusedConvBias) ForwardScratch(in []*tensor.Tensor, wsp *tensor.Workspac
 	imSize := cin * g.InH * g.InW
 	bd := bias.Data()
 	pointwise := is1x1(g)
-	if !pointwise {
-		if cap(cv.fwdCols) < n*k*cols {
-			cv.fwdCols = make([]float32, n*k*cols)
+	direct := cv.Inference && directConvEligible(g, cout, cols, k)
+	var infCol []float32
+	if !pointwise && !direct {
+		if cv.Inference {
+			// No backward pass will read the panel back: workspace scratch
+			// instead of the instance cache.
+			infCol = wsp.GetF32(k * cols)
+			defer wsp.PutF32(infCol)
+		} else {
+			if cap(cv.fwdCols) < n*k*cols {
+				cv.fwdCols = make([]float32, n*k*cols)
+			}
+			cv.fwdCols = cv.fwdCols[:n*k*cols]
 		}
-		cv.fwdCols = cv.fwdCols[:n*k*cols]
 	} else {
 		cv.fwdCols = nil
 	}
 	for b := 0; b < n; b++ {
-		// The im2col panel lands in the inner conv's cache, so the backward
-		// weight gradient reuses it; 1×1 convolutions skip it entirely.
-		col := x.Data()[b*imSize : (b+1)*imSize]
-		if !pointwise {
-			col = cv.fwdCols[b*k*cols : (b+1)*k*cols]
-			tensor.Im2col(x.Data()[b*imSize:(b+1)*imSize], cin, g, col)
-		}
 		tile := out.Data()[b*cout*cols : (b+1)*cout*cols]
-		tensor.Gemm(false, false, cout, cols, k, 1, w.Data(), k, col, cols, 0, tile, cols)
+		if direct {
+			directConv(x.Data()[b*imSize:(b+1)*imSize], cin, g, w.Data(), tile, cout, wsp)
+		} else {
+			// The im2col panel lands in the inner conv's cache, so the
+			// backward weight gradient reuses it; 1×1 convolutions skip it
+			// entirely.
+			col := x.Data()[b*imSize : (b+1)*imSize]
+			if !pointwise {
+				if infCol != nil {
+					col = infCol
+				} else {
+					col = cv.fwdCols[b*k*cols : (b+1)*k*cols]
+				}
+				tensor.Im2col(x.Data()[b*imSize:(b+1)*imSize], cin, g, col)
+			}
+			tensor.Gemm(false, false, cout, cols, k, 1, w.Data(), k, col, cols, 0, tile, cols)
+		}
 		// Fused epilogue over the cache-hot tile.
 		for ch := 0; ch < cout; ch++ {
 			bv := bd[ch]

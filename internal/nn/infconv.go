@@ -1,0 +1,174 @@
+package nn
+
+import (
+	"repro/internal/tensor"
+)
+
+// Direct (im2col-free) convolution — the inference-clone kernel.
+//
+// The training Conv2D computes each output row as an axpy-form GEMM over an
+// explicitly materialized im2col panel: the panel is written once (a full
+// pass over k·cols floats, k = cin·KH·KW) and then streamed once per output
+// channel, and at k·cols ≈ 40–150 KB it evicts the tile activations from
+// L1. At inference there is no backward pass wanting the panel, so the
+// direct kernel copies the image once into a zero-padded buffer (cin·(H+2p)
+// ·(W+2p) floats — roughly KH·KW× smaller than the panel) and reads tap
+// rows from it in place: each im2col "row" is the padded image shifted by
+// one kernel tap.
+//
+// Bit-compatibility contract: for every output element the kernel performs
+// exactly the floating-point operations of tensor.Gemm's small axpy path
+// over the im2col panel — taps grouped four at a time with the same
+// left-associated `a0·b0 + a1·b1 + a2·b2 + a3·b3` update, the same
+// all-four-zero group skip, and the same single-tap tail with its per-tap
+// zero skip. Padding positions hold literal +0 in the padded buffer just as
+// they do in the im2col panel, so even the border arithmetic is identical
+// term for term. directConvEligible mirrors Gemm's dispatch, so shapes the
+// GEMM would send to the blocked kernel fall back to the im2col path and
+// parity holds for every geometry.
+
+// directConvEligible reports whether the direct kernel handles geometry g
+// with output channels m over cols output pixels: stride-1 non-pointwise
+// convolutions whose GEMM formulation would take the small axpy path.
+func directConvEligible(g tensor.ConvGeom, m, cols, k int) bool {
+	return g.StrideH == 1 && g.StrideW == 1 && !is1x1(g) &&
+		tensor.GemmUsesSmallPath(m, cols, k)
+}
+
+// directConv computes one image's convolution out[m, oh·ow] = w[m, k] ⊛
+// x[cin, InH, InW] without materializing the im2col panel. The padded-image
+// scratch comes from the workspace.
+func directConv(x []float32, cin int, g tensor.ConvGeom, w []float32, out []float32, m int, wsp *tensor.Workspace) {
+	kh, kw := g.KH, g.KW
+	ih, iw := g.InH, g.InW
+	oh, ow := g.OutH(), g.OutW()
+	k := cin * kh * kw
+	ohow := oh * ow
+
+	// Zero-padded copy of the image. Tap t touches input rows
+	// oy + ky·dil − pad for oy ∈ [0, oh), so the buffer extends PadH rows
+	// above and (oh−1) + (KH−1)·dil − PadH − (ih−1) rows below (and
+	// likewise for columns); stride-1 SAME geometry makes both equal PadH.
+	// Only the border is cleared (to +0, as the im2col panel pads); the
+	// interior is fully overwritten by the row copies.
+	top, left := g.PadH, g.PadW
+	bot := max(0, (oh-1)+(kh-1)*g.DilH-g.PadH-(ih-1))
+	right := max(0, (ow-1)+(kw-1)*g.DilW-g.PadW-(iw-1))
+	pih, piw := ih+top+bot, iw+left+right
+	pad := wsp.GetF32(cin * pih * piw)
+	defer wsp.PutF32(pad)
+	for c := 0; c < cin; c++ {
+		base := c * pih * piw
+		clear(pad[base : base+top*piw])
+		clear(pad[base+(top+ih)*piw : base+pih*piw])
+		for y := 0; y < ih; y++ {
+			row := pad[base+(y+top)*piw : base+(y+top+1)*piw]
+			clear(row[:left])
+			copy(row[left:left+iw], x[(c*ih+y)*iw:(c*ih+y)*iw+iw])
+			clear(row[left+iw:])
+		}
+	}
+
+	clear(out[:m*ohow])
+
+	var off [4]int
+	p0 := 0
+	for ; p0+3 < k; p0 += 4 {
+		// Tap offsets into the padded image: tap p at output pixel (oy, ox)
+		// reads pad[(cc·pih + oy + ky·dil)·piw + ox + kx·dil] — always in
+		// range, with padding positions holding +0.
+		for t := 0; t < 4; t++ {
+			p := p0 + t
+			cc := p / (kh * kw)
+			ky := (p / kw) % kh
+			kx := p % kw
+			off[t] = (cc*pih+ky*g.DilH)*piw + kx*g.DilW
+		}
+		for oy := 0; oy < oh; oy++ {
+			rowBase := oy * piw
+			m0 := pad[off[0]+rowBase : off[0]+rowBase+ow]
+			m1 := pad[off[1]+rowBase : off[1]+rowBase+ow]
+			m2 := pad[off[2]+rowBase : off[2]+rowBase+ow]
+			m3 := pad[off[3]+rowBase : off[3]+rowBase+ow]
+			// Register-block four output channels per pass: each tap row is
+			// loaded once for four accumulator rows (the per-element update
+			// expression — and so its result — is unchanged; only the order
+			// across independent elements differs). A channel whose four
+			// group weights are all zero takes the single-channel loop,
+			// which skips it exactly as the GEMM's axpy kernel does (the
+			// quad would add 0·v terms — a NaN, not a no-op, for
+			// non-finite activations).
+			i := 0
+			for ; i+3 < m; i += 4 {
+				w0 := w[i*k+p0 : i*k+p0+4]
+				w1 := w[(i+1)*k+p0 : (i+1)*k+p0+4]
+				w2 := w[(i+2)*k+p0 : (i+2)*k+p0+4]
+				w3 := w[(i+3)*k+p0 : (i+3)*k+p0+4]
+				if allZero4(w0) || allZero4(w1) || allZero4(w2) || allZero4(w3) {
+					directGroupRow(out[i*ohow+oy*ow:], ohow, min(4, m-i), w, i, k, p0, m0, m1, m2, m3)
+					continue
+				}
+				d0 := out[i*ohow+oy*ow : i*ohow+oy*ow+ow]
+				d1 := out[(i+1)*ohow+oy*ow : (i+1)*ohow+oy*ow+ow]
+				d2 := out[(i+2)*ohow+oy*ow : (i+2)*ohow+oy*ow+ow]
+				d3 := out[(i+3)*ohow+oy*ow : (i+3)*ohow+oy*ow+ow]
+				for idx := range d0 {
+					v0, v1, v2, v3 := m0[idx], m1[idx], m2[idx], m3[idx]
+					d0[idx] += w0[0]*v0 + w0[1]*v1 + w0[2]*v2 + w0[3]*v3
+					d1[idx] += w1[0]*v0 + w1[1]*v1 + w1[2]*v2 + w1[3]*v3
+					d2[idx] += w2[0]*v0 + w2[1]*v1 + w2[2]*v2 + w2[3]*v3
+					d3[idx] += w3[0]*v0 + w3[1]*v1 + w3[2]*v2 + w3[3]*v3
+				}
+			}
+			if i < m {
+				directGroupRow(out[i*ohow+oy*ow:], ohow, m-i, w, i, k, p0, m0, m1, m2, m3)
+			}
+		}
+	}
+	// Tail taps (k % 4): single-tap axpy rows, matching gemmSmallRows' tail.
+	for p := p0; p < k; p++ {
+		cc := p / (kh * kw)
+		ky := (p / kw) % kh
+		kx := p % kw
+		off0 := (cc*pih+ky*g.DilH)*piw + kx*g.DilW
+		for i := 0; i < m; i++ {
+			ap := w[i*k+p]
+			if ap == 0 {
+				continue
+			}
+			for oy := 0; oy < oh; oy++ {
+				src := pad[off0+oy*piw : off0+oy*piw+ow]
+				dst := out[i*ohow+oy*ow : i*ohow+oy*ow+ow]
+				for idx := range dst {
+					dst[idx] += ap * src[idx]
+				}
+			}
+		}
+	}
+}
+
+// allZero4 reports whether a four-weight group is entirely zero — the
+// condition under which gemmSmallRows skips the group.
+func allZero4(w []float32) bool {
+	return w[0] == 0 && w[1] == 0 && w[2] == 0 && w[3] == 0
+}
+
+// directGroupRow applies one four-tap group to rows output channels one at
+// a time — the axpy kernel's per-channel form, with its all-zero group
+// skip. dst's channel rows are ohow apart; m0..m3 are the group's tap rows
+// for the current output row.
+func directGroupRow(dst []float32, ohow, rows int, w []float32, i0, k, p0 int, m0, m1, m2, m3 []float32) {
+	for t := 0; t < rows; t++ {
+		a0 := w[(i0+t)*k+p0]
+		a1 := w[(i0+t)*k+p0+1]
+		a2 := w[(i0+t)*k+p0+2]
+		a3 := w[(i0+t)*k+p0+3]
+		if a0 == 0 && a1 == 0 && a2 == 0 && a3 == 0 {
+			continue
+		}
+		row := dst[t*ohow : t*ohow+len(m0)]
+		for idx := range row {
+			row[idx] += a0*m0[idx] + a1*m1[idx] + a2*m2[idx] + a3*m3[idx]
+		}
+	}
+}

@@ -18,6 +18,17 @@ type BatchNorm struct {
 	Momentum float64 // running-stat update rate, e.g. 0.1
 	Train    bool
 
+	// PerSample selects the inference normalization mode used by the
+	// serving path (Train must be false): each batch element is normalized
+	// with its own (H, W) statistics instead of the running averages. For
+	// any single element this is bit-identical to a train-mode forward at
+	// batch 1 — which is how this repo has always run tiled inference — so
+	// batched tile execution produces exactly the serial path's output
+	// regardless of how tiles are grouped into batches. Running statistics
+	// are neither read nor updated in this mode, and the backward pass is
+	// not supported.
+	PerSample bool
+
 	RunningMean []float32
 	RunningVar  []float32
 
@@ -98,6 +109,10 @@ func (b *BatchNorm) ForwardScratch(in []*tensor.Tensor, wsp *tensor.Workspace) *
 	xs := x.Shape()
 	n, c, hw := xs[0], xs[1], xs[2]*xs[3]
 
+	if !b.Train && b.PerSample {
+		return b.forwardPerSample(x, gamma, beta, wsp)
+	}
+
 	var mean, variance []float64
 	eval := false
 	if b.Train {
@@ -157,6 +172,65 @@ func (b *BatchNorm) ForwardScratch(in []*tensor.Tensor, wsp *tensor.Workspace) *
 	return out
 }
 
+// forwardPerSample normalizes each batch element with its own per-channel
+// (H, W) statistics.
+func (b *BatchNorm) forwardPerSample(x, gamma, beta *tensor.Tensor, wsp *tensor.Workspace) *tensor.Tensor {
+	b.savedValid = false
+	return perSampleBNForward(x, gamma, beta, b.Eps, false, wsp)
+}
+
+// perSampleBNForward is the one per-sample inference normalization kernel,
+// shared by BatchNorm (PerSample mode) and FusedBNReLU so the
+// bit-compatibility contract lives in a single place: the accumulation and
+// normalization arithmetic is element-for-element identical to the
+// train-mode path at batch 1 (same summation order, same float64
+// intermediates, same scale/shift folding), which is what makes batched
+// tiled inference bit-identical to the serial tile loop. With relu the
+// rectifier is applied in the same output pass — max(·, 0) of the very
+// value the unfused pair would materialize.
+func perSampleBNForward(x, gamma, beta *tensor.Tensor, eps float64, relu bool, wsp *tensor.Workspace) *tensor.Tensor {
+	xs := x.Shape()
+	n, c, hw := xs[0], xs[1], xs[2]*xs[3]
+	cnt := float64(hw)
+	out := wsp.NewTensorUninit(xs) // fully written below
+	xd, od, gd, bd := x.Data(), out.Data(), gamma.Data(), beta.Data()
+	for img := 0; img < n; img++ {
+		for ch := 0; ch < c; ch++ {
+			base := (img*c + ch) * hw
+			src := xd[base : base+hw]
+			var s, sq float64
+			for _, v := range src {
+				fv := float64(v)
+				s += fv
+				sq += fv * fv
+			}
+			m := s / cnt
+			variance := sq/cnt - m*m
+			if variance < 0 {
+				variance = 0
+			}
+			inv := 1 / math.Sqrt(variance+eps)
+			scale := float32(float64(gd[ch]) * inv)
+			shift := float32(float64(bd[ch]) - float64(gd[ch])*m*inv)
+			dst := od[base : base+hw]
+			if relu {
+				for i, v := range src {
+					if t := v*scale + shift; t > 0 {
+						dst[i] = t
+					} else {
+						dst[i] = 0
+					}
+				}
+			} else {
+				for i, v := range src {
+					dst[i] = v*scale + shift
+				}
+			}
+		}
+	}
+	return out
+}
+
 // Backward implements graph.Op, using the standard batch-norm gradient:
 //
 //	dx̂ = dy·γ
@@ -169,6 +243,9 @@ func (b *BatchNorm) Backward(in []*tensor.Tensor, out, gradOut *tensor.Tensor) [
 
 // BackwardScratch implements graph.ScratchOp.
 func (b *BatchNorm) BackwardScratch(in []*tensor.Tensor, out, gradOut *tensor.Tensor, wsp *tensor.Workspace) []*tensor.Tensor {
+	if !b.Train && b.PerSample {
+		panic("nn: per-sample batchnorm is inference-only and has no backward pass")
+	}
 	x, gamma := in[0], in[1]
 	xs := x.Shape()
 	n, c, hw := xs[0], xs[1], xs[2]*xs[3]

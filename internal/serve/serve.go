@@ -1,0 +1,443 @@
+// Package serve is the batched tiled-inference serving stack: a request
+// scheduler with a bounded admission queue, cross-request micro-batching,
+// and N replica workers, turning the single-goroutine tiled Segment call
+// into the service the paper's science use case needs — storm-mask
+// segmentation of arbitrary CAM5 output under concurrent load.
+//
+// Architecture: an admitted Segment request is decomposed into its tile
+// jobs, which enter one bounded queue (admission blocks when it is full —
+// backpressure — and respects the request context). Each replica worker
+// owns an isolated infer.Runner (its own inference graph clones, pooled
+// executors, and tensor pool, so replicas never contend) and drains the
+// queue in batches: the first job is taken blocking, then the batch is
+// topped up to MaxBatch from whatever is queued — tiles from different
+// requests coalesce into one executor run — waiting up to BatchDeadline
+// for stragglers when the queue runs dry. Tile kernels are batch-invariant
+// bit for bit (see infer), so scheduling decisions never change masks.
+//
+// Cancellation is per request: cancelling the context fails the request
+// immediately and its queued tiles are skipped (not computed) as workers
+// reach them. Close drains gracefully: admitted requests finish, new ones
+// are refused.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/infer"
+	"repro/internal/metrics"
+	"repro/internal/tensor"
+)
+
+// ErrClosed is returned by Segment after Close.
+var ErrClosed = errors.New("serve: server closed")
+
+// Config sizes the server.
+type Config struct {
+	// Replicas is the number of worker goroutines, each with an isolated
+	// inference engine (default 1).
+	Replicas int
+	// MaxBatch is the tile batch cap per executor run (default 1).
+	MaxBatch int
+	// QueueDepth bounds the admission queue in tiles (default 64);
+	// admission blocks — backpressure — while it is full.
+	QueueDepth int
+	// BatchDeadline is how long a worker holding a partial batch waits for
+	// more tiles before running it (default 0: run with whatever is
+	// queued). Non-zero deadlines trade latency for batch occupancy under
+	// bursty load.
+	BatchDeadline time.Duration
+	// Tile is the tiling geometry and precision (MaxBatch above wins over
+	// Tile.MaxBatch).
+	Tile infer.Config
+	// OnStat, when non-nil, streams every finished request's RequestStat
+	// (including failed and cancelled ones) from the completing worker's
+	// goroutine; it must be safe for concurrent use and return quickly.
+	OnStat func(RequestStat)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Replicas == 0 {
+		c.Replicas = 1
+	}
+	if c.MaxBatch == 0 {
+		c.MaxBatch = 1
+	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 64
+	}
+	return c
+}
+
+// RequestStat is the per-request serving record streamed to OnStat and
+// returned by Segment.
+type RequestStat struct {
+	Tiles     int           // tile jobs the request decomposed into
+	MeanBatch float64       // mean executor batch size its tiles rode in
+	QueueWait time.Duration // admission → first tile execution
+	Latency   time.Duration // admission → completion
+	Cancelled bool          // failed by its own context
+	Failed    bool          // failed for any reason (includes Cancelled)
+}
+
+// Stats is a snapshot of server-level counters.
+type Stats struct {
+	Requests  uint64 // completed requests (including failed)
+	Failed    uint64 // failed (cancelled or errored) requests
+	Tiles     uint64 // tiles executed
+	Batches   uint64 // executor runs
+	MeanBatch float64
+	// Latency quantiles over successful requests.
+	LatencyP50, LatencyP95, LatencyP99 time.Duration
+	RequestsPerSec                     float64 // successful requests / uptime
+	TilesPerSec                        float64 // executed tiles / uptime
+	QueueDepth                         int     // tiles queued right now
+	QueueDepthPeak                     int
+	Uptime                             time.Duration
+}
+
+// request is the shared state of one Segment call.
+type request struct {
+	ctx      context.Context
+	fields   *tensor.Tensor
+	mask     *tensor.Tensor
+	tiles    int
+	pending  atomic.Int64 // tiles not yet finished (executed or skipped)
+	started  atomic.Int64 // unix nanos of first tile execution (0 = none)
+	batchSum atomic.Int64 // Σ batch sizes over executed tiles
+	executed atomic.Int64
+	enqueued time.Time
+	done     chan struct{}
+	failOnce sync.Once
+	err      atomic.Pointer[error] // first failure, nil on success
+	statOut  RequestStat           // written by finish before done closes
+}
+
+// fail records the request's first error; tiles still queued will be
+// skipped when a worker reaches them.
+func (r *request) fail(err error) {
+	r.failOnce.Do(func() { r.err.Store(&err) })
+}
+
+func (r *request) failed() bool { return r.err.Load() != nil }
+
+// finish retires n tiles; the retirer of the last tile completes the
+// request.
+func (r *request) finish(s *Server, n int) {
+	if r.pending.Add(-int64(n)) > 0 {
+		return
+	}
+	stat := RequestStat{
+		Tiles:   r.tiles,
+		Latency: time.Since(r.enqueued),
+	}
+	if st := r.started.Load(); st > 0 {
+		stat.QueueWait = time.Unix(0, st).Sub(r.enqueued)
+	} else {
+		stat.QueueWait = stat.Latency
+	}
+	if ex := r.executed.Load(); ex > 0 {
+		stat.MeanBatch = float64(r.batchSum.Load()) / float64(ex)
+	}
+	if errp := r.err.Load(); errp != nil {
+		stat.Failed = true
+		stat.Cancelled = errors.Is(*errp, context.Canceled) || errors.Is(*errp, context.DeadlineExceeded)
+		s.failed.Add(1)
+	} else {
+		s.latency.Observe(stat.Latency.Seconds())
+	}
+	s.requests.Add(1)
+	if s.cfg.OnStat != nil {
+		s.cfg.OnStat(stat)
+	}
+	r.statOut = stat
+	close(r.done)
+}
+
+// tileJob is one queue entry.
+type tileJob struct {
+	req  *request
+	tile infer.Tile
+}
+
+// Server schedules Segment requests over replica workers.
+type Server struct {
+	cfg      Config
+	channels int
+	queue    chan *tileJob
+	stop     chan struct{}
+	workers  sync.WaitGroup
+	// mu guards admission against Close: Segment enqueues under RLock,
+	// Close flips closed under Lock, so once Close holds the lock no new
+	// tile can ever enter the queue.
+	mu     sync.RWMutex
+	closed bool
+
+	start    time.Time
+	latency  *metrics.Histogram
+	depth    metrics.Gauge
+	requests atomic.Uint64
+	failed   atomic.Uint64
+	tiles    atomic.Uint64
+	batches  atomic.Uint64
+}
+
+// New builds a server over the given inference network: Replicas runners
+// (each an isolated engine over a fresh inference clone of the network) and
+// their worker goroutines. The network's weights are shared by reference;
+// do not train the source model while the server is running.
+func New(src *infer.Network, cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Replicas < 1 {
+		return nil, fmt.Errorf("serve: replicas %d must be ≥ 1", cfg.Replicas)
+	}
+	if cfg.QueueDepth < 1 {
+		return nil, fmt.Errorf("serve: queue depth %d must be ≥ 1", cfg.QueueDepth)
+	}
+	if cfg.BatchDeadline < 0 {
+		return nil, fmt.Errorf("serve: batch deadline %v must be ≥ 0", cfg.BatchDeadline)
+	}
+	cfg.Tile.MaxBatch = cfg.MaxBatch
+	runners := make([]*infer.Runner, cfg.Replicas)
+	for i := range runners {
+		r, err := infer.NewRunner(src, cfg.Tile)
+		if err != nil {
+			return nil, err
+		}
+		runners[i] = r
+	}
+	s := &Server{
+		cfg:      cfg,
+		channels: runners[0].Channels(),
+		queue:    make(chan *tileJob, cfg.QueueDepth),
+		stop:     make(chan struct{}),
+		start:    time.Now(),
+		latency:  metrics.NewHistogram(),
+	}
+	for _, r := range runners {
+		s.workers.Add(1)
+		go s.worker(r)
+	}
+	return s, nil
+}
+
+// Segment schedules a [channels, H, W] field tensor for tiled segmentation
+// and blocks until the stitched [H, W] mask is complete, the context is
+// cancelled, or the server closes. The fields tensor must stay unmodified
+// until Segment returns. Safe for concurrent use from any number of
+// goroutines; concurrent requests' tiles share executor batches.
+func (s *Server) Segment(ctx context.Context, fields *tensor.Tensor) (*tensor.Tensor, RequestStat, error) {
+	fs := fields.Shape()
+	if fs.Rank() != 3 || fs[0] != s.channels {
+		return nil, RequestStat{}, fmt.Errorf("serve: fields must be [%d,H,W], got %v", s.channels, fs)
+	}
+	tiles, err := infer.Plan(fs[1], fs[2], s.cfg.Tile)
+	if err != nil {
+		return nil, RequestStat{}, err
+	}
+	req := &request{
+		ctx:      ctx,
+		fields:   fields,
+		mask:     tensor.New(tensor.Shape{fs[1], fs[2]}),
+		tiles:    len(tiles),
+		enqueued: time.Now(),
+		done:     make(chan struct{}),
+	}
+	req.pending.Store(int64(len(tiles)))
+
+	s.mu.RLock()
+	if s.closed {
+		s.mu.RUnlock()
+		return nil, RequestStat{}, ErrClosed
+	}
+	admitted := 0
+	for _, t := range tiles {
+		job := &tileJob{req: req, tile: t}
+		select {
+		case s.queue <- job:
+			s.depth.Add(1)
+			admitted++
+		case <-ctx.Done():
+			s.mu.RUnlock()
+			req.fail(ctx.Err())
+			// Tiles never admitted retire here; admitted ones retire as
+			// workers skip them.
+			req.finish(s, len(tiles)-admitted)
+			<-req.done
+			return nil, req.statOut, ctx.Err()
+		}
+	}
+	s.mu.RUnlock()
+	select {
+	case <-req.done:
+	case <-ctx.Done():
+		req.fail(ctx.Err())
+		// Wait for queued/in-flight tiles to drain (workers skip cancelled
+		// jobs without computing them) so the caller's tensors are no
+		// longer referenced when we return.
+		<-req.done
+	}
+	// The outcome is sealed by whichever finish call retired the last tile:
+	// a cancellation that raced a successful completion reports success.
+	if req.statOut.Failed {
+		return nil, req.statOut, *req.err.Load()
+	}
+	return req.mask, req.statOut, nil
+}
+
+// worker drains the queue in micro-batches on its own replica engine.
+func (s *Server) worker(r *infer.Runner) {
+	defer s.workers.Done()
+	defer r.Close()
+	batch := make([]*tileJob, 0, s.cfg.MaxBatch)
+	items := make([]infer.BatchItem, 0, s.cfg.MaxBatch)
+	live := make([]*tileJob, 0, s.cfg.MaxBatch)
+	var timer *time.Timer
+	for {
+		select {
+		case job := <-s.queue:
+			s.depth.Add(-1)
+			batch = s.gather(batch[:0], job, &timer)
+			s.runBatch(r, batch, &items, &live)
+		case <-s.stop:
+			// Drain whatever is still queued so every admitted request
+			// completes before Close returns.
+			for {
+				select {
+				case job := <-s.queue:
+					s.depth.Add(-1)
+					batch = s.gather(batch[:0], job, &timer)
+					s.runBatch(r, batch, &items, &live)
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// gather assembles one micro-batch: the first job plus whatever is queued,
+// up to MaxBatch, waiting at most BatchDeadline for stragglers once the
+// queue runs dry.
+func (s *Server) gather(batch []*tileJob, first *tileJob, timer **time.Timer) []*tileJob {
+	batch = append(batch, first)
+	var deadline <-chan time.Time
+	for len(batch) < s.cfg.MaxBatch {
+		select {
+		case j := <-s.queue:
+			s.depth.Add(-1)
+			batch = append(batch, j)
+			continue
+		default:
+		}
+		if s.cfg.BatchDeadline <= 0 {
+			return batch
+		}
+		if deadline == nil {
+			if *timer == nil {
+				*timer = time.NewTimer(s.cfg.BatchDeadline)
+			} else {
+				(*timer).Reset(s.cfg.BatchDeadline)
+			}
+			deadline = (*timer).C
+		}
+		select {
+		case j := <-s.queue:
+			s.depth.Add(-1)
+			batch = append(batch, j)
+		case <-deadline:
+			return batch
+		case <-s.stop:
+			if !(*timer).Stop() {
+				<-(*timer).C
+			}
+			return batch
+		}
+	}
+	if deadline != nil && !(*timer).Stop() {
+		<-(*timer).C
+	}
+	return batch
+}
+
+// runBatch executes the batch's live tiles (skipping cancelled requests'),
+// stitches results, and retires every job.
+func (s *Server) runBatch(r *infer.Runner, batch []*tileJob, items *[]infer.BatchItem, live *[]*tileJob) {
+	*items = (*items)[:0]
+	*live = (*live)[:0]
+	for _, j := range batch {
+		if j.req.failed() {
+			continue
+		}
+		if err := j.req.ctx.Err(); err != nil {
+			j.req.fail(err)
+			continue
+		}
+		j.req.started.CompareAndSwap(0, time.Now().UnixNano())
+		*items = append(*items, infer.BatchItem{Fields: j.req.fields, Tile: j.tile, Mask: j.req.mask})
+		*live = append(*live, j)
+	}
+	if n := len(*items); n > 0 {
+		if err := r.RunBatch(*items); err != nil {
+			for _, j := range *live {
+				j.req.fail(err)
+			}
+		} else {
+			for _, j := range *live {
+				j.req.batchSum.Add(int64(n))
+				j.req.executed.Add(1)
+			}
+			s.tiles.Add(uint64(n))
+			s.batches.Add(1)
+		}
+	}
+	for _, j := range batch {
+		j.req.finish(s, 1)
+	}
+}
+
+// Stats returns a snapshot of the server's counters and latency quantiles.
+func (s *Server) Stats() Stats {
+	up := time.Since(s.start)
+	st := Stats{
+		Requests:       s.requests.Load(),
+		Failed:         s.failed.Load(),
+		Tiles:          s.tiles.Load(),
+		Batches:        s.batches.Load(),
+		LatencyP50:     time.Duration(s.latency.Quantile(0.50) * float64(time.Second)),
+		LatencyP95:     time.Duration(s.latency.Quantile(0.95) * float64(time.Second)),
+		LatencyP99:     time.Duration(s.latency.Quantile(0.99) * float64(time.Second)),
+		QueueDepth:     int(s.depth.Value()),
+		QueueDepthPeak: int(s.depth.Peak()),
+		Uptime:         up,
+	}
+	if st.Batches > 0 {
+		st.MeanBatch = float64(st.Tiles) / float64(st.Batches)
+	}
+	if sec := up.Seconds(); sec > 0 {
+		st.RequestsPerSec = float64(st.Requests-st.Failed) / sec
+		st.TilesPerSec = float64(st.Tiles) / sec
+	}
+	return st
+}
+
+// Close drains the server gracefully: new Segment calls are refused,
+// admitted requests run to completion, then workers exit and release their
+// engines. Safe to call more than once.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock() // every in-flight Segment has enqueued all its tiles
+	close(s.stop)
+	s.workers.Wait()
+	return nil
+}

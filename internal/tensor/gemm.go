@@ -1,6 +1,9 @@
 package tensor
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // Cache-blocked GEMM geometry. The kernel follows the classic panel-packing
 // decomposition (GotoBLAS/BLIS): C is computed in MR×NR register tiles from
@@ -20,6 +23,15 @@ const (
 // traffic costs more than it saves; such calls take the serial unblocked
 // kernels (single pass, no goroutines, beta folded in).
 var gemmSmallMNK = 1 << 18
+
+// GemmUsesSmallPath reports whether Gemm(m, n, k) dispatches to the small
+// unblocked kernels instead of the packed blocked path. Inference kernels
+// that inline a GEMM (the direct convolution) use it to mirror Gemm's
+// dispatch exactly, so their results stay bit-identical to the im2col+Gemm
+// formulation for every shape.
+func GemmUsesSmallPath(m, n, k int) bool {
+	return m*n*k <= gemmSmallMNK || m < 4*gemmMR || k < 32
+}
 
 // Gemm computes C = alpha*op(A)*op(B) + beta*C for row-major matrices,
 // where op is identity or transpose per transA/transB. A is m×k (after op),
@@ -43,7 +55,7 @@ func Gemm(transA, transB bool, m, n, k int, alpha float32, a []float32, lda int,
 	// reused enough: a skinny M (few C rows per packed B) or a shallow K
 	// (few micro-kernel steps per packed element) makes packing a net loss,
 	// as does a small problem overall.
-	if m*n*k <= gemmSmallMNK || m < 4*gemmMR || k < 32 {
+	if GemmUsesSmallPath(m, n, k) {
 		gemmSmall(transA, transB, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc)
 		return
 	}
@@ -253,6 +265,26 @@ func scaleRow(row []float32, beta float32) {
 
 // ---------- blocked path: packed panels + register micro-kernel ----------
 
+// panelCache recycles GEMM packing panels without a shared mutex: every
+// concurrent executor — training ranks, serving replicas — packs panels on
+// every blocked call, and routing that traffic through the size-class
+// pool's global lock made packing scratch the one place replicas contend.
+// sync.Pool gives per-P free lists (no lock on the fast path) and lets the
+// GC trim idle panels.
+var panelCache = sync.Pool{New: func() any { return new([]float32) }}
+
+// getPanel returns a packing panel of at least n elements.
+func getPanel(n int) *[]float32 {
+	p := panelCache.Get().(*[]float32)
+	if cap(*p) < n {
+		*p = make([]float32, n)
+	}
+	*p = (*p)[:n]
+	return p
+}
+
+func putPanel(p *[]float32) { panelCache.Put(p) }
+
 func gemmBlocked(transA, transB bool, m, n, k int, alpha float32, a []float32, lda int,
 	b []float32, ldb int, beta float32, c []float32, ldc int) {
 	nc := min(gemmNC, n)
@@ -263,8 +295,9 @@ func gemmBlocked(transA, transB bool, m, n, k int, alpha float32, a []float32, l
 	aPanelMax := ((mc + gemmMR - 1) / gemmMR) * gemmMR * kc
 	mcBlocks := (m + mc - 1) / mc
 
-	bPanel := defaultPool.GetF32(bPanelMax)
-	defer defaultPool.PutF32(bPanel)
+	bPanelPtr := getPanel(bPanelMax)
+	bPanel := *bPanelPtr
+	defer putPanel(bPanelPtr)
 
 	for jc := 0; jc < n; jc += nc {
 		ncEff := min(nc, n-jc)
@@ -275,8 +308,9 @@ func gemmBlocked(transA, transB bool, m, n, k int, alpha float32, a []float32, l
 			// Parallel over disjoint M blocks: each worker packs its own A
 			// panel and owns a distinct row range of C.
 			parallelFor(mcBlocks, 1, func(blo, bhi int) {
-				aPanel := defaultPool.GetF32(aPanelMax)
-				defer defaultPool.PutF32(aPanel)
+				aPanelPtr := getPanel(aPanelMax)
+				aPanel := *aPanelPtr
+				defer putPanel(aPanelPtr)
 				for blk := blo; blk < bhi; blk++ {
 					i0 := blk * mc
 					mcEff := min(mc, m-i0)
