@@ -15,6 +15,7 @@ import (
 	"math/rand"
 	"path/filepath"
 	"runtime"
+	"strconv"
 	"sync"
 	"testing"
 	"time"
@@ -566,6 +567,52 @@ func BenchmarkMultiRankStep(b *testing.B) {
 			b.ReportMetric(res.OverlapFrac*100, "%overlap")
 			b.ReportMetric(float64(res.CtlStats.Batches)/float64(steps), "buckets/step")
 			b.ReportMetric(float64(res.CtlStats.WireBytes)/float64(steps)/1e3, "wire-KB/step")
+		})
+	}
+}
+
+// BenchmarkCheckpointOverhead measures what full-state snapshots cost the
+// training hot path. The writer is asynchronous — rank 0 deep-copies the
+// state at the step boundary and a background goroutine encodes, commits
+// (atomic rename), and prunes. The acceptance bar is <5% of steps/s at the
+// every-4-steps cadence (already far denser than production checkpointing,
+// which runs on minutes); every-step is the saturation stress case, where
+// on a single-core host the writer's encode CPU shares the core with
+// compute and the overhead is expected to exceed the bar.
+func BenchmarkCheckpointOverhead(b *testing.B) {
+	const steps, ranks = 12, 4
+	for _, tc := range []struct {
+		name  string
+		every int
+	}{
+		{"off", 0},
+		{"every-4", 4},
+		{"every-step", 1},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			base := b.TempDir()
+			var res *core.Result
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				cfg := multiRankStepConfig(steps, ranks)
+				if tc.every > 0 {
+					// A fresh directory per run: the trainer refuses to
+					// checkpoint a fresh run over another run's snapshots.
+					cfg.CheckpointEvery = tc.every
+					cfg.CheckpointDir = filepath.Join(base, strconv.Itoa(i))
+					cfg.CheckpointRetain = 2
+				}
+				var err error
+				res, err = core.Train(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if tc.every > 0 && res.CheckpointsWritten != steps/tc.every {
+					b.Fatalf("wrote %d checkpoints, want %d", res.CheckpointsWritten, steps/tc.every)
+				}
+			}
+			b.ReportMetric(float64(steps*b.N)/b.Elapsed().Seconds(), "steps/s")
+			b.ReportMetric(float64(res.CheckpointsWritten*b.N), "snapshots")
 		})
 	}
 }

@@ -6,6 +6,15 @@
 // Usage:
 //
 //	trainseg -network tiramisu -ranks 4 -steps 60 -precision fp32
+//
+// With -ckpt-dir and -ckpt-every the run writes full training-state
+// snapshots, and -resume continues an interrupted run from the newest one
+// bit-exactly. -abort-at hard-kills the process (exit code 3) mid-run,
+// simulating an HPC walltime kill or node failure; together they form the
+// kill/restart harness:
+//
+//	trainseg -steps 60 -ckpt-dir /tmp/ck -ckpt-every 10 -abort-at 25  # dies at step 25
+//	trainseg -steps 60 -ckpt-dir /tmp/ck -ckpt-every 10 -resume      # resumes from step 20
 package main
 
 import (
@@ -40,6 +49,11 @@ func main() {
 	seed := flag.Int64("seed", 12, "seed")
 	weighting := flag.String("weighting", "sqrt",
 		"loss weighting: "+strings.Join(exaclim.Weightings(), ", "))
+	ckptDir := flag.String("ckpt-dir", "", "full-state snapshot directory (enables checkpointing)")
+	ckptEvery := flag.Int("ckpt-every", 10, "snapshot every N steps (with -ckpt-dir)")
+	ckptRetain := flag.Int("ckpt-retain", 3, "committed snapshots to keep")
+	resume := flag.Bool("resume", false, "resume from the newest snapshot in -ckpt-dir")
+	abortAt := flag.Int("abort-at", 0, "hard-kill the process after step N (simulated preemption; exit code 3)")
 	flag.Parse()
 
 	prec := exaclim.FP32
@@ -67,6 +81,36 @@ func main() {
 	}
 	if *larc {
 		opts = append(opts, exaclim.WithLARC(0))
+	}
+	if *ckptDir != "" {
+		opts = append(opts,
+			exaclim.WithCheckpointDir(*ckptDir),
+			exaclim.WithCheckpointEvery(*ckptEvery),
+			exaclim.WithCheckpointRetain(*ckptRetain))
+	}
+	if *resume {
+		if *ckptDir == "" {
+			log.Fatal("-resume needs -ckpt-dir")
+		}
+		path, step, err := exaclim.LatestCheckpoint(*ckptDir)
+		if err != nil {
+			log.Fatalf("no snapshot to resume from: %v", err)
+		}
+		fmt.Printf("resuming from %s (step %d)\n", path, step)
+		opts = append(opts, exaclim.WithResume(*ckptDir))
+	}
+	if *abortAt > 0 {
+		// Simulated preemption: a hard exit from the step callback, with
+		// the async snapshot writer mid-flight like a real walltime kill.
+		at := *abortAt
+		opts = append(opts, exaclim.WithObserver(exaclim.ObserverFuncs{
+			Step: func(s exaclim.StepStat) {
+				if s.Step+1 >= at {
+					fmt.Printf("simulated preemption: killed at step %d\n", s.Step+1)
+					os.Exit(3)
+				}
+			},
+		}))
 	}
 
 	exp, err := exaclim.New(opts...)
@@ -96,4 +140,7 @@ func main() {
 	}
 	fmt.Printf("control plane (rank 0): %d sent, %d received, %d batches\n",
 		res.ControlPlane.CtlSent, res.ControlPlane.CtlReceived, res.ControlPlane.Batches)
+	if res.Checkpoints > 0 {
+		fmt.Printf("checkpoints: %d committed, newest %s\n", res.Checkpoints, res.LastCheckpoint)
+	}
 }

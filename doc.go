@@ -3,14 +3,40 @@
 // pixel-level segmentation of extreme weather patterns with Tiramisu and
 // DeepLabv3+ networks, scaled by data-parallel training with hierarchical
 // collective coordination, hybrid all-reduces, distributed data staging,
-// and mixed precision.
+// and mixed precision — grown, PR by PR, into a production-shaped system.
 //
-// The public API is the exaclim package: a functional-options experiment
-// layer (exaclim.New, Experiment.Run) with name-based registries for
-// networks, optimizers, and loss weightings, streaming observers, context
-// cancellation, and the Quickstart/SummitScale presets. The root package
-// holds the benchmark harness (bench_test.go): one benchmark per table and
-// figure of the paper's evaluation. The library internals live under
-// internal/ (see DESIGN.md for the system inventory), the executables
-// under cmd/, and runnable examples under examples/.
+// The public API is the exaclim package; it is the only supported entry
+// point, and no binary touches the internals directly. It spans the four
+// subsystems the repository has grown:
+//
+//   - Training: exaclim.New(options...) resolves name-based registries
+//     (networks, optimizers, loss weightings) into an Experiment; Run
+//     executes synchronous data-parallel training across simulated ranks
+//     with workspace-planned execution memory (pooled tensors, packed
+//     blocked GEMM, fused kernels) and an overlapped gradient exchange
+//     (fused buckets reduced behind the backward pass, optional FP16
+//     wire), streaming progress to observers and cancelling collectively
+//     through a context.
+//   - Serving: Result.Model wraps the trained network for single-shot
+//     tiled Segment calls, and NewServer turns it into a concurrent
+//     service — bounded admission queue, cross-request tile
+//     micro-batching, replica workers, per-request cancellation — with
+//     bit-identical masks at every batch size and scheduling.
+//   - Fault tolerance: WithCheckpointEvery/WithCheckpointDir write
+//     versioned, CRC-guarded full-training-state snapshots (weights,
+//     optimizer moments, FP16 loss scaler, per-rank data cursors, step
+//     counter) from an asynchronous double-buffered writer with atomic
+//     commit and retention; WithResume continues an interrupted run
+//     bit-exactly — resume(k steps) equals never having stopped.
+//     LatestCheckpoint/VerifyCheckpoint and typed load errors are the
+//     operator surface; README.md carries the operations runbook.
+//   - Analysis: BuildModel with a symbolic ModelConfig analyzes the
+//     paper-exact networks at full 1152×768×16 scale (kernel tables,
+//     scaling models) without allocating gigabytes.
+//
+// The root package holds the benchmark harness (bench_test.go): one
+// benchmark per table and figure of the paper's evaluation, plus the
+// serving and checkpoint-overhead SLO smokes. The library internals live
+// under internal/ (27 packages, inventoried in DESIGN.md), the
+// executables under cmd/, and runnable walkthroughs under examples/.
 package repro

@@ -1,0 +1,47 @@
+package exaclim
+
+import (
+	"repro/internal/models"
+)
+
+// Checkpoint plumbing exposed at the public API: typed load failures for
+// errors.Is and the directory helpers operators script recovery with. The
+// snapshot files themselves are written by WithCheckpointEvery and consumed
+// by WithResume; see those options for the format guarantees.
+
+// Typed checkpoint-load failures. A snapshot that cannot be trusted is
+// never partially applied: Run (under WithResume) and LatestCheckpoint
+// return one of these, matched with errors.Is.
+var (
+	// ErrCheckpointFormat: the file is not a training snapshot.
+	ErrCheckpointFormat = models.ErrSnapshotFormat
+	// ErrCheckpointVersion: written by an incompatible snapshot version.
+	ErrCheckpointVersion = models.ErrSnapshotVersion
+	// ErrCheckpointTruncated: the file is shorter than its header promises
+	// (partial write or torn copy).
+	ErrCheckpointTruncated = models.ErrSnapshotTruncated
+	// ErrCheckpointCorrupt: full length but the checksum does not match.
+	ErrCheckpointCorrupt = models.ErrSnapshotCorrupt
+	// ErrNoCheckpoint: the directory holds no committed snapshot.
+	ErrNoCheckpoint = models.ErrNoSnapshot
+)
+
+// LatestCheckpoint returns the newest committed snapshot in a checkpoint
+// directory and the training step it was taken at. Orphaned *.tmp files
+// from an interrupted writer are ignored. Returns ErrNoCheckpoint when the
+// directory holds none.
+func LatestCheckpoint(dir string) (path string, step uint64, err error) {
+	return models.LatestSnapshot(dir)
+}
+
+// VerifyCheckpoint fully reads and checksums a snapshot file (or, given a
+// directory, its latest committed snapshot) without applying it, returning
+// the step it was taken at. This is the operator's pre-flight check before
+// relying on a snapshot for recovery; failures are the typed errors above.
+func VerifyCheckpoint(path string) (step uint64, err error) {
+	st, err := models.LoadSnapshotFile(path)
+	if err != nil {
+		return 0, err
+	}
+	return st.Step, nil
+}

@@ -1,0 +1,169 @@
+package exaclim
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func ckptBase(dir string) []Option {
+	return []Option{
+		WithNetwork("tiramisu", Tiny),
+		WithSyntheticData(16, 16, 16, 9),
+		WithRanks(2, 1),
+		WithSeed(4),
+		WithCheckpointDir(dir),
+		WithCheckpointEvery(3),
+	}
+}
+
+func TestCheckpointOptionValidation(t *testing.T) {
+	cases := [][]Option{
+		{WithCheckpointEvery(3)},                        // every without dir
+		{WithCheckpointDir(t.TempDir())},                // dir without every
+		{WithCheckpointEvery(0)},                        // bad cadence
+		{WithCheckpointRetain(0)},                       // bad retention
+		{WithResume("")},                                // empty resume path
+		{WithResume("x"), WithInitCheckpoint("y")},      // full state vs weights only
+		{WithCheckpointDir(""), WithCheckpointEvery(1)}, // empty dir
+	}
+	for i, opts := range cases {
+		if _, err := New(opts...); err == nil {
+			t.Errorf("case %d: invalid checkpoint options accepted", i)
+		}
+	}
+}
+
+// TestFullStateResumeThroughAPI is the public-API twin of the core
+// bit-exact property: interrupt at step 3 of 6, resume, and the final
+// snapshot must match the uninterrupted run's byte for byte.
+func TestFullStateResumeThroughAPI(t *testing.T) {
+	run := func(dir string, steps int, extra ...Option) *Result {
+		t.Helper()
+		exp, err := New(append(append(ckptBase(dir), WithSteps(steps)), extra...)...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := exp.Run(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	refDir := t.TempDir()
+	ref := run(refDir, 6)
+	if ref.Checkpoints != 2 || ref.StartStep != 0 {
+		t.Fatalf("reference: %d checkpoints, start %d", ref.Checkpoints, ref.StartStep)
+	}
+
+	resDir := t.TempDir()
+	run(resDir, 3)
+	res := run(resDir, 6, WithResume(resDir))
+	if res.StartStep != 3 || len(res.History) != 3 {
+		t.Fatalf("resumed: start %d, %d steps", res.StartStep, len(res.History))
+	}
+	for i, s := range res.History {
+		if s.Loss != ref.History[3+i].Loss {
+			t.Fatalf("step %d loss %g differs from uninterrupted %g", s.Step, s.Loss, ref.History[3+i].Loss)
+		}
+	}
+
+	a, err := os.ReadFile(filepath.Join(refDir, "ckpt-000000000006.snap"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(res.LastCheckpoint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("final snapshots differ: public-API resume is not bit-exact")
+	}
+
+	if _, step, err := LatestCheckpoint(resDir); err != nil || step != 6 {
+		t.Fatalf("LatestCheckpoint: step %d err %v", step, err)
+	}
+	if step, err := VerifyCheckpoint(res.LastCheckpoint); err != nil || step != 6 {
+		t.Fatalf("VerifyCheckpoint: step %d err %v", step, err)
+	}
+}
+
+// TestCorruptCheckpointFailsTyped: a damaged snapshot must surface a typed
+// error from Run — and never panic or half-apply.
+func TestCorruptCheckpointFailsTyped(t *testing.T) {
+	dir := t.TempDir()
+	exp, err := New(append(ckptBase(dir), WithSteps(3))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := exp.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	path, _, err := LatestCheckpoint(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, tc := range []struct {
+		name string
+		mut  func() []byte
+		want error
+	}{
+		{"corrupt", func() []byte {
+			bad := append([]byte(nil), raw...)
+			bad[len(bad)/2] ^= 1
+			return bad
+		}, ErrCheckpointCorrupt},
+		{"truncated", func() []byte { return raw[:len(raw)/3] }, ErrCheckpointTruncated},
+		{"foreign", func() []byte { return []byte("0123456789abcdef0123456789") }, ErrCheckpointFormat},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := os.WriteFile(path, tc.mut(), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := VerifyCheckpoint(path); !errors.Is(err, tc.want) {
+				t.Fatalf("VerifyCheckpoint: got %v, want %v", err, tc.want)
+			}
+			exp, err := New(append(ckptBase(dir), WithSteps(6), WithResume(path))...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := exp.Run(context.Background()); !errors.Is(err, tc.want) {
+				t.Fatalf("Run: got %v, want %v", err, tc.want)
+			}
+		})
+	}
+
+	if _, _, err := LatestCheckpoint(t.TempDir()); !errors.Is(err, ErrNoCheckpoint) {
+		t.Fatalf("empty dir: got %v, want ErrNoCheckpoint", err)
+	}
+}
+
+// TestResumeRejectsRankMismatch: the snapshot pins the world size.
+func TestResumeRejectsRankMismatch(t *testing.T) {
+	dir := t.TempDir()
+	exp, err := New(append(ckptBase(dir), WithSteps(3))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := exp.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	opts := append(ckptBase(dir), WithSteps(6), WithResume(dir))
+	opts = append(opts, WithRanks(4, 1)) // snapshot was taken at 2
+	exp, err = New(opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := exp.Run(context.Background()); err == nil {
+		t.Fatal("resume at a different rank count must fail")
+	}
+}

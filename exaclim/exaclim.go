@@ -19,6 +19,12 @@
 // model comes back on Result.Model for checkpointing (SaveCheckpoint) and
 // tiled inference (Segment). Presets Quickstart and SummitScale mirror the
 // paper's Tiramisu and DeepLabv3+ configurations.
+//
+// Long runs are preemptible: WithCheckpointEvery/WithCheckpointDir write
+// full training-state snapshots (weights, optimizer moments, FP16 loss
+// scaler, data cursors, step counter) asynchronously off the hot path,
+// and WithResume continues an interrupted run bit-exactly. See
+// Example_trainCheckpointResume and the README operations runbook.
 package exaclim
 
 import (
@@ -82,6 +88,15 @@ func New(opts ...Option) (*Experiment, error) {
 	}
 	if o.schedule != nil && o.polyDecay {
 		return nil, fmt.Errorf("exaclim: WithLRSchedule and WithPolynomialDecay are mutually exclusive")
+	}
+	if o.ckptEvery > 0 && o.ckptDir == "" {
+		return nil, fmt.Errorf("exaclim: WithCheckpointEvery requires WithCheckpointDir")
+	}
+	if o.ckptDir != "" && o.ckptEvery == 0 {
+		return nil, fmt.Errorf("exaclim: WithCheckpointDir requires WithCheckpointEvery")
+	}
+	if o.resume != "" && o.initCkpt != "" {
+		return nil, fmt.Errorf("exaclim: WithResume (full state) and WithInitCheckpoint (weights only) are mutually exclusive")
 	}
 
 	// Dataset: explicit > synthetic spec > a default synthetic set sized to
@@ -196,6 +211,11 @@ func New(opts ...Option) (*Experiment, error) {
 			StepComputeSeconds: o.stepSeconds,
 			Workspace:          o.workspace,
 			KernelWorkers:      o.kernelWorkers,
+			CheckpointEvery:    o.ckptEvery,
+			CheckpointDir:      o.ckptDir,
+			CheckpointRetain:   o.ckptRetain,
+			CheckpointSync:     o.ckptSync,
+			ResumeFrom:         o.resume,
 		},
 		observers: o.observers,
 		network:   o.network,
@@ -252,6 +272,13 @@ type Result struct {
 	// Model is the trained model (rank 0's replica; all replicas are
 	// identical after a synchronous run).
 	Model *Model
+	// StartStep is the first step this process trained: 0 normally, the
+	// snapshot's step under WithResume. History covers [StartStep, steps).
+	StartStep int
+	// Checkpoints counts full-state snapshots committed by this run, and
+	// LastCheckpoint is the newest committed path (empty when none).
+	Checkpoints    int
+	LastCheckpoint string
 }
 
 // Run executes the experiment. Cancelling the context stops training at
@@ -289,6 +316,9 @@ func (e *Experiment) Run(ctx context.Context) (*Result, error) {
 		ControlPlane:    ControlPlaneStats(res.CtlStats),
 		OverlapFraction: res.OverlapFrac,
 		WireBytes:       res.CtlStats.WireBytes,
+		StartStep:       res.StartStep,
+		Checkpoints:     res.CheckpointsWritten,
+		LastCheckpoint:  res.LastCheckpoint,
 		Memory: MemoryStats{
 			Requests:   res.PoolStats.Gets,
 			Allocs:     res.PoolStats.Misses,

@@ -1,0 +1,98 @@
+package exaclim_test
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/exaclim"
+)
+
+// Example_trainCheckpointResume shows the fault-tolerance workflow: train
+// with full-state snapshots, get preempted, and resume bit-exactly —
+// weights, optimizer moments, loss-scaler, and data cursors all continue
+// as if the interruption never happened. WithSteps always counts the whole
+// run, so the resumed experiment uses the same option list plus WithResume.
+func Example_trainCheckpointResume() {
+	dir, err := os.MkdirTemp("", "exaclim-ckpt")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	opts := func(steps int, extra ...exaclim.Option) []exaclim.Option {
+		return append([]exaclim.Option{
+			exaclim.WithNetwork("tiramisu", exaclim.Tiny),
+			exaclim.WithSyntheticData(16, 16, 16, 42),
+			exaclim.WithRanks(2, 1),
+			exaclim.WithSeed(7),
+			exaclim.WithSteps(steps),
+			exaclim.WithCheckpointDir(dir),
+			exaclim.WithCheckpointEvery(5),
+		}, extra...)
+	}
+
+	// The "interrupted" run: 5 of the planned 10 steps, then the process
+	// dies (here: the experiment simply ends after 5).
+	exp, err := exaclim.New(opts(5)...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := exp.Run(context.Background()); err != nil {
+		log.Fatal(err)
+	}
+
+	// Recovery: find and verify the newest committed snapshot…
+	path, step, err := exaclim.LatestCheckpoint(dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := exaclim.VerifyCheckpoint(path); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("snapshot committed at step %d\n", step)
+
+	// …and resume the full 10-step run from it.
+	exp, err = exaclim.New(opts(10, exaclim.WithResume(dir))...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := exp.Run(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("resumed at step %d, trained %d more steps\n", res.StartStep, len(res.History))
+	fmt.Printf("checkpoints committed by the resumed run: %d\n", res.Checkpoints)
+	// Output:
+	// snapshot committed at step 5
+	// resumed at step 5, trained 5 more steps
+	// checkpoints committed by the resumed run: 1
+}
+
+// Example_serving stands up the concurrent segmentation server over a
+// model and serves one request; arbitrary-size fields are tiled, batched
+// across requests, and stitched back into one class mask.
+func Example_serving() {
+	model, err := exaclim.BuildModel("tiramisu", exaclim.Tiny,
+		exaclim.ModelConfig{Height: 16, Width: 16, Seed: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv, err := exaclim.NewServer(model,
+		exaclim.WithReplicas(1), exaclim.WithMaxBatch(4))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+
+	// A 32×32 field over a 16×16 model window → four tiles, one batch.
+	sample := exaclim.SyntheticDataset(32, 32, 1, 5).Sample(0)
+	mask, stat, err := srv.Segment(context.Background(), sample.Fields)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("mask %v from %d tiles\n", mask.Shape(), stat.Tiles)
+	// Output:
+	// mask [32 32] from 4 tiles
+}

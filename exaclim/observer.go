@@ -85,6 +85,7 @@ func NewProgressLogger(w io.Writer, every int) Observer {
 	return &progressLogger{w: w, every: every}
 }
 
+// OnStep implements Observer.
 func (p *progressLogger) OnStep(s StepStat) {
 	p.window = append(p.window, s.Loss)
 	if len(p.window) > 10 {
@@ -102,6 +103,7 @@ func (p *progressLogger) OnStep(s StepStat) {
 		s.Step, s.VirtualTime, s.Loss, sm)
 }
 
+// OnValidation implements Observer.
 func (p *progressLogger) OnValidation(v ValStat) {
 	fmt.Fprintf(p.w, "  step %3d  validation: mean IoU %.3f, accuracy %.3f\n",
 		v.Step, v.MeanIoU, v.Accuracy)

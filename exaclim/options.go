@@ -123,6 +123,12 @@ type options struct {
 
 	observers []Observer
 	initCkpt  string
+
+	ckptEvery  int
+	ckptDir    string
+	ckptRetain int
+	ckptSync   bool
+	resume     string
 }
 
 type synthSpec struct {
@@ -425,8 +431,83 @@ func WithObserver(obs Observer) Option {
 	}
 }
 
-// WithInitCheckpoint initializes every rank's replica from a checkpoint
-// written by Model.SaveCheckpoint before training starts (resuming a run).
+// WithInitCheckpoint initializes every rank's replica from a weights-only
+// checkpoint written by Model.SaveCheckpoint before training starts. This
+// is warm-starting, not resumption: optimizer moments, the FP16 loss
+// scaler, the data-stream cursors, and the step counter all start fresh.
+// To continue an interrupted run exactly, use WithResume with a full-state
+// snapshot from WithCheckpointEvery instead.
 func WithInitCheckpoint(path string) Option {
 	return func(o *options) { o.initCkpt = path }
+}
+
+// WithCheckpointEvery writes a full training-state snapshot every n steps:
+// weights, optimizer moments (Adam/SGD, LARC, the gradient-lag queue), the
+// FP16 loss scaler, every rank's data-stream cursor, and the step counter.
+// Rank 0 captures the state at the step boundary (a memory copy) and a
+// background writer commits it atomically — ckpt-<step>.snap via temp file
+// and rename — so training never waits on the disk and a crash mid-write
+// cannot corrupt a committed snapshot. Requires WithCheckpointDir.
+func WithCheckpointEvery(n int) Option {
+	return func(o *options) {
+		if n < 1 {
+			o.err = fmt.Errorf("exaclim: WithCheckpointEvery wants n ≥ 1, got %d", n)
+			return
+		}
+		o.ckptEvery = n
+	}
+}
+
+// WithCheckpointDir sets the snapshot directory for WithCheckpointEvery
+// (created if missing). A fresh run refuses a directory that already holds
+// another run's snapshots — retention prunes by step order, so writing a
+// new run under stale higher-step files would silently lose every new
+// checkpoint. Resume with WithResume or clear the directory.
+func WithCheckpointDir(dir string) Option {
+	return func(o *options) {
+		if dir == "" {
+			o.err = fmt.Errorf("exaclim: WithCheckpointDir wants a non-empty path")
+			return
+		}
+		o.ckptDir = dir
+	}
+}
+
+// WithCheckpointRetain keeps the newest n committed snapshots, deleting
+// older ones after each write (default 3; the newest is never deleted).
+func WithCheckpointRetain(n int) Option {
+	return func(o *options) {
+		if n < 1 {
+			o.err = fmt.Errorf("exaclim: WithCheckpointRetain wants n ≥ 1, got %d", n)
+			return
+		}
+		o.ckptRetain = n
+	}
+}
+
+// WithCheckpointSync additionally fsyncs every snapshot before its atomic
+// rename. Commit atomicity never depends on this — the rename alone covers
+// every process-level failure (preemption, walltime kill, crash) — but
+// sync extends the guarantee to host power loss, at the cost of stalling
+// the background writer on each journal commit. Off by default.
+func WithCheckpointSync(enabled bool) Option {
+	return func(o *options) { o.ckptSync = enabled }
+}
+
+// WithResume continues training from a full-state snapshot: path may be a
+// snapshot file or a checkpoint directory (the latest committed snapshot
+// inside it is used). WithSteps still counts the whole run: resuming a
+// 2000-step run from a step-1000 snapshot trains 1000 more steps, and the
+// result is bit-identical to never having been interrupted — weights,
+// optimizer moments, and loss-scaler state included. The snapshot's rank
+// count and seed must match the experiment's; mismatches fail at Run.
+// Mutually exclusive with WithInitCheckpoint.
+func WithResume(path string) Option {
+	return func(o *options) {
+		if path == "" {
+			o.err = fmt.Errorf("exaclim: WithResume wants a non-empty path")
+			return
+		}
+		o.resume = path
+	}
 }

@@ -14,7 +14,20 @@ import (
 // matches the trainer's historical per-rank RNG exactly, so enabling the
 // prefetcher does not change which samples a run trains on.
 func NewIndexStream(indices []int, seed int64, rank int) func() int {
+	return NewIndexStreamAt(indices, seed, rank, 0)
+}
+
+// NewIndexStreamAt returns the same deterministic stream as NewIndexStream
+// fast-forwarded past the first skip draws. The stream's RNG state is a
+// pure function of (seed, rank, draws consumed), so a training run resuming
+// from a checkpoint taken after k steps reproduces the interrupted run's
+// remaining sample sequence exactly by replaying and discarding the k draws
+// it already trained on — the cursor IS the RNG state.
+func NewIndexStreamAt(indices []int, seed int64, rank int, skip uint64) func() int {
 	rng := rand.New(rand.NewSource(seed*1_000_033 + int64(rank)*7919))
+	for i := uint64(0); i < skip; i++ {
+		rng.Intn(len(indices))
+	}
 	return func() int { return indices[rng.Intn(len(indices))] }
 }
 
@@ -38,6 +51,16 @@ type Prefetcher struct {
 // dataset. depth bounds how many samples may be generated ahead of the
 // consumer (minimum 1; 2 gives double buffering). Stop it when done.
 func NewPrefetcher(d *Dataset, indices []int, seed int64, rank, depth int) *Prefetcher {
+	return NewPrefetcherAt(d, indices, seed, rank, depth, 0)
+}
+
+// NewPrefetcherAt starts the rank's prefetcher with its index stream
+// fast-forwarded past the first skip draws (see NewIndexStreamAt) — the
+// resume entry point: a trainer that consumed k samples before a
+// checkpoint restarts its pipeline with skip=k and sees the identical
+// remaining sequence, regardless of how many samples the interrupted
+// prefetcher had generated ahead of the crash.
+func NewPrefetcherAt(d *Dataset, indices []int, seed int64, rank, depth int, skip uint64) *Prefetcher {
 	if len(indices) == 0 {
 		panic("climate: prefetcher needs a non-empty index set")
 	}
@@ -56,7 +79,7 @@ func NewPrefetcher(d *Dataset, indices []int, seed int64, rank, depth int) *Pref
 			Labels: tensor.New(tensor.Shape{h, w}),
 		}
 	}
-	next := NewIndexStream(indices, seed, rank)
+	next := NewIndexStreamAt(indices, seed, rank, skip)
 	cfg := d.Cfg
 	go func() {
 		for {

@@ -1,0 +1,225 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/models"
+)
+
+// readSnap loads the raw bytes of the committed snapshot at the given step.
+func readSnap(t *testing.T, dir string, step int) []byte {
+	t.Helper()
+	raw, err := os.ReadFile(filepath.Join(dir, fmt.Sprintf("ckpt-%012d.snap", step)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw
+}
+
+// TestBitExactResume is the fault-tolerance acceptance property: training
+// 2k steps uninterrupted and training k steps, checkpointing, "dying", and
+// resuming k more must produce byte-identical final snapshots — same
+// weights, same optimizer moments (Adam + LARC + the gradient-lag queue),
+// same loss-scaler state, same data cursors — at 1, 2, and 8 ranks, FP32
+// and FP16, with the overlapped exchange on (the default).
+func TestBitExactResume(t *testing.T) {
+	const k = 3
+	for _, tc := range []struct {
+		ranks int
+		prec  graph.Precision
+	}{
+		{1, graph.FP32}, {2, graph.FP32}, {8, graph.FP32},
+		{1, graph.FP16}, {2, graph.FP16}, {8, graph.FP16},
+	} {
+		name := fmt.Sprintf("ranks=%d/%v", tc.ranks, tc.prec)
+		t.Run(name, func(t *testing.T) {
+			mk := func(dir string, steps int, resumeFrom string) Config {
+				cfg := baseConfig(tc.ranks, steps)
+				cfg.Precision = tc.prec
+				if tc.prec == graph.FP16 {
+					cfg.LossScale = 256
+				}
+				// LARC and gradient lag put real state in every layer of
+				// the optimizer tree the snapshot must carry.
+				cfg.UseLARC = true
+				cfg.LARCTrust = 0.01
+				cfg.GradientLag = 1
+				cfg.CheckpointEvery = k
+				cfg.CheckpointDir = dir
+				cfg.ResumeFrom = resumeFrom
+				return cfg
+			}
+
+			// Uninterrupted reference: 2k steps, snapshots at k and 2k.
+			refDir := t.TempDir()
+			ref, err := Train(mk(refDir, 2*k, ""))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ref.CheckpointsWritten != 2 {
+				t.Fatalf("reference wrote %d checkpoints, want 2", ref.CheckpointsWritten)
+			}
+
+			// Interrupted run: k steps, snapshot at k, then the process is
+			// gone (a new Train call with fresh everything is the restart).
+			resDir := t.TempDir()
+			if _, err := Train(mk(resDir, k, "")); err != nil {
+				t.Fatal(err)
+			}
+			resumed, err := Train(mk(resDir, 2*k, resDir))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if resumed.StartStep != k {
+				t.Fatalf("resumed run started at step %d, want %d", resumed.StartStep, k)
+			}
+			if len(resumed.History) != k {
+				t.Fatalf("resumed run trained %d steps, want %d", len(resumed.History), k)
+			}
+			if resumed.History[0].Step != k {
+				t.Fatalf("resumed history starts at step %d, want %d", resumed.History[0].Step, k)
+			}
+
+			// The mid-run snapshots must match (same state at step k)...
+			if !bytes.Equal(readSnap(t, refDir, k), readSnap(t, resDir, k)) {
+				t.Fatalf("step-%d snapshots differ between reference and interrupted run", k)
+			}
+			// ...and so must the final ones: weights, moments, scaler, and
+			// cursors all byte-identical after the restart.
+			if !bytes.Equal(readSnap(t, refDir, 2*k), readSnap(t, resDir, 2*k)) {
+				t.Fatalf("step-%d snapshots differ: resume is not bit-exact", 2*k)
+			}
+
+			// Belt and braces: the in-memory final weights agree too.
+			refParams := ref.Net.Graph.Params()
+			resParams := resumed.Net.Graph.Params()
+			for i, p := range refParams {
+				a, b := p.Value.Data(), resParams[i].Value.Data()
+				for j := range a {
+					if a[j] != b[j] {
+						t.Fatalf("param %q diverges at element %d: %g vs %g",
+							p.Label, j, a[j], b[j])
+					}
+				}
+			}
+			// And the per-step losses line up with the reference's back k.
+			for i, s := range resumed.History {
+				if s.Loss != ref.History[k+i].Loss {
+					t.Fatalf("step %d loss %g differs from uninterrupted %g",
+						s.Step, s.Loss, ref.History[k+i].Loss)
+				}
+			}
+		})
+	}
+}
+
+// TestResumeConfigMismatches: the resume path must fail loudly, not
+// silently train a diverging run.
+func TestResumeConfigMismatches(t *testing.T) {
+	dir := t.TempDir()
+	cfg := baseConfig(2, 2)
+	cfg.CheckpointEvery = 2
+	cfg.CheckpointDir = dir
+	if _, err := Train(cfg); err != nil {
+		t.Fatal(err)
+	}
+
+	bad := baseConfig(4, 4) // different rank count
+	bad.ResumeFrom = dir
+	if _, err := Train(bad); err == nil {
+		t.Fatal("resume at a different rank count must fail")
+	}
+
+	bad = baseConfig(2, 4)
+	bad.Seed = 999 // different data streams
+	bad.ResumeFrom = dir
+	if _, err := Train(bad); err == nil {
+		t.Fatal("resume with a different seed must fail")
+	}
+
+	bad = baseConfig(2, 2) // snapshot already at the configured horizon
+	bad.ResumeFrom = dir
+	if _, err := Train(bad); err == nil {
+		t.Fatal("resume with no steps left must fail")
+	}
+
+	bad = baseConfig(2, 4)
+	bad.CheckpointEvery = 2 // no CheckpointDir
+	if _, err := Train(bad); err == nil {
+		t.Fatal("CheckpointEvery without CheckpointDir must fail")
+	}
+
+	if _, err := Train(Config{}); err == nil {
+		t.Fatal("empty config must fail")
+	}
+}
+
+// TestSnapshotWriterOverlapsTraining drives the async writer hard (a
+// checkpoint every step) and checks every scheduled snapshot commits, the
+// retention policy holds, and the latest file is loadable — the test runs
+// under -race in CI, covering the capture/write hand-off.
+func TestSnapshotWriterOverlapsTraining(t *testing.T) {
+	dir := t.TempDir()
+	cfg := baseConfig(2, 6)
+	cfg.CheckpointEvery = 1
+	cfg.CheckpointDir = dir
+	cfg.CheckpointRetain = 2
+	res, err := Train(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CheckpointsWritten != 6 {
+		t.Fatalf("wrote %d checkpoints, want 6", res.CheckpointsWritten)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("retention left %d files, want 2", len(entries))
+	}
+	path, step, err := models.LatestSnapshot(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if step != 6 {
+		t.Fatalf("latest snapshot at step %d, want 6", step)
+	}
+	if res.LastCheckpoint != path {
+		t.Fatalf("Result.LastCheckpoint %q, want %q", res.LastCheckpoint, path)
+	}
+	st, err := models.LoadSnapshotFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Step != 6 || st.Ranks != 2 {
+		t.Fatalf("snapshot meta step=%d ranks=%d", st.Step, st.Ranks)
+	}
+}
+
+// TestFreshRunRefusesStaleCheckpointDir: retention prunes by step order,
+// so a fresh run writing into another run's directory would silently lose
+// every new snapshot — it must be refused up front.
+func TestFreshRunRefusesStaleCheckpointDir(t *testing.T) {
+	dir := t.TempDir()
+	cfg := baseConfig(1, 2)
+	cfg.CheckpointEvery = 2
+	cfg.CheckpointDir = dir
+	if _, err := Train(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Train(cfg); err == nil {
+		t.Fatal("fresh run into a populated checkpoint directory must fail")
+	}
+	// Resuming into the same directory stays legal.
+	cfg.ResumeFrom = dir
+	cfg.Steps = 4
+	if _, err := Train(cfg); err != nil {
+		t.Fatalf("resume into the same directory: %v", err)
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"os"
 	"sync"
 
 	"repro/internal/allreduce"
@@ -153,6 +154,32 @@ type Config struct {
 	// set it only when runs are serialized.
 	KernelWorkers int
 
+	// CheckpointEvery, when > 0, writes a full training-state snapshot
+	// every N steps: weights, optimizer moments (including the LARC base
+	// and the gradient-lag queue), the FP16 loss scaler, every rank's
+	// data-stream cursor, and the step counter — everything ResumeFrom
+	// needs to continue bit-exactly. Rank 0 captures at the step boundary
+	// (a memcpy) and a background writer commits the file atomically, so
+	// the hot path never waits on the disk. Requires CheckpointDir.
+	CheckpointEvery int
+	// CheckpointDir is the snapshot directory (created if missing).
+	CheckpointDir string
+	// CheckpointRetain keeps the newest N committed snapshots (0 → 3).
+	CheckpointRetain int
+	// CheckpointSync additionally fsyncs each snapshot before its atomic
+	// rename. Commit atomicity never depends on it — rename alone covers
+	// every process-level failure (preemption, walltime kill, crash); sync
+	// extends the guarantee to host power loss at the cost of stalling the
+	// background writer on the journal commit.
+	CheckpointSync bool
+	// ResumeFrom resumes training from a snapshot file written by a run
+	// with the same configuration (or, given a directory, from the latest
+	// committed snapshot inside it). Steps counts the whole run including
+	// the snapshot's completed steps: resuming a Steps=2k run from a step-k
+	// snapshot trains k more steps and lands bit-identical to never having
+	// stopped. The snapshot's ranks and seed must match the configuration.
+	ResumeFrom string
+
 	// Ctx, when set, is checked at every step boundary. Because ranks are
 	// goroutines joined by collectives, cancellation must be a collective
 	// decision: each step all ranks reduce a cancellation flag, so every
@@ -222,6 +249,13 @@ type Result struct {
 	// callers checkpoint or run inference with. After a synchronous run all
 	// replicas hold identical weights, so rank 0's stands for the model.
 	Net *models.Network
+	// StartStep is the first step this process trained (non-zero when the
+	// run resumed from a snapshot); History covers [StartStep, Steps).
+	StartStep int
+	// CheckpointsWritten counts snapshots committed by this run, and
+	// LastCheckpoint is the newest committed path (empty when none).
+	CheckpointsWritten int
+	LastCheckpoint     string
 }
 
 // classFreqCache avoids re-measuring dataset statistics across runs.
@@ -267,6 +301,50 @@ func Train(cfg Config) (*Result, error) {
 		cfg.LossScale = 1024
 	}
 
+	if cfg.CheckpointEvery > 0 && cfg.CheckpointDir == "" {
+		return nil, fmt.Errorf("core: CheckpointEvery requires CheckpointDir")
+	}
+	if cfg.CheckpointEvery > 0 && cfg.ResumeFrom == "" {
+		// A fresh run must not write into a directory holding another
+		// run's snapshots: retention prunes by step order, so the stale
+		// higher-step files would silently swallow every new checkpoint
+		// (and a later resume would load the wrong run's state).
+		if _, step, err := models.LatestSnapshot(cfg.CheckpointDir); err == nil {
+			return nil, fmt.Errorf("core: checkpoint directory %s already holds a snapshot at step %d; resume with ResumeFrom or clear the directory",
+				cfg.CheckpointDir, step)
+		} else if !errors.Is(err, models.ErrNoSnapshot) && !os.IsNotExist(err) {
+			return nil, err
+		}
+	}
+
+	// Resume state is loaded and verified once, then shared read-only by
+	// every rank: each restores the identical weights, optimizer moments,
+	// and scaler (synchronous training keeps them equal across ranks) and
+	// fast-forwards its own data-stream cursor.
+	var resume *models.TrainState
+	if cfg.ResumeFrom != "" {
+		st, err := models.LoadSnapshotFile(cfg.ResumeFrom)
+		if err != nil {
+			return nil, err
+		}
+		if st.Ranks != cfg.Ranks {
+			return nil, fmt.Errorf("core: snapshot was taken at %d ranks, run configured for %d (elastic rank rescaling is not supported)",
+				st.Ranks, cfg.Ranks)
+		}
+		if st.Seed != cfg.Seed {
+			return nil, fmt.Errorf("core: snapshot seed %d does not match configured seed %d; the resumed data streams would diverge",
+				st.Seed, cfg.Seed)
+		}
+		if len(st.Cursors) != cfg.Ranks {
+			return nil, fmt.Errorf("core: snapshot has %d data cursors for %d ranks", len(st.Cursors), cfg.Ranks)
+		}
+		if st.Step >= uint64(cfg.Steps) {
+			return nil, fmt.Errorf("core: snapshot is at step %d, run configured for %d total steps — nothing to resume",
+				st.Step, cfg.Steps)
+		}
+		resume = st
+	}
+
 	if cfg.KernelWorkers > 0 {
 		prev := tensor.SetParallelism(cfg.KernelWorkers)
 		defer tensor.SetParallelism(prev)
@@ -278,9 +356,13 @@ func Train(cfg Config) (*Result, error) {
 	var resMu sync.Mutex
 	var firstErr error
 
+	if resume != nil {
+		res.StartStep = int(resume.Step)
+	}
+
 	world := mpi.NewWorld(fabric)
 	makespan := world.Run(func(c *mpi.Comm) {
-		err := trainRank(c, cfg, weights, res, &resMu)
+		err := trainRank(c, cfg, weights, resume, res, &resMu)
 		if err != nil {
 			resMu.Lock()
 			if firstErr == nil {
@@ -315,11 +397,16 @@ func reducerFor(cfg Config, fabric simnet.Fabric) horovod.Reducer {
 }
 
 func trainRank(c *mpi.Comm, cfg Config, classWeights []float32,
-	res *Result, resMu *sync.Mutex) error {
+	resume *models.TrainState, res *Result, resMu *sync.Mutex) error {
 
 	net, err := cfg.BuildNet()
 	if err != nil {
 		return err
+	}
+	if resume != nil {
+		if err := models.RestoreParams(net.Graph, resume.Params); err != nil {
+			return err
+		}
 	}
 	if c.Rank() == 0 {
 		resMu.Lock()
@@ -375,6 +462,28 @@ func trainRank(c *mpi.Comm, cfg Config, classWeights []float32,
 
 	scaler := &hpfloat.LossScaler{Scale: cfg.LossScale, GrowthInterval: 0}
 
+	startStep := 0
+	var cursor uint64
+	if resume != nil {
+		// The optimizer composition (Lag→[LARC→]base) is rebuilt from the
+		// same configuration, so the state tree reattaches kind by kind;
+		// lagged gradient sets rebind to this rank's live tensors by label.
+		optParams := make([]opt.Param, len(params))
+		for i, p := range params {
+			optParams[i] = opt.Param{Name: p.Label, Value: p.Value}
+		}
+		if resume.Opt != nil {
+			if err := optimizer.RestoreState(resume.Opt, optParams); err != nil {
+				return err
+			}
+		}
+		if resume.Scaler != nil {
+			scaler.RestoreState(*resume.Scaler)
+		}
+		startStep = int(resume.Step)
+		cursor = resume.Cursors[c.Rank()]
+	}
+
 	// Rank-local data shard: independent deterministic draws, as staged
 	// data. The bucketed modes generate samples on a per-rank prefetcher
 	// goroutine (double-buffered, bounded) so data generation overlaps the
@@ -387,10 +496,10 @@ func trainRank(c *mpi.Comm, cfg Config, classWeights []float32,
 	var pf *climate.Prefetcher
 	var nextIdx func() int
 	if bucketed {
-		pf = climate.NewPrefetcher(cfg.Dataset, trainIdx, cfg.Seed, c.Rank(), 2)
+		pf = climate.NewPrefetcherAt(cfg.Dataset, trainIdx, cfg.Seed, c.Rank(), 2, cursor)
 		defer pf.Stop()
 	} else {
-		nextIdx = climate.NewIndexStream(trainIdx, cfg.Seed, c.Rank())
+		nextIdx = climate.NewIndexStreamAt(trainIdx, cfg.Seed, c.Rank(), cursor)
 	}
 
 	// Per-rank persistent workspace: one pool, one reusing executor, and
@@ -412,6 +521,18 @@ func trainRank(c *mpi.Comm, cfg Config, classWeights []float32,
 	cancellable := cfg.Ctx != nil && cfg.Ctx.Done() != nil
 
 	skipped := 0
+	if resume != nil {
+		skipped = resume.Skipped
+	}
+
+	// Rank 0 owns the asynchronous snapshot writer; the other ranks hold
+	// identical state at every boundary, so one writer covers the world.
+	var snap *snapshotter
+	if c.Rank() == 0 && cfg.CheckpointEvery > 0 {
+		snap = newSnapshotter(cfg.CheckpointDir, cfg.CheckpointRetain, cfg.CheckpointSync)
+		defer snap.stop()
+	}
+
 	overlapSum := 0.0
 	recordFinal := func() {
 		if c.Rank() != 0 {
@@ -424,10 +545,23 @@ func trainRank(c *mpi.Comm, cfg Config, classWeights []float32,
 		if n := len(res.History); n > 0 {
 			res.OverlapFrac = overlapSum / float64(n)
 		}
+		if snap != nil {
+			written, last, _ := snap.stop()
+			res.CheckpointsWritten = written
+			res.LastCheckpoint = last
+		}
 		resMu.Unlock()
 	}
 	exitCancelled := func() error {
 		recordFinal()
+		// A failed snapshot write outranks the clean-cancel exit: an
+		// operator who asked for checkpoints must hear about a stale
+		// checkpoint directory now, not at recovery time.
+		if snap != nil {
+			if _, _, err := snap.stop(); err != nil {
+				return err
+			}
+		}
 		if err := cfg.Ctx.Err(); err != nil {
 			return err
 		}
@@ -456,7 +590,7 @@ func trainRank(c *mpi.Comm, cfg Config, classWeights []float32,
 		}
 	}
 
-	for step := 0; step < cfg.Steps; step++ {
+	for step := startStep; step < cfg.Steps; step++ {
 		if !bucketed && cancellable {
 			// Legacy path: the dedicated cancellation collective the
 			// bucketed modes fold into the exchange.
@@ -615,6 +749,14 @@ func trainRank(c *mpi.Comm, cfg Config, classWeights []float32,
 			resMu.Lock()
 			res.History = append(res.History, stat)
 			resMu.Unlock()
+			if snap != nil && (step+1)%cfg.CheckpointEvery == 0 {
+				// Every rank's state is identical at this boundary, so rank
+				// 0's capture stands for the world. The deep copy happens
+				// here; encoding and I/O happen on the writer goroutine.
+				if err := snap.capture(uint64(step+1), cfg, net, optimizer, scaler, skipped); err != nil {
+					return err
+				}
+			}
 			if cfg.OnStep != nil {
 				cfg.OnStep(stat)
 			}
@@ -644,6 +786,14 @@ func trainRank(c *mpi.Comm, cfg Config, classWeights []float32,
 	}
 
 	recordFinal()
+	if snap != nil {
+		// A failed snapshot write is a training failure: an operator who
+		// asked for checkpoints must not discover at preemption time that
+		// none were committed.
+		if _, _, err := snap.stop(); err != nil {
+			return err
+		}
+	}
 
 	// Distributed validation: each rank evaluates a slice, confusion
 	// matrices merge by all-reducing the counts.

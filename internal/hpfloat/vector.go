@@ -161,3 +161,26 @@ func (s *LossScaler) Update(overflowed bool) bool {
 
 // SkippedSteps returns how many steps were skipped due to overflow.
 func (s *LossScaler) SkippedSteps() int { return s.skippedSteps }
+
+// ScalerState is the serializable dynamic state of a LossScaler — the piece
+// a training checkpoint must carry so a resumed run's scale trajectory
+// (backoff position, growth countdown) continues exactly where the
+// interrupted run stopped. Configuration (GrowthInterval, MaxScale) is not
+// included: it is rebuilt from the run configuration.
+type ScalerState struct {
+	Scale        float64
+	CleanSteps   int
+	SkippedSteps int
+}
+
+// CaptureState snapshots the scaler's dynamic state.
+func (s *LossScaler) CaptureState() ScalerState {
+	return ScalerState{Scale: s.Scale, CleanSteps: s.cleanSteps, SkippedSteps: s.skippedSteps}
+}
+
+// RestoreState reinstates a snapshot taken with CaptureState.
+func (s *LossScaler) RestoreState(st ScalerState) {
+	s.Scale = st.Scale
+	s.cleanSteps = st.CleanSteps
+	s.skippedSteps = st.SkippedSteps
+}

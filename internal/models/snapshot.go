@@ -1,0 +1,691 @@
+package models
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/hpfloat"
+	"repro/internal/opt"
+	"repro/internal/tensor"
+)
+
+// Full training-state snapshots. SaveParams/LoadParams capture only the
+// network weights, which is enough to ship a model to inference but not to
+// resume training: a weights-only restart silently resets the optimizer
+// moments, the FP16 loss scaler, the per-rank data-stream cursors, and the
+// step counter, so the resumed trajectory diverges from the uninterrupted
+// one. A TrainState snapshot carries all of it in one versioned, CRC-
+// guarded file, and the trainer's resume path reconstructs every piece —
+// resume(k steps) is bit-identical to never having stopped.
+//
+// File layout (little endian):
+//
+//	magic   u32  "SNP1"
+//	version u32
+//	length  u64  payload bytes that follow the header
+//	payload      meta, cursors, params, optimizer tree, loss scaler
+//	crc     u32  CRC-32C (Castagnoli) over header+payload
+//
+// The header length field distinguishes a truncated file (short read →
+// ErrSnapshotTruncated) from in-place corruption (CRC mismatch →
+// ErrSnapshotCorrupt), so operators see which failure they are holding.
+// Every section is written in a deterministic order (graph parameter
+// order, name-sorted optimizer slots), so two runs in the same state
+// produce byte-identical files — the property the bit-exact resume tests
+// compare on.
+
+const (
+	snapshotMagic   = 0x31504E53 // "SNP1"
+	snapshotVersion = 1
+	snapshotHeader  = 4 + 4 + 8 // magic + version + payload length
+)
+
+// Typed snapshot failures, matched with errors.Is. Load never panics on
+// hostile bytes: every decode path ends in one of these (or an io error).
+var (
+	// ErrSnapshotFormat: the file is not a training snapshot (bad magic).
+	ErrSnapshotFormat = errors.New("models: not a training snapshot")
+	// ErrSnapshotVersion: written by an incompatible format version.
+	ErrSnapshotVersion = errors.New("models: unsupported snapshot version")
+	// ErrSnapshotTruncated: shorter than its header promises (partial
+	// write or torn copy).
+	ErrSnapshotTruncated = errors.New("models: snapshot truncated")
+	// ErrSnapshotCorrupt: full length but the CRC does not match.
+	ErrSnapshotCorrupt = errors.New("models: snapshot corrupt (CRC mismatch)")
+	// ErrNoSnapshot: a resume directory holds no committed snapshot.
+	ErrNoSnapshot = errors.New("models: no snapshot found")
+)
+
+// TrainState is everything a training run needs to continue bit-exactly:
+// the global step, every rank's data-stream cursor, the weights, the
+// optimizer state tree, and the loss-scaler state. The executor RNG needs
+// no entry — its per-step seed is derived from (run seed, step, rank) — and
+// the data-stream RNG is reconstructed by replaying Cursors[rank] draws.
+type TrainState struct {
+	Step    uint64 // training steps completed
+	Ranks   int
+	Seed    int64 // run seed, recorded for sanity checks
+	Skipped int   // optimizer updates skipped so far (FP16 overflow)
+
+	// Cursors[r] is how many samples rank r has drawn from its index
+	// stream; synchronous training keeps them equal to Step, but they are
+	// stored per rank so the format does not bake that invariant in.
+	Cursors []uint64
+
+	Params []ParamState
+	Opt    *opt.State
+	Scaler *hpfloat.ScalerState
+}
+
+// ParamState is one parameter's deep-copied snapshot.
+type ParamState struct {
+	Label string
+	Shape tensor.Shape
+	Data  []float32
+}
+
+// CaptureParamsInto deep-copies the graph's parameters, reusing prev's
+// backing slices when shapes match — the double-buffered snapshot writer
+// recycles its capture buffers through here so steady-state checkpointing
+// allocates nothing.
+func CaptureParamsInto(g *graph.Graph, prev []ParamState) ([]ParamState, error) {
+	params := g.Params()
+	if len(prev) != len(params) {
+		prev = make([]ParamState, len(params))
+	}
+	for i, p := range params {
+		if p.Value == nil {
+			return nil, fmt.Errorf("models: parameter %q is symbolic; cannot snapshot", p.Label)
+		}
+		src := p.Value.Data()
+		if len(prev[i].Data) != len(src) {
+			prev[i].Data = make([]float32, len(src))
+		}
+		copy(prev[i].Data, src)
+		prev[i].Label = p.Label
+		prev[i].Shape = p.Shape
+	}
+	return prev, nil
+}
+
+// RestoreParams loads a parameter snapshot into a graph built with the same
+// architecture, matching by label and shape; missing or mismatched entries
+// are errors, exactly like LoadParams.
+func RestoreParams(g *graph.Graph, params []ParamState) error {
+	byLabel := make(map[string]*graph.Node)
+	for _, p := range g.Params() {
+		byLabel[p.Label] = p
+	}
+	if len(params) != len(byLabel) {
+		return fmt.Errorf("models: snapshot has %d params, graph has %d", len(params), len(byLabel))
+	}
+	for _, ps := range params {
+		p, ok := byLabel[ps.Label]
+		if !ok {
+			return fmt.Errorf("models: snapshot param %q not in graph", ps.Label)
+		}
+		if !ps.Shape.Equal(p.Shape) {
+			return fmt.Errorf("models: param %q shape %v, graph wants %v", ps.Label, ps.Shape, p.Shape)
+		}
+		if p.Value == nil {
+			return fmt.Errorf("models: parameter %q is symbolic; cannot restore", ps.Label)
+		}
+		copy(p.Value.Data(), ps.Data)
+	}
+	return nil
+}
+
+// snapshotCRC is the Castagnoli polynomial — CRC-32C, computed with the
+// dedicated CPU instruction on amd64/arm64, so checksumming megabytes of
+// state costs microseconds of the writer goroutine (which shares its core
+// with training on small hosts).
+var snapshotCRC = crc32.MakeTable(crc32.Castagnoli)
+
+// EncodeSnapshot writes the state as one framed, CRC-guarded snapshot. The
+// payload streams through a buffered writer in a single pass (its exact
+// size is computed up front for the header), so encoding allocates no
+// payload-sized intermediate — the asynchronous checkpoint writer's CPU
+// cost is one conversion sweep plus the hardware CRC.
+func (s *TrainState) EncodeSnapshot(w io.Writer) error {
+	size, err := s.payloadSize()
+	if err != nil {
+		return err
+	}
+	var header [snapshotHeader]byte
+	binary.LittleEndian.PutUint32(header[0:], snapshotMagic)
+	binary.LittleEndian.PutUint32(header[4:], snapshotVersion)
+	binary.LittleEndian.PutUint64(header[8:], uint64(size))
+	if _, err := w.Write(header[:]); err != nil {
+		return err
+	}
+	crc := crc32.New(snapshotCRC)
+	crc.Write(header[:])
+	cw := &countingWriter{w: io.MultiWriter(w, crc)}
+	bw := bufio.NewWriterSize(cw, 1<<16)
+	if err := s.encodePayload(bw); err != nil {
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	if cw.n != int64(size) {
+		return fmt.Errorf("models: snapshot encoder wrote %d payload bytes, sized %d", cw.n, size)
+	}
+	return binary.Write(w, binary.LittleEndian, crc.Sum32())
+}
+
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+// Write implements io.Writer, counting bytes through to the target.
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// payloadSize returns the exact encoded payload size, mirroring
+// encodePayload section by section (the encoder verifies the two agree).
+func (s *TrainState) payloadSize() (int, error) {
+	size := 8 + 4 + 8 + 4 // step, ranks, seed, skipped
+	size += 4 + 8*len(s.Cursors)
+	size += 4
+	for _, p := range s.Params {
+		if p.Shape.NumElements() != len(p.Data) {
+			return 0, fmt.Errorf("models: param %q shape %v does not cover %d values",
+				p.Label, p.Shape, len(p.Data))
+		}
+		size += 4 + len(p.Label) + 4 + 4*p.Shape.Rank() + 4*len(p.Data)
+	}
+	size += optStateSize(s.Opt)
+	size++ // scaler presence byte
+	if s.Scaler != nil {
+		size += 8 + 4 + 4
+	}
+	return size, nil
+}
+
+func optStateSize(st *opt.State) int {
+	if st == nil {
+		return 1
+	}
+	size := 1 + 4 + len(st.Kind) + 8 + 4
+	for _, s := range st.Slots {
+		size += 4 + len(s.Name) + 4 + 4*len(s.Data)
+	}
+	size += 4
+	for _, set := range st.Queue {
+		size += 4
+		for _, s := range set {
+			size += 4 + len(s.Name) + 4 + 4*len(s.Data)
+		}
+	}
+	return size + optStateSize(st.Base)
+}
+
+// writeF32s appends a float32 slice to the payload through a stack scratch
+// block — one bounds-checked conversion pass instead of encoding/binary's
+// per-call reflection and buffer churn. The bulk sections (weights, Adam
+// moments) dominate snapshot bytes, so this is the encoder's hot loop.
+func writeF32s(w *bufio.Writer, xs []float32) {
+	var scratch [8192]byte
+	for len(xs) > 0 {
+		n := min(len(xs), len(scratch)/4)
+		for i, x := range xs[:n] {
+			binary.LittleEndian.PutUint32(scratch[4*i:], math.Float32bits(x))
+		}
+		w.Write(scratch[:4*n])
+		xs = xs[n:]
+	}
+}
+
+func (s *TrainState) encodePayload(w *bufio.Writer) error {
+	le := binary.LittleEndian
+	binary.Write(w, le, s.Step)
+	binary.Write(w, le, uint32(s.Ranks))
+	binary.Write(w, le, s.Seed)
+	binary.Write(w, le, uint32(s.Skipped))
+	binary.Write(w, le, uint32(len(s.Cursors)))
+	for _, c := range s.Cursors {
+		binary.Write(w, le, c)
+	}
+	binary.Write(w, le, uint32(len(s.Params)))
+	for _, p := range s.Params {
+		if err := writeString(w, p.Label); err != nil {
+			return err
+		}
+		binary.Write(w, le, uint32(p.Shape.Rank()))
+		for _, d := range p.Shape {
+			binary.Write(w, le, uint32(d))
+		}
+		if p.Shape.NumElements() != len(p.Data) {
+			return fmt.Errorf("models: param %q shape %v does not cover %d values",
+				p.Label, p.Shape, len(p.Data))
+		}
+		writeF32s(w, p.Data)
+	}
+	if err := encodeOptState(w, s.Opt); err != nil {
+		return err
+	}
+	if s.Scaler == nil {
+		w.WriteByte(0)
+	} else {
+		w.WriteByte(1)
+		binary.Write(w, le, s.Scaler.Scale)
+		binary.Write(w, le, uint32(s.Scaler.CleanSteps))
+		binary.Write(w, le, uint32(s.Scaler.SkippedSteps))
+	}
+	return nil
+}
+
+func encodeOptState(w *bufio.Writer, st *opt.State) error {
+	if st == nil {
+		w.WriteByte(0)
+		return nil
+	}
+	w.WriteByte(1)
+	le := binary.LittleEndian
+	if err := writeString(w, st.Kind); err != nil {
+		return err
+	}
+	binary.Write(w, le, st.Step)
+	binary.Write(w, le, uint32(len(st.Slots)))
+	for _, s := range st.Slots {
+		if err := writeString(w, s.Name); err != nil {
+			return err
+		}
+		binary.Write(w, le, uint32(len(s.Data)))
+		writeF32s(w, s.Data)
+	}
+	binary.Write(w, le, uint32(len(st.Queue)))
+	for _, set := range st.Queue {
+		binary.Write(w, le, uint32(len(set)))
+		for _, s := range set {
+			if err := writeString(w, s.Name); err != nil {
+				return err
+			}
+			binary.Write(w, le, uint32(len(s.Data)))
+			writeF32s(w, s.Data)
+		}
+	}
+	return encodeOptState(w, st.Base)
+}
+
+// DecodeSnapshot reads and verifies a snapshot. Failures are typed: wrong
+// magic (ErrSnapshotFormat), unknown version (ErrSnapshotVersion), short
+// file (ErrSnapshotTruncated), checksum mismatch (ErrSnapshotCorrupt).
+func DecodeSnapshot(r io.Reader) (*TrainState, error) {
+	raw, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("models: reading snapshot: %w", err)
+	}
+	if len(raw) < snapshotHeader {
+		return nil, fmt.Errorf("%w: %d bytes is shorter than the header", ErrSnapshotTruncated, len(raw))
+	}
+	le := binary.LittleEndian
+	if le.Uint32(raw[0:]) != snapshotMagic {
+		return nil, fmt.Errorf("%w: magic %#x", ErrSnapshotFormat, le.Uint32(raw[0:]))
+	}
+	if v := le.Uint32(raw[4:]); v != snapshotVersion {
+		return nil, fmt.Errorf("%w: file version %d, this build reads %d",
+			ErrSnapshotVersion, v, snapshotVersion)
+	}
+	plen := le.Uint64(raw[8:])
+	// Guard the length arithmetic itself: a hostile plen near 2^64 would
+	// wrap `header+plen+4` and slip past the check into a panicking slice.
+	if plen > uint64(len(raw)-snapshotHeader) {
+		return nil, fmt.Errorf("%w: header promises %d payload bytes, file carries %d",
+			ErrSnapshotTruncated, plen, len(raw)-snapshotHeader)
+	}
+	want := uint64(snapshotHeader) + plen + 4
+	if uint64(len(raw)) < want {
+		return nil, fmt.Errorf("%w: %d of %d bytes", ErrSnapshotTruncated, len(raw), want)
+	}
+	body := raw[:snapshotHeader+plen]
+	stored := le.Uint32(raw[snapshotHeader+plen:])
+	if crc32.Checksum(body, snapshotCRC) != stored {
+		return nil, fmt.Errorf("%w: stored %#x computed %#x",
+			ErrSnapshotCorrupt, stored, crc32.Checksum(body, snapshotCRC))
+	}
+	st, err := decodePayload(bytes.NewReader(body[snapshotHeader:]))
+	if err != nil {
+		// The CRC passed, so a decode failure means a writer bug or an
+		// incompatible same-version format — still corrupt to the caller.
+		return nil, fmt.Errorf("%w: %v", ErrSnapshotCorrupt, err)
+	}
+	return st, nil
+}
+
+func decodePayload(r *bytes.Reader) (*TrainState, error) {
+	le := binary.LittleEndian
+	st := &TrainState{}
+	var ranks, skipped, n uint32
+	if err := binary.Read(r, le, &st.Step); err != nil {
+		return nil, err
+	}
+	if err := binary.Read(r, le, &ranks); err != nil {
+		return nil, err
+	}
+	if err := binary.Read(r, le, &st.Seed); err != nil {
+		return nil, err
+	}
+	if err := binary.Read(r, le, &skipped); err != nil {
+		return nil, err
+	}
+	st.Ranks, st.Skipped = int(ranks), int(skipped)
+	if err := binary.Read(r, le, &n); err != nil {
+		return nil, err
+	}
+	if uint64(n)*8 > uint64(r.Len()) {
+		return nil, fmt.Errorf("implausible cursor count %d", n)
+	}
+	st.Cursors = make([]uint64, n)
+	for i := range st.Cursors {
+		if err := binary.Read(r, le, &st.Cursors[i]); err != nil {
+			return nil, err
+		}
+	}
+	if err := binary.Read(r, le, &n); err != nil {
+		return nil, err
+	}
+	if uint64(n)*4 > uint64(r.Len()) {
+		return nil, fmt.Errorf("implausible param count %d", n)
+	}
+	st.Params = make([]ParamState, n)
+	for i := range st.Params {
+		label, err := readString(r)
+		if err != nil {
+			return nil, err
+		}
+		var rank uint32
+		if err := binary.Read(r, le, &rank); err != nil {
+			return nil, err
+		}
+		if rank > 8 {
+			return nil, fmt.Errorf("implausible param rank %d", rank)
+		}
+		shape := make(tensor.Shape, rank)
+		// Accumulate the element count with the payload bound applied per
+		// dimension: hostile dims like 2^31 × 2^31 would overflow a single
+		// post-hoc `ne*4` check and reach make() with a panicking length.
+		bound := uint64(r.Len()) / 4
+		ne := uint64(1)
+		for d := range shape {
+			var dim uint32
+			if err := binary.Read(r, le, &dim); err != nil {
+				return nil, err
+			}
+			shape[d] = int(dim)
+			if ne *= uint64(dim); ne > bound {
+				return nil, fmt.Errorf("param %q data overruns the payload", label)
+			}
+		}
+		data := make([]float32, ne)
+		if err := binary.Read(r, le, data); err != nil {
+			return nil, err
+		}
+		st.Params[i] = ParamState{Label: label, Shape: shape, Data: data}
+	}
+	var err error
+	if st.Opt, err = decodeOptState(r, 0); err != nil {
+		return nil, err
+	}
+	has, err := r.ReadByte()
+	if err != nil {
+		return nil, err
+	}
+	if has == 1 {
+		sc := &hpfloat.ScalerState{}
+		var clean, sk uint32
+		if err := binary.Read(r, le, &sc.Scale); err != nil {
+			return nil, err
+		}
+		if err := binary.Read(r, le, &clean); err != nil {
+			return nil, err
+		}
+		if err := binary.Read(r, le, &sk); err != nil {
+			return nil, err
+		}
+		sc.CleanSteps, sc.SkippedSteps = int(clean), int(sk)
+		st.Scaler = sc
+	}
+	return st, nil
+}
+
+func decodeOptState(r *bytes.Reader, depth int) (*opt.State, error) {
+	if depth > 8 {
+		return nil, fmt.Errorf("optimizer state nested deeper than any real composition")
+	}
+	has, err := r.ReadByte()
+	if err != nil {
+		return nil, err
+	}
+	if has == 0 {
+		return nil, nil
+	}
+	le := binary.LittleEndian
+	st := &opt.State{}
+	if st.Kind, err = readString(r); err != nil {
+		return nil, err
+	}
+	if err := binary.Read(r, le, &st.Step); err != nil {
+		return nil, err
+	}
+	readSlots := func() ([]opt.Slot, error) {
+		var n uint32
+		if err := binary.Read(r, le, &n); err != nil {
+			return nil, err
+		}
+		if n == 0 {
+			return nil, nil // keep nil/empty symmetric with the encoder
+		}
+		if uint64(n)*4 > uint64(r.Len()) {
+			return nil, fmt.Errorf("implausible slot count %d", n)
+		}
+		slots := make([]opt.Slot, n)
+		for i := range slots {
+			name, err := readString(r)
+			if err != nil {
+				return nil, err
+			}
+			var ln uint32
+			if err := binary.Read(r, le, &ln); err != nil {
+				return nil, err
+			}
+			if uint64(ln)*4 > uint64(r.Len()) {
+				return nil, fmt.Errorf("slot %q data overruns the payload", name)
+			}
+			data := make([]float32, ln)
+			if err := binary.Read(r, le, data); err != nil {
+				return nil, err
+			}
+			slots[i] = opt.Slot{Name: name, Data: data}
+		}
+		return slots, nil
+	}
+	if st.Slots, err = readSlots(); err != nil {
+		return nil, err
+	}
+	var nq uint32
+	if err := binary.Read(r, le, &nq); err != nil {
+		return nil, err
+	}
+	if uint64(nq)*4 > uint64(r.Len()) {
+		return nil, fmt.Errorf("implausible queue length %d", nq)
+	}
+	for i := uint32(0); i < nq; i++ {
+		set, err := readSlots()
+		if err != nil {
+			return nil, err
+		}
+		st.Queue = append(st.Queue, set)
+	}
+	if st.Base, err = decodeOptState(r, depth+1); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+// SaveSnapshotFile writes the state to path (not atomically — the trainer's
+// checkpoint directory flow goes through WriteSnapshotAtomic instead).
+func SaveSnapshotFile(path string, s *TrainState) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := s.EncodeSnapshot(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadSnapshotFile reads and verifies a snapshot file. If path is a
+// directory, the latest committed snapshot inside it is loaded.
+func LoadSnapshotFile(path string) (*TrainState, error) {
+	if fi, err := os.Stat(path); err == nil && fi.IsDir() {
+		latest, _, err := LatestSnapshot(path)
+		if err != nil {
+			return nil, err
+		}
+		path = latest
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return DecodeSnapshot(f)
+}
+
+// snapshotName formats the committed file name for a step. The fixed-width
+// step makes lexical order equal step order.
+func snapshotName(step uint64) string { return fmt.Sprintf("ckpt-%012d.snap", step) }
+
+// WriteSnapshotAtomic commits the state into dir as ckpt-<step>.snap via a
+// temporary file and rename, so a crash mid-write can never leave a
+// half-written file under the committed name — the crash window leaves at
+// most a *.tmp orphan, which every reader ignores and the next writer
+// replaces. Rename atomicity covers the repo's simulated failure model
+// (process preemption: walltime kill, cancellation, crash — the page cache
+// survives the process). durable additionally fsyncs the file before the
+// rename and the directory after it — both are needed for the snapshot to
+// survive host power loss (the rename itself is directory metadata) — at
+// the cost of stalling the writer on the journal commits. Returns the
+// committed path.
+func WriteSnapshotAtomic(dir string, s *TrainState, durable bool) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	final := filepath.Join(dir, snapshotName(s.Step))
+	tmp := final + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return "", err
+	}
+	if err := s.EncodeSnapshot(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return "", err
+	}
+	if durable {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			os.Remove(tmp)
+			return "", err
+		}
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return "", err
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		os.Remove(tmp)
+		return "", err
+	}
+	if durable {
+		if err := syncDir(dir); err != nil {
+			return "", err
+		}
+	}
+	return final, nil
+}
+
+// syncDir fsyncs a directory so renames and unlinks inside it reach disk.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	serr := d.Sync()
+	if cerr := d.Close(); serr == nil {
+		serr = cerr
+	}
+	return serr
+}
+
+// listSnapshots returns the committed snapshot files in dir, oldest first.
+// *.tmp orphans from interrupted writes are never listed.
+func listSnapshots(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		n := e.Name()
+		if e.Type().IsRegular() && len(n) == len(snapshotName(0)) &&
+			filepath.Ext(n) == ".snap" && n[:5] == "ckpt-" {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// LatestSnapshot returns the newest committed snapshot in dir and its step.
+// Returns ErrNoSnapshot when the directory holds none (including when only
+// *.tmp orphans exist).
+func LatestSnapshot(dir string) (path string, step uint64, err error) {
+	names, err := listSnapshots(dir)
+	if err != nil {
+		return "", 0, err
+	}
+	if len(names) == 0 {
+		return "", 0, fmt.Errorf("%w in %s", ErrNoSnapshot, dir)
+	}
+	last := names[len(names)-1]
+	fmt.Sscanf(last, "ckpt-%d.snap", &step)
+	return filepath.Join(dir, last), step, nil
+}
+
+// PruneSnapshots deletes all but the newest keep committed snapshots in
+// dir (keep < 1 is treated as 1 — the retention policy never deletes the
+// only recovery point).
+func PruneSnapshots(dir string, keep int) error {
+	if keep < 1 {
+		keep = 1
+	}
+	names, err := listSnapshots(dir)
+	if err != nil {
+		return err
+	}
+	for _, n := range names[:max(0, len(names)-keep)] {
+		if err := os.Remove(filepath.Join(dir, n)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

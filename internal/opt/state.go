@@ -1,0 +1,303 @@
+package opt
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/tensor"
+)
+
+// Optimizer state capture/restore: every optimizer in this package can
+// export its internal state (momentum velocities, Adam moments, the
+// gradient-lag queue) as a State tree and reinstate it later — the piece of
+// fault-tolerant training that keeps a resumed run bit-identical to an
+// uninterrupted one. Wrappers (LARC, LagN) nest their base optimizer's
+// state, so the tree mirrors the optimizer composition.
+
+// State is a deep-copied, serializable snapshot of an optimizer. Slots are
+// named float32 vectors (one per parameter per moment) in a deterministic
+// order; Queue holds the LagN pending-gradient sets, oldest first.
+type State struct {
+	Kind  string // "sgd", "adam", "larc", "lag"
+	Step  int64  // Adam bias-correction step count
+	Slots []Slot
+	Queue [][]Slot // LagN: one gradient set per queued step
+	Base  *State   // wrapped optimizer's state (LARC, LagN)
+}
+
+// Slot is one named state vector, e.g. Adam's first moment for a layer.
+type Slot struct {
+	Name string
+	Data []float32
+}
+
+// Stateful is implemented by every optimizer in this package. CaptureState
+// deep-copies, so the returned State stays valid while training continues;
+// CaptureStateInto does the same while recycling a previous capture's
+// storage (slot slices and data vectors), so a periodic checkpointer
+// reaches steady-state zero bulk allocation — for Adam the moments are 2×
+// the parameter bytes, the dominant share of a snapshot. RestoreState
+// reinstates a snapshot captured from an identically configured optimizer
+// (params rebind lagged gradients to live tensors and fix the slot order).
+type Stateful interface {
+	Optimizer
+	CaptureState() *State
+	CaptureStateInto(prev *State) *State
+	RestoreState(st *State, params []Param) error
+}
+
+// sortedSlotsInto flattens a by-name map into name-sorted slots with
+// copied data, reusing prev's slot slice and data vectors where lengths
+// match. Sorting (not map order) keeps the encoding deterministic, which
+// is what lets two runs' snapshot files be compared byte for byte.
+func sortedSlotsInto(prev []Slot, m map[string][]float32) []Slot {
+	if len(m) == 0 {
+		return nil // symmetric with the snapshot decoder's empty sections
+	}
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	if cap(prev) < len(names) {
+		prev = make([]Slot, len(names))
+	}
+	prev = prev[:len(names)]
+	for i, n := range names {
+		src := m[n]
+		d := prev[i].Data
+		if len(d) != len(src) {
+			d = make([]float32, len(src))
+		}
+		copy(d, src)
+		prev[i] = Slot{Name: n, Data: d}
+	}
+	return prev
+}
+
+func slotsToMap(kind string, slots []Slot) (map[string][]float32, error) {
+	m := make(map[string][]float32, len(slots))
+	for _, s := range slots {
+		if _, dup := m[s.Name]; dup {
+			return nil, fmt.Errorf("opt: %s state has duplicate slot %q", kind, s.Name)
+		}
+		d := make([]float32, len(s.Data))
+		copy(d, s.Data)
+		m[s.Name] = d
+	}
+	return m, nil
+}
+
+func wantKind(st *State, kind string) error {
+	if st == nil {
+		return fmt.Errorf("opt: nil state for %s optimizer", kind)
+	}
+	if st.Kind != kind {
+		return fmt.Errorf("opt: state kind %q does not match optimizer %q", st.Kind, kind)
+	}
+	return nil
+}
+
+// resetState readies prev for reuse as a capture target of the given
+// kind, keeping Slots/Queue/Base storage for the fill to recycle.
+func resetState(prev *State, kind string) *State {
+	if prev == nil {
+		prev = &State{}
+	}
+	prev.Kind = kind
+	prev.Step = 0
+	return prev
+}
+
+// CaptureState implements Stateful.
+func (s *SGD) CaptureState() *State { return s.CaptureStateInto(nil) }
+
+// CaptureStateInto implements Stateful.
+func (s *SGD) CaptureStateInto(prev *State) *State {
+	prev = resetState(prev, "sgd")
+	prev.Slots = sortedSlotsInto(prev.Slots, prefixed("v/", s.velocity))
+	prev.Queue, prev.Base = nil, nil
+	return prev
+}
+
+// RestoreState implements Stateful.
+func (s *SGD) RestoreState(st *State, _ []Param) error {
+	if err := wantKind(st, "sgd"); err != nil {
+		return err
+	}
+	m, err := slotsToMap("sgd", st.Slots)
+	if err != nil {
+		return err
+	}
+	s.velocity = unprefixed("v/", m)
+	return nil
+}
+
+// CaptureState implements Stateful.
+func (a *Adam) CaptureState() *State { return a.CaptureStateInto(nil) }
+
+// CaptureStateInto implements Stateful. The combined name-sorted order
+// ("m/…" before "v/…") matches encoding both sections separately, so the
+// snapshot bytes are independent of which capture entry point ran.
+func (a *Adam) CaptureStateInto(prev *State) *State {
+	prev = resetState(prev, "adam")
+	prev.Step = int64(a.step)
+	all := prefixed("m/", a.m)
+	for k, v := range a.v {
+		all["v/"+k] = v
+	}
+	prev.Slots = sortedSlotsInto(prev.Slots, all)
+	prev.Queue, prev.Base = nil, nil
+	return prev
+}
+
+// RestoreState implements Stateful.
+func (a *Adam) RestoreState(st *State, _ []Param) error {
+	if err := wantKind(st, "adam"); err != nil {
+		return err
+	}
+	all, err := slotsToMap("adam", st.Slots)
+	if err != nil {
+		return err
+	}
+	m := unprefixed("m/", all)
+	v := unprefixed("v/", all)
+	if len(m) != len(v) || len(m)+len(v) != len(all) {
+		return fmt.Errorf("opt: adam state has %d m and %d v slots out of %d",
+			len(m), len(v), len(all))
+	}
+	a.m, a.v, a.step = m, v, int(st.Step)
+	return nil
+}
+
+// prefixed returns a view of m with every key prefixed (values shared).
+func prefixed(prefix string, m map[string][]float32) map[string][]float32 {
+	out := make(map[string][]float32, len(m))
+	for k, v := range m {
+		out[prefix+k] = v
+	}
+	return out
+}
+
+// unprefixed selects keys with the prefix and strips it (values shared).
+func unprefixed(prefix string, m map[string][]float32) map[string][]float32 {
+	out := make(map[string][]float32)
+	for k, v := range m {
+		if len(k) >= len(prefix) && k[:len(prefix)] == prefix {
+			out[k[len(prefix):]] = v
+		}
+	}
+	return out
+}
+
+// CaptureState implements Stateful. LARC itself is stateless (trust, eps
+// and clip mode are configuration); only the base optimizer carries state.
+func (l *LARC) CaptureState() *State { return l.CaptureStateInto(nil) }
+
+// CaptureStateInto implements Stateful.
+func (l *LARC) CaptureStateInto(prev *State) *State {
+	prev = resetState(prev, "larc")
+	prev.Slots, prev.Queue = nil, nil
+	prev.Base = captureBaseInto(l.Base, prev.Base)
+	return prev
+}
+
+// RestoreState implements Stateful.
+func (l *LARC) RestoreState(st *State, params []Param) error {
+	if err := wantKind(st, "larc"); err != nil {
+		return err
+	}
+	return restoreBase(l.Base, st.Base, params)
+}
+
+// CaptureState implements Stateful: the pending gradient queue (deep
+// copies, oldest first) plus the base optimizer's state.
+func (l *LagN) CaptureState() *State { return l.CaptureStateInto(nil) }
+
+// CaptureStateInto implements Stateful.
+func (l *LagN) CaptureStateInto(prev *State) *State {
+	prev = resetState(prev, "lag")
+	prev.Slots = nil
+	q := prev.Queue
+	if cap(q) < len(l.q) {
+		q = make([][]Slot, len(l.q))
+	}
+	q = q[:len(l.q)]
+	for i, set := range l.q {
+		slots := q[i]
+		if cap(slots) < len(set) {
+			slots = make([]Slot, len(set))
+		}
+		slots = slots[:len(set)]
+		for j, p := range set {
+			src := p.Grad.Data()
+			d := slots[j].Data
+			if len(d) != len(src) {
+				d = make([]float32, len(src))
+			}
+			copy(d, src)
+			slots[j] = Slot{Name: p.Name, Data: d}
+		}
+		q[i] = slots
+	}
+	if len(q) == 0 {
+		q = nil
+	}
+	prev.Queue = q
+	prev.Base = captureBaseInto(l.Base, prev.Base)
+	return prev
+}
+
+// RestoreState implements Stateful. params supplies the live parameter
+// tensors (and their shapes) the queued gradient sets rebind to; every
+// queued slot must name a known parameter of matching size.
+func (l *LagN) RestoreState(st *State, params []Param) error {
+	if err := wantKind(st, "lag"); err != nil {
+		return err
+	}
+	byName := make(map[string]Param, len(params))
+	for _, p := range params {
+		byName[p.Name] = p
+	}
+	q := make([][]Param, 0, len(st.Queue))
+	for _, slots := range st.Queue {
+		set := make([]Param, len(slots))
+		for i, s := range slots {
+			p, ok := byName[s.Name]
+			if !ok {
+				return fmt.Errorf("opt: lag queue names unknown parameter %q", s.Name)
+			}
+			if len(s.Data) != p.Value.NumElements() {
+				return fmt.Errorf("opt: lag queue slot %q has %d elements, parameter has %d",
+					s.Name, len(s.Data), p.Value.NumElements())
+			}
+			d := make([]float32, len(s.Data))
+			copy(d, s.Data)
+			set[i] = Param{Name: s.Name, Value: p.Value, Grad: tensor.FromSlice(p.Value.Shape(), d)}
+		}
+		q = append(q, set)
+	}
+	l.q = q
+	return restoreBase(l.Base, st.Base, params)
+}
+
+func captureBaseInto(base Optimizer, prev *State) *State {
+	if s, ok := base.(Stateful); ok {
+		return s.CaptureStateInto(prev)
+	}
+	return nil
+}
+
+func restoreBase(base Optimizer, st *State, params []Param) error {
+	s, ok := base.(Stateful)
+	if !ok {
+		if st == nil {
+			return nil
+		}
+		return fmt.Errorf("opt: snapshot carries base state but optimizer %T cannot restore it", base)
+	}
+	if st == nil {
+		return fmt.Errorf("opt: snapshot missing base state for %T", base)
+	}
+	return s.RestoreState(st, params)
+}

@@ -1,0 +1,37 @@
+#!/bin/sh
+# doclint: fail when an exported identifier in the public exaclim package
+# (or the repo root) lacks a doc comment. Grep-based on purpose: no
+# dependencies beyond awk, so it runs identically in CI and locally.
+#
+# Usage: scripts/doclint.sh [dir ...]   (default: exaclim .)
+set -eu
+
+dirs="${*:-exaclim .}"
+fail=0
+for d in $dirs; do
+  for f in "$d"/*.go; do
+    case "$f" in
+    *_test.go) continue ;;
+    esac
+    out=$(awk '
+      # Track whether the previous line was part of a comment (or a
+      # continuation inside a var/const/type block, where the block doc
+      # or a per-item comment both count).
+      /^[[:space:]]*\/\// { prev_comment = 1; next }
+      /^(func|type|var|const) [A-Z]/ || /^func \([^)]*\) [A-Z]/ {
+        if (!prev_comment) { printf "%d: %s\n", FNR, $0 }
+      }
+      { prev_comment = 0 }
+    ' "$f")
+    if [ -n "$out" ]; then
+      echo "$f: exported identifiers without doc comments:"
+      echo "$out" | sed 's/^/  /'
+      fail=1
+    fi
+  done
+done
+if [ "$fail" -ne 0 ]; then
+  echo "doclint: add doc comments to the identifiers above" >&2
+  exit 1
+fi
+echo "doclint: all exported identifiers documented"
