@@ -1310,3 +1310,59 @@ func BenchmarkStormTracking(b *testing.B) {
 	b.ReportMetric(float64(len(tracks)), "tracks")
 	b.ReportMetric(float64(longest), "longest-track-frames")
 }
+
+// BenchmarkStormwatch measures the streaming analytics pipeline end to
+// end: a diurnal-bursty synthetic source pushed past serving capacity
+// through a degrade-under-pressure frame queue, tiled inference on the
+// server, and the online tracker. The reported quantities are the
+// streaming acceptance numbers: sustained frames/s, the drop and degrade
+// rates the backpressure policy produced, and the p99 source→tracker
+// frame latency.
+func BenchmarkStormwatch(b *testing.B) {
+	const h, w, tile, frames = 32, 48, 16, 24
+	model, err := exaclim.BuildModel("tiramisu", exaclim.Tiny, exaclim.ModelConfig{
+		Height: tile, Width: tile, Seed: 3,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var st exaclim.StreamStats
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src, err := exaclim.SyntheticSequence(h, w, frames, 11)
+		if err != nil {
+			b.Fatal(err)
+		}
+		watcher, err := exaclim.NewStormWatcher(model, exaclim.StreamConfig{
+			Source:      src,
+			FPS:         400, // far past 1-core serving capacity: backpressure engages
+			MaxFrames:   frames,
+			Profile:     exaclim.StreamDiurnal,
+			BurstFactor: 4,
+			BurstPeriod: time.Second,
+			Policy:      exaclim.StreamDegrade,
+			QueueDepth:  2,
+		},
+			exaclim.WithReplicas(1),
+			exaclim.WithMaxBatch(8),
+			exaclim.WithServeSegmentConfig(exaclim.SegmentConfig{Overlap: 2}),
+		)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := watcher.Run(context.Background())
+		watcher.Close()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Stats.Produced != res.Stats.Processed+res.Stats.Dropped {
+			b.Fatalf("frame accounting leak: produced %d != processed %d + dropped %d",
+				res.Stats.Produced, res.Stats.Processed, res.Stats.Dropped)
+		}
+		st = res.Stats
+	}
+	b.ReportMetric(st.EffectiveFPS, "frames/s")
+	b.ReportMetric(float64(st.Dropped)/float64(st.Produced)*100, "%dropped")
+	b.ReportMetric(float64(st.Degraded)/float64(st.Processed)*100, "%degraded")
+	b.ReportMetric(st.LatencyP99.Seconds()*1e3, "p99-frame-ms")
+}

@@ -44,15 +44,27 @@ type ServingSummary struct {
 	MeanBatch       float64 `json:"mean_batch,omitempty"`
 }
 
+// StreamingSummary surfaces the stormwatch pipeline's acceptance numbers
+// from the BenchmarkStormwatch metrics: sustained frames/s under bursty
+// overload, the drop and degrade rates the backpressure policy produced,
+// and the p99 source→tracker frame latency.
+type StreamingSummary struct {
+	FramesPerSec    float64 `json:"frames_per_sec"`
+	DroppedPercent  float64 `json:"dropped_percent"`
+	DegradedPercent float64 `json:"degraded_percent"`
+	P99FrameMs      float64 `json:"p99_frame_ms,omitempty"`
+}
+
 // Report is the emitted document.
 type Report struct {
-	Label      string          `json:"label,omitempty"`
-	GoOS       string          `json:"goos,omitempty"`
-	GoArch     string          `json:"goarch,omitempty"`
-	CPU        string          `json:"cpu,omitempty"`
-	Serving    *ServingSummary `json:"serving,omitempty"`
-	Benchmarks []Benchmark     `json:"benchmarks"`
-	Notes      []string        `json:"notes,omitempty"`
+	Label      string            `json:"label,omitempty"`
+	GoOS       string            `json:"goos,omitempty"`
+	GoArch     string            `json:"goarch,omitempty"`
+	CPU        string            `json:"cpu,omitempty"`
+	Serving    *ServingSummary   `json:"serving,omitempty"`
+	Streaming  *StreamingSummary `json:"streaming,omitempty"`
+	Benchmarks []Benchmark       `json:"benchmarks"`
+	Notes      []string          `json:"notes,omitempty"`
 }
 
 func main() {
@@ -74,6 +86,7 @@ func main() {
 		}
 	}
 	report.Serving = servingSummary(report.Benchmarks)
+	report.Streaming = streamingSummary(report.Benchmarks)
 
 	buf, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
@@ -175,6 +188,26 @@ func servingSummary(benches []Benchmark) *ServingSummary {
 			P50ms:           b.Metrics["p50-ms"],
 			P99ms:           b.Metrics["p99-ms"],
 			MeanBatch:       b.Metrics["mean-batch"],
+		}
+	}
+	return nil
+}
+
+// streamingSummary extracts the stormwatch acceptance quantities from a
+// BenchmarkStormwatch result line, if one was parsed (nil otherwise).
+func streamingSummary(benches []Benchmark) *StreamingSummary {
+	for _, b := range benches {
+		if !strings.HasPrefix(b.Name, "BenchmarkStormwatch") || b.Metrics == nil {
+			continue
+		}
+		if _, ok := b.Metrics["frames/s"]; !ok {
+			continue
+		}
+		return &StreamingSummary{
+			FramesPerSec:    b.Metrics["frames/s"],
+			DroppedPercent:  b.Metrics["%dropped"],
+			DegradedPercent: b.Metrics["%degraded"],
+			P99FrameMs:      b.Metrics["p99-frame-ms"],
 		}
 	}
 	return nil

@@ -279,6 +279,14 @@ type Result struct {
 	// LastCheckpoint is the newest committed path (empty when none).
 	Checkpoints    int
 	LastCheckpoint string
+	// RestoredHistory and RestoredValHistory are the convergence curves
+	// carried over from the resumed snapshot, covering [0, StartStep) —
+	// prepend them to History/ValHistory to plot the full trajectory across
+	// restarts. Restored entries keep only Step/Loss/Skipped (and the
+	// validation metrics); per-process fields such as VirtualTime read zero.
+	// Empty on fresh runs.
+	RestoredHistory    []StepStat
+	RestoredValHistory []ValStat
 }
 
 // Run executes the experiment. Cancelling the context stops training at
@@ -331,6 +339,18 @@ func (e *Experiment) Run(ctx context.Context) (*Result, error) {
 	}
 	for i, v := range res.ValHistory {
 		out.ValHistory[i] = ValStat(v)
+	}
+	if len(res.RestoredHistory) > 0 {
+		out.RestoredHistory = make([]StepStat, len(res.RestoredHistory))
+		for i, h := range res.RestoredHistory {
+			out.RestoredHistory[i] = StepStat(h)
+		}
+	}
+	if len(res.RestoredValHistory) > 0 {
+		out.RestoredValHistory = make([]ValStat, len(res.RestoredValHistory))
+		for i, v := range res.RestoredValHistory {
+			out.RestoredValHistory[i] = ValStat(v)
+		}
 	}
 	if res.Net != nil {
 		out.Model = &Model{name: e.network, net: res.Net}

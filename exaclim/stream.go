@@ -1,0 +1,101 @@
+package exaclim
+
+import (
+	"context"
+
+	"repro/internal/climate"
+	"repro/internal/stream"
+)
+
+// StreamConfig parameterizes a StormWatcher run: the timestep source, the
+// base frame rate and load profile (steady or diurnal burst), the bounded
+// frame queue and its backpressure policy (block, drop-oldest, or degrade),
+// tracker association settings, and event/visualization sinks.
+type StreamConfig = stream.Config
+
+// StreamStats is the cumulative accounting of a streaming run: frames
+// produced/processed/dropped/degraded, tracker birth/death/merge counts,
+// active-storm levels and peaks, end-to-end frame latency quantiles, and
+// track-lifetime statistics.
+type StreamStats = stream.Stats
+
+// StreamResult is what a completed streaming run returns: final stats plus
+// every storm track observed, longest first.
+type StreamResult = stream.Result
+
+// StormEvent is one online-tracker transition (birth, death, or merge)
+// emitted while streaming.
+type StormEvent = stream.Event
+
+// StreamPolicy selects the frame-queue backpressure behavior.
+type StreamPolicy = stream.Policy
+
+// StreamProfile shapes the producer's frame rate over time.
+type StreamProfile = stream.Profile
+
+// The backpressure policies and load profiles, re-exported for callers
+// configuring a StormWatcher.
+const (
+	// StreamBlock stalls the producer while the frame queue is full.
+	StreamBlock = stream.PolicyBlock
+	// StreamDropOldest sheds the stalest queued frame under pressure.
+	StreamDropOldest = stream.PolicyDropOldest
+	// StreamDegrade coarsens the tile stride while the queue is loaded.
+	StreamDegrade = stream.PolicyDegrade
+	// StreamSteady produces frames at a constant rate.
+	StreamSteady = stream.ProfileSteady
+	// StreamDiurnal modulates the rate with a half-sine burst cycle.
+	StreamDiurnal = stream.ProfileDiurnal
+)
+
+// SyntheticSequence builds a temporally-coherent synthetic timestep source
+// (storms persist, drift, and follow intensity life cycles across frames) —
+// the streaming counterpart of SyntheticDataset.
+func SyntheticSequence(height, width, frames int, seed int64) (*climate.Sequence, error) {
+	return climate.NewSequence(climate.DefaultGenConfig(height, width, seed), frames)
+}
+
+// StormWatcher is continuous storm analytics over one trained model: a
+// rate-controlled timestep source feeding the model's tiled-inference
+// server through a bounded, backpressure-aware frame queue, with an online
+// tracker linking detections into tracks as frames arrive. Create with
+// NewStormWatcher, drive with Run, and Close to release the server.
+type StormWatcher struct {
+	server   *Server
+	pipeline *stream.Pipeline
+}
+
+// NewStormWatcher builds a streaming pipeline over the model. ServerOptions
+// size the underlying inference server (replicas, batching, tile queue);
+// cfg shapes the stream itself. The model's weights are shared by reference
+// with the server: do not train while the watcher is running.
+func NewStormWatcher(m *Model, cfg StreamConfig, opts ...ServerOption) (*StormWatcher, error) {
+	srv, err := NewServer(m, opts...)
+	if err != nil {
+		return nil, err
+	}
+	p, err := stream.New(srv.inner, cfg)
+	if err != nil {
+		srv.Close()
+		return nil, err
+	}
+	return &StormWatcher{server: srv, pipeline: p}, nil
+}
+
+// Run streams until the configured MaxFrames is reached or ctx is
+// cancelled, then drains gracefully: frames already admitted to the queue
+// are segmented and tracked before Run returns. The server stays open for
+// further runs; Close releases it.
+func (w *StormWatcher) Run(ctx context.Context) (*StreamResult, error) {
+	return w.pipeline.Run(ctx)
+}
+
+// QueueDepth returns the current and peak number of queued frames.
+func (w *StormWatcher) QueueDepth() (cur, peak int) { return w.pipeline.QueueDepth() }
+
+// ServerStats snapshots the underlying inference server's counters.
+func (w *StormWatcher) ServerStats() ServerStats { return w.server.Stats() }
+
+// Close drains and releases the underlying server. Safe to call more than
+// once.
+func (w *StormWatcher) Close() error { return w.server.Close() }

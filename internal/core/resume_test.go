@@ -52,6 +52,11 @@ func TestBitExactResume(t *testing.T) {
 				cfg.CheckpointEvery = k
 				cfg.CheckpointDir = dir
 				cfg.ResumeFrom = resumeFrom
+				// Mid-run validation at the checkpoint boundary: the step-k
+				// ValStat must ride inside the step-k snapshot, or the
+				// reference and resumed 2k snapshots diverge.
+				cfg.ValidateEvery = k
+				cfg.ValidationSize = 2
 				return cfg
 			}
 
@@ -113,6 +118,32 @@ func TestBitExactResume(t *testing.T) {
 					t.Fatalf("step %d loss %g differs from uninterrupted %g",
 						s.Step, s.Loss, ref.History[k+i].Loss)
 				}
+			}
+
+			// The snapshot carried the convergence curves: the resumed run
+			// reports the first k steps (and the boundary validation) as
+			// restored records bit-equal to the reference's own front k.
+			if len(resumed.RestoredHistory) != k {
+				t.Fatalf("restored history has %d records, want %d", len(resumed.RestoredHistory), k)
+			}
+			for i, s := range resumed.RestoredHistory {
+				if s.Step != i || s.Loss != ref.History[i].Loss || s.Skipped != ref.History[i].Skipped {
+					t.Fatalf("restored step %d = {step %d, loss %g, skipped %v}, reference {step %d, loss %g, skipped %v}",
+						i, s.Step, s.Loss, s.Skipped,
+						ref.History[i].Step, ref.History[i].Loss, ref.History[i].Skipped)
+				}
+			}
+			if len(resumed.RestoredValHistory) != 1 {
+				t.Fatalf("restored validation history has %d records, want 1", len(resumed.RestoredValHistory))
+			}
+			rv, refv := resumed.RestoredValHistory[0], ref.ValHistory[0]
+			if rv != refv {
+				t.Fatalf("restored validation record %+v differs from reference %+v", rv, refv)
+			}
+			// The resumed run's own ValHistory continues where the snapshot
+			// left off.
+			if len(resumed.ValHistory) != 1 || resumed.ValHistory[0] != ref.ValHistory[1] {
+				t.Fatalf("resumed validation history %+v, want [%+v]", resumed.ValHistory, ref.ValHistory[1])
 			}
 		})
 	}

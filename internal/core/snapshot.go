@@ -77,7 +77,8 @@ func (s *snapshotter) run() {
 // and queues it for writing. Runs synchronously on rank 0's step path; its
 // cost is the parameter/optimizer memcpy, not the encode or the I/O.
 func (s *snapshotter) capture(steps uint64, cfg Config, net *models.Network,
-	optimizer opt.Stateful, scaler *hpfloat.LossScaler, skipped int) error {
+	optimizer opt.Stateful, scaler *hpfloat.LossScaler, skipped int,
+	history []models.StepRecord, valHist []models.ValRecord) error {
 
 	buf := <-s.free
 	buf.Step = steps
@@ -100,6 +101,11 @@ func (s *snapshotter) capture(steps uint64, cfg Config, net *models.Network,
 	buf.Opt = optimizer.CaptureStateInto(buf.Opt)
 	sc := scaler.CaptureState()
 	buf.Scaler = &sc
+	// The convergence curves ride along so a resumed run keeps its full
+	// trajectory; records are values, so append into the recycled buffer is
+	// a deep copy.
+	buf.History = append(buf.History[:0], history...)
+	buf.ValHistory = append(buf.ValHistory[:0], valHist...)
 	s.work <- buf
 	return nil
 }

@@ -252,6 +252,14 @@ type Result struct {
 	// StartStep is the first step this process trained (non-zero when the
 	// run resumed from a snapshot); History covers [StartStep, Steps).
 	StartStep int
+	// RestoredHistory and RestoredValHistory are the convergence curves
+	// carried in the resumed snapshot, covering [0, StartStep) — prepend
+	// them to History/ValHistory for the full trajectory across restarts.
+	// The persisted records keep only bit-stable fields, so restored
+	// entries report VirtualTime (and the pool/overlap counters) as zero.
+	// Empty on fresh runs.
+	RestoredHistory    []StepStat
+	RestoredValHistory []ValStat
 	// CheckpointsWritten counts snapshots committed by this run, and
 	// LastCheckpoint is the newest committed path (empty when none).
 	CheckpointsWritten int
@@ -358,6 +366,14 @@ func Train(cfg Config) (*Result, error) {
 
 	if resume != nil {
 		res.StartStep = int(resume.Step)
+		res.RestoredHistory = make([]StepStat, len(resume.History))
+		for i, h := range resume.History {
+			res.RestoredHistory[i] = StepStat{Step: int(h.Step), Loss: h.Loss, Skipped: h.Skipped}
+		}
+		res.RestoredValHistory = make([]ValStat, len(resume.ValHistory))
+		for i, v := range resume.ValHistory {
+			res.RestoredValHistory[i] = ValStat{Step: int(v.Step), MeanIoU: v.MeanIoU, Accuracy: v.Accuracy}
+		}
 	}
 
 	world := mpi.NewWorld(fabric)
@@ -531,6 +547,17 @@ func trainRank(c *mpi.Comm, cfg Config, classWeights []float32,
 	if c.Rank() == 0 && cfg.CheckpointEvery > 0 {
 		snap = newSnapshotter(cfg.CheckpointDir, cfg.CheckpointRetain, cfg.CheckpointSync)
 		defer snap.stop()
+	}
+
+	// Rank 0 carries the persisted convergence curves: seeded from the
+	// resumed snapshot and appended as the run records stats, so every
+	// capture persists the full [0, step+1) trajectory, not just this
+	// process's slice.
+	var histRecords []models.StepRecord
+	var valRecords []models.ValRecord
+	if snap != nil && resume != nil {
+		histRecords = append(histRecords, resume.History...)
+		valRecords = append(valRecords, resume.ValHistory...)
 	}
 
 	overlapSum := 0.0
@@ -749,13 +776,12 @@ func trainRank(c *mpi.Comm, cfg Config, classWeights []float32,
 			resMu.Lock()
 			res.History = append(res.History, stat)
 			resMu.Unlock()
-			if snap != nil && (step+1)%cfg.CheckpointEvery == 0 {
-				// Every rank's state is identical at this boundary, so rank
-				// 0's capture stands for the world. The deep copy happens
-				// here; encoding and I/O happen on the writer goroutine.
-				if err := snap.capture(uint64(step+1), cfg, net, optimizer, scaler, skipped); err != nil {
-					return err
-				}
+			if snap != nil {
+				histRecords = append(histRecords, models.StepRecord{
+					Step:    uint64(step),
+					Loss:    stat.Loss,
+					Skipped: stat.Skipped,
+				})
 			}
 			if cfg.OnStep != nil {
 				cfg.OnStep(stat)
@@ -778,9 +804,29 @@ func trainRank(c *mpi.Comm, cfg Config, classWeights []float32,
 				resMu.Lock()
 				res.ValHistory = append(res.ValHistory, vstat)
 				resMu.Unlock()
+				if snap != nil {
+					valRecords = append(valRecords, models.ValRecord{
+						Step:     uint64(vstat.Step),
+						MeanIoU:  vstat.MeanIoU,
+						Accuracy: vstat.Accuracy,
+					})
+				}
 				if cfg.OnValidation != nil {
 					cfg.OnValidation(vstat)
 				}
+			}
+		}
+
+		// The capture sits after the validation pass so a boundary step's
+		// ValStat lands inside its own step's snapshot. Every rank's state
+		// is identical at this boundary (validation never advances the data
+		// stream or touches weights), so rank 0's capture stands for the
+		// world. The deep copy happens here; encoding and I/O happen on the
+		// writer goroutine.
+		if snap != nil && (step+1)%cfg.CheckpointEvery == 0 {
+			if err := snap.capture(uint64(step+1), cfg, net, optimizer, scaler, skipped,
+				histRecords, valRecords); err != nil {
+				return err
 			}
 		}
 	}

@@ -143,3 +143,16 @@ func (g *Gauge) Value() int64 { return g.cur.Load() }
 
 // Peak returns the high-water mark.
 func (g *Gauge) Peak() int64 { return g.peak.Load() }
+
+// Counter is a monotonically increasing event count — the frames-dropped /
+// frames-degraded instrument of the streaming pipeline. The zero value is
+// ready to use.
+type Counter struct {
+	n atomic.Uint64
+}
+
+// Inc adds one event.
+func (c *Counter) Inc() { c.n.Add(1) }
+
+// Value returns the count so far.
+func (c *Counter) Value() uint64 { return c.n.Load() }

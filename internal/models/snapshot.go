@@ -46,8 +46,8 @@ import (
 
 const (
 	snapshotMagic   = 0x31504E53 // "SNP1"
-	snapshotVersion = 1
-	snapshotHeader  = 4 + 4 + 8 // magic + version + payload length
+	snapshotVersion = 2          // v2 added the convergence history sections
+	snapshotHeader  = 4 + 4 + 8  // magic + version + payload length
 )
 
 // Typed snapshot failures, matched with errors.Is. Load never panics on
@@ -85,6 +85,30 @@ type TrainState struct {
 	Params []ParamState
 	Opt    *opt.State
 	Scaler *hpfloat.ScalerState
+
+	// History and ValHistory are rank 0's convergence curves up to Step, so
+	// a resumed run keeps the full trajectory instead of restarting its
+	// plots at the resume point. Only bit-stable fields are carried (the
+	// wall/virtual clocks restart with the process and would break the
+	// byte-identical-snapshot property resume tests rely on).
+	History    []StepRecord
+	ValHistory []ValRecord
+}
+
+// StepRecord is one training step's convergence record as persisted in the
+// snapshot.
+type StepRecord struct {
+	Step    uint64
+	Loss    float64
+	Skipped bool // FP16 overflow skip
+}
+
+// ValRecord is one mid-training validation record as persisted in the
+// snapshot.
+type ValRecord struct {
+	Step     uint64
+	MeanIoU  float64
+	Accuracy float64
 }
 
 // ParamState is one parameter's deep-copied snapshot.
@@ -214,8 +238,17 @@ func (s *TrainState) payloadSize() (int, error) {
 	if s.Scaler != nil {
 		size += 8 + 4 + 4
 	}
+	size += 4 + stepRecordSize*len(s.History)
+	size += 4 + valRecordSize*len(s.ValHistory)
 	return size, nil
 }
+
+// Encoded bytes per history record: step + loss + skipped byte, and step +
+// mean IoU + accuracy.
+const (
+	stepRecordSize = 8 + 8 + 1
+	valRecordSize  = 8 + 8 + 8
+)
 
 func optStateSize(st *opt.State) int {
 	if st == nil {
@@ -286,6 +319,22 @@ func (s *TrainState) encodePayload(w *bufio.Writer) error {
 		binary.Write(w, le, s.Scaler.Scale)
 		binary.Write(w, le, uint32(s.Scaler.CleanSteps))
 		binary.Write(w, le, uint32(s.Scaler.SkippedSteps))
+	}
+	binary.Write(w, le, uint32(len(s.History)))
+	for _, h := range s.History {
+		binary.Write(w, le, h.Step)
+		binary.Write(w, le, h.Loss)
+		if h.Skipped {
+			w.WriteByte(1)
+		} else {
+			w.WriteByte(0)
+		}
+	}
+	binary.Write(w, le, uint32(len(s.ValHistory)))
+	for _, v := range s.ValHistory {
+		binary.Write(w, le, v.Step)
+		binary.Write(w, le, v.MeanIoU)
+		binary.Write(w, le, v.Accuracy)
 	}
 	return nil
 }
@@ -460,6 +509,50 @@ func decodePayload(r *bytes.Reader) (*TrainState, error) {
 		}
 		sc.CleanSteps, sc.SkippedSteps = int(clean), int(sk)
 		st.Scaler = sc
+	}
+	if err := binary.Read(r, le, &n); err != nil {
+		return nil, err
+	}
+	if uint64(n)*stepRecordSize > uint64(r.Len()) {
+		return nil, fmt.Errorf("implausible history length %d", n)
+	}
+	if n > 0 {
+		st.History = make([]StepRecord, n)
+		for i := range st.History {
+			h := &st.History[i]
+			if err := binary.Read(r, le, &h.Step); err != nil {
+				return nil, err
+			}
+			if err := binary.Read(r, le, &h.Loss); err != nil {
+				return nil, err
+			}
+			b, err := r.ReadByte()
+			if err != nil {
+				return nil, err
+			}
+			h.Skipped = b != 0
+		}
+	}
+	if err := binary.Read(r, le, &n); err != nil {
+		return nil, err
+	}
+	if uint64(n)*valRecordSize > uint64(r.Len()) {
+		return nil, fmt.Errorf("implausible validation history length %d", n)
+	}
+	if n > 0 {
+		st.ValHistory = make([]ValRecord, n)
+		for i := range st.ValHistory {
+			v := &st.ValHistory[i]
+			if err := binary.Read(r, le, &v.Step); err != nil {
+				return nil, err
+			}
+			if err := binary.Read(r, le, &v.MeanIoU); err != nil {
+				return nil, err
+			}
+			if err := binary.Read(r, le, &v.Accuracy); err != nil {
+				return nil, err
+			}
+		}
 	}
 	return st, nil
 }

@@ -45,6 +45,11 @@ func testState(t *testing.T) *TrainState {
 		Params:  params,
 		Opt:     lag.CaptureState(),
 		Scaler:  &sc,
+		History: []StepRecord{
+			{Step: 5, Loss: 0.93, Skipped: false},
+			{Step: 6, Loss: 0.71, Skipped: true},
+		},
+		ValHistory: []ValRecord{{Step: 6, MeanIoU: 0.41, Accuracy: 0.83}},
 	}
 }
 

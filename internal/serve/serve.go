@@ -226,17 +226,38 @@ func New(src *infer.Network, cfg Config) (*Server, error) {
 	return s, nil
 }
 
+// SegmentOpts adjusts one request's tiling without touching the server
+// configuration.
+type SegmentOpts struct {
+	// Overlap, when ≥ 0, overrides the tile halo width for this request
+	// (−1 keeps the server's configured overlap). A smaller overlap widens
+	// the tile stride, so the frame decomposes into fewer tiles — the
+	// "degrade" backpressure lever: a cheaper frame at the cost of border
+	// quality. The tile window itself is unchanged, so replica engines and
+	// their cached executors are reused as-is.
+	Overlap int
+}
+
 // Segment schedules a [channels, H, W] field tensor for tiled segmentation
 // and blocks until the stitched [H, W] mask is complete, the context is
 // cancelled, or the server closes. The fields tensor must stay unmodified
 // until Segment returns. Safe for concurrent use from any number of
 // goroutines; concurrent requests' tiles share executor batches.
 func (s *Server) Segment(ctx context.Context, fields *tensor.Tensor) (*tensor.Tensor, RequestStat, error) {
+	return s.SegmentWith(ctx, fields, SegmentOpts{Overlap: -1})
+}
+
+// SegmentWith is Segment with per-request tiling options.
+func (s *Server) SegmentWith(ctx context.Context, fields *tensor.Tensor, opts SegmentOpts) (*tensor.Tensor, RequestStat, error) {
 	fs := fields.Shape()
 	if fs.Rank() != 3 || fs[0] != s.channels {
 		return nil, RequestStat{}, fmt.Errorf("serve: fields must be [%d,H,W], got %v", s.channels, fs)
 	}
-	tiles, err := infer.Plan(fs[1], fs[2], s.cfg.Tile)
+	tileCfg := s.cfg.Tile
+	if opts.Overlap >= 0 {
+		tileCfg.Overlap = opts.Overlap
+	}
+	tiles, err := infer.Plan(fs[1], fs[2], tileCfg)
 	if err != nil {
 		return nil, RequestStat{}, err
 	}

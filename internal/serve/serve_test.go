@@ -354,6 +354,191 @@ func TestServerStatsThroughput(t *testing.T) {
 	}
 }
 
+func TestServerSegmentWithDegradedOverlap(t *testing.T) {
+	// The streaming degrade lever: overlap 0 widens the tile stride, so the
+	// same frame decomposes into fewer tiles, and the mask must match the
+	// serial engine run at that overlap (not the server's configured one).
+	src := buildNet(8, 8, 31)
+	cfg := testConfig()
+	s, err := New(src, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	rng := rand.New(rand.NewSource(33))
+	fields := tensor.RandNormal(tensor.Shape{3, 26, 34}, 0, 1, rng)
+
+	_, full, err := s.Segment(context.Background(), fields)
+	if err != nil {
+		t.Fatal(err)
+	}
+	degCfg := cfg
+	degCfg.Tile.Overlap = 0
+	want := reference(t, src, degCfg, fields)
+	mask, deg, err := s.SegmentWith(context.Background(), fields, SegmentOpts{Overlap: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deg.Tiles >= full.Tiles {
+		t.Errorf("degraded request used %d tiles, full-overlap %d: stride did not widen", deg.Tiles, full.Tiles)
+	}
+	for p, v := range want.Data() {
+		if mask.Data()[p] != v {
+			t.Fatalf("degraded mask diverges from overlap-0 serial engine at pixel %d", p)
+		}
+	}
+}
+
+func TestServerCloseWhileProducerFeeding(t *testing.T) {
+	// Graceful drain under sustained streaming: producers loop Segment as
+	// fast as the server admits while Close lands mid-stream. Every call
+	// must resolve to a correct mask or ErrClosed (no hangs, no errors of
+	// any other kind), and the queue must be fully drained afterwards.
+	src := buildNet(8, 8, 23)
+	cfg := testConfig(func(c *Config) {
+		c.Replicas = 2
+		c.QueueDepth = 8
+		c.BatchDeadline = 100 * time.Microsecond
+	})
+	s, err := New(src, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(25))
+	fields := tensor.RandNormal(tensor.Shape{3, 22, 30}, 0, 1, rng)
+	want := reference(t, src, cfg, fields)
+
+	const producers = 4
+	var wg sync.WaitGroup
+	var ok, refused atomic.Int64
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mask, _, err := s.Segment(context.Background(), fields)
+				switch {
+				case err == nil:
+					for i, v := range want.Data() {
+						if mask.Data()[i] != v {
+							t.Errorf("mask diverges at %d during drain", i)
+							return
+						}
+					}
+					ok.Add(1)
+				case errors.Is(err, ErrClosed):
+					refused.Add(1)
+					return
+				default:
+					t.Errorf("unexpected error under drain: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	time.Sleep(20 * time.Millisecond) // let the stream establish
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if ok.Load() == 0 {
+		t.Error("no request completed before Close")
+	}
+	if refused.Load() != producers {
+		t.Errorf("%d producers saw ErrClosed, want %d", refused.Load(), producers)
+	}
+	if st := s.Stats(); st.QueueDepth != 0 {
+		t.Errorf("queue not drained after Close: depth %d", st.QueueDepth)
+	}
+}
+
+func TestServerQueueDepthPeak(t *testing.T) {
+	// Gauge correctness under a saturating request: a one-replica server
+	// with a tiny queue and a many-tile frame must observe the queue fill
+	// (peak ≥ 2) but never account past capacity plus the tiles workers
+	// hold between receive and decrement (peak ≤ QueueDepth + Replicas).
+	src := buildNet(8, 8, 27)
+	cfg := testConfig(func(c *Config) {
+		c.Replicas = 1
+		c.MaxBatch = 1
+		c.QueueDepth = 4
+	})
+	s, err := New(src, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	rng := rand.New(rand.NewSource(29))
+	fields := tensor.RandNormal(tensor.Shape{3, 38, 38}, 0, 1, rng)
+	if _, stat, err := s.Segment(context.Background(), fields); err != nil {
+		t.Fatal(err)
+	} else if stat.Tiles <= cfg.QueueDepth {
+		t.Fatalf("frame decomposed into %d tiles; need > %d to exercise the queue", stat.Tiles, cfg.QueueDepth)
+	}
+	st := s.Stats()
+	if st.QueueDepthPeak < 2 {
+		t.Errorf("queue depth peak %d never registered pressure", st.QueueDepthPeak)
+	}
+	if max := cfg.QueueDepth + cfg.Replicas; st.QueueDepthPeak > max {
+		t.Errorf("queue depth peak %d exceeds capacity bound %d", st.QueueDepthPeak, max)
+	}
+	if st.QueueDepth != 0 {
+		t.Errorf("queue depth %d after completion, want 0", st.QueueDepth)
+	}
+}
+
+func TestServerCancelInFlightFrame(t *testing.T) {
+	// Cancel a multi-tile frame once its first tiles have executed — the
+	// remaining tiles must be skipped, the request must report Cancelled,
+	// and a concurrent healthy frame sharing the batches stays bit-exact.
+	src := buildNet(8, 8, 37)
+	cfg := testConfig(func(c *Config) {
+		c.Replicas = 1
+		c.MaxBatch = 8
+		c.BatchDeadline = 100 * time.Microsecond
+	})
+	s, err := New(src, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	rng := rand.New(rand.NewSource(39))
+	victim := tensor.RandNormal(tensor.Shape{3, 44, 44}, 0, 1, rng)
+	healthy := tensor.RandNormal(tensor.Shape{3, 20, 20}, 0, 1, rng)
+	want := reference(t, src, cfg, healthy)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	victimDone := make(chan error, 1)
+	go func() {
+		_, stat, err := s.Segment(ctx, victim)
+		if err != nil && !stat.Cancelled {
+			t.Errorf("cancelled request not marked Cancelled: %+v", stat)
+		}
+		victimDone <- err
+	}()
+	// Wait until the victim's tiles start executing, then cut it mid-frame.
+	for deadline := time.Now().Add(5 * time.Second); s.Stats().Tiles == 0; {
+		if time.Now().After(deadline) {
+			t.Fatal("victim never started executing")
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	cancel()
+	if err := <-victimDone; err != nil && !errors.Is(err, context.Canceled) {
+		t.Fatalf("victim returned %v, want nil or context.Canceled", err)
+	}
+	mask, _, err := s.Segment(context.Background(), healthy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p, v := range want.Data() {
+		if mask.Data()[p] != v {
+			t.Fatalf("healthy frame diverges at pixel %d after mid-batch cancel", p)
+		}
+	}
+}
+
 func ExampleServer() {
 	src := buildNet(8, 8, 42)
 	s, _ := New(src, Config{

@@ -1,16 +1,14 @@
 package storms
 
-import (
-	"math"
-	"sort"
-)
+import "math"
 
 // This file links storms across consecutive frames into tracks — the
 // analysis the paper's introduction motivates ("understanding if AR tracks
 // will shift") applied to segmentation output over time. Matching is
 // greedy nearest-centroid with longitude periodicity: each frame's storms
 // attach to the closest open track of the same class within maxDist, or
-// start a new track.
+// start a new track. The matching itself lives in Tracker (tracker.go);
+// LinkTracks replays a stored sequence through it.
 
 // Track is one storm's trajectory over consecutive frames.
 type Track struct {
@@ -47,67 +45,15 @@ func (t *Track) PeakWind() float64 {
 // LinkTracks joins per-frame storm lists into tracks. frames[t] holds the
 // storms detected in frame t (any mix of classes); w is the grid width for
 // dateline wrapping; maxDist is the association radius in grid cells. A
-// track that finds no continuation in the next frame is closed.
+// track that finds no continuation in the next frame is closed. It is a
+// replay of the stored sequence through the online Tracker, so batch and
+// streaming tracking share one matching implementation.
 func LinkTracks(frames [][]*Storm, w int, maxDist float64) []*Track {
-	var open, closed []*Track
+	tk := NewTracker(w, maxDist)
 	for t, detections := range frames {
-		// Candidate (track, storm) pairs by distance, greedy-matched.
-		type pair struct {
-			ti, si int
-			d      float64
-		}
-		var pairs []pair
-		for ti, tr := range open {
-			last := tr.Centroids[len(tr.Centroids)-1]
-			for si, st := range detections {
-				if st.Class != tr.Class {
-					continue
-				}
-				d := wrapDist(last[0], last[1], st.CentroidY, st.CentroidX, w)
-				if d <= maxDist {
-					pairs = append(pairs, pair{ti, si, d})
-				}
-			}
-		}
-		sort.Slice(pairs, func(i, j int) bool { return pairs[i].d < pairs[j].d })
-		usedTrack := make([]bool, len(open))
-		usedStorm := make([]bool, len(detections))
-		for _, p := range pairs {
-			if usedTrack[p.ti] || usedStorm[p.si] {
-				continue
-			}
-			usedTrack[p.ti] = true
-			usedStorm[p.si] = true
-			extend(open[p.ti], t, detections[p.si], w)
-		}
-		// Unmatched open tracks close; unmatched storms start tracks.
-		var stillOpen []*Track
-		for ti, tr := range open {
-			if usedTrack[ti] {
-				stillOpen = append(stillOpen, tr)
-			} else {
-				closed = append(closed, tr)
-			}
-		}
-		open = stillOpen
-		for si, st := range detections {
-			if usedStorm[si] {
-				continue
-			}
-			tr := &Track{Class: st.Class}
-			extend(tr, t, st, w)
-			open = append(open, tr)
-		}
+		tk.Advance(t, detections)
 	}
-	closed = append(closed, open...)
-	// Longest (and then earliest) first: the reporting convention.
-	sort.Slice(closed, func(i, j int) bool {
-		if len(closed[i].Frames) != len(closed[j].Frames) {
-			return len(closed[i].Frames) > len(closed[j].Frames)
-		}
-		return closed[i].Frames[0] < closed[j].Frames[0]
-	})
-	return closed
+	return tk.Finish()
 }
 
 // extend appends a detection to a track, unwrapping the x coordinate so

@@ -1,0 +1,216 @@
+package storms
+
+import (
+	"math"
+	"sort"
+)
+
+// This file is the online storm tracker: the frame-by-frame matching loop
+// that LinkTracks replays over stored sequences, exposed incrementally so a
+// streaming pipeline can link identities as frames arrive. Advance consumes
+// one frame's detections and reports the frame's identity delta — births,
+// continuations, deaths, and merges — while Finish closes the remaining
+// open tracks and returns the full track list in the batch reporting order.
+// LinkTracks is a thin replay wrapper over this type, so the batch and
+// streaming paths share one matching implementation by construction.
+
+// TrackEvent classifies one identity transition observed at a frame.
+type TrackEvent int
+
+// The identity transitions a frame can produce.
+const (
+	// EventBirth: a detection matched no open track and started a new one.
+	EventBirth TrackEvent = iota
+	// EventContinue: an open track was extended by a detection.
+	EventContinue
+	// EventDeath: an open track found no continuation and closed.
+	EventDeath
+	// EventMerge: a track closed within the association radius of another
+	// track of its class that did continue — two systems converged and the
+	// survivor absorbed the closing one. Reported in addition to the death
+	// (merge detection annotates the delta; it never changes track output).
+	EventMerge
+)
+
+// String names the event kind.
+func (e TrackEvent) String() string {
+	switch e {
+	case EventBirth:
+		return "birth"
+	case EventContinue:
+		return "continue"
+	case EventDeath:
+		return "death"
+	case EventMerge:
+		return "merge"
+	}
+	return "unknown"
+}
+
+// Merge records one absorption: Died closed at the frame while Into, within
+// the association radius, continued.
+type Merge struct {
+	Died *Track
+	Into *Track
+}
+
+// FrameDelta is one frame's identity transitions.
+type FrameDelta struct {
+	Frame     int
+	Births    []*Track // tracks opened at this frame
+	Continued []*Track // tracks extended at this frame
+	Deaths    []*Track // tracks closed at this frame (last point is earlier)
+	Merges    []Merge  // subset of Deaths that converged into a survivor
+}
+
+// Tracker links storms across frames incrementally. Frames advance strictly
+// monotonically; the matching within a frame is greedy nearest-centroid per
+// class with longitude periodicity — identical, call for call, to the loop
+// body LinkTracks historically ran over stored sequences.
+type Tracker struct {
+	w       int
+	maxDist float64
+	open    []*Track
+	closed  []*Track
+	last    int // last frame Advanced (-1 before the first)
+
+	// Matching scratch, reused across frames so steady-state tracking
+	// allocates only for track growth.
+	pairs     []trackerPair
+	usedTrack []bool
+	usedStorm []bool
+}
+
+type trackerPair struct {
+	ti, si int
+	d      float64
+}
+
+// NewTracker returns an empty tracker for a grid of width w (dateline
+// wrapping) with the given association radius in grid cells.
+func NewTracker(w int, maxDist float64) *Tracker {
+	return &Tracker{w: w, maxDist: maxDist, last: -1}
+}
+
+// Active returns the currently open tracks (the storms alive at the last
+// Advanced frame). The slice is the tracker's own; do not modify it.
+func (tk *Tracker) Active() []*Track { return tk.open }
+
+// ActiveByClass counts the open tracks of one class.
+func (tk *Tracker) ActiveByClass(class int) int {
+	n := 0
+	for _, tr := range tk.open {
+		if tr.Class == class {
+			n++
+		}
+	}
+	return n
+}
+
+// Advance links one frame's detections against the open tracks and returns
+// the frame's identity delta. frame must be strictly greater than the
+// previous call's (gaps are legal: a streaming source that dropped frames
+// under load keeps linking across the gap, exactly as if the dropped frames
+// had never existed). Panics on a non-monotonic frame — that is a caller
+// bug, not data.
+func (tk *Tracker) Advance(frame int, detections []*Storm) FrameDelta {
+	if frame <= tk.last {
+		panic("storms: Tracker.Advance frames must be strictly increasing")
+	}
+	tk.last = frame
+	delta := FrameDelta{Frame: frame}
+
+	// Candidate (track, storm) pairs by distance, greedy-matched.
+	tk.pairs = tk.pairs[:0]
+	for ti, tr := range tk.open {
+		last := tr.Centroids[len(tr.Centroids)-1]
+		for si, st := range detections {
+			if st.Class != tr.Class {
+				continue
+			}
+			d := wrapDist(last[0], last[1], st.CentroidY, st.CentroidX, tk.w)
+			if d <= tk.maxDist {
+				tk.pairs = append(tk.pairs, trackerPair{ti, si, d})
+			}
+		}
+	}
+	sort.Slice(tk.pairs, func(i, j int) bool { return tk.pairs[i].d < tk.pairs[j].d })
+	tk.usedTrack = resizeBools(tk.usedTrack, len(tk.open))
+	tk.usedStorm = resizeBools(tk.usedStorm, len(detections))
+	for _, p := range tk.pairs {
+		if tk.usedTrack[p.ti] || tk.usedStorm[p.si] {
+			continue
+		}
+		tk.usedTrack[p.ti] = true
+		tk.usedStorm[p.si] = true
+		extend(tk.open[p.ti], frame, detections[p.si], tk.w)
+	}
+	// Unmatched open tracks close; unmatched storms start tracks.
+	stillOpen := tk.open[:0]
+	for ti, tr := range tk.open {
+		if tk.usedTrack[ti] {
+			stillOpen = append(stillOpen, tr)
+			delta.Continued = append(delta.Continued, tr)
+		} else {
+			tk.closed = append(tk.closed, tr)
+			delta.Deaths = append(delta.Deaths, tr)
+		}
+	}
+	tk.open = stillOpen
+	for si, st := range detections {
+		if tk.usedStorm[si] {
+			continue
+		}
+		tr := &Track{Class: st.Class}
+		extend(tr, frame, st, tk.w)
+		tk.open = append(tk.open, tr)
+		delta.Births = append(delta.Births, tr)
+	}
+	// Merge annotation: a death whose final position lies within the
+	// association radius of a surviving (continued) track of its class.
+	for _, dead := range delta.Deaths {
+		lastC := dead.Centroids[len(dead.Centroids)-1]
+		var into *Track
+		best := math.Inf(1)
+		for _, sur := range delta.Continued {
+			if sur.Class != dead.Class {
+				continue
+			}
+			sc := sur.Centroids[len(sur.Centroids)-1]
+			if d := wrapDist(lastC[0], lastC[1], sc[0], sc[1], tk.w); d <= tk.maxDist && d < best {
+				best, into = d, sur
+			}
+		}
+		if into != nil {
+			delta.Merges = append(delta.Merges, Merge{Died: dead, Into: into})
+		}
+	}
+	return delta
+}
+
+// Finish closes every still-open track and returns all tracks in the batch
+// reporting order: longest first, then earliest. The tracker must not be
+// Advanced afterwards.
+func (tk *Tracker) Finish() []*Track {
+	tk.closed = append(tk.closed, tk.open...)
+	tk.open = nil
+	sort.Slice(tk.closed, func(i, j int) bool {
+		if len(tk.closed[i].Frames) != len(tk.closed[j].Frames) {
+			return len(tk.closed[i].Frames) > len(tk.closed[j].Frames)
+		}
+		return tk.closed[i].Frames[0] < tk.closed[j].Frames[0]
+	})
+	return tk.closed
+}
+
+// resizeBools returns a cleared bool slice of length n, reusing capacity.
+func resizeBools(b []bool, n int) []bool {
+	if cap(b) < n {
+		return make([]bool, n)
+	}
+	b = b[:n]
+	for i := range b {
+		b[i] = false
+	}
+	return b
+}

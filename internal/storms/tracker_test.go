@@ -1,0 +1,176 @@
+package storms
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/climate"
+)
+
+// generatedFrames extracts per-frame detections from a temporal sequence —
+// the shared fixture for the batch/online equivalence tests.
+func generatedFrames(t *testing.T, h, w, n int, seed int64) [][]*Storm {
+	t.Helper()
+	cfg := climate.DefaultGenConfig(h, w, seed)
+	seq, err := climate.NewSequence(cfg, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames := make([][]*Storm, n)
+	for f := 0; f < n; f++ {
+		s, err := seq.Frame(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tcs, ars := ExtractAll(s, 4)
+		frames[f] = append(tcs, ars...)
+	}
+	return frames
+}
+
+func TestTrackerReplayEqualsLinkTracks(t *testing.T) {
+	// The acceptance bar for the online tracker: feeding the same frames
+	// through Advance must produce exactly the tracks LinkTracks reports —
+	// same count, order, frames, centroids, and intensity series.
+	frames := generatedFrames(t, 64, 96, 12, 29)
+	const w, maxDist = 96, 12.0
+
+	batch := LinkTracks(frames, w, maxDist)
+
+	tk := NewTracker(w, maxDist)
+	for f, detections := range frames {
+		tk.Advance(f, detections)
+	}
+	online := tk.Finish()
+
+	if len(batch) != len(online) {
+		t.Fatalf("track counts differ: batch %d, online %d", len(batch), len(online))
+	}
+	for i := range batch {
+		if !reflect.DeepEqual(batch[i], online[i]) {
+			t.Errorf("track %d differs:\n batch  %+v\n online %+v", i, batch[i], online[i])
+		}
+	}
+}
+
+func TestTrackerDeltaAccounting(t *testing.T) {
+	// Every track must appear exactly once as a birth and (after Finish)
+	// the union of deltas reconstructs the final track set; gauge-style
+	// continuity: opens(frame) = opens(frame-1) + births − deaths.
+	frames := generatedFrames(t, 64, 96, 10, 43)
+	tk := NewTracker(96, 12)
+	born := make(map[*Track]bool)
+	active := 0
+	for f, detections := range frames {
+		d := tk.Advance(f, detections)
+		for _, tr := range d.Births {
+			if born[tr] {
+				t.Fatalf("track born twice at frame %d", f)
+			}
+			born[tr] = true
+		}
+		active += len(d.Births) - len(d.Deaths)
+		if got := len(tk.Active()); got != active {
+			t.Fatalf("frame %d: active %d, delta accounting says %d", f, got, active)
+		}
+		byClass := tk.ActiveByClass(climate.ClassTC) + tk.ActiveByClass(climate.ClassAR)
+		if byClass != active {
+			t.Fatalf("frame %d: per-class sum %d != active %d", f, byClass, active)
+		}
+	}
+	all := tk.Finish()
+	if len(all) != len(born) {
+		t.Fatalf("Finish returned %d tracks but %d were born", len(all), len(born))
+	}
+	for _, tr := range all {
+		if !born[tr] {
+			t.Fatal("Finish returned a track that never appeared as a birth")
+		}
+	}
+}
+
+func TestTrackerAdvanceWithFrameGaps(t *testing.T) {
+	// Dropped frames are legal in streaming: Advance(0), Advance(2) links
+	// across the gap if still within the association radius.
+	tk := NewTracker(100, 8)
+	tk.Advance(0, []*Storm{synthetic(climate.ClassTC, 20, 10, 40)})
+	d := tk.Advance(2, []*Storm{synthetic(climate.ClassTC, 20, 14, 44)})
+	if len(d.Continued) != 1 || len(d.Births) != 0 {
+		t.Fatalf("gap frame: continued %d births %d, want 1/0", len(d.Continued), len(d.Births))
+	}
+	tracks := tk.Finish()
+	if len(tracks) != 1 {
+		t.Fatalf("got %d tracks, want 1", len(tracks))
+	}
+	if got := tracks[0].Frames; got[0] != 0 || got[1] != 2 {
+		t.Errorf("frames %v, want [0 2]", got)
+	}
+}
+
+func TestTrackerRejectsNonMonotonicFrames(t *testing.T) {
+	tk := NewTracker(100, 8)
+	tk.Advance(3, nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Advance with a repeated frame index should panic")
+		}
+	}()
+	tk.Advance(3, nil)
+}
+
+func TestTrackerReportsMerge(t *testing.T) {
+	// Two TCs converge; when one vanishes next to the survivor, the death
+	// is annotated as a merge into it.
+	tk := NewTracker(100, 6)
+	tk.Advance(0, []*Storm{
+		synthetic(climate.ClassTC, 20, 10, 40),
+		synthetic(climate.ClassTC, 20, 20, 45),
+	})
+	tk.Advance(1, []*Storm{
+		synthetic(climate.ClassTC, 20, 13, 41),
+		synthetic(climate.ClassTC, 20, 17, 46),
+	})
+	d := tk.Advance(2, []*Storm{synthetic(climate.ClassTC, 20, 15, 47)})
+	if len(d.Deaths) != 1 {
+		t.Fatalf("got %d deaths, want 1", len(d.Deaths))
+	}
+	if len(d.Merges) != 1 {
+		t.Fatalf("got %d merges, want 1", len(d.Merges))
+	}
+	if d.Merges[0].Died != d.Deaths[0] {
+		t.Error("merge should reference the dead track")
+	}
+	if d.Merges[0].Into == d.Merges[0].Died {
+		t.Error("merge survivor must be a different track")
+	}
+}
+
+func TestTrackerIsolatedDeathIsNotMerge(t *testing.T) {
+	// A storm dying far from every survivor is a plain death.
+	tk := NewTracker(100, 5)
+	tk.Advance(0, []*Storm{
+		synthetic(climate.ClassTC, 10, 10, 40),
+		synthetic(climate.ClassTC, 40, 70, 45),
+	})
+	d := tk.Advance(1, []*Storm{synthetic(climate.ClassTC, 40, 71, 45)})
+	if len(d.Deaths) != 1 {
+		t.Fatalf("got %d deaths, want 1", len(d.Deaths))
+	}
+	if len(d.Merges) != 0 {
+		t.Fatalf("isolated death reported as merge")
+	}
+}
+
+func TestTrackEventString(t *testing.T) {
+	for ev, want := range map[TrackEvent]string{
+		EventBirth:    "birth",
+		EventContinue: "continue",
+		EventDeath:    "death",
+		EventMerge:    "merge",
+		TrackEvent(9): "unknown",
+	} {
+		if got := ev.String(); got != want {
+			t.Errorf("TrackEvent(%d).String() = %q, want %q", ev, got, want)
+		}
+	}
+}

@@ -138,6 +138,61 @@ func onBoundary(labels *tensor.Tensor, y, x, h, w int) bool {
 	return false
 }
 
+// DrawTrack draws one storm trajectory onto an image as a polyline in the
+// class color (TCs red, ARs blue), wrapping x across the dateline, with a
+// filled square marking the most recent position. centroids are (y, x)
+// pairs with x possibly unwrapped beyond the grid width.
+func DrawTrack(img *image.RGBA, centroids [][2]float64, class int) {
+	if len(centroids) == 0 {
+		return
+	}
+	col := ColorTC
+	if class == climate.ClassAR {
+		col = ColorAR
+	}
+	w := img.Rect.Dx()
+	for i := 1; i < len(centroids); i++ {
+		drawSegment(img, centroids[i-1], centroids[i], col, w)
+	}
+	head := centroids[len(centroids)-1]
+	hy, hx := int(math.Round(head[0])), wrapPx(head[1], w)
+	for dy := -1; dy <= 1; dy++ {
+		for dx := -1; dx <= 1; dx++ {
+			setWrapped(img, hy+dy, hx+dx, col, w)
+		}
+	}
+}
+
+// drawSegment rasterizes one trajectory edge by uniform stepping; segment
+// endpoints are frame-to-frame centroid moves, so they are short and the x
+// coordinates share one unwrapped frame of reference.
+func drawSegment(img *image.RGBA, a, b [2]float64, col color.RGBA, w int) {
+	dy, dx := b[0]-a[0], b[1]-a[1]
+	steps := int(math.Max(math.Abs(dy), math.Abs(dx))) + 1
+	for s := 0; s <= steps; s++ {
+		t := float64(s) / float64(steps)
+		y := int(math.Round(a[0] + t*dy))
+		x := wrapPx(a[1]+t*dx, w)
+		setWrapped(img, y, x, col, w)
+	}
+}
+
+func wrapPx(x float64, w int) int {
+	i := int(math.Round(x)) % w
+	if i < 0 {
+		i += w
+	}
+	return i
+}
+
+func setWrapped(img *image.RGBA, y, x int, col color.RGBA, w int) {
+	if y < img.Rect.Min.Y || y >= img.Rect.Max.Y {
+		return
+	}
+	x = ((x % w) + w) % w
+	img.SetRGBA(x, y, col)
+}
+
 // WritePNG encodes an image to w.
 func WritePNG(w io.Writer, img image.Image) error {
 	return png.Encode(w, img)
