@@ -12,6 +12,7 @@ package repro
 import (
 	"context"
 	"fmt"
+	"math"
 	"math/rand"
 	"path/filepath"
 	"runtime"
@@ -34,6 +35,7 @@ import (
 	"repro/internal/modelpar"
 	"repro/internal/models"
 	"repro/internal/mpi"
+	"repro/internal/nn"
 	"repro/internal/perfmodel"
 	"repro/internal/pipeline"
 	"repro/internal/simnet"
@@ -1136,6 +1138,179 @@ func copyWeights(b *testing.B, src *models.Network, dst *exaclim.Model) {
 	if err := dst.LoadCheckpoint(ckpt); err != nil {
 		b.Fatal(err)
 	}
+}
+
+// BenchmarkAdaptiveServing is the adaptive-compute acceptance benchmark:
+// sparse-storm full-snapshot traffic (the paper's realistic serving regime
+// — most tiles pure background) served twice by the same stack over a
+// briefly trained model: FP32 full decodes, then the calibrated early-exit
+// path. It reports both throughputs, the speedup (the ≥2× acceptance
+// quantity), the exit rate, the exit-check/decode cost ratio, and the
+// measured relative logit error of the reduced-precision kernel sets.
+// Masks are asserted bit-identical between the two servings — the
+// calibration set is the served traffic, where bit-parity holds by
+// construction.
+func BenchmarkAdaptiveServing(b *testing.B) {
+	const fhw, nSnap, nReq, clients, maxBatch = 96, 6, 32, 16, 8
+	// ~60 training steps is enough for mostly-background decodes on
+	// sparse traffic; an untrained net labels everything storm and the
+	// exit path has nothing to do.
+	exp, err := exaclim.New(append(exaclim.Quickstart(),
+		exaclim.WithSyntheticData(16, 16, 32, 42),
+		exaclim.WithSeed(2),
+		exaclim.WithSteps(60))...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := exp.Run(context.Background())
+	if err != nil {
+		b.Fatal(err)
+	}
+	model := res.Model
+
+	gen := climate.DefaultGenConfig(fhw, fhw, 7)
+	gen.MinTCs, gen.MaxTCs = 0, 1 // sparse: at most one storm system each
+	gen.MinARs, gen.MaxARs = 0, 1
+	ds := climate.NewDataset(gen, nSnap)
+	fields := make([]*tensor.Tensor, nSnap)
+	for i := range fields {
+		fields[i] = ds.Sample(i).Fields
+	}
+	segCfg := exaclim.SegmentConfig{Overlap: 2}
+	cal, err := model.CalibrateExit(fields, segCfg, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if cal.ExitRate == 0 {
+		b.Fatal("calibration predicts no exits; the adaptive path is idle")
+	}
+	fp16Err, int8Err := quantRelErr(b, fields[0])
+
+	serve := func(opts ...exaclim.ServerOption) (float64, exaclim.ServerStats, [][]float32) {
+		srv, err := exaclim.NewServer(model, append([]exaclim.ServerOption{
+			exaclim.WithReplicas(1),
+			exaclim.WithMaxBatch(maxBatch),
+			exaclim.WithQueueDepth(256),
+			exaclim.WithBatchDeadline(200 * time.Microsecond),
+			exaclim.WithServeSegmentConfig(segCfg),
+		}, opts...)...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer srv.Close()
+		masks := make([][]float32, nSnap)
+		var wg sync.WaitGroup
+		jobs := make(chan int)
+		start := time.Now()
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range jobs {
+					mask, _, err := srv.Segment(context.Background(), fields[i%nSnap])
+					if err != nil {
+						b.Error(err)
+						return
+					}
+					if i < nSnap {
+						masks[i] = mask.Data()
+					}
+				}
+			}()
+		}
+		for i := 0; i < nReq; i++ {
+			jobs <- i
+		}
+		close(jobs)
+		wg.Wait()
+		return float64(nReq) / time.Since(start).Seconds(), srv.Stats(), masks
+	}
+
+	var baseRPS, adptRPS, exitRate, costRatio, p50ms, p99ms float64
+	b.ResetTimer()
+	for it := 0; it < b.N; it++ {
+		runtime.GC()
+		var baseMasks, adptMasks [][]float32
+		var ast exaclim.ServerStats
+		baseRPS, _, baseMasks = serve()
+		runtime.GC()
+		adptRPS, ast, adptMasks = serve(exaclim.WithCalibratedExit(cal))
+		for i := range baseMasks {
+			for p, v := range baseMasks[i] {
+				if adptMasks[i][p] != v {
+					b.Fatalf("snapshot %d: adaptive mask diverges from FP32 full decode at pixel %d", i, p)
+				}
+			}
+		}
+		exitRate = ast.ExitRate
+		costRatio = ast.ExitCheckP50.Seconds() / ast.DecodeP50.Seconds()
+		p50ms = ast.LatencyP50.Seconds() * 1e3
+		p99ms = ast.LatencyP99.Seconds() * 1e3
+	}
+	b.ReportMetric(adptRPS, "req/s")
+	b.ReportMetric(baseRPS, "fp32-req/s")
+	b.ReportMetric(adptRPS/baseRPS, "adaptive-speedup")
+	b.ReportMetric(exitRate, "exit-rate")
+	b.ReportMetric(costRatio, "exit-cost-ratio")
+	b.ReportMetric(p50ms, "p50-ms")
+	b.ReportMetric(p99ms, "p99-ms")
+	b.ReportMetric(fp16Err, "fp16-logit-relerr")
+	b.ReportMetric(int8Err, "int8-logit-relerr")
+}
+
+// quantRelErr measures the FP16 and INT8 kernel sets' worst relative logit
+// error (max |logit − logit_fp32| / max |logit_fp32|) over a few tiles of a
+// real sparse snapshot, on an untrained tiny Tiramisu — the measured side
+// of the precision contract whose asserted bounds are 2e-3 (FP16) and 6e-2
+// (INT8).
+func quantRelErr(b *testing.B, fields *tensor.Tensor) (fp16, int8 float64) {
+	b.Helper()
+	const tile = 16
+	net, err := models.BuildTiramisu(models.TinyTiramisu(models.Config{
+		BatchSize: 1, InChannels: climate.NumChannels, NumClasses: climate.NumClasses,
+		Height: tile, Width: tile, Seed: 3,
+	}))
+	if err != nil {
+		b.Fatal(err)
+	}
+	logits := func(prec graph.Precision, window *tensor.Tensor) []float32 {
+		g, m, err := graph.CloneForInference(net.Graph, net.Logits, 1, nn.InferenceFusions)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if prec == graph.INT8 {
+			if err := nn.MarkInt8(g); err != nil {
+				b.Fatal(err)
+			}
+		}
+		ex := graph.NewPooledExecutor(g, prec, 1, nil)
+		defer graph.ReleaseOpCaches(g)
+		if err := ex.Forward(map[*graph.Node]*tensor.Tensor{m[net.Images]: window}); err != nil {
+			b.Fatal(err)
+		}
+		return append([]float32(nil), ex.Value(m[net.Logits]).Data()...)
+	}
+	window := tensor.New(tensor.NCHW(1, climate.NumChannels, tile, tile))
+	for _, pos := range [][2]int{{0, 0}, {40, 40}, {80, 80}} {
+		cropWindow(fields, window, pos[0], pos[1], tile)
+		ref := logits(graph.FP32, window)
+		var scale float64
+		for _, v := range ref {
+			scale = math.Max(scale, math.Abs(float64(v)))
+		}
+		for _, prec := range []graph.Precision{graph.FP16, graph.INT8} {
+			var worst float64
+			for i, v := range logits(prec, window) {
+				worst = math.Max(worst, math.Abs(float64(v-ref[i])))
+			}
+			if prec == graph.FP16 {
+				fp16 = math.Max(fp16, worst/scale)
+			} else {
+				int8 = math.Max(int8, worst/scale)
+			}
+		}
+	}
+	return fp16, int8
 }
 
 // ---------- tiled inference ----------

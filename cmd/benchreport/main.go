@@ -44,6 +44,24 @@ type ServingSummary struct {
 	MeanBatch       float64 `json:"mean_batch,omitempty"`
 }
 
+// AdaptiveSummary surfaces the adaptive-compute serving acceptance numbers
+// (PR 7) from the BenchmarkAdaptiveServing metrics: adaptive and FP32
+// full-decode throughput on sparse-storm traffic, their ratio (the ≥2×
+// acceptance quantity), the exit path's tile resolution rate and relative
+// micro-batch cost, and the reduced-precision kernels' measured relative
+// logit error (the contract bounds are 2e-3 FP16, 6e-2 INT8).
+type AdaptiveSummary struct {
+	RequestsPerSec  float64 `json:"requests_per_sec"`
+	FP32ReqPerSec   float64 `json:"fp32_requests_per_sec,omitempty"`
+	Speedup         float64 `json:"adaptive_speedup,omitempty"`
+	ExitRate        float64 `json:"exit_rate,omitempty"`
+	ExitCostRatio   float64 `json:"exit_cost_ratio,omitempty"`
+	P50ms           float64 `json:"p50_ms,omitempty"`
+	P99ms           float64 `json:"p99_ms,omitempty"`
+	FP16LogitRelErr float64 `json:"fp16_logit_rel_err,omitempty"`
+	INT8LogitRelErr float64 `json:"int8_logit_rel_err,omitempty"`
+}
+
 // StreamingSummary surfaces the stormwatch pipeline's acceptance numbers
 // from the BenchmarkStormwatch metrics: sustained frames/s under bursty
 // overload, the drop and degrade rates the backpressure policy produced,
@@ -62,6 +80,7 @@ type Report struct {
 	GoArch     string            `json:"goarch,omitempty"`
 	CPU        string            `json:"cpu,omitempty"`
 	Serving    *ServingSummary   `json:"serving,omitempty"`
+	Adaptive   *AdaptiveSummary  `json:"adaptive,omitempty"`
 	Streaming  *StreamingSummary `json:"streaming,omitempty"`
 	Benchmarks []Benchmark       `json:"benchmarks"`
 	Notes      []string          `json:"notes,omitempty"`
@@ -86,6 +105,7 @@ func main() {
 		}
 	}
 	report.Serving = servingSummary(report.Benchmarks)
+	report.Adaptive = adaptiveSummary(report.Benchmarks)
 	report.Streaming = streamingSummary(report.Benchmarks)
 
 	buf, err := json.MarshalIndent(report, "", "  ")
@@ -188,6 +208,32 @@ func servingSummary(benches []Benchmark) *ServingSummary {
 			P50ms:           b.Metrics["p50-ms"],
 			P99ms:           b.Metrics["p99-ms"],
 			MeanBatch:       b.Metrics["mean-batch"],
+		}
+	}
+	return nil
+}
+
+// adaptiveSummary extracts the adaptive-serving acceptance quantities from
+// a BenchmarkAdaptiveServing result line, if one was parsed (nil
+// otherwise).
+func adaptiveSummary(benches []Benchmark) *AdaptiveSummary {
+	for _, b := range benches {
+		if !strings.HasPrefix(b.Name, "BenchmarkAdaptive") || b.Metrics == nil {
+			continue
+		}
+		if _, ok := b.Metrics["req/s"]; !ok {
+			continue
+		}
+		return &AdaptiveSummary{
+			RequestsPerSec:  b.Metrics["req/s"],
+			FP32ReqPerSec:   b.Metrics["fp32-req/s"],
+			Speedup:         b.Metrics["adaptive-speedup"],
+			ExitRate:        b.Metrics["exit-rate"],
+			ExitCostRatio:   b.Metrics["exit-cost-ratio"],
+			P50ms:           b.Metrics["p50-ms"],
+			P99ms:           b.Metrics["p99-ms"],
+			FP16LogitRelErr: b.Metrics["fp16-logit-relerr"],
+			INT8LogitRelErr: b.Metrics["int8-logit-relerr"],
 		}
 	}
 	return nil

@@ -4,9 +4,17 @@
 // snapshots, and prints a latency/throughput table — optionally against
 // the serial single-goroutine Segment baseline.
 //
+// The adaptive-compute path is exercised with -precision (fp32, fp16,
+// int8 kernel sets) and -early-exit; -calibrate derives the exit threshold
+// from the snapshot set itself (the largest threshold that exits no
+// storm-containing tile), so exited tiles are bit-identical to full
+// decodes on that set.
+//
 // Usage:
 //
 //	servseg -requests 64 -concurrency 16 -replicas 1 -max-batch 8 -baseline
+//	servseg -early-exit -calibrate -requests 256
+//	servseg -precision int8 -baseline
 package main
 
 import (
@@ -18,6 +26,7 @@ import (
 	"time"
 
 	"repro/exaclim"
+	"repro/internal/climate"
 	"repro/internal/tensor"
 )
 
@@ -31,6 +40,7 @@ func main() {
 	height := flag.Int("height", 16, "request grid rows")
 	width := flag.Int("width", 16, "request grid columns")
 	snapshots := flag.Int("snapshots", 8, "distinct synthetic snapshots to rotate through")
+	storms := flag.String("storms", "default", "snapshot storm density (default: the paper's class balance; sparse: 0–1 events per snapshot, mostly-background traffic)")
 	seed := flag.Int64("seed", 7, "generator seed")
 	trainSteps := flag.Int("train-steps", 0, "quick-train the model first (0 serves untrained weights)")
 
@@ -38,25 +48,48 @@ func main() {
 	maxBatch := flag.Int("max-batch", 8, "tiles per executor run (cross-request)")
 	queue := flag.Int("queue", 256, "admission queue depth (tiles)")
 	deadline := flag.Duration("deadline", 200*time.Microsecond, "batch-fill deadline")
+	precision := flag.String("precision", "fp32", "serving kernel set (fp32, fp16, int8)")
+	earlyExit := flag.Bool("early-exit", false, "enable the early-exit background-tile path")
+	exitThreshold := flag.Float64("exit-threshold", 0, "explicit exit threshold (with -early-exit, unless -calibrate)")
+	calibrate := flag.Bool("calibrate", false, "calibrate the exit threshold on the snapshot set (implies -early-exit)")
+	exitMargin := flag.Float64("exit-margin", 1, "calibration safety margin in (0, 1]")
 
 	requests := flag.Int("requests", 64, "total requests to issue")
 	concurrency := flag.Int("concurrency", 16, "concurrent client goroutines")
-	baseline := flag.Bool("baseline", true, "also measure the serial single-goroutine Segment baseline")
+	baseline := flag.Bool("baseline", true, "also measure the serial single-goroutine FP32 full-decode baseline")
 	flag.Parse()
+
+	prec, err := parsePrecision(*precision)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *calibrate {
+		*earlyExit = true
+	}
 
 	model, err := buildModel(*network, *tile, *trainSteps, *seed)
 	if err != nil {
 		log.Fatal(err)
 	}
-	ds := exaclim.SyntheticDataset(*height, *width, *snapshots, *seed)
+	gen := climate.DefaultGenConfig(*height, *width, *seed)
+	switch *storms {
+	case "default":
+	case "sparse":
+		gen.MinTCs, gen.MaxTCs = 0, 1
+		gen.MinARs, gen.MaxARs = 0, 1
+	default:
+		log.Fatalf("unknown -storms %q (want default or sparse)", *storms)
+	}
+	ds := climate.NewDataset(gen, *snapshots)
 	fields := make([]*tensor.Tensor, *snapshots)
 	for i := range fields {
 		fields[i] = ds.Sample(i).Fields
 	}
-	segCfg := exaclim.SegmentConfig{Overlap: *overlap}
+	segCfg := exaclim.SegmentConfig{Overlap: *overlap, Precision: prec}
+	baseCfg := exaclim.SegmentConfig{Overlap: *overlap} // FP32 full decode
 
-	fmt.Printf("servseg: %s, window %d×%d, overlap %d, %d channels\n",
-		*network, *tile, *tile, *overlap, exaclim.NumChannels)
+	fmt.Printf("servseg: %s, window %d×%d, overlap %d, %d channels, precision %s\n",
+		*network, *tile, *tile, *overlap, exaclim.NumChannels, prec)
 	fmt.Printf("  %d requests over %d snapshots of %d×%d, concurrency %d\n",
 		*requests, *snapshots, *height, *width, *concurrency)
 
@@ -64,23 +97,37 @@ func main() {
 	if *baseline {
 		start := time.Now()
 		for i := 0; i < *requests; i++ {
-			if _, err := model.Segment(fields[i%len(fields)], segCfg); err != nil {
+			if _, err := model.Segment(fields[i%len(fields)], baseCfg); err != nil {
 				log.Fatal(err)
 			}
 		}
 		el := time.Since(start)
 		serialRPS = float64(*requests) / el.Seconds()
-		fmt.Printf("  serial baseline: %.1f req/s (1 goroutine, MaxBatch 1, %.1fms/req)\n",
+		fmt.Printf("  serial baseline: %.1f req/s (1 goroutine, FP32 full decode, %.1fms/req)\n",
 			serialRPS, el.Seconds()*1e3/float64(*requests))
 	}
 
-	srv, err := exaclim.NewServer(model,
+	opts := []exaclim.ServerOption{
 		exaclim.WithReplicas(*replicas),
 		exaclim.WithMaxBatch(*maxBatch),
 		exaclim.WithQueueDepth(*queue),
 		exaclim.WithBatchDeadline(*deadline),
 		exaclim.WithServeSegmentConfig(segCfg),
-	)
+	}
+	if *calibrate {
+		calCfg := segCfg
+		calCfg.MaxBatch = *maxBatch
+		cal, err := model.CalibrateExit(fields, calCfg, *exitMargin)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  calibration: threshold %.6g over %d tiles (%d storm), predicted exit rate %.1f%%\n",
+			cal.Threshold, cal.Tiles, cal.StormTiles, cal.ExitRate*100)
+		opts = append(opts, exaclim.WithCalibratedExit(cal))
+	} else if *earlyExit {
+		opts = append(opts, exaclim.WithEarlyExit(*exitThreshold))
+	}
+	srv, err := exaclim.NewServer(model, opts...)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -109,9 +156,9 @@ func main() {
 
 	st := srv.Stats()
 	rps := float64(*requests) / elapsed.Seconds()
-	fmt.Printf("  serving: replicas=%d max-batch=%d queue=%d deadline=%v\n",
-		*replicas, *maxBatch, *queue, *deadline)
-	fmt.Printf("    throughput  %.1f req/s   %.1f tiles/s", rps, float64(st.Tiles)/elapsed.Seconds())
+	fmt.Printf("  serving: replicas=%d max-batch=%d queue=%d deadline=%v early-exit=%v\n",
+		*replicas, *maxBatch, *queue, *deadline, *earlyExit)
+	fmt.Printf("    throughput  %.1f req/s   %.1f tiles/s decoded", rps, float64(st.Tiles)/elapsed.Seconds())
 	if serialRPS > 0 {
 		fmt.Printf("   (%.2f× serial)", rps/serialRPS)
 	}
@@ -120,6 +167,56 @@ func main() {
 		st.LatencyP50.Seconds()*1e3, st.LatencyP95.Seconds()*1e3, st.LatencyP99.Seconds()*1e3)
 	fmt.Printf("    batching    mean batch %.2f over %d runs, queue peak %d\n",
 		st.MeanBatch, st.Batches, st.QueueDepthPeak)
+	if *earlyExit {
+		fmt.Printf("    early exit  %.1f%% of tiles exited (%d of %d checked)  exit-check p50 %.2fms  decode p50 %.2fms\n",
+			st.ExitRate*100, st.ExitedTiles, st.ExitChecks,
+			st.ExitCheckP50.Seconds()*1e3, st.DecodeP50.Seconds()*1e3)
+	}
+
+	// Mask-parity audit against the FP32 full-decode reference: exact for
+	// FP32 (+ calibrated early exit); a quantization-quality readout for
+	// FP16/INT8.
+	if *baseline {
+		same := 0
+		for _, f := range fields {
+			want, err := model.Segment(f, baseCfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			got, _, err := srv.Segment(context.Background(), f)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if equal(want.Data(), got.Data()) {
+				same++
+			}
+		}
+		fmt.Printf("    mask parity %d/%d snapshots bit-identical to FP32 full decode\n", same, len(fields))
+	}
+}
+
+func parsePrecision(s string) (exaclim.Precision, error) {
+	switch s {
+	case "fp32":
+		return exaclim.FP32, nil
+	case "fp16":
+		return exaclim.FP16, nil
+	case "int8":
+		return exaclim.INT8, nil
+	}
+	return exaclim.FP32, fmt.Errorf("unknown precision %q (want fp32, fp16, or int8)", s)
+}
+
+func equal(a, b []float32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i, v := range a {
+		if b[i] != v {
+			return false
+		}
+	}
+	return true
 }
 
 // buildModel constructs (or quick-trains) the serving model at the tile

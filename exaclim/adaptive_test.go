@@ -1,0 +1,128 @@
+package exaclim
+
+import (
+	"context"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// TestAdaptiveOptionValidation covers the adaptive-serving knobs' input
+// contracts: training rejects INT8, manual exit thresholds must be
+// non-negative, and WithCalibratedExit wants an actual calibration.
+func TestAdaptiveOptionValidation(t *testing.T) {
+	if _, err := New(WithPrecision(INT8)); err == nil || !strings.Contains(err.Error(), "inference-only") {
+		t.Errorf("WithPrecision(INT8) error = %v, want inference-only rejection", err)
+	}
+	m := serveModel(t)
+	if _, err := NewServer(m, WithEarlyExit(-1)); err == nil {
+		t.Error("WithEarlyExit(-1) accepted")
+	}
+	if _, err := NewServer(m, WithCalibratedExit(ExitCalibration{})); err == nil {
+		t.Error("WithCalibratedExit with an empty head accepted")
+	}
+	if _, err := m.CalibrateExit(nil, SegmentConfig{Overlap: 2}, 1); err == nil {
+		t.Error("CalibrateExit with no fields accepted")
+	}
+}
+
+// TestCalibratedExitServesBitIdentical is the public end-to-end contract:
+// serving the calibration fields through WithCalibratedExit produces masks
+// bit-identical to full decodes, and the exit path resolves exactly the
+// tile fraction the calibration predicted.
+func TestCalibratedExitServesBitIdentical(t *testing.T) {
+	// A briefly trained model: early-exit calibration needs a net whose
+	// decodes actually separate storm tiles from background tiles (an
+	// untrained net labels everything storm, leaving nothing to exit).
+	exp, err := New(append(Quickstart(), WithSteps(40))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := exp.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := res.Model
+	ds := SyntheticDataset(48, 64, 3, 19)
+	cfg := SegmentConfig{Overlap: 2}
+	var fields []*tensor.Tensor
+	for i := 0; i < ds.Size; i++ {
+		fields = append(fields, ds.Sample(i).Fields)
+	}
+
+	cal, err := m.CalibrateExit(fields, cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cal.ExitRate <= 0 {
+		t.Fatalf("calibration predicts no exits (%+v); the test needs a mixed corpus", cal)
+	}
+	if math.IsInf(cal.Threshold, 0) || len(cal.Head.Weights) == 0 {
+		t.Fatalf("implausible calibration %+v", cal)
+	}
+
+	s, err := NewServer(m, WithServeSegmentConfig(cfg), WithCalibratedExit(cal))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	exited := 0
+	for i, f := range fields {
+		want, err := m.Segment(f, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, stat, err := s.Segment(context.Background(), f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for p, v := range want.Data() {
+			if got.Data()[p] != v {
+				t.Fatalf("sample %d: adaptive mask diverges from full decode at pixel %d", i, p)
+			}
+		}
+		exited += stat.ExitedTiles
+	}
+	if want := int(math.Round(cal.ExitRate * float64(cal.Tiles))); exited != want {
+		t.Errorf("served exits %d, calibration predicted %d of %d tiles", exited, want, cal.Tiles)
+	}
+	st := s.Stats()
+	if st.ExitedTiles != uint64(exited) || st.ExitChecks == 0 {
+		t.Errorf("server stats disagree with per-request exits: %+v", st)
+	}
+}
+
+// TestServePrecisionParity: a server built with WithServePrecision produces
+// the same masks as the single-threaded Model.Segment engine at that
+// precision, for both reduced-precision kernel sets.
+func TestServePrecisionParity(t *testing.T) {
+	for _, prec := range []Precision{FP16, INT8} {
+		m := serveModel(t)
+		ds := SyntheticDataset(37, 45, 2, 23)
+		cfg := SegmentConfig{Overlap: 2, Precision: prec}
+		s, err := NewServer(m, WithMaxBatch(3),
+			WithServeSegmentConfig(SegmentConfig{Overlap: 2}),
+			WithServePrecision(prec))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < ds.Size; i++ {
+			want, err := m.Segment(ds.Sample(i).Fields, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, _, err := s.Segment(context.Background(), ds.Sample(i).Fields)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for p, v := range want.Data() {
+				if got.Data()[p] != v {
+					t.Fatalf("%v: server mask diverges from Model.Segment on sample %d pixel %d", prec, i, p)
+				}
+			}
+		}
+		s.Close()
+	}
+}

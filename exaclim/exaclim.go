@@ -512,7 +512,9 @@ func PaperAnalysis(network string, p Precision, batch, channels int) (*graph.Ana
 //   - Overlap — margin (pixels) discarded on interior tile edges; must be
 //     at least the network's receptive-field radius for the stitched
 //     output to match a monolithic pass. Default 0; negative rejected.
-//   - Precision — FP32 (default) or FP16.
+//   - Precision — FP32 (default, bit-identical to training kernels), FP16
+//     (half-precision round-trips), or INT8 (symmetric quantized conv/GEMM
+//     kernels, inference-only).
 //   - MaxBatch — tiles stacked into one executor run; masks are
 //     bit-identical for every value. Default 0 → 1 (the serial reference
 //     path); negative rejected. Servers set their own batching instead.

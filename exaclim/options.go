@@ -10,14 +10,17 @@ import (
 	"repro/internal/simnet"
 )
 
-// Precision selects the training arithmetic. FP16 enables the loss-scaled
-// mixed-precision path.
+// Precision selects the arithmetic. For training, FP16 enables the
+// loss-scaled mixed-precision path. For serving (SegmentConfig.Precision,
+// WithServePrecision), FP16 and INT8 select the reduced-precision inference
+// kernel sets; INT8 is inference-only.
 type Precision = graph.Precision
 
 // Re-exported precision values, so callers need no extra import.
 const (
 	FP32 = graph.FP32
 	FP16 = graph.FP16
+	INT8 = graph.INT8
 )
 
 // Climate class and channel constants, re-exported for callers reading
@@ -194,9 +197,17 @@ func WithInputSize(height, width int) Option {
 	return func(o *options) { o.model.Height, o.model.Width = height, width }
 }
 
-// WithPrecision selects FP32 or FP16 (loss-scaled mixed precision).
+// WithPrecision selects FP32 or FP16 (loss-scaled mixed precision) for
+// training. INT8 is rejected: quantized kernels exist only on the inference
+// path (use WithServePrecision or SegmentConfig.Precision).
 func WithPrecision(p Precision) Option {
-	return func(o *options) { o.precision = p }
+	return func(o *options) {
+		if p == INT8 {
+			o.err = fmt.Errorf("exaclim: INT8 is inference-only; WithPrecision accepts FP32 or FP16")
+			return
+		}
+		o.precision = p
+	}
 }
 
 // WithLossScale sets the FP16 static loss scale (default 1024, adapted

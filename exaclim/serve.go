@@ -5,31 +5,42 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/infer"
 	"repro/internal/serve"
 	"repro/internal/tensor"
 )
 
 // ServeStat is the per-request serving record: how many tiles the request
-// decomposed into, the mean executor batch its tiles rode in, how long it
-// waited in the admission queue, and its end-to-end latency.
+// decomposed into, the mean executor batch its tiles rode in, how many
+// tiles the early-exit path resolved, and its latency decomposed into
+// queue wait and compute time.
 type ServeStat = serve.RequestStat
 
 // ServerStats is a snapshot of server-level counters: request/tile
-// throughput, latency quantiles (p50/p95/p99), batch occupancy, and
-// queue depth.
+// throughput, latency quantiles (p50/p95/p99), batch occupancy, queue
+// depth, and the early-exit path's counters (checks, exits, exit rate,
+// per-path compute quantiles).
 type ServerStats = serve.Stats
+
+// ExitCalibration is the result of an offline CalibrateExit pass: the
+// threshold, the storm/background tile census it was derived from, and the
+// exit rate it predicts.
+type ExitCalibration = infer.Calibration
 
 // ServerOption configures NewServer.
 type ServerOption func(*serverOptions)
 
 type serverOptions struct {
-	err      error
-	replicas int
-	maxBatch int
-	queue    int
-	deadline time.Duration
-	segment  SegmentConfig
-	observer func(ServeStat)
+	err       error
+	replicas  int
+	maxBatch  int
+	queue     int
+	deadline  time.Duration
+	segment   SegmentConfig
+	earlyExit bool
+	exitThr   float64
+	exitHead  *infer.ExitHead
+	observer  func(ServeStat)
 }
 
 // WithReplicas sets the number of replica workers, each with an isolated
@@ -90,6 +101,53 @@ func WithServeSegmentConfig(cfg SegmentConfig) ServerOption {
 	return func(o *serverOptions) { o.segment = cfg }
 }
 
+// WithServePrecision selects the inference kernel set requests are served
+// with: FP32 (the bit-parity reference), FP16, or INT8 (symmetric
+// per-channel quantized conv/GEMM kernels). It overrides the Precision of
+// any WithServeSegmentConfig. (The name differs from the training option
+// WithPrecision because serving and training precisions are independent
+// knobs: a model trained in FP16 may serve in INT8 and vice versa.)
+func WithServePrecision(p Precision) ServerOption {
+	return func(o *serverOptions) { o.segment.Precision = p }
+}
+
+// WithEarlyExit enables the adaptive background-tile path with a manual
+// exit threshold over the raw encoder-prefix energy score (mean absolute
+// tap activation): tiles scoring below it skip the deep decoder and emit an
+// all-background mask region. Requires a model whose network carries an
+// exit tap (both registered networks do). Prefer WithCalibratedExit, which
+// serves the fitted confidence head and the threshold calibrated against
+// it as a pair.
+func WithEarlyExit(threshold float64) ServerOption {
+	return func(o *serverOptions) {
+		if threshold < 0 {
+			o.err = fmt.Errorf("exaclim: WithEarlyExit wants threshold ≥ 0, got %v", threshold)
+			return
+		}
+		o.earlyExit = true
+		o.exitThr = threshold
+		o.exitHead = nil
+	}
+}
+
+// WithCalibratedExit enables the adaptive background-tile path with the
+// confidence head and threshold of an offline CalibrateExit run — the
+// normal way to turn early exit on. On the calibration fields the served
+// masks are bit-identical to full decodes by construction; on unseen
+// traffic the guarantee is statistical (see Model.CalibrateExit).
+func WithCalibratedExit(cal ExitCalibration) ServerOption {
+	return func(o *serverOptions) {
+		if len(cal.Head.Weights) == 0 {
+			o.err = fmt.Errorf("exaclim: WithCalibratedExit wants a CalibrateExit result (empty head)")
+			return
+		}
+		head := cal.Head
+		o.earlyExit = true
+		o.exitThr = cal.Threshold
+		o.exitHead = &head
+	}
+}
+
 // WithServeObserver streams every finished request's ServeStat (including
 // failed and cancelled requests) to obs, from worker goroutines: obs must
 // be safe for concurrent use and return quickly.
@@ -133,6 +191,9 @@ func NewServer(m *Model, opts ...ServerOption) (*Server, error) {
 		QueueDepth:    o.queue,
 		BatchDeadline: o.deadline,
 		Tile:          tile,
+		EarlyExit:     o.earlyExit,
+		ExitThreshold: o.exitThr,
+		ExitHead:      o.exitHead,
 		OnStat:        o.observer,
 	})
 	if err != nil {
@@ -157,3 +218,26 @@ func (s *Server) Stats() ServerStats { return s.inner.Stats() }
 // Close drains the server: running requests finish, new ones are refused.
 // Safe to call more than once.
 func (s *Server) Close() error { return s.inner.Close() }
+
+// CalibrateExit fits the early-exit confidence head and its threshold
+// offline: every tile of the calibration fields is fully decoded and its
+// exit-tap features pooled with the exact engine configuration of cfg
+// (geometry, precision, batching); the head is a closed-form ridge fit of
+// storm-in-keep-region against those features; and the threshold is the
+// largest value that exits no tile whose decoded keep region contains a
+// storm pixel — so on the calibration set, serving with
+// WithCalibratedExit(result) produces masks bit-identical to full decodes.
+// margin in (0, 1] pulls the threshold down toward the background score
+// floor for headroom on unseen traffic (0 means 1, no headroom).
+func (m *Model) CalibrateExit(fields []*tensor.Tensor, cfg SegmentConfig, margin float64) (ExitCalibration, error) {
+	icfg, err := m.inferConfig(cfg)
+	if err != nil {
+		return ExitCalibration{}, err
+	}
+	r, err := infer.NewRunner(m.adapter(), icfg)
+	if err != nil {
+		return ExitCalibration{}, err
+	}
+	defer r.Close()
+	return r.Calibrate(fields, margin)
+}

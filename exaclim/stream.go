@@ -40,7 +40,9 @@ const (
 	StreamBlock = stream.PolicyBlock
 	// StreamDropOldest sheds the stalest queued frame under pressure.
 	StreamDropOldest = stream.PolicyDropOldest
-	// StreamDegrade coarsens the tile stride while the queue is loaded.
+	// StreamDegrade sheds compute while the queue is loaded: first by
+	// boosting the server's early-exit threshold, then — deeper into
+	// overload — by coarsening the tile stride.
 	StreamDegrade = stream.PolicyDegrade
 	// StreamSteady produces frames at a constant rate.
 	StreamSteady = stream.ProfileSteady

@@ -12,12 +12,21 @@ import (
 	"bytes"
 	"compress/flate"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"math"
 
 	"repro/internal/tensor"
 )
+
+// ErrUnquantizable reports input a quantizer cannot represent: NaN or ±Inf
+// values, a channel range so wide its span overflows float32, or one so
+// narrow the code step underflows to zero. Before this guard such inputs
+// silently produced garbage codes (NaN propagates through the min/max scan
+// and converts to an arbitrary uint16; an overflowed scale dequantizes to
+// NaN). Callers match with errors.Is.
+var ErrUnquantizable = errors.New("compress: unquantizable values")
 
 // Quantized is a 16-bit-quantized multichannel field.
 type Quantized struct {
@@ -50,6 +59,10 @@ func Quantize(fields *tensor.Tensor) (*Quantized, error) {
 		lo, hi := float32(math.Inf(1)), float32(math.Inf(-1))
 		for i := ch * plane; i < (ch+1)*plane; i++ {
 			v := d[i]
+			if v != v || v > math.MaxFloat32 || v < -math.MaxFloat32 {
+				return nil, fmt.Errorf("compress: channel %d holds %v at offset %d: %w",
+					ch, v, i-ch*plane, ErrUnquantizable)
+			}
 			if v < lo {
 				lo = v
 			}
@@ -60,6 +73,17 @@ func Quantize(fields *tensor.Tensor) (*Quantized, error) {
 		q.Min[ch] = lo
 		if hi > lo {
 			q.Scale[ch] = (hi - lo) / maxCode
+			if q.Scale[ch] == 0 {
+				// Denormal range: the span is so small the 16-bit code step
+				// underflows float32, and every value would collapse to code 0.
+				return nil, fmt.Errorf("compress: channel %d range [%v, %v] underflows the code step: %w",
+					ch, lo, hi, ErrUnquantizable)
+			}
+			if math.IsInf(float64(q.Scale[ch]), 0) {
+				// hi−lo overflowed float32; dequantization would produce NaN.
+				return nil, fmt.Errorf("compress: channel %d range [%v, %v] overflows float32: %w",
+					ch, lo, hi, ErrUnquantizable)
+			}
 		}
 		// Quantize in float64: the float32 inputs are exact in float64, so
 		// the code is within half a step of the true value and the only

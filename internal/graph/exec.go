@@ -11,25 +11,37 @@ import (
 // Precision selects the activation/gradient storage precision of an
 // execution. FP16 keeps FP32 master weights (mixed precision, as on V100
 // Tensor Cores) and rounds every op output and gradient through binary16.
+// INT8 is inference-only: activations flow between ops in FP32, and the
+// quantization happens inside the inference convolution kernels (per-output-
+// channel weight scales, dynamic per-tensor activation scales — see
+// nn.MarkInt8); the executor itself treats INT8 exactly like FP32.
 type Precision int
 
 const (
 	FP32 Precision = iota
 	FP16
+	INT8
 )
 
-// Bytes returns the storage width of the precision in bytes.
+// Bytes returns the storage width of the precision in bytes. INT8 reports
+// the weight-code width; activations between kernels remain FP32.
 func (p Precision) Bytes() int {
-	if p == FP16 {
+	switch p {
+	case FP16:
 		return 2
+	case INT8:
+		return 1
 	}
 	return 4
 }
 
 // String names the precision as the paper does.
 func (p Precision) String() string {
-	if p == FP16 {
+	switch p {
+	case FP16:
 		return "FP16"
+	case INT8:
+		return "INT8"
 	}
 	return "FP32"
 }

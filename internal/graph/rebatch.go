@@ -165,3 +165,43 @@ func CloneForInference(g *Graph, root *Node, batch int, fuse FuseRule) (ng *Grap
 	}
 	return ng, mapping, nil
 }
+
+// CloneExitBranch is CloneForInference's exit-branch hook: it clones only
+// the prefix subgraph that computes tap — an intermediate node on root's
+// subgraph, such as a segmentation encoder's first-stage output — so an
+// adaptive-compute serving path can evaluate a cheap confidence head
+// without executing the deep decoder. The tap must be an ancestor of root
+// (or root itself); cloning an off-path node would mean the "cheap prefix"
+// shares no work with the full decode, which is a caller bug, not a
+// configuration.
+//
+// The clone shares parameters by reference with the source graph exactly
+// like CloneForInference, so a full-decode clone and its exit branch stay
+// weight-consistent by construction.
+func CloneExitBranch(g *Graph, root, tap *Node, batch int, fuse FuseRule) (*Graph, map[*Node]*Node, error) {
+	if tap == nil {
+		return nil, nil, fmt.Errorf("graph: exit tap is nil")
+	}
+	if root == nil {
+		return nil, nil, fmt.Errorf("graph: exit root is nil")
+	}
+	// Reachability by identity, not ID: a node of a different graph can
+	// carry an in-range ID, and cloning it would silently build the exit
+	// branch over foreign weights.
+	reach := make(map[*Node]bool, len(g.nodes))
+	var mark func(*Node)
+	mark = func(n *Node) {
+		if reach[n] {
+			return
+		}
+		reach[n] = true
+		for _, in := range n.Inputs {
+			mark(in)
+		}
+	}
+	mark(root)
+	if !reach[tap] {
+		return nil, nil, fmt.Errorf("graph: exit tap %q (node %d) is not on the root's subgraph", tap.Label, tap.ID)
+	}
+	return CloneForInference(g, tap, batch, fuse)
+}

@@ -128,3 +128,62 @@ func TestCloneForInferenceErrors(t *testing.T) {
 		t.Error("symbolic parameters should fail")
 	}
 }
+
+// TestCloneExitBranchSharesParamsAndStopsAtTap: the exit-branch clone must
+// contain only the prefix up to the tap (no decoder tail), share parameter
+// storage with the source, and produce the tap's activations.
+func TestCloneExitBranchSharesParamsAndStopsAtTap(t *testing.T) {
+	g, x, logits, _ := buildBNNet(3)
+	// The tap is the ReLU feeding the final conv: logits' first input.
+	tap := logits.Inputs[0]
+	ng, m, err := graph.CloneExitBranch(g, logits, tap, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m[logits] != nil {
+		t.Error("decoder tail survived the exit-branch clone")
+	}
+	if m[tap] == nil || m[x] == nil {
+		t.Fatal("tap or input missing from the clone")
+	}
+	if got := m[tap].Shape[0]; got != 3 {
+		t.Errorf("tap batch %d, want 3", got)
+	}
+	if len(ng.Nodes()) >= len(g.Nodes()) {
+		t.Errorf("exit branch has %d nodes, source %d — nothing pruned", len(ng.Nodes()), len(g.Nodes()))
+	}
+	// Parameters are shared by reference, not copied.
+	for _, n := range g.Nodes() {
+		if n.Value == nil || m[n] == nil || len(n.Inputs) > 0 {
+			continue
+		}
+		if n == x || m[n].Value == nil {
+			continue
+		}
+		if &n.Value.Data()[0] != &m[n].Value.Data()[0] {
+			t.Errorf("param %q copied instead of shared", n.Label)
+		}
+	}
+}
+
+// TestCloneExitBranchValidatesTap: a tap that is not on the root's
+// subgraph — or missing entirely — must be rejected.
+func TestCloneExitBranchValidatesTap(t *testing.T) {
+	g, _, logits, root := buildBNNet(5)
+	// root (the loss head) is downstream of logits: not on logits' subgraph.
+	if _, _, err := graph.CloneExitBranch(g, logits, root, 2, nil); err == nil {
+		t.Error("downstream tap should fail")
+	}
+	if _, _, err := graph.CloneExitBranch(g, logits, nil, 2, nil); err == nil {
+		t.Error("nil tap should fail")
+	}
+	if _, _, err := graph.CloneExitBranch(g, nil, logits, 2, nil); err == nil {
+		t.Error("nil root should fail")
+	}
+	// A node from a different graph entirely.
+	og, _, ologits, _ := buildBNNet(7)
+	_ = og
+	if _, _, err := graph.CloneExitBranch(g, logits, ologits, 2, nil); err == nil {
+		t.Error("foreign tap should fail")
+	}
+}

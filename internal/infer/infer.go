@@ -35,13 +35,17 @@ type Network struct {
 	Graph  *graph.Graph
 	Images *graph.Node // [N, C, th, tw]
 	Logits *graph.Node // [N, classes, th, tw]
+	// Exit is the encoder's first-stage output (models.Network.ExitTap):
+	// the cheap graph prefix the early-exit path evaluates to decide
+	// whether a tile can skip the deep decoder. Nil disables early exit.
+	Exit *graph.Node // [N, C', h', w']
 }
 
 // FromModel adapts a trained models.Network for inference. The loss head
 // and its label/weight inputs are pruned when the Runner clones the graph,
 // so no placeholder feeds are needed.
 func FromModel(net *models.Network) *Network {
-	return &Network{Graph: net.Graph, Images: net.Images, Logits: net.Logits}
+	return &Network{Graph: net.Graph, Images: net.Images, Logits: net.Logits, Exit: net.ExitTap}
 }
 
 // Config controls the tiling and batching.
@@ -50,7 +54,13 @@ type Config struct {
 	// Overlap is the margin (pixels) discarded on every interior tile edge.
 	// It must be at least the network's receptive-field radius for the
 	// stitched output to match a monolithic full-image pass.
-	Overlap   int
+	Overlap int
+	// Precision selects the kernel set of this engine. FP32 is the
+	// bit-parity reference (identical to the training kernels); FP16
+	// round-trips every op output through half precision; INT8 replaces
+	// the inference conv/GEMM kernels with symmetric 8-bit quantized ones
+	// (see the precision contract on the package-level docs in
+	// adaptive.go). The zero value is FP32.
 	Precision graph.Precision
 	// MaxBatch is the number of tiles stacked into one executor run
 	// (0 → 1, the serial path). The final batch of a pass may be ragged;
@@ -177,6 +187,10 @@ type Runner struct {
 	classes  int
 	pool     *tensor.Pool
 	sized    map[int]*sizedNet
+	// exitSized caches the exit-branch clones (rooted at src.Exit) per
+	// batch size, built lazily like sized. Nil entries never appear: the
+	// map is only populated when the network has an exit tap.
+	exitSized map[int]*sizedNet
 }
 
 // NewRunner validates the configuration against the network window and
@@ -195,12 +209,13 @@ func NewRunner(net *Network, cfg Config) (*Runner, error) {
 			is[2], is[3], cfg.TileH, cfg.TileW)
 	}
 	return &Runner{
-		src:      net,
-		cfg:      cfg,
-		channels: is[1],
-		classes:  net.Logits.Shape[1],
-		pool:     tensor.NewPool(),
-		sized:    make(map[int]*sizedNet),
+		src:       net,
+		cfg:       cfg,
+		channels:  is[1],
+		classes:   net.Logits.Shape[1],
+		pool:      tensor.NewPool(),
+		sized:     make(map[int]*sizedNet),
+		exitSized: make(map[int]*sizedNet),
 	}, nil
 }
 
@@ -221,6 +236,11 @@ func (r *Runner) sizedFor(b int) (*sizedNet, error) {
 	g, m, err := graph.CloneForInference(r.src.Graph, r.src.Logits, b, nn.InferenceFusions)
 	if err != nil {
 		return nil, err
+	}
+	if r.cfg.Precision == graph.INT8 {
+		if err := nn.MarkInt8(g); err != nil {
+			return nil, err
+		}
 	}
 	images := m[r.src.Images]
 	if images == nil {
@@ -245,6 +265,11 @@ func (r *Runner) Close() {
 		s.ex.Release()
 		graph.ReleaseOpCaches(s.g)
 		delete(r.sized, b)
+	}
+	for b, s := range r.exitSized {
+		s.ex.Release()
+		graph.ReleaseOpCaches(s.g)
+		delete(r.exitSized, b)
 	}
 }
 

@@ -128,7 +128,8 @@ func BuildDeepLab(dc DeepLabConfig) (*Network, error) {
 
 	// Stage 1: 3× [1×1 64, 3×3 64, 1×1 256] at quarter resolution.
 	x = dc.stage(b, x, dc.ch(64), dc.ch(256), dc.StageBlocks[0], 1, 1)
-	lowLevel := x // 288×192 at paper scale: the decoder's skip source
+	lowLevel := x // 288×192 at paper scale: the decoder's skip source,
+	// and the serving stack's early-exit tap (Network.ExitTap)
 
 	// Stage 2: 4× [128,128,512], /2 → output stride 8.
 	x = dc.stage(b, x, dc.ch(128), dc.ch(512), dc.StageBlocks[1], 2, 1)
@@ -183,5 +184,6 @@ func BuildDeepLab(dc DeepLabConfig) (*Network, error) {
 		Weights: wmap,
 		Logits:  logits,
 		Loss:    lossNode,
+		ExitTap: lowLevel,
 	}, nil
 }

@@ -54,6 +54,11 @@ type Network struct {
 	Weights *graph.Node // [N, H, W] per-pixel loss weights
 	Logits  *graph.Node // [N, classes, H, W]
 	Loss    *graph.Node // scalar
+	// ExitTap is the encoder's first-stage output — the cheap prefix the
+	// serving stack's early-exit confidence head evaluates to let
+	// background-only tiles skip the deep decoder (nil when a builder has
+	// no natural first stage). Training never reads it.
+	ExitTap *graph.Node // [N, C', H', W']
 }
 
 // builder wraps a graph with weight-creation helpers that honor

@@ -162,12 +162,19 @@ func BuildTiramisu(tc TiramisuConfig) (*Network, error) {
 	stem := b.param("stem", tensor.OIHW(tc.InitialChannels, tc.InChannels, 3, 3))
 	x := g.Apply(nn.NewConv2D(1, 1, 1), images, stem)
 
-	// Down path: dense block → remember skip → transition down.
+	// Down path: dense block → remember skip → transition down. The first
+	// transition's output is the serving stack's early-exit tap: the
+	// cheapest point past which background-only tiles carry no new
+	// information worth the deep decoder's FLOPs.
 	var skips []*graph.Node
+	var exitTap *graph.Node
 	for _, layers := range tc.DownLayers {
 		_, full := tc.denseBlock(b, x, layers)
 		skips = append(skips, full)
 		x = tc.transitionDown(b, full)
+		if exitTap == nil {
+			exitTap = x
+		}
 	}
 
 	// Bottleneck: only the new features continue upward (standard
@@ -200,5 +207,6 @@ func BuildTiramisu(tc TiramisuConfig) (*Network, error) {
 		Weights: wmap,
 		Logits:  logits,
 		Loss:    lossNode,
+		ExitTap: exitTap,
 	}, nil
 }

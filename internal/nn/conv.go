@@ -37,7 +37,8 @@ type Conv2D struct {
 	// since no backward pass will want it.
 	Inference bool
 
-	fwdCols []float32 // im2col panels from the last scratch forward (all batch elements)
+	fwdCols []float32    // im2col panels from the last scratch forward (all batch elements)
+	qw      *int8Weights // set by MarkInt8: quantized-weight INT8 kernel (inference only)
 }
 
 // is1x1 reports whether the convolution is a pure pointwise (1×1, stride 1,
@@ -112,6 +113,22 @@ func (c *Conv2D) ForwardScratch(in []*tensor.Tensor, wsp *tensor.Workspace) *ten
 	// start uninitialized; Im2col likewise writes its whole panel.
 	out := wsp.NewTensorUninit(tensor.NCHW(n, cout, oh, ow))
 	imSize := cin * g.InH * g.InW
+	if c.Inference && c.qw != nil {
+		// Quantized INT8 kernel (see int8.go); covers pointwise and expanded
+		// geometries alike.
+		var col []float32
+		if !is1x1(g) {
+			col = wsp.GetF32(k * cols)
+			defer wsp.PutF32(col)
+		}
+		bq := wsp.GetI8(k * cols)
+		defer wsp.PutI8(bq)
+		for b := 0; b < n; b++ {
+			c.int8Tile(x.Data()[b*imSize:(b+1)*imSize], cin, g,
+				out.Data()[b*cout*cols:(b+1)*cout*cols], cout, col, bq)
+		}
+		return out
+	}
 	if is1x1(g) {
 		// Pointwise fast path: the input already is the [Cin, H·W] matrix.
 		for b := 0; b < n; b++ {

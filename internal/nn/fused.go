@@ -80,9 +80,21 @@ func (c *FusedConvBias) ForwardScratch(in []*tensor.Tensor, wsp *tensor.Workspac
 	imSize := cin * g.InH * g.InW
 	bd := bias.Data()
 	pointwise := is1x1(g)
-	direct := cv.Inference && directConvEligible(g, cout, cols, k)
+	int8q := cv.Inference && cv.qw != nil
+	direct := !int8q && cv.Inference && directConvEligible(g, cout, cols, k)
 	var infCol []float32
-	if !pointwise && !direct {
+	var bq []int8
+	if int8q {
+		// Quantized INT8 kernel (see int8.go): panel scratch plus the int8
+		// code buffer; the bias/ReLU epilogue below is shared with every
+		// other path.
+		if !pointwise {
+			infCol = wsp.GetF32(k * cols)
+			defer wsp.PutF32(infCol)
+		}
+		bq = wsp.GetI8(k * cols)
+		defer wsp.PutI8(bq)
+	} else if !pointwise && !direct {
 		if cv.Inference {
 			// No backward pass will read the panel back: workspace scratch
 			// instead of the instance cache.
@@ -99,7 +111,9 @@ func (c *FusedConvBias) ForwardScratch(in []*tensor.Tensor, wsp *tensor.Workspac
 	}
 	for b := 0; b < n; b++ {
 		tile := out.Data()[b*cout*cols : (b+1)*cout*cols]
-		if direct {
+		if int8q {
+			cv.int8Tile(x.Data()[b*imSize:(b+1)*imSize], cin, g, tile, cout, infCol, bq)
+		} else if direct {
 			directConv(x.Data()[b*imSize:(b+1)*imSize], cin, g, w.Data(), tile, cout, wsp)
 		} else {
 			// The im2col panel lands in the inner conv's cache, so the

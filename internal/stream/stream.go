@@ -12,9 +12,14 @@
 // segments them the queue fills, and the configured policy decides what
 // gives — PolicyBlock stalls the producer (the source falls behind wall
 // clock), PolicyDropOldest sheds the stalest queued frame (the tracker
-// links across the gap), and PolicyDegrade keeps every frame but coarsens
-// the tile stride (overlap 0) while occupancy is above the pressure
-// threshold, trading mask border quality for throughput.
+// links across the gap), and PolicyDegrade keeps every frame but sheds
+// compute along a two-rung ladder: at DegradeAt occupancy it raises the
+// serving stack's early-exit threshold (SegmentOpts.ExitBoost — more
+// background tiles skip the deep decoder, losing at most faint marginal
+// detections), and only at the higher CoarsenAt occupancy does it coarsen
+// the tile stride (overlap 0), the rung that visibly costs mask border
+// quality. Against a server without early exit the first rung is a no-op
+// and the ladder behaves like the historical single-rung policy.
 package stream
 
 import (
@@ -46,9 +51,10 @@ const (
 	// PolicyDropOldest sheds the stalest queued frame to admit the new
 	// one: the stream stays current, the tracker links across the gaps.
 	PolicyDropOldest
-	// PolicyDegrade blocks like PolicyBlock but coarsens the tile stride
-	// (overlap 0) while queue occupancy is at or above Config.DegradeAt,
-	// making each frame cheaper until pressure clears.
+	// PolicyDegrade blocks like PolicyBlock but makes frames cheaper while
+	// the queue is under pressure: at Config.DegradeAt occupancy it boosts
+	// the server's early-exit threshold, at Config.CoarsenAt it also
+	// coarsens the tile stride (overlap 0), until pressure clears.
 	PolicyDegrade
 )
 
@@ -156,8 +162,16 @@ type Config struct {
 	// Policy picks the full-queue behavior (default PolicyBlock).
 	Policy Policy
 	// DegradeAt is the queue-occupancy fraction at which PolicyDegrade
-	// coarsens the stride (default 0.5).
+	// engages its first rung, boosting the server's early-exit threshold
+	// (default 0.5).
 	DegradeAt float64
+	// ExitBoost is the threshold multiplier of the first rung (default
+	// 1.5; must be ≥ 1). Ignored by servers without early exit.
+	ExitBoost float64
+	// CoarsenAt is the occupancy fraction of the second rung, coarsening
+	// the tile stride (default halfway between DegradeAt and 1; must be in
+	// [DegradeAt, 1]).
+	CoarsenAt float64
 	// MinPixels drops mask components smaller than this (default 4).
 	MinPixels int
 	// MaxDist is the tracker association radius in grid cells (default
@@ -192,6 +206,12 @@ func (c Config) withDefaults() Config {
 	if c.DegradeAt == 0 {
 		c.DegradeAt = 0.5
 	}
+	if c.ExitBoost == 0 {
+		c.ExitBoost = 1.5
+	}
+	if c.CoarsenAt == 0 {
+		c.CoarsenAt = (c.DegradeAt + 1) / 2
+	}
 	if c.MinPixels == 0 {
 		c.MinPixels = 4
 	}
@@ -217,6 +237,12 @@ func (c Config) validate() error {
 	if c.DegradeAt < 0 || c.DegradeAt > 1 {
 		return fmt.Errorf("stream: DegradeAt %v outside [0,1]", c.DegradeAt)
 	}
+	if c.ExitBoost < 1 || math.IsNaN(c.ExitBoost) {
+		return fmt.Errorf("stream: ExitBoost %v must be ≥ 1", c.ExitBoost)
+	}
+	if c.CoarsenAt < c.DegradeAt || c.CoarsenAt > 1 {
+		return fmt.Errorf("stream: CoarsenAt %v outside [DegradeAt, 1]", c.CoarsenAt)
+	}
 	if c.MaxDist < 0 {
 		return fmt.Errorf("stream: MaxDist %v must be ≥ 0", c.MaxDist)
 	}
@@ -228,6 +254,7 @@ type Stats struct {
 	Produced  uint64 // frames drawn from the source
 	Processed uint64 // frames segmented and tracked
 	Dropped   uint64 // frames shed by PolicyDropOldest
+	Boosted   uint64 // frames served with a boosted exit threshold
 	Degraded  uint64 // frames segmented at coarsened stride
 
 	Births, Deaths, Merges uint64
@@ -265,6 +292,7 @@ type Pipeline struct {
 	cfg Config
 
 	dropped   metrics.Counter
+	boosted   metrics.Counter
 	degraded  metrics.Counter
 	depth     metrics.Gauge // queued frames
 	activeTC  metrics.Gauge
@@ -304,6 +332,9 @@ func (p *Pipeline) QueueDepth() (cur, peak int) {
 
 // Dropped returns the frames shed so far by PolicyDropOldest.
 func (p *Pipeline) Dropped() uint64 { return p.dropped.Value() }
+
+// Boosted returns the frames served with a boosted exit threshold so far.
+func (p *Pipeline) Boosted() uint64 { return p.boosted.Value() }
 
 // Degraded returns the frames segmented at coarsened stride so far.
 func (p *Pipeline) Degraded() uint64 { return p.degraded.Value() }
@@ -437,7 +468,17 @@ func (p *Pipeline) produce(ctx context.Context, queue chan frameItem) error {
 func (p *Pipeline) process(ctx context.Context, tracker *storms.Tracker, item frameItem) error {
 	opts := serve.SegmentOpts{Overlap: -1}
 	if p.cfg.Policy == PolicyDegrade {
-		if occ := float64(p.depth.Value()) / float64(p.cfg.QueueDepth); occ >= p.cfg.DegradeAt {
+		occ := float64(p.depth.Value()) / float64(p.cfg.QueueDepth)
+		if occ >= p.cfg.DegradeAt {
+			// First rung: more background tiles exit early. Harmless to
+			// servers without early exit (the boost multiplies a threshold
+			// that is never consulted).
+			opts.ExitBoost = p.cfg.ExitBoost
+			p.boosted.Inc()
+		}
+		if occ >= p.cfg.CoarsenAt {
+			// Second rung: coarsen the stride — cheaper tiles at a visible
+			// border-quality cost, so it engages only deeper into overload.
 			opts.Overlap = 0
 			p.degraded.Inc()
 		}
@@ -544,6 +585,7 @@ func (p *Pipeline) snapshot(elapsed time.Duration) Stats {
 		Produced:     p.produced,
 		Processed:    p.processed,
 		Dropped:      p.dropped.Value(),
+		Boosted:      p.boosted.Value(),
 		Degraded:     p.degraded.Value(),
 		Births:       p.births,
 		Deaths:       p.deaths,

@@ -28,6 +28,7 @@ type oracleSegmenter struct {
 	delay    time.Duration
 	requests atomic.Int64
 	degraded atomic.Int64
+	boosted  atomic.Int64
 }
 
 func (o *oracleSegmenter) SegmentWith(ctx context.Context, fields *tensor.Tensor, opts serve.SegmentOpts) (*tensor.Tensor, serve.RequestStat, error) {
@@ -40,6 +41,9 @@ func (o *oracleSegmenter) SegmentWith(ctx context.Context, fields *tensor.Tensor
 	o.requests.Add(1)
 	if opts.Overlap == 0 {
 		o.degraded.Add(1)
+	}
+	if opts.ExitBoost > 0 {
+		o.boosted.Add(1)
 	}
 	return climate.Label(fields), serve.RequestStat{Tiles: 1}, nil
 }
@@ -165,6 +169,46 @@ func TestPipelineDegradeEngagesUnderPressure(t *testing.T) {
 	}
 	if got := uint64(seg.degraded.Load()); got != st.Degraded {
 		t.Errorf("segmenter saw %d degraded requests, stats say %d", got, st.Degraded)
+	}
+}
+
+func TestPipelineDegradeLaddersBoostBeforeCoarsen(t *testing.T) {
+	// The two-rung ladder: exit-threshold boosting (invisible tiling, only
+	// marginal background tiles exit earlier) must engage at DegradeAt,
+	// below the CoarsenAt rung that widens the tile stride. Any frame
+	// coarsened was therefore also boosted.
+	const n = 30
+	seq := testSequence(t, n, 67)
+	seg := &oracleSegmenter{delay: 3 * time.Millisecond}
+	p, err := New(seg, Config{
+		Source:     seq,
+		FPS:        2000,
+		MaxFrames:  n,
+		Policy:     PolicyDegrade,
+		QueueDepth: 4,
+		DegradeAt:  0.25,
+		ExitBoost:  2,
+		CoarsenAt:  1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := res.Stats
+	if st.Processed != n || st.Dropped != 0 {
+		t.Fatalf("degrade policy must keep every frame: %+v", st)
+	}
+	if st.Boosted == 0 {
+		t.Error("overloaded run never boosted the exit threshold; first rung never engaged")
+	}
+	if st.Boosted < st.Degraded {
+		t.Errorf("coarsened %d frames but boosted only %d; coarsening must imply boosting", st.Degraded, st.Boosted)
+	}
+	if got := uint64(seg.boosted.Load()); got != st.Boosted {
+		t.Errorf("segmenter saw %d boosted requests, stats say %d", got, st.Boosted)
 	}
 }
 
@@ -319,13 +363,16 @@ func TestPipelineDiurnalRateShape(t *testing.T) {
 func TestPipelineConfigValidation(t *testing.T) {
 	src := testSequence(t, 1, 1)
 	for name, cfg := range map[string]Config{
-		"no source":        {},
-		"negative fps":     {Source: src, FPS: -1},
-		"negative frames":  {Source: src, MaxFrames: -1},
-		"burst below 1":    {Source: src, BurstFactor: 0.5},
-		"negative queue":   {Source: src, QueueDepth: -2},
-		"degrade above 1":  {Source: src, DegradeAt: 1.5},
-		"negative maxdist": {Source: src, MaxDist: -3},
+		"no source":             {},
+		"negative fps":          {Source: src, FPS: -1},
+		"negative frames":       {Source: src, MaxFrames: -1},
+		"burst below 1":         {Source: src, BurstFactor: 0.5},
+		"negative queue":        {Source: src, QueueDepth: -2},
+		"degrade above 1":       {Source: src, DegradeAt: 1.5},
+		"boost below 1":         {Source: src, ExitBoost: 0.5},
+		"coarsen above 1":       {Source: src, CoarsenAt: 1.5},
+		"coarsen below degrade": {Source: src, DegradeAt: 0.6, CoarsenAt: 0.3},
+		"negative maxdist":      {Source: src, MaxDist: -3},
 	} {
 		if _, err := New(&oracleSegmenter{}, cfg); err == nil {
 			t.Errorf("%s: New succeeded", name)

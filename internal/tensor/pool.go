@@ -28,6 +28,7 @@ type Pool struct {
 	f32  bins[float32]
 	f64  bins[float64]
 	i32  bins[int32]
+	i8   bins[int8]
 	free []*Tensor // recycled tensor headers (struct + shape storage)
 
 	gets   atomic.Uint64
@@ -63,6 +64,7 @@ func NewPool() *Pool {
 		f32: newBins[float32](),
 		f64: newBins[float64](),
 		i32: newBins[int32](),
+		i8:  newBins[int8](),
 	}
 }
 
@@ -249,6 +251,36 @@ func (p *Pool) PutI32(buf []int32) {
 	p.mu.Unlock()
 }
 
+// GetI8 returns an int8 scratch buffer of length n (unspecified contents) —
+// quantized activation panels for the INT8 inference kernels.
+func (p *Pool) GetI8(n int) []int8 {
+	p.gets.Add(1)
+	if n == 0 {
+		return nil
+	}
+	p.mu.Lock()
+	if buf, ok := p.i8.take(n); ok {
+		p.mu.Unlock()
+		return buf
+	}
+	p.mu.Unlock()
+	p.misses.Add(1)
+	capN := allocCap(n)
+	p.bytes.Add(uint64(capN))
+	return make([]int8, n, capN)
+}
+
+// PutI8 returns an int8 buffer to the pool.
+func (p *Pool) PutI8(buf []int8) {
+	if cap(buf) == 0 {
+		return
+	}
+	p.puts.Add(1)
+	p.mu.Lock()
+	p.i8.give(buf)
+	p.mu.Unlock()
+}
+
 // newHeader returns a recycled (or fresh) tensor header with the given
 // shape copied into its reusable shape storage.
 func (p *Pool) newHeader(shape Shape) *Tensor {
@@ -337,6 +369,12 @@ func (w *Workspace) GetI32(n int) []int32 { return w.pool.GetI32(n) }
 
 // PutI32 releases int32 scratch.
 func (w *Workspace) PutI32(buf []int32) { w.pool.PutI32(buf) }
+
+// GetI8 returns int8 scratch (unspecified contents).
+func (w *Workspace) GetI8(n int) []int8 { return w.pool.GetI8(n) }
+
+// PutI8 releases int8 scratch.
+func (w *Workspace) PutI8(buf []int8) { w.pool.PutI8(buf) }
 
 // NewTensor returns a zero-filled pooled tensor (see Pool.NewTensor).
 func (w *Workspace) NewTensor(shape Shape) *Tensor { return w.pool.NewTensor(shape) }
