@@ -15,6 +15,19 @@
 //
 //	trainseg -steps 60 -ckpt-dir /tmp/ck -ckpt-every 10 -abort-at 25  # dies at step 25
 //	trainseg -steps 60 -ckpt-dir /tmp/ck -ckpt-every 10 -resume      # resumes from step 20
+//
+// Elastic training: -global-batch pins the trajectory to N data columns
+// per step regardless of the world size, -resume-ranks resumes a snapshot
+// at a different rank count (the requeued-allocation experiment), and
+// -fail-node-at node:step injects a mid-run node failure that the run
+// survives by restarting from the last snapshot on the survivors:
+//
+//	trainseg -ranks 8 -global-batch 8 -ckpt-dir /tmp/ck -abort-at 25   # allocation lost
+//	trainseg -resume -resume-ranks 4 -global-batch 8 -ckpt-dir /tmp/ck # resume on 4 ranks
+//	trainseg -ranks 4 -gpus-per-node 1 -fail-node-at 2:15 -ckpt-dir /tmp/ck -ckpt-every 10
+//
+// -compact-snapshots writes delta-compacted snapshots (≥2× smaller; the
+// weights stay lossless, Adam moments are quantized).
 package main
 
 import (
@@ -54,12 +67,27 @@ func main() {
 	ckptRetain := flag.Int("ckpt-retain", 3, "committed snapshots to keep")
 	resume := flag.Bool("resume", false, "resume from the newest snapshot in -ckpt-dir")
 	abortAt := flag.Int("abort-at", 0, "hard-kill the process after step N (simulated preemption; exit code 3)")
+	resumeRanks := flag.Int("resume-ranks", 0, "resume the snapshot elastically at this world size (overrides -ranks)")
+	globalBatch := flag.Int("global-batch", 0, "data columns per step, independent of the world size (enables elastic training)")
+	failNodeAt := flag.String("fail-node-at", "", "inject a node failure as node:step (repeatable, comma-separated)")
+	compact := flag.Bool("compact-snapshots", false, "write delta-compacted snapshots (lossless weights, quantized Adam moments)")
 	flag.Parse()
 
 	prec := exaclim.FP32
 	if *precision == "fp16" {
 		prec = exaclim.FP16
 	}
+
+	// Elastic mode: any of these pins the trajectory to a global batch, so
+	// the auto hybrid reducer (whose summation order depends on the node
+	// packing) must stay off.
+	if *resumeRanks > 0 {
+		*ranks = *resumeRanks
+		if *ranks%*perNode != 0 {
+			*perNode = 1
+		}
+	}
+	elastic := *globalBatch > 0 || *failNodeAt != "" || *resumeRanks > 0
 
 	opts := []exaclim.Option{
 		exaclim.WithNetwork(*network, exaclim.Tiny),
@@ -76,8 +104,24 @@ func main() {
 		exaclim.WithStepComputeSeconds(0.5),
 		exaclim.WithObserver(exaclim.NewProgressLogger(os.Stdout, 10)),
 	}
-	if *perNode > 1 {
+	if *perNode > 1 && !elastic {
 		opts = append(opts, exaclim.WithHybridAllReduce())
+	}
+	if *globalBatch > 0 {
+		opts = append(opts, exaclim.WithGlobalBatch(*globalBatch))
+	}
+	if *compact {
+		opts = append(opts, exaclim.WithSnapshotCompaction(true))
+	}
+	for _, spec := range strings.Split(*failNodeAt, ",") {
+		if spec == "" {
+			continue
+		}
+		var node, step int
+		if _, err := fmt.Sscanf(spec, "%d:%d", &node, &step); err != nil {
+			log.Fatalf("-fail-node-at wants node:step, got %q", spec)
+		}
+		opts = append(opts, exaclim.WithNodeFailure(node, step))
 	}
 	if *larc {
 		opts = append(opts, exaclim.WithLARC(0))
@@ -88,16 +132,22 @@ func main() {
 			exaclim.WithCheckpointEvery(*ckptEvery),
 			exaclim.WithCheckpointRetain(*ckptRetain))
 	}
-	if *resume {
+	if *resume || *resumeRanks > 0 {
 		if *ckptDir == "" {
 			log.Fatal("-resume needs -ckpt-dir")
 		}
-		path, step, err := exaclim.LatestCheckpoint(*ckptDir)
+		info, err := exaclim.InspectCheckpoint(*ckptDir)
 		if err != nil {
 			log.Fatalf("no snapshot to resume from: %v", err)
 		}
-		fmt.Printf("resuming from %s (step %d)\n", path, step)
-		opts = append(opts, exaclim.WithResume(*ckptDir))
+		if *resumeRanks > 0 {
+			fmt.Printf("resuming from %s (step %d, written by %d ranks over a global batch of %d) elastically at %d ranks\n",
+				info.Path, info.Step, info.Ranks, info.GlobalBatch, *ranks)
+			opts = append(opts, exaclim.WithElasticResume(*ckptDir))
+		} else {
+			fmt.Printf("resuming from %s (step %d)\n", info.Path, info.Step)
+			opts = append(opts, exaclim.WithResume(*ckptDir))
+		}
 	}
 	if *abortAt > 0 {
 		// Simulated preemption: a hard exit from the step callback, with

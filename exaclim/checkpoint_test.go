@@ -87,8 +87,15 @@ func TestFullStateResumeThroughAPI(t *testing.T) {
 	if _, step, err := LatestCheckpoint(resDir); err != nil || step != 6 {
 		t.Fatalf("LatestCheckpoint: step %d err %v", step, err)
 	}
-	if step, err := VerifyCheckpoint(res.LastCheckpoint); err != nil || step != 6 {
-		t.Fatalf("VerifyCheckpoint: step %d err %v", step, err)
+	info, err := VerifyCheckpoint(res.LastCheckpoint)
+	if err != nil || info.Step != 6 {
+		t.Fatalf("VerifyCheckpoint: %+v err %v", info, err)
+	}
+	if info.Ranks != 2 || info.GlobalBatch != 2 || info.Compacted {
+		t.Fatalf("VerifyCheckpoint metadata: %+v", info)
+	}
+	if fi, err := os.Stat(res.LastCheckpoint); err != nil || info.SizeBytes != fi.Size() {
+		t.Fatalf("VerifyCheckpoint size %d, file %v err %v", info.SizeBytes, fi, err)
 	}
 }
 

@@ -1,0 +1,118 @@
+package exaclim
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+func elasticBase(dir string) []Option {
+	return []Option{
+		WithNetwork("tiramisu", Tiny),
+		WithSyntheticData(16, 16, 16, 9),
+		WithSeed(4),
+		WithGlobalBatch(4),
+		WithCheckpointDir(dir),
+		WithCheckpointEvery(3),
+	}
+}
+
+// TestElasticResumeThroughAPI: the public twin of the rescale contract —
+// an 4-rank snapshot resumed at 2 and 8 ranks continues the uninterrupted
+// loss trajectory exactly.
+func TestElasticResumeThroughAPI(t *testing.T) {
+	run := func(dir string, ranks, steps int, extra ...Option) *Result {
+		t.Helper()
+		opts := append(elasticBase(dir), WithRanks(ranks, 1), WithSteps(steps))
+		exp, err := New(append(opts, extra...)...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := exp.Run(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	refDir := t.TempDir()
+	ref := run(refDir, 4, 6)
+
+	legDir := t.TempDir()
+	run(legDir, 4, 3)
+
+	info, err := InspectCheckpoint(legDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Step != 3 || info.Ranks != 4 || info.GlobalBatch != 4 || info.Seed != 4 {
+		t.Fatalf("InspectCheckpoint: %+v", info)
+	}
+
+	for _, ranks := range []int{2, 8} {
+		res := run(t.TempDir(), ranks, 6, WithElasticResume(legDir))
+		if res.StartStep != 3 {
+			t.Fatalf("ranks=%d resumed at %d", ranks, res.StartStep)
+		}
+		for i, s := range res.History {
+			if s.Loss != ref.History[3+i].Loss {
+				t.Fatalf("ranks=%d step %d loss %g, uninterrupted %g", ranks, s.Step, s.Loss, ref.History[3+i].Loss)
+			}
+		}
+	}
+
+	// Plain WithResume at a different world size stays a typed refusal.
+	opts := append(elasticBase(t.TempDir())[:4], WithRanks(2, 1), WithSteps(6), WithResume(legDir))
+	exp, err := New(opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := exp.Run(context.Background()); !errors.Is(err, ErrCheckpointRankMismatch) {
+		t.Fatalf("rank mismatch without elastic opt-in: %v", err)
+	}
+}
+
+// TestNodeFailureThroughAPI: WithNodeFailure drains the step, restarts on
+// the survivors, and Run reports one continuous stitched history.
+func TestNodeFailureThroughAPI(t *testing.T) {
+	dir := t.TempDir()
+	opts := append(elasticBase(dir),
+		WithRanks(4, 1),
+		WithSteps(8),
+		WithNodeFailure(1, 5),
+	)
+	exp, err := New(opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := exp.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.History) != 8 {
+		t.Fatalf("stitched history has %d steps", len(res.History))
+	}
+	for i, s := range res.History {
+		if s.Step != i {
+			t.Fatalf("history entry %d is step %d", i, s.Step)
+		}
+	}
+}
+
+// TestElasticOptionValidation: incoherent elastic combinations fail at New.
+func TestElasticOptionValidation(t *testing.T) {
+	cases := [][]Option{
+		{WithGlobalBatch(0)},
+		{WithGlobalBatch(4), WithHybridAllReduce(), WithRanks(4, 2)},
+		{WithGlobalBatch(4), WithWireFormat(WireFP16)},
+		{WithElasticResume("")},
+		{WithChurnPolicy(ChurnEASGD, 0, 0.5)},
+		{WithNodeFailure(-1, 0)},
+		{WithRanks(2, 1), WithNodeFailure(5, 0)}, // node out of range
+	}
+	for i, opts := range cases {
+		if _, err := New(opts...); err == nil {
+			t.Errorf("case %d: invalid elastic options accepted", i)
+		}
+	}
+}

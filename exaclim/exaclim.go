@@ -99,6 +99,21 @@ func New(opts ...Option) (*Experiment, error) {
 		return nil, fmt.Errorf("exaclim: WithResume (full state) and WithInitCheckpoint (weights only) are mutually exclusive")
 	}
 
+	// Elastic training: node failures and EASGD churn need the trajectory
+	// defined over a global batch so the surviving world can continue it;
+	// default to one column per rank when the caller didn't size it.
+	if (len(o.failures) > 0 || o.churn.Mode == ChurnEASGD) && o.globalBatch == 0 {
+		o.globalBatch = o.ranks
+	}
+	if o.globalBatch > 0 {
+		if o.hybrid {
+			return nil, fmt.Errorf("exaclim: elastic training (WithGlobalBatch/WithNodeFailure/WithChurnPolicy) is incompatible with WithHybridAllReduce — gradients combine over the canonical world-size-invariant tree")
+		}
+		if o.wire != WireFP32 {
+			return nil, fmt.Errorf("exaclim: elastic training requires the FP32 wire format")
+		}
+	}
+
 	// Dataset: explicit > synthetic spec > a default synthetic set sized to
 	// the model input (24×32 when that too is unset).
 	dataset := o.dataset
@@ -143,8 +158,26 @@ func New(opts ...Option) (*Experiment, error) {
 		fabric = simnet.NewTwoLevelFabric(nodes, o.perNode,
 			simnet.LinkSpec{LatencySec: 1e-6, BytesPerSec: 150e9},
 			simnet.LinkSpec{LatencySec: 1.5e-6, BytesPerSec: 12.5e9})
+	case len(o.failures) > 0:
+		// Loopback packs every rank onto one node, so a node failure there
+		// would kill the whole world; churn experiments get one rank per
+		// node (the same links a two-level WithRanks run would use).
+		fabric = simnet.NewTwoLevelFabric(o.ranks, 1,
+			simnet.LinkSpec{LatencySec: 1e-6, BytesPerSec: 150e9},
+			simnet.LinkSpec{LatencySec: 1.5e-6, BytesPerSec: 12.5e9})
 	default:
 		fabric = simnet.Loopback(o.ranks)
+	}
+	if len(o.failures) > 0 {
+		maxNode := (fabric.Size() - 1) / fabric.RanksPerNode()
+		ff := simnet.NewFaultFabric(fabric)
+		for _, f := range o.failures {
+			if f.node > maxNode {
+				return nil, fmt.Errorf("exaclim: WithNodeFailure(%d, %d) on a run with nodes 0..%d", f.node, f.atStep, maxNode)
+			}
+			ff.FailNode(f.node, f.atStep)
+		}
+		fabric = ff
 	}
 
 	hvd := horovod.Tree(o.radix)
@@ -216,6 +249,10 @@ func New(opts ...Option) (*Experiment, error) {
 			CheckpointRetain:   o.ckptRetain,
 			CheckpointSync:     o.ckptSync,
 			ResumeFrom:         o.resume,
+			ElasticResume:      o.elasticResume,
+			GlobalBatch:        o.globalBatch,
+			SnapshotCompact:    o.compactSnaps,
+			Churn:              o.churn,
 		},
 		observers: o.observers,
 		network:   o.network,
@@ -308,7 +345,16 @@ func (e *Experiment) Run(ctx context.Context) (*Result, error) {
 			}
 		}
 	}
-	res, err := core.Train(cfg)
+	var res *core.Result
+	var err error
+	if cfg.GlobalBatch > 0 {
+		// Elastic runs go through the churn-surviving driver: on a node
+		// failure it restarts from the last snapshot on the survivors and
+		// stitches the attempts into one continuous Result.
+		res, err = core.TrainElastic(cfg)
+	} else {
+		res, err = core.Train(cfg)
+	}
 	if res == nil {
 		return nil, err
 	}

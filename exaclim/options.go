@@ -132,7 +132,15 @@ type options struct {
 	ckptRetain int
 	ckptSync   bool
 	resume     string
+
+	elasticResume bool
+	globalBatch   int
+	compactSnaps  bool
+	churn         core.ChurnPolicy
+	failures      []nodeFailure
 }
+
+type nodeFailure struct{ node, atStep int }
 
 type synthSpec struct {
 	height, width, samples int
@@ -511,7 +519,8 @@ func WithCheckpointSync(enabled bool) Option {
 // 2000-step run from a step-1000 snapshot trains 1000 more steps, and the
 // result is bit-identical to never having been interrupted — weights,
 // optimizer moments, and loss-scaler state included. The snapshot's rank
-// count and seed must match the experiment's; mismatches fail at Run.
+// count and seed must match the experiment's; mismatches fail at Run
+// (ErrCheckpointRankMismatch — use WithElasticResume to rescale instead).
 // Mutually exclusive with WithInitCheckpoint.
 func WithResume(path string) Option {
 	return func(o *options) {
@@ -520,5 +529,105 @@ func WithResume(path string) Option {
 			return
 		}
 		o.resume = path
+	}
+}
+
+// WithElasticResume is WithResume without the world-size pin: the snapshot
+// may resume at any WithRanks value. Weights, optimizer moments, and the
+// loss scaler are replicated state and carry over unchanged; the per-column
+// data cursors re-shard so the global sample sequence is preserved exactly.
+// For power-of-two world sizes and global batches the continued loss
+// trajectory is bit-exact per global batch against the uninterrupted run
+// (the determinism contract TestElasticResume pins); other shapes keep the
+// exact data order but may differ in final bits. The snapshot's seed and
+// global batch must still match the experiment's. Mutually exclusive with
+// WithResume and WithInitCheckpoint.
+func WithElasticResume(path string) Option {
+	return func(o *options) {
+		if path == "" {
+			o.err = fmt.Errorf("exaclim: WithElasticResume wants a non-empty path")
+			return
+		}
+		o.resume = path
+		o.elasticResume = true
+	}
+}
+
+// WithGlobalBatch trains over n data columns per step regardless of the
+// world size, making the trained trajectory a function of the global batch
+// alone: ranks split the columns contiguously (worlds larger than the batch
+// keep the extra ranks as hot spares), gradients combine in a canonical
+// world-size-invariant order, and the epilogue averages over n. This is the
+// foundation WithElasticResume's rescale contract stands on. Requires the
+// bucketed exchange (default), the flat reducer, and the FP32 wire format.
+// Default 0: legacy one-column-per-rank behaviour.
+func WithGlobalBatch(n int) Option {
+	return func(o *options) {
+		if n < 1 {
+			o.err = fmt.Errorf("exaclim: WithGlobalBatch wants n ≥ 1, got %d", n)
+			return
+		}
+		o.globalBatch = n
+	}
+}
+
+// WithSnapshotCompaction writes compacted (v3 delta) snapshots: weights are
+// byte-shuffled and DEFLATEd losslessly, Adam moment slots are additionally
+// range-quantized to 8-bit codes — at least 2× smaller on trained state.
+// Resuming from a compacted snapshot restores weights bit-exactly; the
+// dequantized moments re-adapt within a few steps, so the continuation is
+// approximate rather than bit-exact. CRC framing, atomic commit, and the
+// typed load errors are unchanged, and both forms load interchangeably.
+func WithSnapshotCompaction(enabled bool) Option {
+	return func(o *options) { o.compactSnaps = enabled }
+}
+
+// ChurnMode selects how an elastic run behaves across membership churn; see
+// the re-exported modes.
+type ChurnMode = core.ChurnMode
+
+// Churn modes, re-exported so callers need no extra import.
+const (
+	// ChurnStrict (default): on a node failure the step drains and the run
+	// restarts from the last snapshot at the surviving world size —
+	// deterministic, at the cost of the steps since the last checkpoint.
+	ChurnStrict = core.ChurnStrict
+	// ChurnEASGD: workers train independently on their column shares and
+	// synchronize through an elastic-averaging center every period steps —
+	// survives churn without replaying, but restarts are only
+	// deterministic-from-snapshot, not bit-exact.
+	ChurnEASGD = core.ChurnEASGD
+)
+
+// WithChurnPolicy sets the membership-churn consistency mode. period and
+// rho configure ChurnEASGD (the synchronization period τ and the elastic
+// coefficient ρ; the moving rate is LR·ρ) and are ignored under
+// ChurnStrict. ChurnEASGD implies a global batch (defaulting to the rank
+// count) and requires any WithCheckpointEvery cadence to be a multiple of
+// period, so snapshots capture a freshly-averaged center.
+func WithChurnPolicy(mode ChurnMode, period int, rho float64) Option {
+	return func(o *options) {
+		if mode == ChurnEASGD && (period < 1 || rho <= 0) {
+			o.err = fmt.Errorf("exaclim: WithChurnPolicy(ChurnEASGD) wants period ≥ 1 and rho > 0, got %d and %g", period, rho)
+			return
+		}
+		o.churn = core.ChurnPolicy{Mode: mode, Period: period, Rho: rho}
+	}
+}
+
+// WithNodeFailure schedules simulated node `node` to fail at training step
+// `atStep`: every rank it hosts stops contributing, the in-flight step
+// drains collectively on all ranks and is discarded, and the run restarts
+// from the last committed snapshot (step 0 when none) on the survivors at
+// the same virtual clock — the mid-run membership-churn experiment. May be
+// given multiple times. Implies a global batch (defaulting to the rank
+// count) so the restarted world trains the same trajectory.
+func WithNodeFailure(node, atStep int) Option {
+	return func(o *options) {
+		if node < 0 || atStep < 0 {
+			o.err = fmt.Errorf("exaclim: WithNodeFailure(%d, %d) wants node ≥ 0 and step ≥ 0", node, atStep)
+			return
+		}
+		o.failures = append(o.failures, nodeFailure{node: node, atStep: atStep})
 	}
 }

@@ -1,0 +1,134 @@
+package allreduce
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/mpi"
+	"repro/internal/simnet"
+)
+
+// TestCanonicalTreeCorrect: the masked binomial tree produces the global
+// sum on every rank, for full and partially-active worlds.
+func TestCanonicalTreeCorrect(t *testing.T) {
+	runReducer(t, &CanonicalTree{}, simnet.Loopback(8), 100)
+	runReducer(t, &CanonicalTree{}, simnet.Loopback(5), 33)
+}
+
+// TestCanonicalTreeMaskedRanks: ranks past ActiveRanks contribute nothing —
+// the sum over the active prefix comes back on every rank, masked included.
+func TestCanonicalTreeMaskedRanks(t *testing.T) {
+	const n, active, length = 8, 5, 64
+	rng := rand.New(rand.NewSource(42))
+	inputs := make([][]float32, n)
+	expected := make([]float32, length)
+	for rk := 0; rk < n; rk++ {
+		inputs[rk] = make([]float32, length)
+		for i := range inputs[rk] {
+			inputs[rk][i] = float32(rng.Intn(64)) / 8
+			if rk < active {
+				expected[i] += inputs[rk][i]
+			}
+		}
+	}
+	w := mpi.NewWorld(simnet.Loopback(n))
+	ct := &CanonicalTree{ActiveRanks: active}
+	w.Run(func(c *mpi.Comm) {
+		buf := append([]float32(nil), inputs[c.Rank()]...)
+		ct.Reduce(c, buf)
+		for i := range buf {
+			if buf[i] != expected[i] {
+				t.Errorf("rank %d elem %d: got %g want %g (masked contribution leaked)",
+					c.Rank(), i, buf[i], expected[i])
+				return
+			}
+		}
+	})
+}
+
+// TestCanonicalTreeWorldSizeInvariant is the property the elastic trainer
+// stands on: reducing the same 8 per-column contributions — pre-combined
+// per rank over balanced local pairwise trees, exactly as the trainer's
+// gradient accumulator does — yields bit-identical sums at every
+// power-of-two world size, where ring and recursive-doubling reductions
+// associate differently per world size and drift in the last bits.
+func TestCanonicalTreeWorldSizeInvariant(t *testing.T) {
+	const columns, length = 8, 257
+	rng := rand.New(rand.NewSource(7))
+	cols := make([][]float32, columns)
+	for c := range cols {
+		cols[c] = make([]float32, length)
+		for i := range cols[c] {
+			// Values with scattered exponents so association order matters.
+			cols[c][i] = float32(rng.NormFloat64()) * float32(int32(1)<<uint(rng.Intn(12)))
+		}
+	}
+
+	// localFold combines one rank's columns over the balanced binary
+	// counter tree (pairs, then pairs of pairs), matching core's gradAccum.
+	localFold := func(lo, hi int) []float32 {
+		levels := make([][]float32, 0, 4)
+		for c := lo; c < hi; c++ {
+			carry := append([]float32(nil), cols[c]...)
+			placed := false
+			for l := 0; l < len(levels) && !placed; l++ {
+				if levels[l] == nil {
+					levels[l], placed = carry, true
+					break
+				}
+				for i := range carry {
+					carry[i] += levels[l][i]
+				}
+				levels[l] = nil
+			}
+			if !placed {
+				levels = append(levels, carry)
+			}
+		}
+		out := make([]float32, length)
+		for _, lv := range levels {
+			if lv == nil {
+				continue
+			}
+			for i := range lv {
+				out[i] += lv[i]
+			}
+		}
+		return out
+	}
+
+	reduceAt := func(ranks int) []float32 {
+		w := mpi.NewWorld(simnet.Loopback(ranks))
+		active := min(ranks, columns)
+		ct := &CanonicalTree{ActiveRanks: active}
+		out := make([]float32, length)
+		w.Run(func(c *mpi.Comm) {
+			per := columns / ranks
+			if per == 0 {
+				per = 1
+			}
+			lo := c.Rank() * per
+			hi := lo + per
+			if c.Rank() >= columns {
+				lo, hi = 0, 0
+			}
+			buf := localFold(lo, hi)
+			ct.Reduce(c, buf)
+			if c.Rank() == 0 {
+				copy(out, buf)
+			}
+		})
+		return out
+	}
+
+	ref := reduceAt(1)
+	for _, ranks := range []int{2, 4, 8, 16} {
+		got := reduceAt(ranks)
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatalf("ranks=%d elem %d: %b vs 1-rank %b — summation order not invariant",
+					ranks, i, got[i], ref[i])
+			}
+		}
+	}
+}

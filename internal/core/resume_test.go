@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -160,10 +161,10 @@ func TestResumeConfigMismatches(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	bad := baseConfig(4, 4) // different rank count
+	bad := baseConfig(4, 4) // different rank count, no elastic opt-in
 	bad.ResumeFrom = dir
-	if _, err := Train(bad); err == nil {
-		t.Fatal("resume at a different rank count must fail")
+	if _, err := Train(bad); !errors.Is(err, models.ErrSnapshotRankMismatch) {
+		t.Fatalf("resume at a different rank count: got %v, want ErrSnapshotRankMismatch", err)
 	}
 
 	bad = baseConfig(2, 4)

@@ -85,11 +85,20 @@ func (s *snapshotter) capture(steps uint64, cfg Config, net *models.Network,
 	buf.Ranks = cfg.Ranks
 	buf.Seed = cfg.Seed
 	buf.Skipped = skipped
-	if len(buf.Cursors) != cfg.Ranks {
-		buf.Cursors = make([]uint64, cfg.Ranks)
+	// Cursors are stored per global-batch column (legacy runs pin one
+	// column per rank), which is what lets an elastic resume re-shard them
+	// across any world size.
+	gb := cfg.GlobalBatch
+	if gb == 0 {
+		gb = cfg.Ranks
+	}
+	buf.GlobalBatch = gb
+	buf.Compact = cfg.SnapshotCompact
+	if len(buf.Cursors) != gb {
+		buf.Cursors = make([]uint64, gb)
 	}
 	for r := range buf.Cursors {
-		// One sample drawn per rank per step; validation passes index the
+		// One sample drawn per column per step; validation passes index the
 		// dataset directly and never advance the stream.
 		buf.Cursors[r] = steps
 	}

@@ -177,8 +177,35 @@ type Config struct {
 	// committed snapshot inside it). Steps counts the whole run including
 	// the snapshot's completed steps: resuming a Steps=2k run from a step-k
 	// snapshot trains k more steps and lands bit-identical to never having
-	// stopped. The snapshot's ranks and seed must match the configuration.
+	// stopped. The snapshot's ranks and seed must match the configuration
+	// unless ElasticResume opts into rescaling.
 	ResumeFrom string
+
+	// GlobalBatch, when > 0, decouples the global batch (data-parallel
+	// sample columns per step) from the world size and switches the run to
+	// the elastic trainer: each rank computes a contiguous share of the
+	// columns (models.ShardColumns) and gradients reduce over the canonical
+	// world-size-invariant tree, so the trained trajectory depends on the
+	// global batch, not on how many ranks computed it. Requires a bucketed
+	// exchange mode, the FP32 wire, and the flat reducer (hybrid's
+	// node-local phases are world-shape-dependent by construction).
+	GlobalBatch int
+	// ElasticResume permits ResumeFrom at a different world size than the
+	// snapshot's: the replicated state is remapped and the per-column data
+	// cursors re-sharded (models.RemapTrainState). The snapshot's global
+	// batch overrides GlobalBatch so the sample sequence continues exactly.
+	ElasticResume bool
+	// SnapshotCompact writes v3 compacted snapshots: weights byte-shuffled
+	// and DEFLATEd (lossless), Adam moments 8-bit quantized (lossy; a
+	// compacted resume is deterministic but not bit-exact against the
+	// uninterrupted run).
+	SnapshotCompact bool
+	// StartClock pre-advances every rank's virtual clock (elastic restarts
+	// continue on the clock where the failed attempt stopped).
+	StartClock float64
+	// Churn selects how an elastic run behaves across membership churn
+	// (default ChurnStrict; see ChurnPolicy).
+	Churn ChurnPolicy
 
 	// Ctx, when set, is checked at every step boundary. Because ranks are
 	// goroutines joined by collectives, cancellation must be a collective
@@ -309,6 +336,13 @@ func Train(cfg Config) (*Result, error) {
 		cfg.LossScale = 1024
 	}
 
+	if cfg.ElasticResume && cfg.ResumeFrom == "" {
+		return nil, fmt.Errorf("core: ElasticResume requires ResumeFrom")
+	}
+	if cfg.StartClock < 0 {
+		return nil, fmt.Errorf("core: negative StartClock %g", cfg.StartClock)
+	}
+
 	if cfg.CheckpointEvery > 0 && cfg.CheckpointDir == "" {
 		return nil, fmt.Errorf("core: CheckpointEvery requires CheckpointDir")
 	}
@@ -335,22 +369,66 @@ func Train(cfg Config) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		if st.Ranks != cfg.Ranks {
-			return nil, fmt.Errorf("core: snapshot was taken at %d ranks, run configured for %d (elastic rank rescaling is not supported)",
-				st.Ranks, cfg.Ranks)
+		if cfg.ElasticResume {
+			// Rescale-on-resume: re-stamp the world size and continue the
+			// snapshot's own global batch, whatever this config asked for —
+			// the sample sequence belongs to the experiment, not the
+			// allocation.
+			if err := models.RemapTrainState(st, cfg.Ranks); err != nil {
+				return nil, err
+			}
+			cfg.GlobalBatch = st.GlobalBatch
+		} else if st.Ranks != cfg.Ranks {
+			return nil, fmt.Errorf("%w: snapshot was taken at %d ranks, run configured for %d (opt in with ElasticResume to rescale)",
+				models.ErrSnapshotRankMismatch, st.Ranks, cfg.Ranks)
+		} else if cfg.GlobalBatch > 0 && st.GlobalBatch != cfg.GlobalBatch {
+			return nil, fmt.Errorf("%w: snapshot carries a global batch of %d columns, run configured for %d",
+				models.ErrSnapshotRankMismatch, st.GlobalBatch, cfg.GlobalBatch)
 		}
 		if st.Seed != cfg.Seed {
 			return nil, fmt.Errorf("core: snapshot seed %d does not match configured seed %d; the resumed data streams would diverge",
 				st.Seed, cfg.Seed)
 		}
-		if len(st.Cursors) != cfg.Ranks {
-			return nil, fmt.Errorf("core: snapshot has %d data cursors for %d ranks", len(st.Cursors), cfg.Ranks)
+		wantCursors := cfg.Ranks
+		if cfg.GlobalBatch > 0 {
+			wantCursors = cfg.GlobalBatch
+		}
+		if len(st.Cursors) != wantCursors {
+			return nil, fmt.Errorf("%w: snapshot has %d data cursors, run needs %d",
+				models.ErrSnapshotRankMismatch, len(st.Cursors), wantCursors)
 		}
 		if st.Step >= uint64(cfg.Steps) {
 			return nil, fmt.Errorf("core: snapshot is at step %d, run configured for %d total steps — nothing to resume",
 				st.Step, cfg.Steps)
 		}
 		resume = st
+	}
+
+	// The final global batch is known only after a possible elastic resume
+	// (the snapshot's value wins), so the elastic-mode constraints validate
+	// here.
+	elastic := cfg.GlobalBatch > 0
+	if elastic {
+		if cfg.Exchange == ExchangeLegacy {
+			return nil, fmt.Errorf("core: elastic training requires a bucketed exchange mode")
+		}
+		if cfg.HybridReduce {
+			return nil, fmt.Errorf("core: elastic training requires the flat reducer (hybrid reduction is world-shape-dependent)")
+		}
+		if cfg.Wire != mpi.WireFP32 {
+			return nil, fmt.Errorf("core: elastic training requires the FP32 wire format")
+		}
+		if cfg.Churn.Mode == ChurnEASGD {
+			if cfg.Churn.Period < 1 || cfg.Churn.Rho <= 0 {
+				return nil, fmt.Errorf("core: EASGD churn policy needs Period ≥ 1 and Rho > 0, got %+v", cfg.Churn)
+			}
+			if cfg.CheckpointEvery > 0 && cfg.CheckpointEvery%cfg.Churn.Period != 0 {
+				return nil, fmt.Errorf("core: under EASGD churn CheckpointEvery (%d) must be a multiple of the sync Period (%d) so snapshots capture a freshly synchronized center",
+					cfg.CheckpointEvery, cfg.Churn.Period)
+			}
+		}
+	} else if cfg.Churn.Mode == ChurnEASGD {
+		return nil, fmt.Errorf("core: the EASGD churn policy applies to elastic runs only (set GlobalBatch)")
 	}
 
 	if cfg.KernelWorkers > 0 {
@@ -378,7 +456,12 @@ func Train(cfg Config) (*Result, error) {
 
 	world := mpi.NewWorld(fabric)
 	makespan := world.Run(func(c *mpi.Comm) {
-		err := trainRank(c, cfg, weights, resume, res, &resMu)
+		var err error
+		if elastic {
+			err = trainRankElastic(c, cfg, weights, resume, res, &resMu)
+		} else {
+			err = trainRank(c, cfg, weights, resume, res, &resMu)
+		}
 		if err != nil {
 			resMu.Lock()
 			if firstErr == nil {
@@ -392,9 +475,11 @@ func Train(cfg Config) (*Result, error) {
 		res.FinalLoss = res.History[len(res.History)-1].Loss
 	}
 	if firstErr != nil {
-		if errors.Is(firstErr, context.Canceled) || errors.Is(firstErr, context.DeadlineExceeded) {
-			// Cancellation is a clean collective exit: hand back what the
-			// run produced so far alongside the context's error.
+		if errors.Is(firstErr, context.Canceled) || errors.Is(firstErr, context.DeadlineExceeded) ||
+			errors.Is(firstErr, ErrNodeFailed) {
+			// Cancellation and node failure are clean collective exits: hand
+			// back what the run produced so far alongside the error
+			// (TrainElastic restarts from the partial result's clock).
 			return res, firstErr
 		}
 		return nil, firstErr

@@ -95,11 +95,7 @@ func Run(world *mpi.World, cfg Config, p Problem, init []float32) (*Result, erro
 			// recursion x̃ ← x̃ + Σᵢ α(xᵢ − x̃).
 			copy(sum, x)
 			c.Allreduce(sum, mpi.Ring)
-			for i := range x {
-				old := center[i]
-				center[i] += alpha * (sum[i] - float32(n)*old)
-				x[i] -= alpha * (x[i] - old)
-			}
+			ElasticUpdate(x, center, sum, n, alpha)
 			syncs++
 		}
 
@@ -112,6 +108,22 @@ func Run(world *mpi.World, cfg Config, p Problem, init []float32) (*Result, erro
 	})
 	res.BytesSent = world.BytesSent()
 	return res, nil
+}
+
+// ElasticUpdate applies the symmetric EASGD synchronization for one
+// parameter block: sum must hold the all-reduced pre-update worker
+// parameters Σᵢ xᵢ over n workers, center the replicated center variable
+// x̃, and alpha the moving rate α = η·ρ. The center moves toward the worker
+// mean (x̃ ← x̃ + Σᵢ α(xᵢ − x̃)) and the local worker is pulled toward the
+// old center — the elastic force in both directions. Exported so the core
+// trainer's churn escape hatch reuses the exact update rule this package
+// tests against its convergence baselines.
+func ElasticUpdate(x, center, sum []float32, n int, alpha float32) {
+	for i := range x {
+		old := center[i]
+		center[i] += alpha * (sum[i] - float32(n)*old)
+		x[i] -= alpha * (x[i] - old)
+	}
 }
 
 // RunSync executes plain synchronous data-parallel SGD (gradient all-reduce

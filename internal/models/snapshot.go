@@ -3,6 +3,7 @@ package models
 import (
 	"bufio"
 	"bytes"
+	"compress/flate"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -12,6 +13,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 
 	"repro/internal/graph"
 	"repro/internal/hpfloat"
@@ -46,9 +48,21 @@ import (
 
 const (
 	snapshotMagic   = 0x31504E53 // "SNP1"
-	snapshotVersion = 2          // v2 added the convergence history sections
+	snapshotVersion = 3          // v3 added the global-batch field and compacted sections
 	snapshotHeader  = 4 + 4 + 8  // magic + version + payload length
 )
+
+// snapshotVersionV2 is still readable: v2 files predate elastic training, so
+// the decoder backfills GlobalBatch = Ranks (one column per rank, the only
+// sharding v2 runs could have used).
+const snapshotVersionV2 = 2
+
+// compactMaxElems bounds a single compacted section's element count. The
+// usual guard — "declared size must fit in the remaining payload" — does not
+// apply to compressed sections (DEFLATE can legally expand far beyond its
+// input), so hostile declared sizes are cut off at an absolute cap instead:
+// 2^28 elements is 1 GiB of float32, far past any model this repo trains.
+const compactMaxElems = 1 << 28
 
 // Typed snapshot failures, matched with errors.Is. Load never panics on
 // hostile bytes: every decode path ends in one of these (or an io error).
@@ -77,9 +91,24 @@ type TrainState struct {
 	Seed    int64 // run seed, recorded for sanity checks
 	Skipped int   // optimizer updates skipped so far (FP16 overflow)
 
-	// Cursors[r] is how many samples rank r has drawn from its index
-	// stream; synchronous training keeps them equal to Step, but they are
-	// stored per rank so the format does not bake that invariant in.
+	// GlobalBatch is the number of data-parallel sample columns in one
+	// global batch. Legacy runs pin one column per rank (GlobalBatch ==
+	// Ranks); elastic runs decouple the two so the same snapshot can resume
+	// at any world size with the global sample sequence preserved. A zero
+	// value (v2 files, hand-built states) means "same as Ranks".
+	GlobalBatch int
+
+	// Compact selects the v3 compacted encoding on write: weights are
+	// byte-shuffled and DEFLATEd (lossless), Adam moment slots are 8-bit
+	// range-quantized before DEFLATE (lossy; see encodeSlotCompact). It is
+	// also set on decode so callers can tell how a file was written.
+	Compact bool
+
+	// Cursors[c] is how many samples column c has drawn from its index
+	// stream (one entry per GlobalBatch column; legacy snapshots carry one
+	// per rank, which is the same thing). Synchronous training keeps them
+	// equal to Step, but they are stored per column so the format does not
+	// bake that invariant in.
 	Cursors []uint64
 
 	Params []ParamState
@@ -181,6 +210,9 @@ var snapshotCRC = crc32.MakeTable(crc32.Castagnoli)
 // payload-sized intermediate — the asynchronous checkpoint writer's CPU
 // cost is one conversion sweep plus the hardware CRC.
 func (s *TrainState) EncodeSnapshot(w io.Writer) error {
+	if s.Compact {
+		return s.encodeSnapshotCompact(w)
+	}
 	size, err := s.payloadSize()
 	if err != nil {
 		return err
@@ -208,6 +240,37 @@ func (s *TrainState) EncodeSnapshot(w io.Writer) error {
 	return binary.Write(w, binary.LittleEndian, crc.Sum32())
 }
 
+// encodeSnapshotCompact writes the compacted form. Compressed section sizes
+// cannot be known before compressing, so the payload is built in memory and
+// framed afterwards — acceptable because compaction exists precisely to make
+// that payload several times smaller than the streaming path's. DEFLATE at a
+// fixed level is deterministic, so two runs in the same state still produce
+// byte-identical files.
+func (s *TrainState) encodeSnapshotCompact(w io.Writer) error {
+	var payload bytes.Buffer
+	bw := bufio.NewWriterSize(&payload, 1<<16)
+	if err := s.encodePayload(bw); err != nil {
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	var header [snapshotHeader]byte
+	binary.LittleEndian.PutUint32(header[0:], snapshotMagic)
+	binary.LittleEndian.PutUint32(header[4:], snapshotVersion)
+	binary.LittleEndian.PutUint64(header[8:], uint64(payload.Len()))
+	crc := crc32.New(snapshotCRC)
+	crc.Write(header[:])
+	crc.Write(payload.Bytes())
+	if _, err := w.Write(header[:]); err != nil {
+		return err
+	}
+	if _, err := w.Write(payload.Bytes()); err != nil {
+		return err
+	}
+	return binary.Write(w, binary.LittleEndian, crc.Sum32())
+}
+
 type countingWriter struct {
 	w io.Writer
 	n int64
@@ -223,7 +286,7 @@ func (c *countingWriter) Write(p []byte) (int, error) {
 // payloadSize returns the exact encoded payload size, mirroring
 // encodePayload section by section (the encoder verifies the two agree).
 func (s *TrainState) payloadSize() (int, error) {
-	size := 8 + 4 + 8 + 4 // step, ranks, seed, skipped
+	size := 8 + 4 + 4 + 8 + 4 + 1 // step, ranks, global batch, seed, skipped, flags
 	size += 4 + 8*len(s.Cursors)
 	size += 4
 	for _, p := range s.Params {
@@ -286,10 +349,20 @@ func writeF32s(w *bufio.Writer, xs []float32) {
 
 func (s *TrainState) encodePayload(w *bufio.Writer) error {
 	le := binary.LittleEndian
+	gb := s.GlobalBatch
+	if gb == 0 {
+		gb = s.Ranks
+	}
+	var flags byte
+	if s.Compact {
+		flags |= 1
+	}
 	binary.Write(w, le, s.Step)
 	binary.Write(w, le, uint32(s.Ranks))
+	binary.Write(w, le, uint32(gb))
 	binary.Write(w, le, s.Seed)
 	binary.Write(w, le, uint32(s.Skipped))
+	w.WriteByte(flags)
 	binary.Write(w, le, uint32(len(s.Cursors)))
 	for _, c := range s.Cursors {
 		binary.Write(w, le, c)
@@ -307,9 +380,17 @@ func (s *TrainState) encodePayload(w *bufio.Writer) error {
 			return fmt.Errorf("models: param %q shape %v does not cover %d values",
 				p.Label, p.Shape, len(p.Data))
 		}
-		writeF32s(w, p.Data)
+		if s.Compact {
+			writeCompressedF32s(w, p.Data)
+		} else {
+			writeF32s(w, p.Data)
+		}
 	}
-	if err := encodeOptState(w, s.Opt); err != nil {
+	if s.Compact {
+		if err := encodeOptStateCompact(w, s.Opt); err != nil {
+			return err
+		}
+	} else if err := encodeOptState(w, s.Opt); err != nil {
 		return err
 	}
 	if s.Scaler == nil {
@@ -372,6 +453,218 @@ func encodeOptState(w *bufio.Writer, st *opt.State) error {
 	return encodeOptState(w, st.Base)
 }
 
+// --- compacted (v3, flags bit 0) section codecs ---
+//
+// Compaction attacks the two bulk sections. Weights must stay lossless, so
+// they are byte-shuffled (the four bytes of each float32 regrouped into four
+// planes — sign/exponent bytes cluster tightly in trained nets) and DEFLATEd.
+// Adam moment slots tolerate loss — they are running averages that re-adapt
+// within a few steps — so they are range-quantized to 8-bit codes (per-slot
+// min/step, the same scheme internal/compress uses per channel at 16-bit)
+// and then DEFLATEd. Slots that cannot quantize (NaN/Inf) and the LagN
+// gradient queue fall back to the lossless encoding, selected per slot by a
+// scheme byte.
+
+// writeCompressedF32s writes one lossless compacted block: u32 encoded length
+// followed by deflate(byteshuffle(data)).
+func writeCompressedF32s(w *bufio.Writer, xs []float32) {
+	enc := deflateBytes(byteShuffle(xs))
+	binary.Write(w, binary.LittleEndian, uint32(len(enc)))
+	w.Write(enc)
+}
+
+// readCompressedF32s reads the block writeCompressedF32s wrote, expecting
+// exactly ne float32 values.
+func readCompressedF32s(r *bytes.Reader, ne int) ([]float32, error) {
+	enc, err := readCompactBlock(r)
+	if err != nil {
+		return nil, err
+	}
+	raw, err := inflateBytes(enc, 4*ne)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float32, ne)
+	byteUnshuffle(raw, out)
+	return out, nil
+}
+
+// readCompactBlock reads a u32-length-prefixed compressed block, bounding the
+// declared length by the remaining payload (the compressed bytes themselves
+// are stored verbatim, so the usual bound applies to them).
+func readCompactBlock(r *bytes.Reader) ([]byte, error) {
+	var n uint32
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return nil, err
+	}
+	if uint64(n) > uint64(r.Len()) {
+		return nil, fmt.Errorf("compacted block overruns the payload")
+	}
+	enc := make([]byte, n)
+	if _, err := io.ReadFull(r, enc); err != nil {
+		return nil, err
+	}
+	return enc, nil
+}
+
+func encodeOptStateCompact(w *bufio.Writer, st *opt.State) error {
+	if st == nil {
+		w.WriteByte(0)
+		return nil
+	}
+	w.WriteByte(1)
+	le := binary.LittleEndian
+	if err := writeString(w, st.Kind); err != nil {
+		return err
+	}
+	binary.Write(w, le, st.Step)
+	// Only Adam's m/ and v/ moment slots are quantized; everything else
+	// (LARC has no slots, SGD velocity is update state a resumed run keeps
+	// applying directly) stays lossless.
+	quantizable := st.Kind == "adam"
+	binary.Write(w, le, uint32(len(st.Slots)))
+	for _, s := range st.Slots {
+		if err := encodeSlotCompact(w, s, quantizable); err != nil {
+			return err
+		}
+	}
+	binary.Write(w, le, uint32(len(st.Queue)))
+	for _, set := range st.Queue {
+		binary.Write(w, le, uint32(len(set)))
+		for _, s := range set {
+			// Queued gradients feed future optimizer updates verbatim;
+			// quantizing them would bias every delayed step. Lossless.
+			if err := encodeSlotCompact(w, s, false); err != nil {
+				return err
+			}
+		}
+	}
+	return encodeOptStateCompact(w, st.Base)
+}
+
+// Per-slot compact encodings, selected by the scheme byte after the element
+// count.
+const (
+	slotLossless = 0 // deflate(byteshuffle(f32s))
+	slotQuant8   = 1 // f32 min, f32 step, deflate(u8 codes)
+)
+
+func encodeSlotCompact(w *bufio.Writer, s opt.Slot, quantizable bool) error {
+	le := binary.LittleEndian
+	if err := writeString(w, s.Name); err != nil {
+		return err
+	}
+	binary.Write(w, le, uint32(len(s.Data)))
+	if quantizable && (strings.HasPrefix(s.Name, "m/") || strings.HasPrefix(s.Name, "v/")) {
+		if lo, step, codes, ok := quantize8(s.Data); ok {
+			w.WriteByte(slotQuant8)
+			binary.Write(w, le, lo)
+			binary.Write(w, le, step)
+			enc := deflateBytes(codes)
+			binary.Write(w, le, uint32(len(enc)))
+			w.Write(enc)
+			return nil
+		}
+	}
+	w.WriteByte(slotLossless)
+	writeCompressedF32s(w, s.Data)
+	return nil
+}
+
+// quantize8 maps xs onto 256 evenly spaced levels across its own range.
+// Reports ok=false for non-finite inputs (the caller falls back to the
+// lossless encoding). A constant slice quantizes exactly: step 0, all codes
+// 0, reconstruction float32(min).
+func quantize8(xs []float32) (lo, step float32, codes []byte, ok bool) {
+	if len(xs) == 0 {
+		return 0, 0, nil, false
+	}
+	min64, max64 := math.Inf(1), math.Inf(-1)
+	for _, x := range xs {
+		v := float64(x)
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return 0, 0, nil, false
+		}
+		min64 = math.Min(min64, v)
+		max64 = math.Max(max64, v)
+	}
+	st := (max64 - min64) / 255
+	codes = make([]byte, len(xs))
+	if st > 0 {
+		for i, x := range xs {
+			q := math.Round((float64(x) - min64) / st)
+			if q < 0 {
+				q = 0
+			} else if q > 255 {
+				q = 255
+			}
+			codes[i] = byte(q)
+		}
+	}
+	return float32(min64), float32(st), codes, true
+}
+
+func dequantize8(lo, step float32, codes []byte, out []float32) {
+	for i, c := range codes {
+		out[i] = float32(float64(lo) + float64(step)*float64(c))
+	}
+}
+
+// byteShuffle regroups float32 bytes into four planes (all byte-0s, then all
+// byte-1s, …) so DEFLATE sees the highly repetitive sign/exponent bytes as
+// long runs instead of interleaved with near-random mantissa bytes.
+func byteShuffle(xs []float32) []byte {
+	n := len(xs)
+	out := make([]byte, 4*n)
+	for i, x := range xs {
+		b := math.Float32bits(x)
+		out[i] = byte(b)
+		out[n+i] = byte(b >> 8)
+		out[2*n+i] = byte(b >> 16)
+		out[3*n+i] = byte(b >> 24)
+	}
+	return out
+}
+
+func byteUnshuffle(p []byte, out []float32) {
+	n := len(out)
+	for i := range out {
+		b := uint32(p[i]) | uint32(p[n+i])<<8 | uint32(p[2*n+i])<<16 | uint32(p[3*n+i])<<24
+		out[i] = math.Float32frombits(b)
+	}
+}
+
+// deflateBytes compresses p at a fixed level. BestSpeed keeps the snapshot
+// writer cheap, and a fixed level keeps the output deterministic — the
+// byte-identical-snapshot property holds for compacted files too.
+func deflateBytes(p []byte) []byte {
+	var buf bytes.Buffer
+	fw, err := flate.NewWriter(&buf, flate.BestSpeed)
+	if err != nil {
+		// Only reachable with an invalid level constant — a build bug.
+		panic(err)
+	}
+	fw.Write(p)
+	fw.Close()
+	return buf.Bytes()
+}
+
+// inflateBytes decompresses p, requiring exactly want bytes: a compacted
+// section that inflates short or long is corrupt.
+func inflateBytes(p []byte, want int) ([]byte, error) {
+	fr := flate.NewReader(bytes.NewReader(p))
+	defer fr.Close()
+	out := make([]byte, want)
+	if _, err := io.ReadFull(fr, out); err != nil {
+		return nil, fmt.Errorf("compacted section: %v", err)
+	}
+	var extra [1]byte
+	if n, _ := fr.Read(extra[:]); n != 0 {
+		return nil, fmt.Errorf("compacted section inflates past its declared size")
+	}
+	return out, nil
+}
+
 // DecodeSnapshot reads and verifies a snapshot. Failures are typed: wrong
 // magic (ErrSnapshotFormat), unknown version (ErrSnapshotVersion), short
 // file (ErrSnapshotTruncated), checksum mismatch (ErrSnapshotCorrupt).
@@ -387,9 +680,10 @@ func DecodeSnapshot(r io.Reader) (*TrainState, error) {
 	if le.Uint32(raw[0:]) != snapshotMagic {
 		return nil, fmt.Errorf("%w: magic %#x", ErrSnapshotFormat, le.Uint32(raw[0:]))
 	}
-	if v := le.Uint32(raw[4:]); v != snapshotVersion {
-		return nil, fmt.Errorf("%w: file version %d, this build reads %d",
-			ErrSnapshotVersion, v, snapshotVersion)
+	version := le.Uint32(raw[4:])
+	if version != snapshotVersion && version != snapshotVersionV2 {
+		return nil, fmt.Errorf("%w: file version %d, this build reads %d and %d",
+			ErrSnapshotVersion, version, snapshotVersionV2, snapshotVersion)
 	}
 	plen := le.Uint64(raw[8:])
 	// Guard the length arithmetic itself: a hostile plen near 2^64 would
@@ -408,7 +702,7 @@ func DecodeSnapshot(r io.Reader) (*TrainState, error) {
 		return nil, fmt.Errorf("%w: stored %#x computed %#x",
 			ErrSnapshotCorrupt, stored, crc32.Checksum(body, snapshotCRC))
 	}
-	st, err := decodePayload(bytes.NewReader(body[snapshotHeader:]))
+	st, err := decodePayload(bytes.NewReader(body[snapshotHeader:]), version)
 	if err != nil {
 		// The CRC passed, so a decode failure means a writer bug or an
 		// incompatible same-version format — still corrupt to the caller.
@@ -417,15 +711,22 @@ func DecodeSnapshot(r io.Reader) (*TrainState, error) {
 	return st, nil
 }
 
-func decodePayload(r *bytes.Reader) (*TrainState, error) {
+func decodePayload(r *bytes.Reader, version uint32) (*TrainState, error) {
 	le := binary.LittleEndian
 	st := &TrainState{}
-	var ranks, skipped, n uint32
+	var ranks, gb, skipped, n uint32
 	if err := binary.Read(r, le, &st.Step); err != nil {
 		return nil, err
 	}
 	if err := binary.Read(r, le, &ranks); err != nil {
 		return nil, err
+	}
+	if version >= 3 {
+		if err := binary.Read(r, le, &gb); err != nil {
+			return nil, err
+		}
+	} else {
+		gb = ranks // v2: one column per rank by construction
 	}
 	if err := binary.Read(r, le, &st.Seed); err != nil {
 		return nil, err
@@ -433,7 +734,14 @@ func decodePayload(r *bytes.Reader) (*TrainState, error) {
 	if err := binary.Read(r, le, &skipped); err != nil {
 		return nil, err
 	}
-	st.Ranks, st.Skipped = int(ranks), int(skipped)
+	if version >= 3 {
+		flags, err := r.ReadByte()
+		if err != nil {
+			return nil, err
+		}
+		st.Compact = flags&1 != 0
+	}
+	st.Ranks, st.GlobalBatch, st.Skipped = int(ranks), int(gb), int(skipped)
 	if err := binary.Read(r, le, &n); err != nil {
 		return nil, err
 	}
@@ -469,7 +777,12 @@ func decodePayload(r *bytes.Reader) (*TrainState, error) {
 		// Accumulate the element count with the payload bound applied per
 		// dimension: hostile dims like 2^31 × 2^31 would overflow a single
 		// post-hoc `ne*4` check and reach make() with a panicking length.
+		// Compacted data is compressed, so the remaining-payload bound does
+		// not apply — the absolute cap stands in for it.
 		bound := uint64(r.Len()) / 4
+		if st.Compact {
+			bound = compactMaxElems
+		}
 		ne := uint64(1)
 		for d := range shape {
 			var dim uint32
@@ -481,14 +794,27 @@ func decodePayload(r *bytes.Reader) (*TrainState, error) {
 				return nil, fmt.Errorf("param %q data overruns the payload", label)
 			}
 		}
-		data := make([]float32, ne)
-		if err := binary.Read(r, le, data); err != nil {
-			return nil, err
+		var data []float32
+		if st.Compact {
+			var derr error
+			if data, derr = readCompressedF32s(r, int(ne)); derr != nil {
+				return nil, fmt.Errorf("param %q: %v", label, derr)
+			}
+		} else {
+			data = make([]float32, ne)
+			if err := binary.Read(r, le, data); err != nil {
+				return nil, err
+			}
 		}
 		st.Params[i] = ParamState{Label: label, Shape: shape, Data: data}
 	}
 	var err error
-	if st.Opt, err = decodeOptState(r, 0); err != nil {
+	if st.Compact {
+		st.Opt, err = decodeOptStateCompact(r, 0)
+	} else {
+		st.Opt, err = decodeOptState(r, 0)
+	}
+	if err != nil {
 		return nil, err
 	}
 	has, err := r.ReadByte()
@@ -626,6 +952,108 @@ func decodeOptState(r *bytes.Reader, depth int) (*opt.State, error) {
 		st.Queue = append(st.Queue, set)
 	}
 	if st.Base, err = decodeOptState(r, depth+1); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+func decodeOptStateCompact(r *bytes.Reader, depth int) (*opt.State, error) {
+	if depth > 8 {
+		return nil, fmt.Errorf("optimizer state nested deeper than any real composition")
+	}
+	has, err := r.ReadByte()
+	if err != nil {
+		return nil, err
+	}
+	if has == 0 {
+		return nil, nil
+	}
+	le := binary.LittleEndian
+	st := &opt.State{}
+	if st.Kind, err = readString(r); err != nil {
+		return nil, err
+	}
+	if err := binary.Read(r, le, &st.Step); err != nil {
+		return nil, err
+	}
+	readSlots := func() ([]opt.Slot, error) {
+		var n uint32
+		if err := binary.Read(r, le, &n); err != nil {
+			return nil, err
+		}
+		if n == 0 {
+			return nil, nil // keep nil/empty symmetric with the encoder
+		}
+		if uint64(n)*4 > uint64(r.Len()) {
+			return nil, fmt.Errorf("implausible slot count %d", n)
+		}
+		slots := make([]opt.Slot, n)
+		for i := range slots {
+			name, err := readString(r)
+			if err != nil {
+				return nil, err
+			}
+			var ne uint32
+			if err := binary.Read(r, le, &ne); err != nil {
+				return nil, err
+			}
+			if ne > compactMaxElems {
+				return nil, fmt.Errorf("slot %q overruns the payload", name)
+			}
+			scheme, err := r.ReadByte()
+			if err != nil {
+				return nil, err
+			}
+			switch scheme {
+			case slotLossless:
+				data, err := readCompressedF32s(r, int(ne))
+				if err != nil {
+					return nil, fmt.Errorf("slot %q: %v", name, err)
+				}
+				slots[i] = opt.Slot{Name: name, Data: data}
+			case slotQuant8:
+				var lo, step float32
+				if err := binary.Read(r, le, &lo); err != nil {
+					return nil, err
+				}
+				if err := binary.Read(r, le, &step); err != nil {
+					return nil, err
+				}
+				enc, err := readCompactBlock(r)
+				if err != nil {
+					return nil, fmt.Errorf("slot %q: %v", name, err)
+				}
+				codes, err := inflateBytes(enc, int(ne))
+				if err != nil {
+					return nil, fmt.Errorf("slot %q: %v", name, err)
+				}
+				data := make([]float32, ne)
+				dequantize8(lo, step, codes, data)
+				slots[i] = opt.Slot{Name: name, Data: data}
+			default:
+				return nil, fmt.Errorf("slot %q: unknown compact scheme %d", name, scheme)
+			}
+		}
+		return slots, nil
+	}
+	if st.Slots, err = readSlots(); err != nil {
+		return nil, err
+	}
+	var nq uint32
+	if err := binary.Read(r, le, &nq); err != nil {
+		return nil, err
+	}
+	if uint64(nq)*4 > uint64(r.Len()) {
+		return nil, fmt.Errorf("implausible queue length %d", nq)
+	}
+	for i := uint32(0); i < nq; i++ {
+		set, err := readSlots()
+		if err != nil {
+			return nil, err
+		}
+		st.Queue = append(st.Queue, set)
+	}
+	if st.Base, err = decodeOptStateCompact(r, depth+1); err != nil {
 		return nil, err
 	}
 	return st, nil

@@ -37,14 +37,15 @@ func testState(t *testing.T) *TrainState {
 	scaler.Update(true) // non-trivial backoff state
 	sc := scaler.CaptureState()
 	return &TrainState{
-		Step:    7,
-		Ranks:   4,
-		Seed:    21,
-		Skipped: 2,
-		Cursors: []uint64{7, 7, 7, 7},
-		Params:  params,
-		Opt:     lag.CaptureState(),
-		Scaler:  &sc,
+		Step:        7,
+		Ranks:       4,
+		GlobalBatch: 4,
+		Seed:        21,
+		Skipped:     2,
+		Cursors:     []uint64{7, 7, 7, 7},
+		Params:      params,
+		Opt:         lag.CaptureState(),
+		Scaler:      &sc,
 		History: []StepRecord{
 			{Step: 5, Loss: 0.93, Skipped: false},
 			{Step: 6, Loss: 0.71, Skipped: true},
