@@ -1541,3 +1541,84 @@ func BenchmarkStormwatch(b *testing.B) {
 	b.ReportMetric(float64(st.Degraded)/float64(st.Processed)*100, "%degraded")
 	b.ReportMetric(st.LatencyP99.Seconds()*1e3, "p99-frame-ms")
 }
+
+// ---------- PR 9: SIMD kernel layer ----------
+
+// BenchmarkKernelPeak times the synthetic FMA peak probe — 12 independent
+// 8-lane FMA chains, 192 FLOPs per iteration, the register-parallelism
+// upper bound of one core. The %peak figures of BenchmarkKernelGemm are
+// anchored against this measured peak, not the nominal frequency×width
+// product.
+func BenchmarkKernelPeak(b *testing.B) {
+	if !tensor.FMAPeakProbe(1) {
+		b.Skip("host lacks AVX2+FMA")
+	}
+	const itersPerOp, flopsPerIter = 4096, 192
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tensor.FMAPeakProbe(itersPerOp)
+	}
+	b.ReportMetric(float64(b.N)*itersPerOp*flopsPerIter/b.Elapsed().Seconds()/1e9, "GFLOP/s-peak")
+}
+
+// BenchmarkKernelGemm measures delivered single-threaded GEMM GFLOP/s per
+// kernel ISA on the two workloads that dominate training time: the
+// conv-shaped GEMM (im2col panels: short m, wide n, deep k) and a square
+// compute-bound product. The avx2/scalar ratio is the PR 9 acceptance
+// quantity (≥2×); %peak relates the AVX2 kernels to the measured FMA peak
+// from BenchmarkKernelPeak.
+func BenchmarkKernelGemm(b *testing.B) {
+	var peak float64
+	if tensor.FMAPeakProbe(1) {
+		const iters, flopsPerIter = 1 << 20, 192
+		tensor.FMAPeakProbe(iters) // warm up (frequency ramp)
+		// Best-of-8: on shared hosts a single timing undershoots the
+		// sustained peak and produces >100% ratios downstream.
+		for trial := 0; trial < 8; trial++ {
+			start := time.Now()
+			tensor.FMAPeakProbe(iters)
+			g := float64(iters) * flopsPerIter / time.Since(start).Seconds() / 1e9
+			peak = math.Max(peak, g)
+		}
+	}
+	prevWorkers := tensor.SetParallelism(1)
+	defer tensor.SetParallelism(prevWorkers)
+	origISA := tensor.ActiveISA()
+	defer tensor.SetKernelISA(origISA)
+
+	for _, isa := range []tensor.KernelISA{tensor.ISAScalar, tensor.ISAAVX2} {
+		if _, err := tensor.SetKernelISA(isa); err != nil {
+			continue // avx2 unavailable on this host
+		}
+		for _, tc := range []struct {
+			name    string
+			m, n, k int
+		}{
+			{"conv-like-m32n1024k288", 32, 1024, 288},
+			{"square-m256n512k512", 256, 512, 512},
+		} {
+			b.Run(isa.String()+"/"+tc.name, func(b *testing.B) {
+				a := make([]float32, tc.m*tc.k)
+				bb := make([]float32, tc.k*tc.n)
+				c := make([]float32, tc.m*tc.n)
+				for i := range a {
+					a[i] = float32(i%7) - 3
+				}
+				for i := range bb {
+					bb[i] = float32(i%5) - 2
+				}
+				flops := float64(2 * tc.m * tc.n * tc.k)
+				b.SetBytes(int64(2 * tc.m * tc.n * tc.k))
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					tensor.Gemm(false, false, tc.m, tc.n, tc.k, 1, a, tc.k, bb, tc.n, 0, c, tc.n)
+				}
+				gflops := flops * float64(b.N) / b.Elapsed().Seconds() / 1e9
+				b.ReportMetric(gflops, "GFLOP/s")
+				if peak > 0 {
+					b.ReportMetric(gflops/peak*100, "%peak")
+				}
+			})
+		}
+	}
+}

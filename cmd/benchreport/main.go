@@ -73,12 +73,28 @@ type StreamingSummary struct {
 	P99FrameMs      float64 `json:"p99_frame_ms,omitempty"`
 }
 
+// KernelSummary surfaces the SIMD execution layer's acceptance numbers
+// (PR 9) from the BenchmarkKernel* metrics: the measured FMA peak
+// (BenchmarkKernelPeak's synthetic 12-chain probe), the best delivered
+// single-threaded GEMM GFLOP/s per ISA, their ratio (the ≥2× acceptance
+// quantity), and the AVX2 kernels' fraction of measured peak. ISA is the
+// fastest kernel set the host ran.
+type KernelSummary struct {
+	ISA            string  `json:"isa"`
+	FMAPeakGFLOPs  float64 `json:"fma_peak_gflops,omitempty"`
+	AVX2GemmGFLOPs float64 `json:"avx2_gemm_gflops,omitempty"`
+	ScalarGFLOPs   float64 `json:"scalar_gemm_gflops,omitempty"`
+	SIMDSpeedup    float64 `json:"simd_speedup,omitempty"`
+	PctPeak        float64 `json:"pct_peak,omitempty"`
+}
+
 // Report is the emitted document.
 type Report struct {
 	Label      string            `json:"label,omitempty"`
 	GoOS       string            `json:"goos,omitempty"`
 	GoArch     string            `json:"goarch,omitempty"`
 	CPU        string            `json:"cpu,omitempty"`
+	Kernel     *KernelSummary    `json:"kernel,omitempty"`
 	Serving    *ServingSummary   `json:"serving,omitempty"`
 	Adaptive   *AdaptiveSummary  `json:"adaptive,omitempty"`
 	Streaming  *StreamingSummary `json:"streaming,omitempty"`
@@ -104,6 +120,7 @@ func main() {
 			log.Fatal(err)
 		}
 	}
+	report.Kernel = kernelSummary(report.Benchmarks)
 	report.Serving = servingSummary(report.Benchmarks)
 	report.Adaptive = adaptiveSummary(report.Benchmarks)
 	report.Streaming = streamingSummary(report.Benchmarks)
@@ -189,6 +206,46 @@ func parseLine(line string) (Benchmark, bool) {
 		b.Metrics = nil
 	}
 	return b, true
+}
+
+// kernelSummary extracts the SIMD kernel acceptance quantities from the
+// BenchmarkKernelPeak and BenchmarkKernelGemm result lines, if any were
+// parsed (nil otherwise). Per ISA it keeps the best shape's GFLOP/s; the
+// speedup is best-AVX2 over best-scalar (same shape set either way).
+func kernelSummary(benches []Benchmark) *KernelSummary {
+	var s KernelSummary
+	var found bool
+	for _, b := range benches {
+		switch {
+		case strings.HasPrefix(b.Name, "BenchmarkKernelPeak"):
+			if v, ok := b.Metrics["GFLOP/s-peak"]; ok {
+				s.FMAPeakGFLOPs = v
+				found = true
+			}
+		case strings.HasPrefix(b.Name, "BenchmarkKernelGemm/avx2/"):
+			if v := b.Metrics["GFLOP/s"]; v > s.AVX2GemmGFLOPs {
+				s.AVX2GemmGFLOPs = v
+				s.PctPeak = b.Metrics["%peak"]
+				found = true
+			}
+		case strings.HasPrefix(b.Name, "BenchmarkKernelGemm/scalar/"):
+			if v := b.Metrics["GFLOP/s"]; v > s.ScalarGFLOPs {
+				s.ScalarGFLOPs = v
+				found = true
+			}
+		}
+	}
+	if !found {
+		return nil
+	}
+	s.ISA = "scalar"
+	if s.AVX2GemmGFLOPs > 0 {
+		s.ISA = "avx2"
+	}
+	if s.AVX2GemmGFLOPs > 0 && s.ScalarGFLOPs > 0 {
+		s.SIMDSpeedup = s.AVX2GemmGFLOPs / s.ScalarGFLOPs
+	}
+	return &s
 }
 
 // servingSummary extracts the serving SLOs from a BenchmarkServing result

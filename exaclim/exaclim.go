@@ -244,6 +244,7 @@ func New(opts ...Option) (*Experiment, error) {
 			StepComputeSeconds: o.stepSeconds,
 			Workspace:          o.workspace,
 			KernelWorkers:      o.kernelWorkers,
+			KernelISA:          o.kernelISA,
 			CheckpointEvery:    o.ckptEvery,
 			CheckpointDir:      o.ckptDir,
 			CheckpointRetain:   o.ckptRetain,

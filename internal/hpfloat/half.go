@@ -78,7 +78,10 @@ func FromFloat32(f float32) Half {
 }
 
 // Float32 converts a Half back to float32 exactly (every FP16 value is
-// representable in FP32).
+// representable in FP32). Signaling NaNs are quieted with their payload
+// preserved, matching hardware F16→F32 conversion (and keeping this
+// reference bit-identical to the F16C vector kernel); NaNs produced by
+// FromFloat32 are already quiet, so round trips are unaffected.
 func (h Half) Float32() float32 {
 	sign := uint32(h&0x8000) << 16
 	exp := uint32(h>>10) & 0x1F
@@ -86,6 +89,9 @@ func (h Half) Float32() float32 {
 
 	switch {
 	case exp == 0x1F: // Inf / NaN
+		if mant != 0 {
+			mant |= 0x200 // quiet bit
+		}
 		return math.Float32frombits(sign | 0x7F800000 | mant<<13)
 	case exp == 0:
 		if mant == 0 {

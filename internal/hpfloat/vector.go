@@ -6,10 +6,16 @@ import "math"
 // These model the "Type Conversions" kernel category that appears in the
 // paper's FP16 profiles (Figs 8 and 9).
 
-// ToHalf converts src into dst (FP16 wire format). Panics on length mismatch.
+// ToHalf converts src into dst (FP16 wire format). Panics on length
+// mismatch. On AVX hardware the conversion runs through the F16C
+// VCVTPS2PH kernel, which is bit-identical to the software reference
+// (round-to-nearest-even, saturation, denormal flush, sNaN quieting).
 func ToHalf(src []float32, dst []Half) {
 	if len(src) != len(dst) {
 		panic("hpfloat: ToHalf length mismatch")
+	}
+	if simdToHalf(src, dst) {
+		return
 	}
 	for i, v := range src {
 		dst[i] = FromFloat32(v)
@@ -21,6 +27,9 @@ func ToFloat32(src []Half, dst []float32) {
 	if len(src) != len(dst) {
 		panic("hpfloat: ToFloat32 length mismatch")
 	}
+	if simdToFloat32(src, dst) {
+		return
+	}
 	for i, h := range src {
 		dst[i] = h.Float32()
 	}
@@ -29,8 +38,13 @@ func ToFloat32(src []Half, dst []float32) {
 // RoundTrip simulates storing a float32 slice in FP16: every element is
 // rounded to the nearest representable half and converted back, in place.
 // Running activations/gradients through RoundTrip reproduces the numerical
-// behaviour of an FP16 storage format with FP32 compute.
+// behaviour of an FP16 storage format with FP32 compute. The F16C kernel
+// behind it is bit-identical to the scalar reference, so the FP16
+// executor's activation rounding does not depend on the active ISA.
 func RoundTrip(x []float32) {
+	if simdRoundTrip(x) {
+		return
+	}
 	for i, v := range x {
 		x[i] = FromFloat32(v).Float32()
 	}
@@ -49,11 +63,12 @@ func PackWords(src, dst []float32) {
 	if len(dst) < WireWords(n) {
 		panic("hpfloat: PackWords destination too short")
 	}
-	for i := 0; i+1 < n; i += 2 {
+	i := simdPackWords(src, dst)
+	for ; i+1 < n; i += 2 {
 		w := uint32(FromFloat32(src[i])) | uint32(FromFloat32(src[i+1]))<<16
 		dst[i/2] = math.Float32frombits(w)
 	}
-	if n%2 == 1 {
+	if n%2 == 1 && i < n {
 		dst[n/2] = math.Float32frombits(uint32(FromFloat32(src[n-1])))
 	}
 }
@@ -63,12 +78,13 @@ func PackWords(src, dst []float32) {
 // accumulate on reduce).
 func UnpackAddWords(words, dst []float32) {
 	n := len(dst)
-	for i := 0; i+1 < n; i += 2 {
+	i := simdUnpackAddWords(words, dst)
+	for ; i+1 < n; i += 2 {
 		w := math.Float32bits(words[i/2])
 		dst[i] += Half(w & 0xFFFF).Float32()
 		dst[i+1] += Half(w >> 16).Float32()
 	}
-	if n%2 == 1 {
+	if n%2 == 1 && i < n {
 		dst[n-1] += Half(math.Float32bits(words[n/2]) & 0xFFFF).Float32()
 	}
 }
@@ -76,12 +92,13 @@ func UnpackAddWords(words, dst []float32) {
 // UnpackWords unpacks n FP16 values from wire words into dst, overwriting.
 func UnpackWords(words, dst []float32) {
 	n := len(dst)
-	for i := 0; i+1 < n; i += 2 {
+	i := simdUnpackWords(words, dst)
+	for ; i+1 < n; i += 2 {
 		w := math.Float32bits(words[i/2])
 		dst[i] = Half(w & 0xFFFF).Float32()
 		dst[i+1] = Half(w >> 16).Float32()
 	}
-	if n%2 == 1 {
+	if n%2 == 1 && i < n {
 		dst[n-1] = Half(math.Float32bits(words[n/2]) & 0xFFFF).Float32()
 	}
 }

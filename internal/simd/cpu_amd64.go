@@ -1,0 +1,44 @@
+package simd
+
+// cpuid executes the CPUID instruction for (leaf, subleaf).
+func cpuid(leaf, subleaf uint32) (eax, ebx, ecx, edx uint32)
+
+// xgetbv reads extended control register 0 (the OS's enabled XSAVE state).
+func xgetbv() (eax, edx uint32)
+
+// Leaf-1 ECX feature bits.
+const (
+	cpuidFMA     = 1 << 12
+	cpuidF16C    = 1 << 29
+	cpuidAVX     = 1 << 28
+	cpuidOSXSAVE = 1 << 27
+)
+
+// Leaf-7 EBX feature bits.
+const cpuidAVX2 = 1 << 5
+
+// detect fills the package feature flags from CPUID. AVX-family features
+// only count when the OS has enabled XMM+YMM state saving (XCR0 bits 1 and
+// 2), otherwise executing VEX instructions faults.
+func detect() {
+	maxLeaf, _, _, _ := cpuid(0, 0)
+	if maxLeaf < 1 {
+		return
+	}
+	_, _, ecx1, _ := cpuid(1, 0)
+	if ecx1&cpuidOSXSAVE == 0 {
+		return
+	}
+	xeax, _ := xgetbv()
+	const ymmState = 0x6 // SSE (bit 1) + AVX (bit 2) state enabled
+	if xeax&ymmState != ymmState {
+		return
+	}
+	avx := ecx1&cpuidAVX != 0
+	hasF16C = avx && ecx1&cpuidF16C != 0
+	if maxLeaf < 7 {
+		return
+	}
+	_, ebx7, _, _ := cpuid(7, 0)
+	hasAVX2 = avx && ecx1&cpuidFMA != 0 && ebx7&cpuidAVX2 != 0
+}

@@ -1,0 +1,7 @@
+//go:build !amd64
+
+package simd
+
+// detect leaves every feature flag false on architectures without
+// hand-written kernels; all callers fall through to the scalar paths.
+func detect() {}

@@ -22,6 +22,12 @@ func Axpy(alpha float32, x, y []float32) {
 }
 
 func axpyRange(alpha float32, x, y []float32, lo, hi int) {
+	// The vector kernel is mul+add per element — bit-identical to this
+	// loop (amd64 Go never fuses into FMA), so the ISA does not affect
+	// optimizer arithmetic.
+	if simdAxpy(alpha, x[lo:hi], y[lo:hi]) {
+		return
+	}
 	for i := lo; i < hi; i++ {
 		y[i] += alpha * x[i]
 	}
@@ -39,15 +45,25 @@ func Scale(alpha float32, x []float32) {
 }
 
 func scaleRange(alpha float32, x []float32, lo, hi int) {
+	if simdScale(alpha, x[lo:hi]) {
+		return
+	}
 	for i := lo; i < hi; i++ {
 		x[i] *= alpha
 	}
 }
 
-// Dot returns the inner product of x and y.
+// Dot returns the inner product of x and y, accumulated in float64. The
+// vector path keeps the float64 accumulation (each float32 product is
+// exact in float64) but sums in four interleaved lanes, so its result can
+// differ from the scalar order within float64 rounding of the same exact
+// products — deterministic within an ISA, tolerance-exact across ISAs.
 func Dot(x, y []float32) float64 {
 	if len(x) != len(y) {
 		panic("tensor: Dot length mismatch")
+	}
+	if sum, ok := simdDot(x, y); ok {
+		return sum
 	}
 	var sum float64
 	for i := range x {
@@ -59,6 +75,9 @@ func Dot(x, y []float32) float64 {
 // L2Norm returns the Euclidean norm of x, accumulated in float64 for
 // stability (LARC depends on accurate norms of large weight tensors).
 func L2Norm(x []float32) float64 {
+	if sum, ok := simdDot(x, x); ok {
+		return math.Sqrt(sum)
+	}
 	var sum float64
 	for _, v := range x {
 		sum += float64(v) * float64(v)
@@ -186,6 +205,13 @@ func AllFinite(x []float32) bool {
 // gradient epilogue (rank averaging + loss-scale removal + overflow check
 // in one sweep instead of three).
 func ScaleAllFinite(alpha float32, x []float32) bool {
+	// The vector form multiplies with the identical single rounding and
+	// tests the exponent field for all-ones — the same predicate as the
+	// IsNaN/IsInf pair — so scaled values and the verdict are bit-identical
+	// across ISAs.
+	if ok, handled := simdScaleAllFinite(alpha, x); handled {
+		return ok
+	}
 	ok := true
 	for i, v := range x {
 		v *= alpha

@@ -19,19 +19,8 @@ const (
 	gemmNC = 2048
 )
 
-// gemmSmallMNK is the m*n*k product below which the packed path's panel
-// traffic costs more than it saves; such calls take the serial unblocked
-// kernels (single pass, no goroutines, beta folded in).
-var gemmSmallMNK = 1 << 18
-
-// GemmUsesSmallPath reports whether Gemm(m, n, k) dispatches to the small
-// unblocked kernels instead of the packed blocked path. Inference kernels
-// that inline a GEMM (the direct convolution) use it to mirror Gemm's
-// dispatch exactly, so their results stay bit-identical to the im2col+Gemm
-// formulation for every shape.
-func GemmUsesSmallPath(m, n, k int) bool {
-	return m*n*k <= gemmSmallMNK || m < 4*gemmMR || k < 32
-}
+// The small-path crossover predicate (GemmUsesSmallPath) and its per-ISA
+// thresholds live in isa.go next to the ISA dispatch they depend on.
 
 // Gemm computes C = alpha*op(A)*op(B) + beta*C for row-major matrices,
 // where op is identity or transpose per transA/transB. A is m×k (after op),
@@ -55,8 +44,16 @@ func Gemm(transA, transB bool, m, n, k int, alpha float32, a []float32, lda int,
 	// reused enough: a skinny M (few C rows per packed B) or a shallow K
 	// (few micro-kernel steps per packed element) makes packing a net loss,
 	// as does a small problem overall.
+	// The small path is always the scalar reference kernels, under every
+	// ISA: nn's direct convolution mirrors gemmSmallRows term-for-term and
+	// relies on bit-identical results for small shapes. Only the blocked
+	// path below dispatches to the AVX2 micro-kernels.
 	if GemmUsesSmallPath(m, n, k) {
 		gemmSmall(transA, transB, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc)
+		return
+	}
+	if ActiveISA() == ISAAVX2 {
+		gemmBlockedAVX2(transA, transB, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc)
 		return
 	}
 	gemmBlocked(transA, transB, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc)

@@ -1,0 +1,220 @@
+package tensor
+
+// The AVX2 blocked GEMM path: same GotoBLAS/BLIS decomposition as
+// gemmBlocked, with the 6×16 assembly micro-kernel (gemm_avx2_amd64.s) in
+// the inner position and per-worker packed-panel reuse through
+// parallelForID. This file is portable Go — on non-amd64 builds
+// ActiveISA() never resolves to ISAAVX2, so the entry point is
+// unreachable (the simdGemmTile stubs panic to keep that invariant loud).
+//
+// Epilogue modes, computed once per K block in Go so the assembly never
+// branches on float comparisons:
+//
+//	mode 0 — not the first K block: C += alpha*acc
+//	mode 1 — first block, beta == 0: C  = alpha*acc (C never read)
+//	mode 2 — first block, beta != 0: C  = beta*C + alpha*acc
+//
+// Both the assembly epilogue and the Go edge epilogue use the same
+// mul-then-add rounding, so full tiles and masked edge tiles are
+// bit-consistent with each other; only the K-loop FMA chains reassociate
+// relative to the scalar kernel (≤4·ULP per accumulation chain).
+func gemmBlockedAVX2(transA, transB bool, m, n, k int, alpha float32, a []float32, lda int,
+	b []float32, ldb int, beta float32, c []float32, ldc int) {
+	nc := min(avxNC, n)
+	kc := min(avxKC, k)
+	mc := min(avxMC, m)
+
+	bPanelMax := ((nc + avxNR - 1) / avxNR) * avxNR * kc
+	aPanelMax := ((mc + avxMR - 1) / avxMR) * avxMR * kc
+	mcBlocks := (m + mc - 1) / mc
+
+	bPanelPtr := getPanel(bPanelMax)
+	bPanel := *bPanelPtr
+	defer putPanel(bPanelPtr)
+
+	// The fan-out state travels by value: a closure capturing it would
+	// force a heap allocation per blocked call even on the serial path
+	// (escape analysis is static), and small-but-blocked GEMMs are the
+	// steady state of the tiny training nets — the executor's zero-alloc
+	// contract covers them.
+	st := avxGemmBlock{
+		transA: transA, alpha: alpha, beta: beta,
+		a: a, lda: lda, c: c, ldc: ldc,
+		m: m, mc: mc, aPanelMax: aPanelMax, bPanel: bPanel,
+	}
+	serial := Parallelism() <= 1 || mcBlocks <= 1
+	for jc := 0; jc < n; jc += nc {
+		st.jc = jc
+		st.ncEff = min(nc, n-jc)
+		for pc := 0; pc < k; pc += kc {
+			st.pc = pc
+			st.kcEff = min(kc, k-pc)
+			packB16(transB, b, ldb, jc, st.ncEff, pc, st.kcEff, bPanel)
+			st.mode = 0
+			if pc == 0 {
+				if beta == 0 {
+					st.mode = 1
+				} else {
+					st.mode = 2
+				}
+			}
+			if serial {
+				st.run(0, mcBlocks)
+			} else {
+				st.runParallel(mcBlocks)
+			}
+		}
+	}
+}
+
+// avxGemmBlock is one K-block's worth of blocked-GEMM state, shared by the
+// M-block fan-out. Methods take it by value so the serial path stays
+// allocation-free; only runParallel's closure copies it to the heap.
+type avxGemmBlock struct {
+	transA      bool
+	mode        int
+	alpha, beta float32
+	a           []float32
+	lda         int
+	c           []float32
+	ldc         int
+	m, mc       int
+	jc, ncEff   int
+	pc, kcEff   int
+	aPanelMax   int
+	bPanel      []float32
+}
+
+// runParallel fans the M blocks out over the worker pool. parallelForID
+// keeps chunk w on pool worker w every K iteration, so a worker's C rows
+// (and its pooled A panel, via the per-P free list) stay cache-local
+// across the whole K loop.
+func (g avxGemmBlock) runParallel(mcBlocks int) {
+	parallelForID(mcBlocks, 1, func(id, blo, bhi int) { g.run(blo, bhi) })
+}
+
+// run packs and multiplies M blocks [blo, bhi).
+func (g avxGemmBlock) run(blo, bhi int) {
+	aPanelPtr := getPanel(g.aPanelMax)
+	aPanel := *aPanelPtr
+	defer putPanel(aPanelPtr)
+	var acc [avxMR * avxNR]float32
+	for blk := blo; blk < bhi; blk++ {
+		i0 := blk * g.mc
+		mcEff := min(g.mc, g.m-i0)
+		packA6(g.transA, g.a, g.lda, i0, mcEff, g.pc, g.kcEff, aPanel)
+		for jr := 0; jr < g.ncEff; jr += avxNR {
+			bStrip := g.bPanel[(jr/avxNR)*g.kcEff*avxNR:]
+			nEdge := min(avxNR, g.ncEff-jr)
+			for ir := 0; ir < mcEff; ir += avxMR {
+				aStrip := aPanel[(ir/avxMR)*g.kcEff*avxMR:]
+				mEdge := min(avxMR, mcEff-ir)
+				cTile := g.c[(i0+ir)*g.ldc+g.jc+jr:]
+				if mEdge == avxMR && nEdge == avxNR {
+					simdGemmTile(g.kcEff, aStrip, bStrip, g.alpha, g.beta, g.mode, cTile, g.ldc)
+				} else {
+					// Masked-edge variant: packing zero-padded the panels, so
+					// the dead lanes hold zeros and the epilogue simply
+					// writes the live region.
+					simdGemmTileAcc(g.kcEff, aStrip, bStrip, &acc)
+					gemmEdgeAVX2(&acc, g.alpha, g.beta, g.mode, cTile, g.ldc, mEdge, nEdge)
+				}
+			}
+		}
+	}
+}
+
+// gemmEdgeAVX2 applies the alpha/beta epilogue to the live mEdge×nEdge
+// corner of a raw 6×16 accumulator — the same mul-then-add rounding as the
+// assembly epilogue rows.
+func gemmEdgeAVX2(acc *[avxMR * avxNR]float32, alpha, beta float32, mode int,
+	c []float32, ldc, mEdge, nEdge int) {
+	for i := 0; i < mEdge; i++ {
+		ci := c[i*ldc : i*ldc+nEdge]
+		accRow := acc[i*avxNR : i*avxNR+nEdge]
+		switch mode {
+		case 0:
+			for j := range ci {
+				ci[j] += alpha * accRow[j]
+			}
+		case 1:
+			for j := range ci {
+				ci[j] = alpha * accRow[j]
+			}
+		default:
+			for j := range ci {
+				ci[j] = beta*ci[j] + alpha*accRow[j]
+			}
+		}
+	}
+}
+
+// packA6 packs rows [i0, i0+mcEff) × cols [pc, pc+kcEff) of op(A) into
+// 6-row strips: dst[strip*kcEff*6 + p*6 + i], zero-padding edge rows. The
+// transposed case copies whole strips with copy() (contiguous source →
+// memmove's vector loop); the row-major case walks rows and scatters with
+// stride 6.
+func packA6(transA bool, a []float32, lda, i0, mcEff, pc, kcEff int, dst []float32) {
+	for s := 0; s*avxMR < mcEff; s++ {
+		base := s * kcEff * avxMR
+		rows := min(avxMR, mcEff-s*avxMR)
+		if transA {
+			// op(A)[i][p] = a[p*lda + i] (A stored k×m): one contiguous
+			// 6-float copy per K step covers the whole strip.
+			for p := 0; p < kcEff; p++ {
+				src := a[(pc+p)*lda+i0+s*avxMR:]
+				d := dst[base+p*avxMR : base+(p+1)*avxMR]
+				copy(d, src[:rows])
+				for i := rows; i < avxMR; i++ {
+					d[i] = 0
+				}
+			}
+		} else {
+			for i := 0; i < rows; i++ {
+				src := a[(i0+s*avxMR+i)*lda+pc:]
+				for p := 0; p < kcEff; p++ {
+					dst[base+p*avxMR+i] = src[p]
+				}
+			}
+			for i := rows; i < avxMR; i++ {
+				for p := 0; p < kcEff; p++ {
+					dst[base+p*avxMR+i] = 0
+				}
+			}
+		}
+	}
+}
+
+// packB16 packs rows [pc, pc+kcEff) × cols [jc, jc+ncEff) of op(B) into
+// 16-column strips: dst[strip*kcEff*16 + p*16 + j], zero-padding edge
+// columns. The row-major case copies 16 contiguous floats (one cache line)
+// per K step via copy(); the transposed case gathers strided.
+func packB16(transB bool, b []float32, ldb, jc, ncEff, pc, kcEff int, dst []float32) {
+	for s := 0; s*avxNR < ncEff; s++ {
+		base := s * kcEff * avxNR
+		cols := min(avxNR, ncEff-s*avxNR)
+		if transB {
+			// op(B)[p][j] = b[j*ldb + p] (B stored n×k).
+			for j := 0; j < cols; j++ {
+				src := b[(jc+s*avxNR+j)*ldb+pc:]
+				for p := 0; p < kcEff; p++ {
+					dst[base+p*avxNR+j] = src[p]
+				}
+			}
+			for j := cols; j < avxNR; j++ {
+				for p := 0; p < kcEff; p++ {
+					dst[base+p*avxNR+j] = 0
+				}
+			}
+		} else {
+			for p := 0; p < kcEff; p++ {
+				src := b[(pc+p)*ldb+jc+s*avxNR:]
+				d := dst[base+p*avxNR : base+(p+1)*avxNR]
+				copy(d, src[:cols])
+				for j := cols; j < avxNR; j++ {
+					d[j] = 0
+				}
+			}
+		}
+	}
+}

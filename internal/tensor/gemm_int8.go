@@ -130,6 +130,7 @@ func gemmInt8Rows(lo, hi, n, k int, a []int8, aScales []float32, b []int8, bScal
 			acc[j] = 0
 		}
 		p := 0
+		var av [4]int32
 		for ; p+3 < k; p += 4 {
 			a0 := int32(ai[p])
 			a1 := int32(ai[p+1])
@@ -142,7 +143,12 @@ func gemmInt8Rows(lo, hi, n, k int, a []int8, aScales []float32, b []int8, bScal
 			b1 := b[(p+1)*n : (p+1)*n+n]
 			b2 := b[(p+2)*n : (p+2)*n+n]
 			b3 := b[(p+3)*n : (p+3)*n+n]
-			for j := range acc {
+			// AVX2 quad-axpy (sign-extend + VPMULLD + VPADDD): exact int32
+			// arithmetic, so the vector prefix is bit-identical to the
+			// scalar loop — the INT8 path has no ISA tolerance at all.
+			av[0], av[1], av[2], av[3] = a0, a1, a2, a3
+			j := simdInt8AxpyQuad(&av, b0, b1, b2, b3, acc)
+			for ; j < len(acc); j++ {
 				acc[j] += a0*int32(b0[j]) + a1*int32(b1[j]) + a2*int32(b2[j]) + a3*int32(b3[j])
 			}
 		}

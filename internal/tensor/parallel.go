@@ -2,16 +2,15 @@ package tensor
 
 import (
 	"runtime"
-	"sync"
 	"sync/atomic"
 )
 
-// parallelismV controls how many worker goroutines the compute kernels in
-// this package fan out to. It defaults to GOMAXPROCS. Setting it to 1
-// makes all kernels run serially, which is useful for deterministic
-// profiling and on single-core machines where goroutine fan-out only
-// adds overhead. Stored atomically: kernels read it concurrently with
-// runs that adjust it (core.Config.KernelWorkers).
+// parallelismV controls how many workers the compute kernels in this
+// package fan out to. It defaults to GOMAXPROCS. Setting it to 1 makes all
+// kernels run serially, which is useful for deterministic profiling and on
+// single-core machines where fan-out only adds overhead. Stored atomically:
+// kernels read it concurrently with runs that adjust it
+// (core.Config.KernelWorkers).
 var parallelismV atomic.Int64
 
 func init() { parallelismV.Store(int64(runtime.GOMAXPROCS(0))) }
@@ -29,35 +28,41 @@ func SetParallelism(n int) int {
 func Parallelism() int { return int(parallelismV.Load()) }
 
 // parallelFor splits [0, n) into contiguous chunks and invokes body(lo, hi)
-// on each, using up to Parallelism() goroutines. body must be safe to call
-// concurrently on disjoint ranges. Work smaller than grain elements runs
-// inline to avoid goroutine overhead on tiny tensors.
+// on each, using up to Parallelism() workers from the persistent pool.
+// body must be safe to call concurrently on disjoint ranges. Work smaller
+// than grain elements runs inline to avoid dispatch overhead on tiny
+// tensors. Steady-state dispatch is allocation-free (see workpool.go); the
+// chunk geometry is identical to the historical goroutine-per-chunk
+// implementation, so chunk-dependent tuning carries over.
 func parallelFor(n, grain int, body func(lo, hi int)) {
 	workers := Parallelism()
 	if workers <= 1 || n <= grain {
 		body(0, n)
 		return
 	}
-	chunks := (n + grain - 1) / grain
-	if chunks < workers {
-		workers = chunks
+	if !kernelPool.run(n, grain, workers, body, nil) {
+		// Pool busy (nested or concurrent fan-out): run inline. One caller
+		// keeps all workers saturated; the others make progress serially
+		// instead of oversubscribing the cores.
+		body(0, n)
 	}
-	var wg sync.WaitGroup
-	// Chunk size honours the grain: splitting n evenly across workers could
-	// otherwise produce sub-grain chunks (small n, many workers), paying
-	// goroutine overhead for less work than the kernel's stated minimum.
-	per := max((n+workers-1)/workers, grain)
-	for w := 0; w < workers; w++ {
-		lo := w * per
-		if lo >= n {
-			break
-		}
-		hi := min(lo+per, n)
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			body(lo, hi)
-		}(lo, hi)
+}
+
+// parallelForID is parallelFor with the chunk index exposed: body(id, lo,
+// hi) receives id ∈ [0, chunks), unique within one call, with id 0 always
+// executed by the calling goroutine. Kernels use the id to reuse per-worker
+// scratch (GEMM packing panels) and to keep block→worker assignment stable
+// across sequential fan-outs: chunk w always lands on pool worker w, so the
+// C-tile rows a worker touched in one K block are the rows it revisits in
+// the next — the cache-topology-aware assignment the blocked GEMM relies
+// on.
+func parallelForID(n, grain int, body func(id, lo, hi int)) {
+	workers := Parallelism()
+	if workers <= 1 || n <= grain {
+		body(0, 0, n)
+		return
 	}
-	wg.Wait()
+	if !kernelPool.run(n, grain, workers, nil, body) {
+		body(0, 0, n)
+	}
 }

@@ -1,0 +1,37 @@
+//go:build linux
+
+package tensor
+
+import (
+	"os"
+	"runtime"
+	"syscall"
+	"unsafe"
+)
+
+// Worker pinning. Each pool worker locks its goroutine to an OS thread and
+// binds that thread to core (w mod NumCPU) with sched_setaffinity, so the
+// deterministic chunk→worker assignment becomes a deterministic
+// chunk→core assignment: the packed panels and C tiles a worker streams
+// stay in that core's private caches across sequential fan-outs instead of
+// migrating with the scheduler. Best effort: a failed syscall (cpuset
+// restrictions, exotic containers) is ignored and the worker simply runs
+// unpinned. EXACLIM_NOPIN=1 disables pinning for environments where the
+// kernel scheduler knows better (shared machines, heavy co-tenancy).
+var noPin = os.Getenv("EXACLIM_NOPIN") == "1"
+
+// pinEnabled reports whether pool workers bind to cores on this platform.
+func pinEnabled() bool { return !noPin }
+
+// pinThread binds the calling OS thread (which must be locked) to one core.
+func pinThread(w int) {
+	if noPin {
+		return
+	}
+	cpu := w % runtime.NumCPU()
+	var mask [16]uint64 // 1024-bit cpu_set_t
+	mask[cpu/64] = 1 << (cpu % 64)
+	// tid 0 means "the calling thread"; errors are deliberately ignored.
+	syscall.Syscall(syscall.SYS_SCHED_SETAFFINITY, 0,
+		uintptr(len(mask)*8), uintptr(unsafe.Pointer(&mask[0])))
+}

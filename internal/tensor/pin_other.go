@@ -1,0 +1,9 @@
+//go:build !linux
+
+package tensor
+
+// Pinning is Linux-only; elsewhere workers rely on the OS scheduler.
+
+func pinEnabled() bool { return false }
+
+func pinThread(w int) {}

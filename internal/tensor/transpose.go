@@ -19,17 +19,14 @@ func NCHWToNHWC(x *Tensor) *Tensor {
 }
 
 // NCHWToNHWCInto performs the layout change into caller-provided storage
-// (e.g. a workspace scratch buffer), writing every element of dst.
+// (e.g. a workspace scratch buffer), writing every element of dst. Per
+// image this is a plain C×(H·W) matrix transpose, so it rides the blocked
+// TransposeF32 kernel (8×8 in-register tiles under AVX2).
 func NCHWToNHWCInto(xd []float32, n, c, h, w int, dst []float32) {
-	parallelFor(n*h, 8, func(lo, hi int) {
-		for nh := lo; nh < hi; nh++ {
-			img, y := nh/h, nh%h
-			for xw := 0; xw < w; xw++ {
-				d := ((img*h+y)*w + xw) * c
-				for ch := 0; ch < c; ch++ {
-					dst[d+ch] = xd[((img*c+ch)*h+y)*w+xw]
-				}
-			}
+	hw := h * w
+	parallelFor(n, 1, func(lo, hi int) {
+		for img := lo; img < hi; img++ {
+			TransposeF32(xd[img*c*hw:(img+1)*c*hw], c, hw, dst[img*c*hw:(img+1)*c*hw])
 		}
 	})
 }
@@ -47,16 +44,33 @@ func NHWCToNCHW(x *Tensor) *Tensor {
 }
 
 // NHWCToNCHWInto performs the inverse layout change into caller-provided
-// storage, writing every element of dst.
+// storage, writing every element of dst — per image an (H·W)×C transpose.
 func NHWCToNCHWInto(xd []float32, n, c, h, w int, dst []float32) {
-	parallelFor(n*c, 8, func(lo, hi int) {
-		for nc := lo; nc < hi; nc++ {
-			img, ch := nc/c, nc%c
-			for y := 0; y < h; y++ {
-				for xw := 0; xw < w; xw++ {
-					dst[((img*c+ch)*h+y)*w+xw] = xd[((img*h+y)*w+xw)*c+ch]
-				}
-			}
+	hw := h * w
+	parallelFor(n, 1, func(lo, hi int) {
+		for img := lo; img < hi; img++ {
+			TransposeF32(xd[img*c*hw:(img+1)*c*hw], hw, c, dst[img*c*hw:(img+1)*c*hw])
 		}
 	})
+}
+
+// TransposeF32 writes the transpose of the rows×cols row-major matrix src
+// into dst: dst[j*rows+i] = src[i*cols+j]. Pure data movement, bit-exact
+// under every ISA; the AVX2 path moves 8×8 tiles entirely in registers
+// (unpack → shuffle → 128-bit lane swap), turning a stride-c scatter into
+// contiguous line-width stores.
+func TransposeF32(src []float32, rows, cols int, dst []float32) {
+	if len(src) < rows*cols || len(dst) < rows*cols {
+		panic(fmt.Sprintf("tensor: TransposeF32 needs %d elements, have src %d dst %d",
+			rows*cols, len(src), len(dst)))
+	}
+	if simdTranspose(src, rows, cols, dst) {
+		return
+	}
+	for i := 0; i < rows; i++ {
+		row := src[i*cols : (i+1)*cols]
+		for j, v := range row {
+			dst[j*rows+i] = v
+		}
+	}
 }

@@ -1,0 +1,112 @@
+package tensor
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// workPool is the persistent worker pool behind parallelFor/parallelForID.
+// The historical implementation spawned one goroutine per chunk per call;
+// at serving/training rates that is an allocation (closure + goroutine
+// stack hand-off) and two scheduler round-trips per kernel invocation, and
+// it shows up as contention when many replicas fan out concurrently. The
+// pool instead keeps one long-lived, OS-thread-locked, core-pinned worker
+// per chunk slot:
+//
+//   - Dispatch writes the job fields, then wakes workers over per-worker
+//     capacity-1 channels — no allocation, no goroutine creation.
+//   - Worker w always executes chunk w (deterministic block→worker
+//     assignment). Sequential fan-outs over the same range therefore
+//     revisit the same data on the same core, which is what lets the
+//     blocked GEMM keep a worker's C-tile rows and packed A panel resident
+//     across the K loop.
+//   - The calling goroutine executes chunk 0 itself and then waits on a
+//     capacity-1 done channel signalled by the last finishing worker.
+//
+// One fan-out runs at a time (the pool mutex); a nested or concurrent
+// parallelFor fails the TryLock and runs inline on its caller. Workers are
+// spawned lazily up to the largest chunk count ever requested and live for
+// the process duration. Each locks its OS thread and (best effort, Linux)
+// pins it to core w mod NumCPU — EXACLIM_NOPIN=1 disables pinning.
+type workPool struct {
+	mu    sync.Mutex
+	wakes []chan struct{} // wakes[w-1] wakes the worker owning chunk w
+
+	// Job state, written under mu before the wakes, read by woken workers
+	// (the channel send orders the writes before the reads).
+	body    func(lo, hi int)
+	bodyID  func(id, lo, hi int)
+	n, per  int
+	pending atomic.Int64
+	done    chan struct{}
+}
+
+var kernelPool = &workPool{done: make(chan struct{}, 1)}
+
+// run executes one fan-out: chunk w = [w*per, min(w*per+per, n)) with
+// per = max(ceil(n/workers), grain), exactly the historical chunk
+// geometry. Returns false (having done nothing) when the pool is busy or
+// the range collapses to a single chunk. Exactly one of body/bodyID is
+// non-nil.
+func (p *workPool) run(n, grain, workers int, body func(lo, hi int), bodyID func(id, lo, hi int)) bool {
+	if !p.mu.TryLock() {
+		return false
+	}
+	if chunks := (n + grain - 1) / grain; chunks < workers {
+		workers = chunks
+	}
+	per := max((n+workers-1)/workers, grain)
+	chunks := (n + per - 1) / per
+	if chunks <= 1 {
+		p.mu.Unlock()
+		return false
+	}
+	p.ensureWorkers(chunks - 1)
+	p.body, p.bodyID, p.n, p.per = body, bodyID, n, per
+	p.pending.Store(int64(chunks - 1))
+	for w := 1; w < chunks; w++ {
+		p.wakes[w-1] <- struct{}{}
+	}
+	if bodyID != nil {
+		bodyID(0, 0, per)
+	} else {
+		body(0, per)
+	}
+	<-p.done
+	p.body, p.bodyID = nil, nil
+	p.mu.Unlock()
+	return true
+}
+
+// ensureWorkers spawns missing workers so chunk ids 1..k have owners.
+// Called with mu held; spawning happens only the first time a larger
+// fan-out is requested, so the steady state allocates nothing.
+func (p *workPool) ensureWorkers(k int) {
+	for len(p.wakes) < k {
+		w := len(p.wakes) + 1
+		wake := make(chan struct{}, 1)
+		p.wakes = append(p.wakes, wake)
+		go p.worker(w, wake)
+	}
+}
+
+// worker owns chunk id w of every fan-out large enough to include it.
+func (p *workPool) worker(w int, wake chan struct{}) {
+	runtime.LockOSThread()
+	pinThread(w)
+	for range wake {
+		lo := w * p.per
+		hi := min(lo+p.per, p.n)
+		if p.bodyID != nil {
+			p.bodyID(w, lo, hi)
+		} else {
+			p.body(lo, hi)
+		}
+		// The caller may start the next job the instant done is signalled,
+		// so no job field is touched past this decrement.
+		if p.pending.Add(-1) == 0 {
+			p.done <- struct{}{}
+		}
+	}
+}

@@ -1,0 +1,137 @@
+package tensor
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestParallelForIDAssignsChunks: ids are the chunk indices, id 0 runs on
+// the calling goroutine, every index is covered exactly once, and the
+// chunk→id mapping is deterministic across repeated fan-outs (the property
+// the blocked GEMM's panel/C-tile locality relies on).
+func TestParallelForIDAssignsChunks(t *testing.T) {
+	prev := SetParallelism(4)
+	defer SetParallelism(prev)
+
+	const n, grain = 1000, 1
+	var firstSpans sync.Map
+	for trial := 0; trial < 5; trial++ {
+		visited := make([]int32, n)
+		var mu sync.Mutex
+		ids := map[int][2]int{}
+		parallelForID(n, grain, func(id, lo, hi int) {
+			mu.Lock()
+			if prevSpan, dup := ids[id]; dup {
+				t.Errorf("id %d issued twice: %v and [%d,%d)", id, prevSpan, lo, hi)
+			}
+			ids[id] = [2]int{lo, hi}
+			mu.Unlock()
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&visited[i], 1)
+			}
+		})
+		for i, v := range visited {
+			if v != 1 {
+				t.Fatalf("trial %d: index %d visited %d times", trial, i, v)
+			}
+		}
+		for id, span := range ids {
+			if got, ok := firstSpans.Load(id); ok && got.([2]int) != span {
+				t.Fatalf("trial %d: id %d span %v, earlier %v — assignment not deterministic",
+					trial, id, span, got)
+			}
+			firstSpans.Store(id, span)
+		}
+	}
+}
+
+// TestParallelForZeroAlloc is the satellite guard: with the persistent
+// pool, steady-state dispatch must not allocate. The closure is hoisted
+// outside the measured region (constructing a capturing closure is the
+// caller's allocation, not the pool's), and a warm-up call spawns the
+// workers first.
+func TestParallelForZeroAlloc(t *testing.T) {
+	prev := SetParallelism(4)
+	defer SetParallelism(prev)
+
+	x := make([]float32, 1<<14)
+	body := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			x[i]++
+		}
+	}
+	parallelFor(len(x), 1024, body) // warm-up: spawn pool workers
+	allocs := testing.AllocsPerRun(100, func() {
+		parallelFor(len(x), 1024, body)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state parallelFor allocates %.1f objects/op, want 0", allocs)
+	}
+
+	bodyID := func(id, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			x[i]++
+		}
+	}
+	parallelForID(len(x), 1024, bodyID)
+	allocs = testing.AllocsPerRun(100, func() {
+		parallelForID(len(x), 1024, bodyID)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state parallelForID allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+// TestWorkPoolHammer drives the pool from many goroutines concurrently
+// (serving replicas) with nested fan-outs inside the bodies (kernels that
+// call kernels) — run under -race this is the pool's data-race guard.
+func TestWorkPoolHammer(t *testing.T) {
+	prev := SetParallelism(4)
+	defer SetParallelism(prev)
+
+	const goroutines = 8
+	const rounds = 50
+	var wg sync.WaitGroup
+	var total atomic.Int64
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				var inner atomic.Int64
+				parallelFor(64, 1, func(lo, hi int) {
+					// Nested fan-out: must fall back inline, not deadlock.
+					parallelFor(hi-lo, 1, func(l, h int) {
+						inner.Add(int64(h - l))
+					})
+				})
+				if inner.Load() != 64 {
+					t.Errorf("round %d: covered %d indices, want 64", r, inner.Load())
+					return
+				}
+				total.Add(inner.Load())
+			}
+		}()
+	}
+	wg.Wait()
+	if total.Load() != goroutines*rounds*64 {
+		t.Fatalf("total work %d, want %d", total.Load(), goroutines*rounds*64)
+	}
+}
+
+// TestWorkPoolGrowsWithParallelism: raising the worker count mid-process
+// (core.Config.KernelWorkers does this per run) must grow the pool and
+// still cover the range.
+func TestWorkPoolGrowsWithParallelism(t *testing.T) {
+	prev := SetParallelism(2)
+	defer SetParallelism(prev)
+	var count atomic.Int64
+	body := func(lo, hi int) { count.Add(int64(hi - lo)) }
+	parallelFor(512, 1, body)
+	SetParallelism(8)
+	parallelFor(512, 1, body)
+	if count.Load() != 1024 {
+		t.Fatalf("covered %d, want 1024", count.Load())
+	}
+}
