@@ -27,6 +27,7 @@ import (
 	"repro/internal/compress"
 	"repro/internal/core"
 	"repro/internal/easgd"
+	"repro/internal/fleet"
 	"repro/internal/graph"
 	"repro/internal/h5lite"
 	"repro/internal/horovod"
@@ -1311,6 +1312,175 @@ func quantRelErr(b *testing.B, fields *tensor.Tensor) (fp16, int8 float64) {
 		}
 	}
 	return fp16, int8
+}
+
+// ---------- PR 10: sharded serving fleet with live hot-swap ----------
+
+// BenchmarkFleetServing is the fleet acceptance benchmark: full-snapshot
+// segmentation requests scattered over simulated shard nodes, measured on
+// the serving fabric's virtual clocks so shard-count scaling is
+// host-independent. Four phases per iteration: a 1-shard fleet (the
+// scaling baseline), a 4-shard fleet under the same load (virtual req/s
+// ratio is the ≥2.5× acceptance quantity), a rolling weight hot-swap under
+// continued load on the 4-shard fleet (swap-window tail latency and the
+// zero-drop guarantee), and a chaos run where one shard is killed mid-load
+// (re-dispatch rate around the dead shard).
+func BenchmarkFleetServing(b *testing.B) {
+	const (
+		tileHW, overlap = 16, 2
+		fieldHW         = 64
+		nReq, clients   = 32, 8
+		maxBatch        = 4
+		shards          = 4
+	)
+	net := servingNet(b)
+	ds := climate.NewDataset(climate.DefaultGenConfig(fieldHW, fieldHW, 7), 8)
+	fields := make([]*tensor.Tensor, 8)
+	for i := range fields {
+		fields[i] = ds.Sample(i).Fields
+	}
+	model, err := exaclim.BuildModel("tiramisu", exaclim.Tiny, exaclim.ModelConfig{
+		Height: tileHW, Width: tileHW, Seed: 3,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	copyWeights(b, net, model)
+
+	// The hot-swap payload: the same weights re-captured as a committed
+	// step-1 training snapshot, so the swap drives the full rolling
+	// protocol without perturbing the masks.
+	params, err := models.CaptureParamsInto(net.Graph, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	swapDir := b.TempDir()
+	state := &models.TrainState{Step: 1, Ranks: 1, GlobalBatch: 1, Params: params}
+	if _, err := models.WriteSnapshotAtomic(swapDir, state, false); err != nil {
+		b.Fatal(err)
+	}
+
+	segCfg := exaclim.SegmentConfig{Overlap: overlap}
+	drive := func(n int, seg func(context.Context, *tensor.Tensor) (*tensor.Tensor, exaclim.FleetStat, error)) {
+		var wg sync.WaitGroup
+		jobs := make(chan int)
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range jobs {
+					if _, _, err := seg(context.Background(), fields[i%len(fields)]); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			}()
+		}
+		for i := 0; i < n; i++ {
+			jobs <- i
+		}
+		close(jobs)
+		wg.Wait()
+	}
+
+	tileCfg := infer.Config{TileH: tileHW, TileW: tileHW, Overlap: overlap, Precision: graph.FP32}
+	var virt1, virt4, wallRPS, swapP99ms, swapDrops, swaps, redispatchPct float64
+	b.ResetTimer()
+	for it := 0; it < b.N; it++ {
+		// Phase 1: the 1-shard fleet is the scaling baseline. It
+		// calibrates the per-tile virtual charge; the other topologies pin
+		// the same charge so every shard count prices compute identically
+		// and the ratio measures the fabric model, not wall-clock noise.
+		runtime.GC()
+		// The deep admission window (16 batches a shard) keeps every
+		// shard's virtual timeline supplied: with a shallow window, each
+		// refill round couples all shards to the globally latest result
+		// the router has seen, and the makespan accumulates the per-round
+		// jitter instead of the per-shard compute.
+		f1, err := fleet.New(infer.FromModel(net), fleet.Config{
+			Shards: 1, MaxBatch: maxBatch, AdmitPerShard: 16 * maxBatch, Tile: tileCfg,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		drive(nReq, f1.Segment)
+		virt1 = f1.Stats().VirtualReqPerSec
+		tileCost := f1.TileCost()
+		f1.Close()
+
+		// Phase 2: the same load over 4 shards; virtual req/s is the
+		// scaling figure, wall req/s is this host's throughput.
+		runtime.GC()
+		f4, err := fleet.New(infer.FromModel(net), fleet.Config{
+			Shards: shards, MaxBatch: maxBatch, AdmitPerShard: 16 * maxBatch,
+			Tile: tileCfg, TileCost: tileCost,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		start := time.Now()
+		drive(nReq, f4.Segment)
+		wallRPS = float64(nReq) / time.Since(start).Seconds()
+		virt4 = f4.Stats().VirtualReqPerSec
+		f4.Close()
+
+		// Phase 3: a rolling hot-swap rides the same load through the
+		// public fleet API. The acceptance guarantee is zero dropped
+		// requests.
+		runtime.GC()
+		fs, err := exaclim.NewFleet(model,
+			exaclim.WithShards(shards),
+			exaclim.WithFleetMaxBatch(maxBatch),
+			exaclim.WithFleetSegmentConfig(segCfg),
+		)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var swapErr error
+		var sw sync.WaitGroup
+		sw.Add(1)
+		go func() {
+			defer sw.Done()
+			swapErr = fs.SwapCheckpoint(swapDir)
+		}()
+		drive(nReq, fs.Segment)
+		sw.Wait()
+		if swapErr != nil {
+			b.Fatal(swapErr)
+		}
+		st := fs.Stats()
+		swapP99ms = st.SwapWindowP99.Seconds() * 1e3
+		swapDrops = float64(st.Failed)
+		swaps = float64(st.Swaps)
+		fs.Close()
+
+		// Phase 4: chaos — shard 1 dies once it sees traffic from the
+		// third admitted request; survivors re-decode its lost tiles.
+		runtime.GC()
+		ff := simnet.NewFaultFabric(simnet.ServingCluster(shards))
+		ff.FailNode(2, 3)
+		fc, err := fleet.New(infer.FromModel(net), fleet.Config{
+			Shards: shards, MaxBatch: maxBatch, AdmitPerShard: 16 * maxBatch,
+			Tile: tileCfg, TileCost: tileCost, Fabric: ff,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		drive(nReq, fc.Segment)
+		cs := fc.Stats()
+		if cs.Tiles > 0 {
+			redispatchPct = 100 * float64(cs.Redispatched) / float64(cs.Tiles)
+		}
+		fc.Close()
+	}
+	b.ReportMetric(virt4, "virt-req/s")
+	b.ReportMetric(virt1, "virt-req/s-1shard")
+	b.ReportMetric(virt4/virt1, "shard-speedup")
+	b.ReportMetric(wallRPS, "req/s")
+	b.ReportMetric(swaps, "swaps")
+	b.ReportMetric(swapP99ms, "swap-p99-ms")
+	b.ReportMetric(swapDrops, "swap-drops")
+	b.ReportMetric(redispatchPct, "%redispatched")
 }
 
 // ---------- tiled inference ----------

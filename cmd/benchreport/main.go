@@ -73,6 +73,23 @@ type StreamingSummary struct {
 	P99FrameMs      float64 `json:"p99_frame_ms,omitempty"`
 }
 
+// FleetSummary surfaces the sharded-serving acceptance numbers (PR 10)
+// from the BenchmarkFleetServing metrics: virtual-clock throughput at 4
+// shards and at the 1-shard baseline, their ratio (the ≥2.5× acceptance
+// quantity), this host's wall throughput, the hot-swap figures (completed
+// swaps, swap-window p99, dropped requests — the guarantee is zero), and
+// the chaos run's tile re-dispatch rate around a killed shard.
+type FleetSummary struct {
+	VirtualReqPerSec      float64 `json:"virtual_requests_per_sec"`
+	OneShardVirtualReqSec float64 `json:"one_shard_virtual_requests_per_sec,omitempty"`
+	ShardSpeedup          float64 `json:"shard_speedup,omitempty"`
+	RequestsPerSec        float64 `json:"requests_per_sec,omitempty"`
+	Swaps                 float64 `json:"swaps,omitempty"`
+	SwapP99ms             float64 `json:"swap_window_p99_ms,omitempty"`
+	SwapDrops             float64 `json:"swap_drops"`
+	RedispatchedPercent   float64 `json:"redispatched_percent"`
+}
+
 // KernelSummary surfaces the SIMD execution layer's acceptance numbers
 // (PR 9) from the BenchmarkKernel* metrics: the measured FMA peak
 // (BenchmarkKernelPeak's synthetic 12-chain probe), the best delivered
@@ -97,6 +114,7 @@ type Report struct {
 	Kernel     *KernelSummary    `json:"kernel,omitempty"`
 	Serving    *ServingSummary   `json:"serving,omitempty"`
 	Adaptive   *AdaptiveSummary  `json:"adaptive,omitempty"`
+	Fleet      *FleetSummary     `json:"fleet,omitempty"`
 	Streaming  *StreamingSummary `json:"streaming,omitempty"`
 	Benchmarks []Benchmark       `json:"benchmarks"`
 	Notes      []string          `json:"notes,omitempty"`
@@ -123,6 +141,7 @@ func main() {
 	report.Kernel = kernelSummary(report.Benchmarks)
 	report.Serving = servingSummary(report.Benchmarks)
 	report.Adaptive = adaptiveSummary(report.Benchmarks)
+	report.Fleet = fleetSummary(report.Benchmarks)
 	report.Streaming = streamingSummary(report.Benchmarks)
 
 	buf, err := json.MarshalIndent(report, "", "  ")
@@ -291,6 +310,30 @@ func adaptiveSummary(benches []Benchmark) *AdaptiveSummary {
 			P99ms:           b.Metrics["p99-ms"],
 			FP16LogitRelErr: b.Metrics["fp16-logit-relerr"],
 			INT8LogitRelErr: b.Metrics["int8-logit-relerr"],
+		}
+	}
+	return nil
+}
+
+// fleetSummary extracts the sharded-serving acceptance quantities from a
+// BenchmarkFleetServing result line, if one was parsed (nil otherwise).
+func fleetSummary(benches []Benchmark) *FleetSummary {
+	for _, b := range benches {
+		if !strings.HasPrefix(b.Name, "BenchmarkFleetServing") || b.Metrics == nil {
+			continue
+		}
+		if _, ok := b.Metrics["virt-req/s"]; !ok {
+			continue
+		}
+		return &FleetSummary{
+			VirtualReqPerSec:      b.Metrics["virt-req/s"],
+			OneShardVirtualReqSec: b.Metrics["virt-req/s-1shard"],
+			ShardSpeedup:          b.Metrics["shard-speedup"],
+			RequestsPerSec:        b.Metrics["req/s"],
+			Swaps:                 b.Metrics["swaps"],
+			SwapP99ms:             b.Metrics["swap-p99-ms"],
+			SwapDrops:             b.Metrics["swap-drops"],
+			RedispatchedPercent:   b.Metrics["%redispatched"],
 		}
 	}
 	return nil

@@ -10,11 +10,23 @@
 // storm-containing tile), so exited tiles are bit-identical to full
 // decodes on that set.
 //
+// With -shards N the same load drives the sharded serving fleet instead:
+// tile queues scatter across N simulated shard nodes (per-shard admission
+// control, hash-affine routing, re-dispatch around dead shards) and the
+// virtual-clock scaling figures are reported alongside the wall-clock
+// ones. Adding -hotswap-dir runs the closed training→serving loop:
+// a quick training run writes checkpoint snapshots into the directory
+// while the load generator hammers the fleet, and each snapshot rolls in
+// as a live no-drain weight hot-swap — the run fails if the serving
+// version never advances or any request is dropped.
+//
 // Usage:
 //
 //	servseg -requests 64 -concurrency 16 -replicas 1 -max-batch 8 -baseline
 //	servseg -early-exit -calibrate -requests 256
 //	servseg -precision int8 -baseline
+//	servseg -shards 4 -shard-replicas 2 -requests 256
+//	servseg -shards 4 -hotswap-dir /tmp/ckpts -hotswap-steps 3
 package main
 
 import (
@@ -53,6 +65,12 @@ func main() {
 	exitThreshold := flag.Float64("exit-threshold", 0, "explicit exit threshold (with -early-exit, unless -calibrate)")
 	calibrate := flag.Bool("calibrate", false, "calibrate the exit threshold on the snapshot set (implies -early-exit)")
 	exitMargin := flag.Float64("exit-margin", 1, "calibration safety margin in (0, 1]")
+
+	shards := flag.Int("shards", 0, "serve through the sharded fleet with this many shard nodes (0 = single-process server)")
+	shardReplicas := flag.Int("shard-replicas", 1, "replica engines per shard (fleet mode)")
+	admit := flag.Int("admit", 0, "per-shard outstanding-tile admission bound (fleet mode, 0 = 4×max-batch)")
+	hotswapDir := flag.String("hotswap-dir", "", "watch this checkpoint directory and hot-swap new snapshots while serving (fleet mode)")
+	hotswapSteps := flag.Int("hotswap-steps", 3, "with -hotswap-dir: quick-train this many steps into the directory during the load run")
 
 	requests := flag.Int("requests", 64, "total requests to issue")
 	concurrency := flag.Int("concurrency", 16, "concurrent client goroutines")
@@ -105,6 +123,19 @@ func main() {
 		serialRPS = float64(*requests) / el.Seconds()
 		fmt.Printf("  serial baseline: %.1f req/s (1 goroutine, FP32 full decode, %.1fms/req)\n",
 			serialRPS, el.Seconds()*1e3/float64(*requests))
+	}
+
+	if *shards > 0 {
+		runFleet(model, fields, fleetRun{
+			network: *network, tile: *tile, seed: *seed,
+			shards: *shards, shardReplicas: *shardReplicas, admit: *admit,
+			maxBatch: *maxBatch, segment: segCfg, baseCfg: baseCfg,
+			earlyExit: *earlyExit, exitThreshold: *exitThreshold,
+			requests: *requests, concurrency: *concurrency,
+			baseline: *baseline, serialRPS: serialRPS,
+			hotswapDir: *hotswapDir, hotswapSteps: *hotswapSteps,
+		})
+		return
 	}
 
 	opts := []exaclim.ServerOption{
@@ -217,6 +248,155 @@ func equal(a, b []float32) bool {
 		}
 	}
 	return true
+}
+
+// fleetRun bundles the fleet-mode parameters.
+type fleetRun struct {
+	network       string
+	tile          int
+	seed          int64
+	shards        int
+	shardReplicas int
+	admit         int
+	maxBatch      int
+	segment       exaclim.SegmentConfig
+	baseCfg       exaclim.SegmentConfig
+	earlyExit     bool
+	exitThreshold float64
+	requests      int
+	concurrency   int
+	baseline      bool
+	serialRPS     float64
+	hotswapDir    string
+	hotswapSteps  int
+}
+
+// runFleet drives the sharded serving fleet with the same load generator
+// as the single-process path, optionally hot-swapping checkpoints written
+// by a concurrent training run, and reports wall-clock and virtual-clock
+// figures.
+func runFleet(model *exaclim.Model, fields []*tensor.Tensor, r fleetRun) {
+	opts := []exaclim.FleetOption{
+		exaclim.WithShards(r.shards),
+		exaclim.WithShardReplicas(r.shardReplicas),
+		exaclim.WithFleetMaxBatch(r.maxBatch),
+		exaclim.WithFleetSegmentConfig(r.segment),
+	}
+	if r.admit > 0 {
+		opts = append(opts, exaclim.WithAdmission(r.admit))
+	}
+	if r.earlyExit {
+		opts = append(opts, exaclim.WithFleetEarlyExit(r.exitThreshold))
+	}
+	if r.hotswapDir != "" {
+		opts = append(opts, exaclim.WithHotSwap(r.hotswapDir, 2*time.Millisecond))
+	}
+	f, err := exaclim.NewFleet(model, opts...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+
+	// With a hot-swap directory, train concurrently with the load run so
+	// the watcher rolls real snapshots in mid-traffic.
+	trained := make(chan error, 1)
+	if r.hotswapDir != "" {
+		go func() {
+			exp, err := exaclim.New(
+				exaclim.WithNetwork(r.network, exaclim.Tiny),
+				exaclim.WithSyntheticData(r.tile, r.tile, 16, r.seed+2),
+				exaclim.WithSteps(r.hotswapSteps),
+				exaclim.WithSeed(r.seed),
+				exaclim.WithCheckpointDir(r.hotswapDir),
+				exaclim.WithCheckpointEvery(r.hotswapSteps),
+			)
+			if err == nil {
+				_, err = exp.Run(context.Background())
+			}
+			trained <- err
+		}()
+	}
+
+	var wg sync.WaitGroup
+	next := make(chan int)
+	start := time.Now()
+	for c := 0; c < r.concurrency; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				if _, _, err := f.Segment(context.Background(), fields[i%len(fields)]); err != nil {
+					log.Fatalf("request dropped: %v", err)
+				}
+			}
+		}()
+	}
+	for i := 0; i < r.requests; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	if r.hotswapDir != "" {
+		if err := <-trained; err != nil {
+			log.Fatalf("hot-swap training run: %v", err)
+		}
+		// The swap must land: keep a trickle of traffic flowing until the
+		// watcher has rolled the snapshot in.
+		deadline := time.Now().Add(30 * time.Second)
+		for f.Stats().Version == 0 {
+			if time.Now().After(deadline) {
+				log.Fatal("hot swap never advanced the serving version")
+			}
+			if _, _, err := f.Segment(context.Background(), fields[0]); err != nil {
+				log.Fatalf("request dropped during hot swap: %v", err)
+			}
+		}
+		if _, stat, err := f.Segment(context.Background(), fields[0]); err != nil || stat.Version == 0 {
+			log.Fatalf("post-swap request: version %d, err %v", stat.Version, err)
+		}
+	}
+
+	st := f.Stats()
+	rps := float64(r.requests) / elapsed.Seconds()
+	fmt.Printf("  fleet: shards=%d shard-replicas=%d max-batch=%d admit=%d early-exit=%v\n",
+		r.shards, r.shardReplicas, r.maxBatch, r.admit, r.earlyExit)
+	fmt.Printf("    wall clock  %.1f req/s", rps)
+	if r.serialRPS > 0 {
+		fmt.Printf("   (%.2f× serial)", rps/r.serialRPS)
+	}
+	fmt.Println()
+	fmt.Printf("    virtual     %.1f req/s over %.3fs fleet makespan (serving-fabric network model)\n",
+		st.VirtualReqPerSec, st.VirtualSeconds)
+	fmt.Printf("    latency     p50 %.1fms  p95 %.1fms  p99 %.1fms\n",
+		st.LatencyP50.Seconds()*1e3, st.LatencyP95.Seconds()*1e3, st.LatencyP99.Seconds()*1e3)
+	fmt.Printf("    resilience  %d tiles re-dispatched, %d dead shards, %d failed requests\n",
+		st.Redispatched, st.DeadShards, st.Failed)
+	if st.Swaps > 0 {
+		fmt.Printf("    hot swap    %d swaps, serving version %d (step %d), swap-window p99 %.1fms over %d requests\n",
+			st.Swaps, st.Version, st.Step, st.SwapWindowP99.Seconds()*1e3, st.SwapWindowRequests)
+	}
+
+	if r.baseline && r.hotswapDir == "" {
+		// Mask-parity audit (skipped after a hot swap: the serving weights
+		// have legitimately moved past the local model's).
+		same := 0
+		for _, fl := range fields {
+			want, err := model.Segment(fl, r.baseCfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			got, _, err := f.Segment(context.Background(), fl)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if equal(want.Data(), got.Data()) {
+				same++
+			}
+		}
+		fmt.Printf("    mask parity %d/%d snapshots bit-identical to FP32 full decode\n", same, len(fields))
+	}
 }
 
 // buildModel constructs (or quick-trains) the serving model at the tile

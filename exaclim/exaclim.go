@@ -400,7 +400,7 @@ func (e *Experiment) Run(ctx context.Context) (*Result, error) {
 		}
 	}
 	if res.Net != nil {
-		out.Model = &Model{name: e.network, net: res.Net}
+		out.Model = &Model{name: e.network, net: res.Net, rebuild: rebuilder(e.network, e.size, e.model)}
 	}
 	return out, err
 }
@@ -441,11 +441,28 @@ func SyntheticDataset(height, width, samples int, seed int64) *climate.Dataset {
 type Model struct {
 	name string
 	net  *models.Network
+	// rebuild constructs a fresh instance of the same architecture — fresh
+	// parameter tensors, identical labels and shapes. The serving fleet's
+	// hot-swap path hosts each incoming weight generation on its own
+	// instance so in-flight inference on the old tensors is never touched.
+	rebuild func() (*models.Network, error)
 
 	mu        sync.Mutex
 	adapted   *infer.Network
 	runner    *infer.Runner
 	runnerCfg infer.Config
+}
+
+// rebuilder returns a factory producing fresh instances of a registered
+// network at a resolved size/config.
+func rebuilder(network string, size Size, cfg ModelConfig) func() (*models.Network, error) {
+	return func() (*models.Network, error) {
+		build, err := networks.lookup(network)
+		if err != nil {
+			return nil, err
+		}
+		return build(size, modelsConfig(cfg))
+	}
 }
 
 // BuildModel constructs a registered network standalone — for inference
@@ -460,7 +477,7 @@ func BuildModel(network string, size Size, cfg ModelConfig) (*Model, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Model{name: network, net: net}, nil
+	return &Model{name: network, net: net, rebuild: rebuilder(network, size, cfg)}, nil
 }
 
 func modelsConfig(c ModelConfig) models.Config {

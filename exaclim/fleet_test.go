@@ -1,0 +1,167 @@
+package exaclim
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestFleetMatchesModelSegment(t *testing.T) {
+	m := serveModel(t)
+	ds := SyntheticDataset(48, 64, 2, 9)
+	cfg := SegmentConfig{Overlap: 2}
+	want, err := m.Segment(ds.Sample(0).Fields, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	f, err := NewFleet(m,
+		WithShards(3),
+		WithShardReplicas(2),
+		WithFleetMaxBatch(4),
+		WithAdmission(8),
+		WithFleetSegmentConfig(cfg),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	got, stat, err := f.Segment(context.Background(), ds.Sample(0).Fields)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range want.Data() {
+		if got.Data()[i] != v {
+			t.Fatalf("fleet mask diverges from Model.Segment at pixel %d", i)
+		}
+	}
+	if stat.Tiles < 2 || stat.Latency <= 0 || stat.Version != 0 {
+		t.Errorf("implausible FleetStat %+v", stat)
+	}
+	st := f.Stats()
+	if st.Requests != 1 || st.Tiles == 0 || st.VirtualReqPerSec <= 0 {
+		t.Errorf("implausible FleetStats %+v", st)
+	}
+}
+
+func TestFleetOptionValidation(t *testing.T) {
+	m := serveModel(t)
+	cases := [][]FleetOption{
+		{WithShards(0)},
+		{WithShardReplicas(0)},
+		{WithAdmission(0)},
+		{WithFleetMaxBatch(0)},
+		{WithFleetQueueDepth(0)},
+		{WithFleetEarlyExit(-1)},
+		{WithHotSwap("", 0)},
+	}
+	for i, opts := range cases {
+		if _, err := NewFleet(m, opts...); err == nil {
+			t.Errorf("case %d: invalid fleet options accepted", i)
+		}
+	}
+}
+
+// TestFleetHotSwapFromTraining is the closed training→serving loop at the
+// public API: a short run writes checkpoint snapshots, the run's own model
+// serves behind a fleet, and the latest snapshot hot-swaps in — version
+// advances, serving never stops.
+func TestFleetHotSwapFromTraining(t *testing.T) {
+	dir := t.TempDir()
+	exp, err := New(append(ckptBase(dir), WithSteps(3))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := exp.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Model == nil || res.Checkpoints == 0 {
+		t.Fatalf("run produced model=%v checkpoints=%d", res.Model != nil, res.Checkpoints)
+	}
+
+	f, err := NewFleet(res.Model, WithShards(2), WithFleetMaxBatch(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	ds := SyntheticDataset(32, 32, 1, 7)
+
+	if _, stat, err := f.Segment(context.Background(), ds.Sample(0).Fields); err != nil || stat.Version != 0 {
+		t.Fatalf("pre-swap request: version %d, err %v", stat.Version, err)
+	}
+	if err := f.SwapCheckpoint(dir); err != nil {
+		t.Fatal(err)
+	}
+	_, stat, err := f.Segment(context.Background(), ds.Sample(0).Fields)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stat.Version != 1 || stat.Step != 3 {
+		t.Fatalf("post-swap request served by version %d step %d, want version 1 step 3", stat.Version, stat.Step)
+	}
+	if st := f.Stats(); st.Swaps != 1 || st.Version != 1 {
+		t.Errorf("fleet stats after swap: %+v", st)
+	}
+}
+
+// TestFleetHotSwapWatcher: WithHotSwap picks up snapshots written after
+// the fleet started, under concurrent serving load.
+func TestFleetHotSwapWatcher(t *testing.T) {
+	dir := t.TempDir()
+	m := serveModel(t)
+	var versions sync.Map
+	f, err := NewFleet(m,
+		WithShards(2),
+		WithHotSwap(dir, time.Millisecond),
+		WithFleetObserver(func(st FleetStat) { versions.Store(st.Version, st.Step) }),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	ds := SyntheticDataset(16, 16, 1, 3)
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for !stop.Load() {
+			if _, _, err := f.Segment(context.Background(), ds.Sample(0).Fields); err != nil {
+				t.Errorf("segment under hot swap: %v", err)
+				return
+			}
+		}
+	}()
+
+	// Train the same architecture (BuildModel resolves the same 16×16
+	// window) and let the watcher roll its snapshot in mid-load.
+	exp, err := New(append(ckptBase(dir), WithSteps(3))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := exp.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for f.Stats().Version == 0 {
+		if time.Now().After(deadline) {
+			stop.Store(true)
+			wg.Wait()
+			t.Fatal("hot-swap watcher never advanced the serving version")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	stop.Store(true)
+	wg.Wait()
+	if _, ok := versions.Load(uint64(1)); !ok {
+		// The watcher swapped, but load stopped before any request was
+		// admitted on the new version; verify with one more request.
+		if _, stat, err := f.Segment(context.Background(), ds.Sample(0).Fields); err != nil || stat.Version != 1 {
+			t.Fatalf("no request ever served by the swapped version (stat %+v, err %v)", stat, err)
+		}
+	}
+}

@@ -258,6 +258,27 @@ func (r *Runner) sizedFor(b int) (*sizedNet, error) {
 	return s, nil
 }
 
+// Warm builds the execution state for the given batch size ahead of use:
+// the inference clone, its pooled executor, and (when the network carries
+// an exit tap) the exit-branch clone. The serving fleet's rolling hot-swap
+// warms each new weight generation's runners during the prepare phase, so
+// the first post-flip batch pays no clone-and-replan latency — the swap is
+// make-before-break for tail latency, not just for correctness.
+func (r *Runner) Warm(batch int) error {
+	if batch < 1 || batch > r.cfg.maxBatch() {
+		return fmt.Errorf("infer: warm batch %d outside [1, %d]", batch, r.cfg.maxBatch())
+	}
+	if _, err := r.sizedFor(batch); err != nil {
+		return err
+	}
+	if r.src.Exit != nil {
+		if _, err := r.exitSizedFor(batch); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Close releases every cached executor's buffers back to the runner's pool
 // and drops per-op kernel caches, so a retired replica pins no memory.
 func (r *Runner) Close() {

@@ -219,6 +219,15 @@ func (c *Comm) SendMeta(dst, tag int, meta any) {
 	c.sendInternal(dst, tag, nil, meta)
 }
 
+// SendPayload transmits data and a control payload in one message — the
+// scatter/gather pattern of the serving fleet, where a tile window (or a
+// stitched keep-region) rides the wire together with the routing record
+// that identifies it. The data is copied like Send; wire time is charged
+// for the payload size.
+func (c *Comm) SendPayload(dst, tag int, data []float32, meta any) {
+	c.sendInternal(dst, tag, data, meta)
+}
+
 func (c *Comm) sendInternal(dst, tag int, data []float32, meta any) {
 	if dst < 0 || dst >= c.world.Size() {
 		panic(fmt.Sprintf("mpi: send to invalid rank %d", dst))

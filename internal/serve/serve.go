@@ -233,6 +233,10 @@ type Server struct {
 	// tile can ever enter the queue.
 	mu     sync.RWMutex
 	closed bool
+	// closeOnce serializes Close: concurrent callers all block until the
+	// first call has fully drained the workers, so no Close ever returns
+	// while requests are still in flight.
+	closeOnce sync.Once
 
 	start      time.Time
 	latency    *metrics.Histogram
@@ -657,16 +661,18 @@ func (s *Server) Stats() Stats {
 
 // Close drains the server gracefully: new Segment calls are refused,
 // admitted requests run to completion, then workers exit and release their
-// engines. Safe to call more than once.
+// engines. Safe to call from any number of goroutines; every call blocks
+// until the drain is complete, so when any Close returns no worker is
+// running and no request is in flight. (A plain closed-flag fast path here
+// would let a second concurrent Close return mid-drain — a caller tearing
+// down engines on that signal would race the still-running workers.)
 func (s *Server) Close() error {
-	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
-		return nil
-	}
-	s.closed = true
-	s.mu.Unlock() // every in-flight Segment has enqueued all its tiles
-	close(s.stop)
-	s.workers.Wait()
+	s.closeOnce.Do(func() {
+		s.mu.Lock()
+		s.closed = true
+		s.mu.Unlock() // every in-flight Segment has enqueued all its tiles
+		close(s.stop)
+		s.workers.Wait()
+	})
 	return nil
 }

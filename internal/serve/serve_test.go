@@ -452,6 +452,74 @@ func TestServerCloseWhileProducerFeeding(t *testing.T) {
 	}
 }
 
+func TestServerConcurrentCloseWaitsForDrain(t *testing.T) {
+	// Close must be a barrier for EVERY caller, not just the first: a
+	// second concurrent Close returning mid-drain would let its caller tear
+	// down shared state while workers still execute. Drive requests from
+	// producers, fire many Close calls concurrently, and assert no request
+	// completes after any Close has returned.
+	src := buildNet(8, 8, 29)
+	cfg := testConfig(func(c *Config) {
+		c.Replicas = 2
+		c.QueueDepth = 4
+	})
+	var closedAt atomic.Int64 // earliest Close-return time, unix nanos
+	var lateFinishes atomic.Int64
+	cfg.OnStat = func(RequestStat) {
+		if at := closedAt.Load(); at != 0 && time.Now().UnixNano() > at {
+			lateFinishes.Add(1)
+		}
+	}
+	s, err := New(src, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(31))
+	fields := tensor.RandNormal(tensor.Shape{3, 30, 30}, 0, 1, rng)
+
+	var producers sync.WaitGroup
+	for p := 0; p < 4; p++ {
+		producers.Add(1)
+		go func() {
+			defer producers.Done()
+			for {
+				if _, _, err := s.Segment(context.Background(), fields); errors.Is(err, ErrClosed) {
+					return
+				}
+			}
+		}()
+	}
+	time.Sleep(10 * time.Millisecond) // let requests get in flight
+	var closers sync.WaitGroup
+	for c := 0; c < 8; c++ {
+		closers.Add(1)
+		go func() {
+			defer closers.Done()
+			if err := s.Close(); err != nil {
+				t.Error(err)
+			}
+			now := time.Now().UnixNano()
+			for {
+				prev := closedAt.Load()
+				if prev != 0 && prev <= now {
+					return
+				}
+				if closedAt.CompareAndSwap(prev, now) {
+					return
+				}
+			}
+		}()
+	}
+	closers.Wait()
+	producers.Wait()
+	if n := lateFinishes.Load(); n != 0 {
+		t.Errorf("%d requests completed after a Close call had returned", n)
+	}
+	if st := s.Stats(); st.QueueDepth != 0 {
+		t.Errorf("queue not drained: depth %d", st.QueueDepth)
+	}
+}
+
 func TestServerQueueDepthPeak(t *testing.T) {
 	// Gauge correctness under a saturating request: a one-replica server
 	// with a tiny queue and a many-tile frame must observe the queue fill

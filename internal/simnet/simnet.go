@@ -104,6 +104,21 @@ func PizDaint(nodes int) *TwoLevelFabric {
 	)
 }
 
+// ServingCluster returns the serving fleet's fabric: one front-end node
+// (rank 0, the scatter/gather router) plus shards single-rank shard nodes,
+// joined by a datacenter-class network (25 GbE-ish ≈ 3 GB/s per direction,
+// ~20 µs latency). Serving traffic is request/response over Ethernet, not
+// HPC collectives over InfiniBand, so the link class is deliberately an
+// order of magnitude below the training fabrics — the virtual-clock scaling
+// analysis then answers the deployment question (does sharding pay on
+// commodity links?) rather than the training one.
+func ServingCluster(shards int) *TwoLevelFabric {
+	return NewTwoLevelFabric(shards+1, 1,
+		LinkSpec{LatencySec: 2e-6, BytesPerSec: 32e9}, // self-sends / staging
+		LinkSpec{LatencySec: 20e-6, BytesPerSec: 3e9},
+	)
+}
+
 // Loopback returns a single-node fabric for unit tests: n ranks all on one
 // node with fast links.
 func Loopback(n int) *TwoLevelFabric {
